@@ -1,0 +1,70 @@
+// Shared infrastructure for the experiment harnesses (one binary per paper
+// table/figure). Provides the eight (model, dataset) workloads of the
+// evaluation section at single-machine scale, table printing, and the
+// BLINKML_SCALE / BLINKML_REPEATS environment knobs.
+//
+// Scaling note: every harness honors BLINKML_SCALE (a positive float;
+// default 1.0) multiplying the dataset sizes, so `BLINKML_SCALE=10
+// ./bench_fig5_speedup` approaches the paper's row counts. Defaults are
+// chosen so each binary finishes in a few minutes on one machine. The
+// *shape* of each result (who wins, how ratios move with the requested
+// accuracy, where crossovers fall) is the reproduction target; absolute
+// times differ from the paper's Spark cluster by construction.
+
+#ifndef BLINKML_BENCH_BENCH_COMMON_H_
+#define BLINKML_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "data/dataset.h"
+#include "models/model_spec.h"
+
+namespace blinkml {
+namespace bench {
+
+/// One (model class, dataset) combination of the paper's evaluation.
+struct Workload {
+  std::string name;          // e.g. "LR, Criteo"
+  std::string model_tag;     // "Lin" / "LR" / "ME" / "PPCA"
+  std::shared_ptr<ModelSpec> spec;
+  Dataset data;
+  /// Initial-sample size appropriate for this workload's parameter count
+  /// (kept inside the asymptotic regime; DESIGN.md Section 5.1).
+  Dataset::Index initial_sample_size;
+  /// Requested accuracies to sweep, as (1 - eps) values.
+  std::vector<double> accuracy_levels;
+};
+
+/// BLINKML_SCALE (default 1.0).
+double ScaleFromEnv();
+
+/// BLINKML_REPEATS (default `fallback`).
+int RepeatsFromEnv(int fallback);
+
+/// The eight paper workloads, generated at `scale` x the default sizes.
+/// `which` selects a subset by model tag ("" = all).
+std::vector<Workload> MakePaperWorkloads(double scale,
+                                         const std::string& which = "");
+
+/// A BlinkConfig tuned for a workload (initial sample size, statistics
+/// sample, Monte-Carlo budgets), seeded with `seed`.
+BlinkConfig ConfigFor(const Workload& workload, std::uint64_t seed);
+
+/// Prints a horizontal rule and a centered title.
+void PrintHeader(const std::string& title);
+
+/// Prints one row of pipe-separated cells with the given widths.
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+
+/// Formats a (1 - eps) accuracy level: 0.95 -> "95%", 0.9995 -> "99.95%".
+std::string AccuracyLabel(double level);
+
+}  // namespace bench
+}  // namespace blinkml
+
+#endif  // BLINKML_BENCH_BENCH_COMMON_H_

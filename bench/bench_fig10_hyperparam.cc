@@ -1,0 +1,148 @@
+// Figure 10: hyperparameter optimization race.
+//
+// Random search over (feature subset, L2 coefficient) pairs for logistic
+// regression. One arm trains 95%-accurate BlinkML models; the other trains
+// exact full models — both walk the same configuration sequence under the
+// same wall-clock budget.
+//
+// Reproduction target (shape): within the budget, BlinkML evaluates one to
+// two orders of magnitude more configurations and reaches its best test
+// accuracy far earlier; the full-model arm evaluates only a handful.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "data/generators.h"
+#include "models/logistic_regression.h"
+#include "models/trainer.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace blinkml {
+namespace bench {
+namespace {
+
+struct Configuration {
+  std::vector<Dataset::Index> features;
+  double l2;
+};
+
+// Restricts a dense dataset to a subset of feature columns.
+Dataset SelectFeatures(const Dataset& data,
+                       const std::vector<Dataset::Index>& features) {
+  Matrix x(data.num_rows(), static_cast<Matrix::Index>(features.size()));
+  for (Dataset::Index i = 0; i < data.num_rows(); ++i) {
+    for (std::size_t j = 0; j < features.size(); ++j) {
+      x(i, static_cast<Matrix::Index>(j)) = data.dense()(i, features[j]);
+    }
+  }
+  return Dataset(std::move(x), Vector(data.labels()), data.task(),
+                 data.num_classes());
+}
+
+struct ArmResult {
+  int models = 0;
+  double best_accuracy = 0.0;
+  double time_of_best = 0.0;
+  double time_of_first_good = -1.0;  // first config within 1% of the best
+};
+
+}  // namespace
+}  // namespace bench
+}  // namespace blinkml
+
+int main() {
+  using namespace blinkml;
+  using namespace blinkml::bench;
+  const double scale = ScaleFromEnv();
+  const double budget_seconds = 20.0 * scale;
+  const std::int64_t rows =
+      std::max<std::int64_t>(60'000,
+                             static_cast<std::int64_t>(scale * 150'000));
+
+  std::printf("BlinkML reproduction — Figure 10 (hyperparameter "
+              "optimization race)\n");
+  std::printf("budget per arm: %.0fs; N=%s, d=40\n", budget_seconds,
+              WithThousands(rows).c_str());
+
+  const Dataset train = MakeHiggsLike(rows, /*seed=*/71, /*dim=*/40);
+  const Dataset test = MakeHiggsLike(10'000, /*seed=*/72, /*dim=*/40);
+
+  // Shared random configuration sequence (paper: Random Search).
+  Rng config_rng(5);
+  std::vector<Configuration> configs;
+  for (int i = 0; i < 4000; ++i) {
+    const Dataset::Index k =
+        8 + static_cast<Dataset::Index>(config_rng.UniformInt(32));
+    Configuration c;
+    c.features = SampleWithoutReplacement(40, k, &config_rng);
+    const double exponent = config_rng.Uniform(-5.0, 0.0);
+    c.l2 = std::pow(10.0, exponent);
+    configs.push_back(std::move(c));
+  }
+
+  auto run_arm = [&](bool use_blinkml) {
+    ArmResult arm;
+    WallTimer clock;
+    std::printf("\n%s arm:\n", use_blinkml ? "BlinkML (95%)" : "Full model");
+    std::printf("  %-8s| %-10s| %-12s| %s\n", "model#", "time", "test acc",
+                "(new best)");
+    for (const Configuration& c : configs) {
+      if (clock.Seconds() > budget_seconds) break;
+      const Dataset sub_train = SelectFeatures(train, c.features);
+      const Dataset sub_test = SelectFeatures(test, c.features);
+      LogisticRegressionSpec spec(c.l2);
+      Vector theta;
+      if (use_blinkml) {
+        BlinkConfig config;
+        config.initial_sample_size = 5000;
+        config.holdout_size = 1000;
+        config.accuracy_samples = 128;
+        config.size_samples = 96;
+        config.seed = 7;
+        const Coordinator coordinator(config);
+        const auto result =
+            coordinator.Train(spec, sub_train, {0.05, 0.05});
+        if (!result.ok()) continue;
+        theta = result->model.theta;
+      } else {
+        const auto result = ModelTrainer().Train(spec, sub_train);
+        if (!result.ok()) continue;
+        theta = result->theta;
+      }
+      ++arm.models;
+      const double accuracy =
+          1.0 - spec.GeneralizationError(theta, sub_test);
+      if (accuracy > arm.best_accuracy) {
+        arm.best_accuracy = accuracy;
+        arm.time_of_best = clock.Seconds();
+        std::printf("  %-8d| %-10s| %-12s| *\n", arm.models,
+                    HumanSeconds(arm.time_of_best).c_str(),
+                    StrFormat("%.2f%%", 100.0 * accuracy).c_str());
+      }
+    }
+    return arm;
+  };
+
+  const ArmResult blink = run_arm(true);
+  const ArmResult full = run_arm(false);
+
+  std::printf("\nSummary within a %.0fs budget per arm:\n", budget_seconds);
+  std::printf("  BlinkML   : %4d models, best test accuracy %.2f%% "
+              "(reached at %s)\n",
+              blink.models, 100.0 * blink.best_accuracy,
+              HumanSeconds(blink.time_of_best).c_str());
+  std::printf("  Full model: %4d models, best test accuracy %.2f%% "
+              "(reached at %s)\n",
+              full.models, 100.0 * full.best_accuracy,
+              HumanSeconds(full.time_of_best).c_str());
+  std::printf(
+      "\nPaper reference (Fig 10): 961 BlinkML models vs 3 full models in "
+      "30 minutes; the best\nmodel was found by BlinkML in ~6 minutes and "
+      "never by the full arm within an hour.\nExpected shape: BlinkML "
+      "evaluates many times more configurations and finds its best "
+      "earlier.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 6 / Table 5: requested vs actual accuracy.
+//
+// For each combination and requested accuracy, BlinkML trains several
+// approximate models (different seeds); the *actual* accuracy of each is
+// 1 - v(m_n, m_N) measured against the actually-trained full model on the
+// holdout. Reproduction target: the low percentile of actual accuracies
+// is at or above the requested accuracy (the paper's guarantee held in 95%
+// of runs; Figure 6 plots mean and 5th percentile).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "models/trainer.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+
+namespace blinkml {
+namespace bench {
+namespace {
+
+void RunWorkload(const Workload& workload, int repeats) {
+  PrintHeader("Figure 6 / Table 5 — " + workload.name);
+
+  const ModelTrainer trainer;
+  const auto full = trainer.Train(*workload.spec, workload.data);
+  if (!full.ok()) {
+    std::printf("full training failed: %s\n",
+                full.status().ToString().c_str());
+    return;
+  }
+
+  const std::vector<int> widths = {12, 12, 12, 12, 12};
+  PrintRow({"Requested", "Mean", "Min", "Max", "Violations"}, widths);
+  for (const double level : workload.accuracy_levels) {
+    const ApproximationContract contract{1.0 - level, 0.05};
+    std::vector<double> actual;
+    int violations = 0;
+    for (int r = 0; r < repeats; ++r) {
+      const Coordinator coordinator(
+          ConfigFor(workload, /*seed=*/500 + 31 * r));
+      const auto result =
+          coordinator.Train(*workload.spec, workload.data, contract);
+      if (!result.ok()) continue;
+      const double v = workload.spec->Diff(result->model.theta, full->theta,
+                                           result->holdout);
+      actual.push_back(1.0 - v);
+      if (1.0 - v < level) ++violations;
+    }
+    if (actual.empty()) {
+      PrintRow({AccuracyLabel(level), "FAILED", "-", "-", "-"}, widths);
+      continue;
+    }
+    PrintRow({AccuracyLabel(level),
+              StrFormat("%.2f%%", 100.0 * Mean(actual)),
+              StrFormat("%.2f%%",
+                        100.0 * *std::min_element(actual.begin(),
+                                                  actual.end())),
+              StrFormat("%.2f%%",
+                        100.0 * *std::max_element(actual.begin(),
+                                                  actual.end())),
+              StrFormat("%d/%d", violations, repeats)},
+             widths);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace blinkml
+
+int main() {
+  using namespace blinkml::bench;
+  const double scale = ScaleFromEnv();
+  const int repeats = RepeatsFromEnv(3);
+  std::printf("BlinkML reproduction — Figure 6 / Table 5 (actual vs "
+              "requested accuracy)\n");
+  std::printf("scale=%.2f repeats=%d (BLINKML_SCALE / BLINKML_REPEATS)\n",
+              scale, repeats);
+  for (const Workload& workload : MakePaperWorkloads(scale)) {
+    RunWorkload(workload, repeats);
+  }
+  std::printf(
+      "\nPaper reference (Table 5): actual mean accuracy exceeds the "
+      "request at every level;\n5th-percentile actual accuracy >= "
+      "requested accuracy in all but boundary cases.\n"
+      "Expected shape here: Min >= Requested for nearly all rows "
+      "(violations bounded by delta = 0.05 per run).\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Figure 7 / Tables 6-7: Sample Size Estimator effectiveness and
+// efficiency against the three baselines (FixedRatio, RelativeRatio,
+// IncEstimator) on (Lin, Power) and (LR, Criteo).
+//
+// Reproduction target (shape):
+//  * FixedRatio / RelativeRatio deliver a flat actual accuracy regardless
+//    of the request — failing tight requests or overpaying for loose ones;
+//  * IncEstimator and BlinkML both track the request, but IncEstimator's
+//    runtime blows up at high accuracies (it trains many models);
+//  * BlinkML's pure training time (excluding estimator overhead) is a
+//    small part of its total.
+
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "bench/bench_common.h"
+#include "models/trainer.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace blinkml {
+namespace bench {
+namespace {
+
+struct MethodResult {
+  double actual_accuracy = 0.0;
+  double seconds = 0.0;
+  Dataset::Index sample_size = 0;
+  bool ok = false;
+};
+
+void RunWorkload(const Workload& workload) {
+  PrintHeader("Figure 7 / Tables 6-7 — " + workload.name);
+
+  const ModelTrainer trainer;
+  const auto full = trainer.Train(*workload.spec, workload.data);
+  if (!full.ok()) {
+    std::printf("full training failed: %s\n",
+                full.status().ToString().c_str());
+    return;
+  }
+
+  const BlinkConfig config = ConfigFor(workload, /*seed=*/900);
+  const FixedRatioBaseline fixed(0.01, config);
+  const RelativeRatioBaseline relative(0.10, config);
+  const IncEstimatorBaseline inc(config);
+  const Coordinator blinkml(config);
+
+  const std::vector<int> widths = {10, 22, 22, 22, 30};
+  PrintRow({"Req.", "FixedRatio", "RelativeRatio", "IncEstimator",
+            "BlinkML (pure train)"},
+           widths);
+  for (const double level :
+       {0.80, 0.85, 0.90, 0.95, 0.96, 0.97, 0.98, 0.99}) {
+    const ApproximationContract contract{1.0 - level, 0.05};
+    auto eval = [&](const Vector& theta, const Dataset& holdout) {
+      return 1.0 - workload.spec->Diff(theta, full->theta, holdout);
+    };
+
+    MethodResult rows[4];
+    {
+      WallTimer t;
+      const auto r = fixed.Train(*workload.spec, workload.data, contract);
+      if (r.ok()) {
+        rows[0] = {eval(r->model.theta, r->holdout), t.Seconds(),
+                   r->sample_size, true};
+      }
+    }
+    {
+      WallTimer t;
+      const auto r =
+          relative.Train(*workload.spec, workload.data, contract);
+      if (r.ok()) {
+        rows[1] = {eval(r->model.theta, r->holdout), t.Seconds(),
+                   r->sample_size, true};
+      }
+    }
+    {
+      WallTimer t;
+      const auto r = inc.Train(*workload.spec, workload.data, contract);
+      if (r.ok()) {
+        rows[2] = {eval(r->model.theta, r->holdout), t.Seconds(),
+                   r->sample_size, true};
+      }
+    }
+    double pure_train = 0.0;
+    {
+      WallTimer t;
+      const auto r = blinkml.Train(*workload.spec, workload.data, contract);
+      if (r.ok()) {
+        rows[3] = {eval(r->model.theta, r->holdout), t.Seconds(),
+                   r->sample_size, true};
+        pure_train = r->timings.initial_train + r->timings.final_train;
+      }
+    }
+
+    auto cell = [](const MethodResult& m) {
+      if (!m.ok) return std::string("FAILED");
+      return StrFormat("%.2f%% / %s", 100.0 * m.actual_accuracy,
+                       HumanSeconds(m.seconds).c_str());
+    };
+    PrintRow({AccuracyLabel(level), cell(rows[0]), cell(rows[1]),
+              cell(rows[2]),
+              rows[3].ok ? StrFormat("%.2f%% / %s (train %s)",
+                                     100.0 * rows[3].actual_accuracy,
+                                     HumanSeconds(rows[3].seconds).c_str(),
+                                     HumanSeconds(pure_train).c_str())
+                         : std::string("FAILED")},
+             widths);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace blinkml
+
+int main() {
+  using namespace blinkml::bench;
+  const double scale = ScaleFromEnv();
+  std::printf("BlinkML reproduction — Figure 7 / Tables 6-7 (sample size "
+              "estimator vs baselines)\n");
+  std::printf("scale=%.2f; cells are actual-accuracy / wall-time\n", scale);
+  for (const Workload& workload : MakePaperWorkloads(scale, "Lin")) {
+    if (workload.name == "Lin, Power") RunWorkload(workload);
+  }
+  for (const Workload& workload : MakePaperWorkloads(scale, "LR")) {
+    if (workload.name == "LR, Criteo") RunWorkload(workload);
+  }
+  std::printf(
+      "\nPaper reference (Tables 6-7): FixedRatio/RelativeRatio accuracy "
+      "is flat in the request;\nIncEstimator tracks the request but took "
+      "5,704s at (LR, Criteo, 99%%) vs 228s for BlinkML (25x).\n"
+      "Expected shape here: same ordering — IncEstimator time grows much "
+      "faster than BlinkML's with the request.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 8 / Tables 8-9: impact of data dimension on (a) BlinkML's runtime
+// overhead breakdown, (b) generalization error (with the Lemma-1 predicted
+// bound on the full model), and (c) optimizer iterations.
+//
+// The paper runs logistic regression on Criteo restricted to the first d
+// features; we generate Criteo-like sparse data directly at each d.
+//
+// Reproduction target (shape): statistics + size-search overhead grows
+// with d but the whole BlinkML run stays a small fraction of full
+// training; approximate and full generalization errors are nearly equal
+// and inside the Lemma-1 bound; iteration counts are comparable between
+// full and approximate training.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/conservative.h"
+#include "data/generators.h"
+#include "models/logistic_regression.h"
+#include "models/trainer.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace blinkml {
+namespace bench {
+namespace {
+
+void RunDimension(std::int64_t dim, std::int64_t rows) {
+  const Dataset data = MakeCriteoLike(rows, /*seed=*/77, dim,
+                                      /*nnz_per_row=*/39);
+  LogisticRegressionSpec spec(1e-3);
+
+  BlinkConfig config;
+  config.initial_sample_size = 10'000;
+  config.holdout_size = 2000;
+  config.stats_sample_size = 1024;
+  config.accuracy_samples = 256;
+  config.size_samples = 192;
+  config.seed = 321;
+  const Coordinator coordinator(config);
+  const ApproximationContract contract{0.05, 0.05};
+
+  const auto result = coordinator.Train(spec, data, contract);
+  if (!result.ok()) {
+    std::printf("%-8s FAILED: %s\n", WithThousands(dim).c_str(),
+                result.status().ToString().c_str());
+    return;
+  }
+
+  const ModelTrainer trainer;
+  WallTimer full_timer;
+  const auto full = trainer.Train(spec, data);
+  const double full_seconds = full_timer.Seconds();
+  if (!full.ok()) {
+    std::printf("%-8s full training FAILED\n", WithThousands(dim).c_str());
+    return;
+  }
+
+  const double gen_approx =
+      spec.GeneralizationError(result->model.theta, result->holdout);
+  const double gen_full =
+      spec.GeneralizationError(full->theta, result->holdout);
+  const double predicted_bound =
+      FullModelGeneralizationBound(gen_approx, contract.epsilon);
+  const PhaseTimings& t = result->timings;
+
+  PrintRow({WithThousands(dim), HumanSeconds(t.initial_train),
+            HumanSeconds(t.statistics), HumanSeconds(t.size_estimation),
+            HumanSeconds(t.final_train),
+            StrFormat("%.2f%%", 100.0 * t.total / full_seconds),
+            StrFormat("%.2f/%.2f/%.2f%%", 100.0 * gen_approx,
+                      100.0 * gen_full, 100.0 * predicted_bound),
+            StrFormat("%d/%d", result->final_iterations > 0
+                                   ? result->final_iterations
+                                   : result->initial_iterations,
+                      full->iterations)},
+           {9, 12, 12, 12, 12, 12, 20, 10});
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace blinkml
+
+int main() {
+  using namespace blinkml::bench;
+  const double scale = ScaleFromEnv();
+  const std::int64_t rows =
+      std::max<std::int64_t>(40'000, static_cast<std::int64_t>(
+                                         scale * 200'000));
+  std::printf("BlinkML reproduction — Figure 8 / Tables 8-9 (dimension "
+              "sweep, LR on Criteo-like, N=%s)\n",
+              blinkml::WithThousands(rows).c_str());
+  PrintRow({"d", "InitTrain", "Statistics", "SizeSearch", "FinalTrain",
+            "Ratio", "GenErr a/f/bound", "Iters a/f"},
+           {9, 12, 12, 12, 12, 12, 20, 10});
+  for (const std::int64_t dim :
+       {100LL, 500LL, 1000LL, 5000LL, 10000LL, 50000LL, 100000LL}) {
+    RunDimension(dim, rows);
+  }
+  std::printf(
+      "\nPaper reference (Tables 8-9): statistics + size-search grow with "
+      "d (0.02s+0.65s at d=100 to\n130.8s+84.4s at d=998K) while the "
+      "whole run stays 0.1-3.8%% of full training; gen. errors match\n"
+      "within ~0.2%% and sit inside the predicted bound; iteration counts "
+      "are comparable (13-27).\n");
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Figure 9: statistics-computation methods.
+//
+// (a) Estimation tightness vs sample size, on (Lin, Power): the ratio of
+//     estimated parameter variance (alpha * diag(H^-1 J H^-1)) to the
+//     actual variance of parameters across independently retrained models,
+//     for ClosedForm / InverseGradients / ObservedFisher. Target shape:
+//     ratios converge to ~1 as n grows; ObservedFisher is the least
+//     accurate at n <= 1000 and comparable beyond.
+//
+// (b) InverseGradients vs ObservedFisher cost and accuracy, on (LR, HIGGS)
+//     (low-dimensional) and (ME, MNIST) (high-dimensional): runtime plus
+//     the mean Frobenius error of the estimated covariance H^-1 J H^-1
+//     against the closed-form reference. Target shape: comparable at low
+//     d; InverseGradients' runtime blows up at high d (it calls the
+//     gradient once per parameter) while ObservedFisher stays cheap.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/statistics.h"
+#include "data/generators.h"
+#include "models/linear_regression.h"
+#include "models/logistic_regression.h"
+#include "models/max_entropy.h"
+#include "models/trainer.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace blinkml {
+namespace bench {
+namespace {
+
+// Median across parameters of (estimated variance / actual variance).
+double TightnessRatio(const ParamSampler& sampler, double alpha,
+                      const std::vector<Vector>& retrained_thetas) {
+  const auto diag = sampler.VarianceDiagonal();
+  if (!diag.ok()) return -1.0;
+  const int d = static_cast<int>(diag->size());
+  const int models = static_cast<int>(retrained_thetas.size());
+  std::vector<double> ratios;
+  for (int j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (const auto& t : retrained_thetas) mean += t[j];
+    mean /= models;
+    double var = 0.0;
+    for (const auto& t : retrained_thetas) {
+      var += (t[j] - mean) * (t[j] - mean);
+    }
+    var /= (models - 1);
+    if (var > 1e-16) ratios.push_back(alpha * (*diag)[j] / var);
+  }
+  if (ratios.empty()) return -1.0;
+  return Quantile(ratios, 0.5);
+}
+
+void Fig9a(double scale) {
+  PrintHeader("Figure 9a — estimation tightness vs sample size (Lin, Power)");
+  const std::int64_t big_n =
+      std::max<std::int64_t>(150'000, static_cast<std::int64_t>(
+                                          scale * 300'000));
+  const Dataset big = MakePowerLike(big_n, /*seed=*/31, /*dim=*/114);
+  LinearRegressionSpec spec(1e-3);
+  const ModelTrainer trainer;
+  const int models = 24;  // retrained models for the "actual" variance
+
+  PrintRow({"n", "ClosedForm", "InverseGrads", "ObservedFisher"},
+           {9, 14, 14, 14});
+  for (const std::int64_t n : {100LL, 500LL, 1000LL, 5000LL, 10000LL,
+                               50000LL}) {
+    // Actual variance across retrained models.
+    Rng rng(40 + static_cast<std::uint64_t>(n));
+    std::vector<Vector> thetas;
+    for (int m = 0; m < models; ++m) {
+      const Dataset sample = big.SampleRows(n, &rng);
+      const auto trained = trainer.Train(spec, sample);
+      if (!trained.ok()) continue;
+      thetas.push_back(trained->theta);
+    }
+    if (thetas.size() < 2) continue;
+    const double alpha =
+        1.0 / static_cast<double>(n) - 1.0 / static_cast<double>(big_n);
+
+    // Estimated variance from one model per method.
+    const Dataset sample = big.SampleRows(n, &rng);
+    const auto trained = trainer.Train(spec, sample);
+    if (!trained.ok()) continue;
+    std::vector<std::string> cells = {WithThousands(n)};
+    for (const StatsMethod method :
+         {StatsMethod::kClosedForm, StatsMethod::kInverseGradients,
+          StatsMethod::kObservedFisher}) {
+      StatsOptions options;
+      options.method = method;
+      options.stats_sample_size = 0;  // all rows of the sample
+      options.max_rank = 0;
+      Rng stats_rng(50);
+      const auto stats =
+          ComputeStatistics(spec, trained->theta, sample, options,
+                            &stats_rng);
+      if (!stats.ok()) {
+        cells.push_back("FAILED");
+        continue;
+      }
+      cells.push_back(
+          StrFormat("%.3f", TightnessRatio(*stats, alpha, thetas)));
+    }
+    PrintRow(cells, {9, 14, 14, 14});
+  }
+  std::printf("(ratio of estimated to actual parameter variance; 1.0 is "
+              "exact, >1 conservative)\n");
+}
+
+void Fig9b() {
+  PrintHeader("Figure 9b — InverseGradients vs ObservedFisher");
+  struct Case {
+    const char* name;
+    std::shared_ptr<ModelSpec> spec;
+    Dataset data;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"LR, HIGGS (d=28)",
+                   std::make_shared<LogisticRegressionSpec>(1e-3),
+                   MakeHiggsLike(10'000, 32, /*dim=*/28)});
+  cases.push_back({"ME, MNIST (p=1960)",
+                   std::make_shared<MaxEntropySpec>(1e-3),
+                   MakeMnistLike(2'000, 33, /*dim=*/196,
+                                 /*num_classes=*/10)});
+
+  PrintRow({"Case", "Method", "Runtime", "MeanFrobErr"}, {20, 18, 12, 14});
+  const ModelTrainer trainer;
+  for (auto& c : cases) {
+    const auto model = trainer.Train(*c.spec, c.data);
+    if (!model.ok()) continue;
+    // Reference covariance from the closed-form Hessian.
+    StatsOptions ref_options;
+    ref_options.method = StatsMethod::kClosedForm;
+    Rng rng(60);
+    const auto ref =
+        ComputeStatistics(*c.spec, model->theta, c.data, ref_options, &rng);
+    if (!ref.ok()) {
+      std::printf("%s: reference failed (%s)\n", c.name,
+                  ref.status().ToString().c_str());
+      continue;
+    }
+    const auto ref_cov = ref->DenseCovariance();
+    if (!ref_cov.ok()) continue;
+
+    for (const StatsMethod method :
+         {StatsMethod::kInverseGradients, StatsMethod::kObservedFisher}) {
+      StatsOptions options;
+      options.method = method;
+      options.stats_sample_size = 0;
+      options.max_rank = 0;
+      Rng method_rng(61);
+      WallTimer timer;
+      const auto stats = ComputeStatistics(*c.spec, model->theta, c.data,
+                                           options, &method_rng);
+      const double seconds = timer.Seconds();
+      if (!stats.ok()) {
+        PrintRow({c.name, StatsMethodName(method), "FAILED", "-"},
+                 {20, 18, 12, 14});
+        continue;
+      }
+      const auto cov = stats->DenseCovariance();
+      const double err =
+          cov.ok() ? MeanFrobeniusError(*cov, *ref_cov) : -1.0;
+      PrintRow({c.name, StatsMethodName(method), HumanSeconds(seconds),
+                StrFormat("%.3e", err)},
+               {20, 18, 12, 14});
+    }
+  }
+  std::printf(
+      "\nPaper reference (Fig 9b): LR/HIGGS — IG 1.88s vs OF 1.18s, "
+      "similar error;\nME/MNIST (d=784) — IG 357s vs OF 3.2s (IG calls "
+      "grads once per parameter).\nExpected shape: IG runtime explodes "
+      "with dimension; OF stays flat with comparable error.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace blinkml
+
+int main() {
+  using namespace blinkml::bench;
+  const double scale = ScaleFromEnv();
+  std::printf("BlinkML reproduction — Figure 9 (statistics computation)\n");
+  Fig9a(scale);
+  Fig9b();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// google-benchmark microbenchmarks for BlinkML's core hot paths: parameter
+// sampling (dense / Gram / sparse-Gram backends), per-example gradients,
+// statistics computation, and score-based diff evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/accuracy_estimator.h"
+#include "core/param_sampler.h"
+#include "core/statistics.h"
+#include "data/generators.h"
+#include "models/logistic_regression.h"
+#include "models/max_entropy.h"
+#include "models/trainer.h"
+
+namespace blinkml {
+namespace {
+
+struct LrFixture {
+  LogisticRegressionSpec spec{1e-3};
+  Dataset data;
+  Vector theta;
+};
+
+LrFixture MakeLrFixture(std::int64_t n, std::int64_t d, double sparsity) {
+  LrFixture f;
+  f.data = MakeSyntheticLogistic(n, d, /*seed=*/11, sparsity);
+  const auto model = ModelTrainer().Train(f.spec, f.data);
+  BLINKML_CHECK(model.ok());
+  f.theta = model->theta;
+  return f;
+}
+
+void BM_PerExampleGradientsDense(benchmark::State& state) {
+  const auto f = MakeLrFixture(2000, state.range(0), 1.0);
+  Matrix q;
+  for (auto _ : state) {
+    f.spec.PerExampleGradients(f.theta, f.data, &q);
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetItemsProcessed(state.iterations() * f.data.num_rows());
+}
+BENCHMARK(BM_PerExampleGradientsDense)->Arg(32)->Arg(256);
+
+void BM_PerExampleGradientsSparse(benchmark::State& state) {
+  const auto f = MakeLrFixture(2000, state.range(0), 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.spec.PerExampleGradientsSparse(f.theta, f.data));
+  }
+  state.SetItemsProcessed(state.iterations() * f.data.num_rows());
+}
+BENCHMARK(BM_PerExampleGradientsSparse)->Arg(2000)->Arg(10000);
+
+void BM_ObservedFisher(benchmark::State& state) {
+  const auto f = MakeLrFixture(4000, state.range(0), 1.0);
+  StatsOptions options;
+  options.stats_sample_size = 1024;
+  for (auto _ : state) {
+    Rng rng(13);
+    auto stats = ComputeStatistics(f.spec, f.theta, f.data, options, &rng);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_ObservedFisher)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_SamplerDrawDense(benchmark::State& state) {
+  const auto f = MakeLrFixture(4000, 64, 1.0);
+  StatsOptions options;
+  Rng rng(14);
+  auto stats = ComputeStatistics(f.spec, f.theta, f.data, options, &rng);
+  BLINKML_CHECK(stats.ok());
+  Rng draw_rng(15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats->Draw(0.01, &draw_rng));
+  }
+}
+BENCHMARK(BM_SamplerDrawDense);
+
+void BM_SamplerDrawSparseGram(benchmark::State& state) {
+  // d = 20K sparse: exercises the lazy Q^T (V z) path.
+  LogisticRegressionSpec spec(1e-3);
+  const Dataset data =
+      MakeCriteoLike(4000, /*seed=*/16, /*dim=*/20'000, /*nnz_per_row=*/39);
+  const auto model = ModelTrainer().Train(spec, data);
+  BLINKML_CHECK(model.ok());
+  StatsOptions options;
+  options.stats_sample_size = 1024;
+  Rng rng(17);
+  auto stats = ComputeStatistics(spec, model->theta, data, options, &rng);
+  BLINKML_CHECK(stats.ok());
+  Rng draw_rng(18);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats->Draw(0.01, &draw_rng));
+  }
+}
+BENCHMARK(BM_SamplerDrawSparseGram);
+
+void BM_AccuracyEstimate(benchmark::State& state) {
+  const auto f = MakeLrFixture(20'000, 64, 1.0);
+  Rng rng(19);
+  auto [holdout, pool] = f.data.Split(0.1, &rng);
+  StatsOptions options;
+  auto stats = ComputeStatistics(f.spec, f.theta, pool, options, &rng);
+  BLINKML_CHECK(stats.ok());
+  AccuracyOptions acc;
+  acc.num_samples = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rng acc_rng(20);
+    auto est = EstimateAccuracy(f.spec, f.theta, 2000, pool.num_rows(),
+                                *stats, holdout, acc, &acc_rng);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_AccuracyEstimate)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MaxEntropyScores(benchmark::State& state) {
+  MaxEntropySpec spec(1e-3);
+  const Dataset data = MakeSyntheticMulticlass(2000, 196, 10, /*seed=*/21);
+  const auto model = ModelTrainer().Train(spec, data);
+  BLINKML_CHECK(model.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.Scores(model->theta, data));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_rows());
+}
+BENCHMARK(BM_MaxEntropyScores);
+
+}  // namespace
+}  // namespace blinkml
+
+BENCHMARK_MAIN();

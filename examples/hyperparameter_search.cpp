@@ -1,0 +1,87 @@
+// Hyperparameter search with approximate models (the paper's Section 5.7
+// use case, scaled to a demo).
+//
+//   $ ./build/examples/hyperparameter_search
+//
+// Random search over L2 coefficients for logistic regression. Each
+// candidate is evaluated with a fast 95%-accurate BlinkML model; only the
+// winning configuration is retrained in full at the end. This is the
+// workflow the paper motivates: cheap approximate models during the
+// exploration phase, one exact model once the configuration has converged.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "data/generators.h"
+#include "models/logistic_regression.h"
+#include "models/trainer.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace blinkml;
+
+  const Dataset train = MakeCriteoLike(150'000, /*seed=*/3, /*dim=*/2000,
+                                       /*nnz_per_row=*/30);
+  const Dataset validation = MakeCriteoLike(15'000, /*seed=*/4, /*dim=*/2000,
+                                            /*nnz_per_row=*/30);
+  std::printf("Searching L2 coefficients on %s sparse rows (d=2000)\n",
+              WithThousands(train.num_rows()).c_str());
+
+  // Candidate grid (log-spaced), walked with approximate models.
+  const std::vector<double> candidates = {3e-5, 1e-4, 3e-4, 1e-3,
+                                          3e-3, 1e-2, 3e-2, 1e-1};
+  BlinkConfig config;
+  config.initial_sample_size = 8000;
+  config.holdout_size = 1500;
+  config.seed = 11;
+  const Coordinator coordinator(config);
+
+  double best_accuracy = 0.0;
+  double best_l2 = candidates.front();
+  WallTimer search_timer;
+  std::printf("\n%-10s| %-12s| %-12s| %-10s| %s\n", "l2", "sample n",
+              "val acc", "time", "eps bound");
+  for (const double l2 : candidates) {
+    LogisticRegressionSpec spec(l2);
+    WallTimer timer;
+    const auto result = coordinator.Train(spec, train, {0.05, 0.05});
+    if (!result.ok()) {
+      std::printf("%-10g| training failed: %s\n", l2,
+                  result.status().ToString().c_str());
+      continue;
+    }
+    const double accuracy =
+        1.0 - spec.GeneralizationError(result->model.theta, validation);
+    std::printf("%-10g| %-12s| %-12s| %-10s| %.4f\n", l2,
+                WithThousands(result->sample_size).c_str(),
+                StrFormat("%.2f%%", 100.0 * accuracy).c_str(),
+                HumanSeconds(timer.Seconds()).c_str(),
+                result->final_epsilon);
+    if (accuracy > best_accuracy) {
+      best_accuracy = accuracy;
+      best_l2 = l2;
+    }
+  }
+  const double search_seconds = search_timer.Seconds();
+
+  // Final exact training with the winning configuration.
+  std::printf("\nWinner: l2 = %g (validation accuracy %.2f%%)\n", best_l2,
+              100.0 * best_accuracy);
+  LogisticRegressionSpec winner(best_l2);
+  WallTimer full_timer;
+  const auto full = ModelTrainer().Train(winner, train);
+  if (!full.ok()) {
+    std::fprintf(stderr, "final training failed: %s\n",
+                 full.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Exact final model: %.2f%% validation accuracy, trained in %s\n",
+              100.0 * (1.0 -
+                       winner.GeneralizationError(full->theta, validation)),
+              HumanSeconds(full_timer.Seconds()).c_str());
+  std::printf("Search phase total: %s for %zu configurations\n",
+              HumanSeconds(search_seconds).c_str(), candidates.size());
+  return 0;
+}

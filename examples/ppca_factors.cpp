@@ -1,0 +1,84 @@
+// PPCA with an accuracy contract (the paper's unsupervised workload).
+//
+//   $ ./build/examples/ppca_factors
+//
+// Fits probabilistic PCA factors on MNIST-like image data through BlinkML:
+// the returned factors are guaranteed — with 95% probability — to be
+// within the requested cosine distance of the factors the full dataset
+// would produce (paper Appendix C defines v for unsupervised models as
+// 1 - cosine(theta_n, theta_N)).
+
+#include <cstdio>
+
+#include "core/coordinator.h"
+#include "data/generators.h"
+#include "models/ppca.h"
+#include "models/trainer.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace blinkml;
+
+  // 14x14 image-like data; PPCA ignores labels.
+  const Dataset labeled = MakeMnistLike(400'000, /*seed=*/21, /*dim=*/196,
+                                        /*num_classes=*/10);
+  const Dataset data(Matrix(labeled.dense()), Vector(), Task::kUnsupervised);
+  std::printf("PPCA on %s rows of %lld-dimensional image-like data\n",
+              WithThousands(data.num_rows()).c_str(),
+              static_cast<long long>(data.dim()));
+
+  PpcaSpec spec(/*num_factors=*/10);
+  ApproximationContract contract;
+  contract.epsilon = 0.001;  // 99.9% cosine similarity with the full factors
+  contract.delta = 0.05;
+
+  // A leaner statistics sample keeps the estimator overhead well below the
+  // (single-pass, very fast) full PPCA training.
+  BlinkConfig config;
+  config.stats_sample_size = 512;
+  Coordinator coordinator(config);
+  WallTimer blink_timer;
+  const auto result = coordinator.Train(spec, data, contract);
+  if (!result.ok()) {
+    std::fprintf(stderr, "BlinkML failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nBlinkML: sample %s of %s rows in %s (bound %.5f, "
+              "requested %.5f)\n",
+              WithThousands(result->sample_size).c_str(),
+              WithThousands(result->full_size).c_str(),
+              HumanSeconds(blink_timer.Seconds()).c_str(),
+              result->final_epsilon, contract.epsilon);
+
+  WallTimer full_timer;
+  const auto full = ModelTrainer().Train(spec, data);
+  if (!full.ok()) {
+    std::fprintf(stderr, "full training failed: %s\n",
+                 full.status().ToString().c_str());
+    return 1;
+  }
+  const double v = spec.Diff(result->model.theta, full->theta,
+                             result->holdout);
+  std::printf("Full model: %s\n", HumanSeconds(full_timer.Seconds()).c_str());
+  std::printf("Actual factor cosine distance: %.6f (similarity %.4f%%)\n", v,
+              100.0 * (1.0 - v));
+
+  // Show the per-factor energy (squared column norms of Theta), which is
+  // what downstream users of PPCA factors consume.
+  Matrix factors;
+  double sigma = 0.0;
+  spec.Unpack(result->model.theta, data.dim(), &factors, &sigma);
+  std::printf("\nFactor energies (approximate model), noise sigma=%.4f:\n",
+              sigma);
+  for (Matrix::Index r = 0; r < factors.cols(); ++r) {
+    double energy = 0.0;
+    for (Matrix::Index j = 0; j < factors.rows(); ++j) {
+      energy += factors(j, r) * factors(j, r);
+    }
+    std::printf("  factor %2lld: %8.3f\n", static_cast<long long>(r),
+                energy);
+  }
+  return v <= contract.epsilon ? 0 : 2;
+}

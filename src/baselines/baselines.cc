@@ -1,0 +1,143 @@
+#include "baselines/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/accuracy_estimator.h"
+#include "core/statistics.h"
+#include "util/timer.h"
+
+namespace blinkml {
+
+namespace {
+
+using Index = Dataset::Index;
+
+// Shared holdout/pool split identical to the Coordinator's, so baseline
+// numbers are comparable run-to-run.
+struct SplitData {
+  Dataset holdout;
+  Dataset pool;
+};
+
+SplitData SplitHoldout(const Dataset& data, const BlinkConfig& config,
+                       Rng* rng) {
+  Index holdout_size =
+      std::min<Index>(config.holdout_size, data.num_rows() / 5);
+  holdout_size = std::max<Index>(holdout_size, 1);
+  std::vector<Index> perm = RandomPermutation(data.num_rows(), rng);
+  std::vector<Index> holdout_rows(perm.begin(), perm.begin() + holdout_size);
+  std::vector<Index> pool_rows(perm.begin() + holdout_size, perm.end());
+  return {data.TakeRows(holdout_rows), data.TakeRows(pool_rows)};
+}
+
+Result<BaselineResult> TrainOnFraction(const ModelSpec& spec,
+                                       const Dataset& data, double fraction,
+                                       const BlinkConfig& config) {
+  if (!(fraction > 0.0 && fraction <= 1.0)) {
+    return Status::InvalidArgument("fraction must be in (0, 1]");
+  }
+  WallTimer timer;
+  Rng rng(config.seed);
+  Rng split_rng = rng.Split();
+  SplitData split = SplitHoldout(data, config, &split_rng);
+  const Index n = std::max<Index>(
+      1, static_cast<Index>(std::llround(
+             fraction * static_cast<double>(split.pool.num_rows()))));
+  Rng sample_rng = rng.Split();
+  const Dataset sample = split.pool.SampleRows(n, &sample_rng);
+  const ModelTrainer trainer(config.trainer);
+  BaselineResult out;
+  BLINKML_ASSIGN_OR_RETURN(out.model, trainer.Train(spec, sample));
+  out.sample_size = n;
+  out.full_size = split.pool.num_rows();
+  out.holdout = std::move(split.holdout);
+  out.total_seconds = timer.Seconds();
+  return out;
+}
+
+}  // namespace
+
+FixedRatioBaseline::FixedRatioBaseline(double fraction, BlinkConfig config)
+    : fraction_(fraction), config_(std::move(config)) {}
+
+Result<BaselineResult> FixedRatioBaseline::Train(
+    const ModelSpec& spec, const Dataset& data,
+    const ApproximationContract& contract) const {
+  (void)contract;  // FixedRatio ignores the contract by design
+  return TrainOnFraction(spec, data, fraction_, config_);
+}
+
+RelativeRatioBaseline::RelativeRatioBaseline(double scale, BlinkConfig config)
+    : scale_(scale), config_(std::move(config)) {}
+
+Result<BaselineResult> RelativeRatioBaseline::Train(
+    const ModelSpec& spec, const Dataset& data,
+    const ApproximationContract& contract) const {
+  BLINKML_RETURN_NOT_OK(ValidateContract(contract));
+  const double fraction =
+      std::clamp((1.0 - contract.epsilon) * scale_, 1e-6, 1.0);
+  return TrainOnFraction(spec, data, fraction, config_);
+}
+
+IncEstimatorBaseline::IncEstimatorBaseline(BlinkConfig config)
+    : config_(std::move(config)) {}
+
+Result<BaselineResult> IncEstimatorBaseline::Train(
+    const ModelSpec& spec, const Dataset& data,
+    const ApproximationContract& contract) const {
+  BLINKML_RETURN_NOT_OK(ValidateContract(contract));
+  WallTimer timer;
+  Rng rng(config_.seed);
+  Rng split_rng = rng.Split();
+  SplitData split = SplitHoldout(data, config_, &split_rng);
+  const Index full_n = split.pool.num_rows();
+
+  StatsOptions stats_options;
+  stats_options.method = config_.stats_method;
+  stats_options.stats_sample_size = config_.stats_sample_size;
+  stats_options.max_rank = config_.sampler_max_rank;
+  AccuracyOptions acc_options;
+  acc_options.num_samples = config_.accuracy_samples;
+  acc_options.delta = contract.delta;
+
+  const ModelTrainer trainer(config_.trainer);
+  BaselineResult out;
+  out.full_size = full_n;
+  out.models_trained = 0;
+
+  // Sample size at step k is 1000 * k^2 (paper Section 5.4).
+  for (Index step = 1;; ++step) {
+    const Index n = std::min<Index>(1000 * step * step, full_n);
+    Rng sample_rng = rng.Split();
+    const Dataset sample =
+        (n >= full_n) ? split.pool : split.pool.SampleRows(n, &sample_rng);
+    BLINKML_ASSIGN_OR_RETURN(TrainedModel model, trainer.Train(spec, sample));
+    ++out.models_trained;
+    if (n >= full_n) {
+      out.model = std::move(model);
+      out.sample_size = n;
+      break;
+    }
+    Rng stats_rng = rng.Split();
+    BLINKML_ASSIGN_OR_RETURN(
+        ParamSampler sampler,
+        ComputeStatistics(spec, model.theta, sample, stats_options,
+                          &stats_rng));
+    Rng acc_rng = rng.Split();
+    BLINKML_ASSIGN_OR_RETURN(
+        AccuracyEstimate estimate,
+        EstimateAccuracy(spec, model.theta, n, full_n, sampler, split.holdout,
+                         acc_options, &acc_rng));
+    if (estimate.epsilon <= contract.epsilon) {
+      out.model = std::move(model);
+      out.sample_size = n;
+      break;
+    }
+  }
+  out.holdout = std::move(split.holdout);
+  out.total_seconds = timer.Seconds();
+  return out;
+}
+
+}  // namespace blinkml

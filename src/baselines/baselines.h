@@ -1,0 +1,74 @@
+// Sample-size selection baselines from the paper's evaluation (Section 5.4).
+//
+//  * FixedRatio    — always trains on a fixed fraction of the data (1% in
+//    the paper); model- and contract-oblivious.
+//  * RelativeRatio — trains on (1 - epsilon) * 10% of the data (e.g. a 9.5%
+//    sample for a 95% accuracy request); contract-aware but model-oblivious.
+//  * IncEstimator  — trains models on growing samples (1000 * k^2 rows at
+//    step k) until the trained model's estimated accuracy meets the
+//    contract; adaptive but pays for every intermediate model.
+//
+// All three share BlinkML's trainer and (for IncEstimator) its accuracy
+// estimator, so the comparison isolates the sample-size policy.
+
+#ifndef BLINKML_BASELINES_BASELINES_H_
+#define BLINKML_BASELINES_BASELINES_H_
+
+#include "core/contract.h"
+#include "core/coordinator.h"
+#include "data/dataset.h"
+#include "models/model_spec.h"
+#include "util/status.h"
+
+namespace blinkml {
+
+/// Result of a baseline run (subset of ApproxResult).
+struct BaselineResult {
+  TrainedModel model;
+  Dataset::Index sample_size = 0;
+  Dataset::Index full_size = 0;
+  Dataset holdout;
+  double total_seconds = 0.0;
+  /// Models trained along the way (IncEstimator can train several).
+  int models_trained = 1;
+};
+
+/// Trains on a fixed fraction of the pool, ignoring the contract.
+class FixedRatioBaseline {
+ public:
+  explicit FixedRatioBaseline(double fraction = 0.01, BlinkConfig config = {});
+  Result<BaselineResult> Train(const ModelSpec& spec, const Dataset& data,
+                               const ApproximationContract& contract) const;
+
+ private:
+  double fraction_;
+  BlinkConfig config_;
+};
+
+/// Trains on (1 - epsilon) * scale of the pool (paper: scale = 10%).
+class RelativeRatioBaseline {
+ public:
+  explicit RelativeRatioBaseline(double scale = 0.10, BlinkConfig config = {});
+  Result<BaselineResult> Train(const ModelSpec& spec, const Dataset& data,
+                               const ApproximationContract& contract) const;
+
+ private:
+  double scale_;
+  BlinkConfig config_;
+};
+
+/// Grows the sample (1000 * k^2) until the trained model's estimated
+/// accuracy bound meets the contract.
+class IncEstimatorBaseline {
+ public:
+  explicit IncEstimatorBaseline(BlinkConfig config = {});
+  Result<BaselineResult> Train(const ModelSpec& spec, const Dataset& data,
+                               const ApproximationContract& contract) const;
+
+ private:
+  BlinkConfig config_;
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_BASELINES_BASELINES_H_

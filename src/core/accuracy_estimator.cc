@@ -1,0 +1,68 @@
+#include "core/accuracy_estimator.h"
+
+#include <cmath>
+
+#include "core/conservative.h"
+#include "util/stats.h"
+
+namespace blinkml {
+
+Result<AccuracyEstimate> EstimateAccuracy(
+    const ModelSpec& spec, const Vector& theta_n, Dataset::Index n,
+    Dataset::Index full_n, const ParamSampler& sampler,
+    const Dataset& holdout, const AccuracyOptions& options, Rng* rng) {
+  if (n <= 0 || n > full_n) {
+    return Status::InvalidArgument("need 0 < n <= N");
+  }
+  if (options.num_samples < 1) {
+    return Status::InvalidArgument("need at least one Monte-Carlo sample");
+  }
+  if (!(options.delta > 0.0 && options.delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+
+  AccuracyEstimate out;
+  out.num_samples = options.num_samples;
+  if (n == full_n) {
+    out.epsilon = 0.0;
+    out.quantile_level = 1.0;
+    return out;
+  }
+
+  const double alpha = 1.0 / static_cast<double>(n) -
+                       1.0 / static_cast<double>(full_n);
+  const double scale = std::sqrt(alpha);
+
+  // With cached scores, v_i needs only the score-space delta (scores are
+  // linear in theta for every GLM); otherwise fall back to Diff on
+  // materialized parameters (PPCA's v is parameter-space and cheap).
+  const bool score_path = spec.has_linear_scores();
+  Matrix base_scores;
+  if (score_path) base_scores = spec.Scores(theta_n, holdout);
+
+  std::vector<double> vs;
+  vs.reserve(static_cast<std::size_t>(options.num_samples));
+  for (int i = 0; i < options.num_samples; ++i) {
+    const Vector delta_theta = sampler.Draw(scale, rng);
+    double v;
+    if (score_path) {
+      Matrix scores = spec.Scores(delta_theta, holdout);
+      scores += base_scores;
+      v = spec.DiffFromScores(base_scores, scores, holdout);
+    } else {
+      Vector theta_full = theta_n;
+      theta_full += delta_theta;
+      v = spec.Diff(theta_n, theta_full, holdout);
+    }
+    vs.push_back(v);
+  }
+
+  out.mean_v = Mean(vs);
+  const QuantileLevel level =
+      ConservativeQuantileLevel(options.delta, options.num_samples);
+  out.quantile_level = level.level;
+  out.epsilon = UpperOrderStatistic(vs, level.level);
+  return out;
+}
+
+}  // namespace blinkml

@@ -1,0 +1,44 @@
+#include "core/conservative.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace blinkml {
+
+QuantileLevel ConservativeQuantileLevel(double delta, int k) {
+  BLINKML_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  BLINKML_CHECK_GE(k, 1);
+  QuantileLevel best;
+  best.level = 1.0;
+  best.clamped = true;
+  // Grid over the split constant; the objective is smooth and single-dipped
+  // in c, so a modest geometric grid suffices.
+  const double lo = 1.0 - delta;
+  for (double gap = delta * 0.999; gap > 1e-7; gap *= 0.7) {
+    const double c = 1.0 - gap;
+    if (c <= lo) continue;
+    const double hoeffding =
+        std::sqrt(std::log(1.0 / gap) / (2.0 * static_cast<double>(k)));
+    const double level = (1.0 - delta) / c + hoeffding;
+    if (level < best.level) {
+      best.level = level;
+      best.split_c = c;
+      best.clamped = false;
+    }
+  }
+  if (best.level >= 1.0) {
+    best.level = 1.0;
+    best.clamped = true;
+  }
+  return best;
+}
+
+double FullModelGeneralizationBound(double eps_g, double eps) {
+  BLINKML_CHECK(eps_g >= 0.0 && eps_g <= 1.0);
+  BLINKML_CHECK_GE(eps, 0.0);
+  const double e = eps > 1.0 ? 1.0 : eps;
+  return eps_g + e - eps_g * e;
+}
+
+}  // namespace blinkml

@@ -1,0 +1,33 @@
+#include "core/contract.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace blinkml {
+
+Status ValidateContract(const ApproximationContract& contract) {
+  if (!std::isfinite(contract.epsilon) || contract.epsilon < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("epsilon must be finite and >= 0, got %g", contract.epsilon));
+  }
+  if (!(contract.delta > 0.0 && contract.delta < 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("delta must be in (0, 1), got %g", contract.delta));
+  }
+  return Status::OK();
+}
+
+const char* StatsMethodName(StatsMethod method) {
+  switch (method) {
+    case StatsMethod::kClosedForm:
+      return "ClosedForm";
+    case StatsMethod::kInverseGradients:
+      return "InverseGradients";
+    case StatsMethod::kObservedFisher:
+      return "ObservedFisher";
+  }
+  return "Unknown";
+}
+
+}  // namespace blinkml

@@ -1,0 +1,100 @@
+// BlinkML Coordinator (paper Section 2.3 / Figure 2).
+//
+// Workflow:
+//   1. split a holdout off the training set; sample D_0 (n_0 rows) from
+//      the remaining pool and train the initial model m_0;
+//   2. compute statistics at m_0 (ObservedFisher by default) and estimate
+//      m_0's accuracy bound eps_0;
+//   3. if eps_0 <= eps: return m_0;
+//   4. otherwise consult the Sample Size Estimator for the minimum n, train
+//      the final model m_n on a fresh size-n sample (warm-started from m_0),
+//      and return it.
+// At most two models are ever trained. Per-phase wall-clock timings are
+// recorded (they are the subject of paper Figure 8a).
+
+#ifndef BLINKML_CORE_COORDINATOR_H_
+#define BLINKML_CORE_COORDINATOR_H_
+
+#include "core/accuracy_estimator.h"
+#include "core/contract.h"
+#include "core/param_sampler.h"
+#include "core/sample_size_estimator.h"
+#include "core/statistics.h"
+#include "data/dataset.h"
+#include "models/model_spec.h"
+#include "models/trainer.h"
+#include "util/status.h"
+
+namespace blinkml {
+
+/// Wall-clock breakdown of one approximate-training run (paper Figure 8a).
+struct PhaseTimings {
+  double initial_train = 0.0;
+  double statistics = 0.0;
+  double size_estimation = 0.0;
+  double final_train = 0.0;
+  double accuracy_estimation = 0.0;
+  double total = 0.0;
+};
+
+/// Everything a BlinkML training run returns.
+struct ApproxResult {
+  /// The approximate model (the initial model when it already met the
+  /// contract, otherwise the final model).
+  TrainedModel model;
+
+  /// Rows the returned model was trained on.
+  Dataset::Index sample_size = 0;
+
+  /// Size of the training pool (the "N" of the guarantee).
+  Dataset::Index full_size = 0;
+
+  /// The contract that was requested.
+  ApproximationContract contract;
+
+  /// Accuracy bound of the initial model (eps_0).
+  double initial_epsilon = 0.0;
+
+  /// Accuracy bound of the returned model.
+  double final_epsilon = 0.0;
+
+  /// True when the initial model already satisfied the contract and was
+  /// returned directly (paper Section 5.3 observes this regime).
+  bool used_initial_only = false;
+
+  /// The Sample Size Estimator's output (sample_size == 0 when the search
+  /// was skipped).
+  SampleSizeEstimate size_estimate;
+
+  /// The held-out rows (not used for training) on which v was estimated;
+  /// exposed so callers can evaluate generalization error consistently.
+  Dataset holdout;
+
+  PhaseTimings timings;
+
+  /// Optimizer iterations of the initial / final training (Figure 8c).
+  int initial_iterations = 0;
+  int final_iterations = 0;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(BlinkConfig config = {});
+
+  /// Trains an approximate model of `spec` on `data` under `contract`.
+  ///
+  /// Fails with InvalidArgument for malformed contracts/datasets and
+  /// propagates training/statistics failures. Requires the dataset to
+  /// have at least a few times the holdout size rows.
+  Result<ApproxResult> Train(const ModelSpec& spec, const Dataset& data,
+                             const ApproximationContract& contract) const;
+
+  const BlinkConfig& config() const { return config_; }
+
+ private:
+  BlinkConfig config_;
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_CORE_COORDINATOR_H_

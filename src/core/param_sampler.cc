@@ -1,0 +1,130 @@
+#include "core/param_sampler.h"
+
+namespace blinkml {
+
+namespace {
+constexpr Matrix::Index kDenseDiagnosticsLimit = 8192;
+}  // namespace
+
+ParamSampler ParamSampler::FromDenseFactor(Matrix w) {
+  ParamSampler s;
+  s.backend_ = Backend::kDense;
+  s.w_ = std::move(w);
+  return s;
+}
+
+ParamSampler ParamSampler::FromGramFactor(Matrix q, Matrix v_scaled) {
+  BLINKML_CHECK_EQ(q.rows(), v_scaled.rows());
+  ParamSampler s;
+  s.backend_ = Backend::kGram;
+  s.q_dense_ = std::move(q);
+  s.v_scaled_ = std::move(v_scaled);
+  return s;
+}
+
+ParamSampler ParamSampler::FromSparseGramFactor(SparseMatrix q,
+                                                Matrix v_scaled) {
+  BLINKML_CHECK_EQ(q.rows(), v_scaled.rows());
+  ParamSampler s;
+  s.backend_ = Backend::kSparseGram;
+  s.q_sparse_ = std::move(q);
+  s.v_scaled_ = std::move(v_scaled);
+  return s;
+}
+
+Matrix::Index ParamSampler::dim() const {
+  switch (backend_) {
+    case Backend::kDense:
+      return w_.rows();
+    case Backend::kGram:
+      return q_dense_.cols();
+    case Backend::kSparseGram:
+      return static_cast<Matrix::Index>(q_sparse_.cols());
+  }
+  return 0;
+}
+
+Matrix::Index ParamSampler::rank() const {
+  switch (backend_) {
+    case Backend::kDense:
+      return w_.cols();
+    case Backend::kGram:
+    case Backend::kSparseGram:
+      return v_scaled_.cols();
+  }
+  return 0;
+}
+
+Vector ParamSampler::Draw(double scale, Rng* rng) const {
+  Vector z(rank());
+  rng->FillNormal(&z);
+  return DrawWithZ(scale, z);
+}
+
+Vector ParamSampler::DrawWithZ(double scale, const Vector& z) const {
+  BLINKML_CHECK_EQ(z.size(), rank());
+  Vector out;
+  switch (backend_) {
+    case Backend::kDense:
+      out = MatVec(w_, z);
+      break;
+    case Backend::kGram: {
+      const Vector t = MatVec(v_scaled_, z);  // n_s
+      out = MatTVec(q_dense_, t);             // p
+      break;
+    }
+    case Backend::kSparseGram: {
+      const Vector t = MatVec(v_scaled_, z);
+      out = q_sparse_.ApplyTransposed(t);
+      break;
+    }
+  }
+  if (scale != 1.0) out *= scale;
+  return out;
+}
+
+Result<Matrix> ParamSampler::DenseCovariance() const {
+  const Matrix::Index p = dim();
+  if (backend_ != Backend::kDense && p > kDenseDiagnosticsLimit) {
+    return Status::InvalidArgument(
+        "DenseCovariance is limited to small parameter dimensions");
+  }
+  switch (backend_) {
+    case Backend::kDense:
+      return MatMulT(w_, w_);
+    case Backend::kGram: {
+      const Matrix w = MatTMul(q_dense_, v_scaled_);  // p x r
+      return MatMulT(w, w);
+    }
+    case Backend::kSparseGram: {
+      // W = Q^T V: build dense column by column via transposed applies.
+      const Matrix::Index r = rank();
+      Matrix w(p, r);
+      for (Matrix::Index j = 0; j < r; ++j) {
+        const Vector col = q_sparse_.ApplyTransposed(v_scaled_.Col(j));
+        w.SetCol(j, col);
+      }
+      return MatMulT(w, w);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<Vector> ParamSampler::VarianceDiagonal() const {
+  if (backend_ == Backend::kDense) {
+    Vector diag(w_.rows());
+    for (Matrix::Index i = 0; i < w_.rows(); ++i) {
+      const double* row = w_.row_data(i);
+      double s = 0.0;
+      for (Matrix::Index j = 0; j < w_.cols(); ++j) s += row[j] * row[j];
+      diag[i] = s;
+    }
+    return diag;
+  }
+  BLINKML_ASSIGN_OR_RETURN(Matrix cov, DenseCovariance());
+  Vector diag(cov.rows());
+  for (Matrix::Index i = 0; i < cov.rows(); ++i) diag[i] = cov(i, i);
+  return diag;
+}
+
+}  // namespace blinkml

@@ -1,0 +1,133 @@
+#include "core/sample_size_estimator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/conservative.h"
+
+namespace blinkml {
+
+namespace {
+
+using Index = Dataset::Index;
+
+// Scales for a candidate n: a1 = sqrt(1/n0 - 1/n), a2 = sqrt(1/n - 1/N).
+struct Scales {
+  double a1;
+  double a2;
+};
+
+Scales ScalesFor(Index n0, Index n, Index full_n) {
+  const double inv_n0 = 1.0 / static_cast<double>(n0);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const double inv_full = 1.0 / static_cast<double>(full_n);
+  return {std::sqrt(std::max(0.0, inv_n0 - inv_n)),
+          std::sqrt(std::max(0.0, inv_n - inv_full))};
+}
+
+}  // namespace
+
+Result<SampleSizeEstimate> EstimateSampleSize(
+    const ModelSpec& spec, const Vector& theta0, Index n0, Index full_n,
+    const ParamSampler& sampler, const Dataset& holdout,
+    const SampleSizeOptions& options, Rng* rng) {
+  if (n0 <= 0 || n0 > full_n) {
+    return Status::InvalidArgument("need 0 < n0 <= N");
+  }
+  if (options.num_samples < 1) {
+    return Status::InvalidArgument("need at least one Monte-Carlo sample");
+  }
+  if (!(options.delta > 0.0 && options.delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (options.epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+
+  const int k = options.num_samples;
+  const bool score_path = spec.has_linear_scores();
+
+  // Unscaled draws (sampling by scaling + common random numbers): u_i and
+  // w_i, held either as holdout score deltas (score path; O(k h C) memory)
+  // or as parameter vectors (generic path; O(k p) memory).
+  std::vector<Matrix> score_u, score_w;
+  std::vector<Vector> param_u, param_w;
+  score_u.reserve(static_cast<std::size_t>(k));
+  score_w.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    Vector u = sampler.Draw(1.0, rng);
+    Vector w = sampler.Draw(1.0, rng);
+    if (score_path) {
+      score_u.push_back(spec.Scores(u, holdout));
+      score_w.push_back(spec.Scores(w, holdout));
+    } else {
+      param_u.push_back(std::move(u));
+      param_w.push_back(std::move(w));
+    }
+  }
+  Matrix base_scores;
+  if (score_path) base_scores = spec.Scores(theta0, holdout);
+
+  const QuantileLevel level = ConservativeQuantileLevel(options.delta, k);
+
+  SampleSizeEstimate out;
+  out.quantile_level = level.level;
+
+  // Feasibility: fraction of pairs with v(theta_n,i, theta_N,i) <= eps.
+  auto success_fraction = [&](Index n) {
+    const Scales s = ScalesFor(n0, n, full_n);
+    int ok_count = 0;
+    for (int i = 0; i < k; ++i) {
+      double v;
+      if (score_path) {
+        // scores(theta_n,i) = S0 + a1 * Su_i;
+        // scores(theta_N,i) = S0 + a1 * Su_i + a2 * Sw_i.
+        Matrix s1 = score_u[static_cast<std::size_t>(i)];
+        s1 *= s.a1;
+        s1 += base_scores;
+        Matrix s2 = score_w[static_cast<std::size_t>(i)];
+        s2 *= s.a2;
+        s2 += s1;
+        v = spec.DiffFromScores(s1, s2, holdout);
+      } else {
+        Vector t1 = theta0;
+        Axpy(s.a1, param_u[static_cast<std::size_t>(i)], &t1);
+        Vector t2 = t1;
+        Axpy(s.a2, param_w[static_cast<std::size_t>(i)], &t2);
+        v = spec.Diff(t1, t2, holdout);
+      }
+      if (v <= options.epsilon) ++ok_count;
+    }
+    ++out.evaluations;
+    return static_cast<double>(ok_count) / static_cast<double>(k);
+  };
+
+  // The level is in (0, 1]; a fraction f is feasible when f >= level
+  // (with level = 1 this demands every sampled pair to satisfy eps).
+  auto feasible = [&](Index n) { return success_fraction(n) >= level.level; };
+
+  Index lo = std::max<Index>(options.min_n, 1);
+  lo = std::min(lo, full_n);
+  Index hi = full_n;
+  if (feasible(lo)) {
+    out.sample_size = lo;
+    out.success_fraction = 1.0;  // recomputed below for the reported value
+    out.success_fraction = success_fraction(lo);
+    return out;
+  }
+  // Invariant: lo infeasible, hi feasible (at n = N the two parameter
+  // draws coincide up to a2 = 0, giving v = 0 <= eps for every pair).
+  while (hi - lo > 1) {
+    const Index mid = lo + (hi - lo) / 2;
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  out.sample_size = hi;
+  out.success_fraction = success_fraction(hi);
+  return out;
+}
+
+}  // namespace blinkml

@@ -1,0 +1,498 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace blinkml {
+
+namespace {
+
+using Index = Dataset::Index;
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+// Ground-truth weights with a few strong coordinates and a decaying tail,
+// which is what trained GLMs on real data tend to look like.
+Vector DecayingWeights(Index dim, double scale, Rng* rng) {
+  Vector w(dim);
+  for (Index j = 0; j < dim; ++j) {
+    const double magnitude = scale / std::sqrt(1.0 + static_cast<double>(j));
+    w[j] = rng->Normal(0.0, magnitude);
+  }
+  return w;
+}
+
+}  // namespace
+
+Dataset MakeGasLike(std::int64_t n, std::uint64_t seed, std::int64_t dim) {
+  BLINKML_CHECK_GT(n, 0);
+  BLINKML_CHECK_GT(dim, 0);
+  Rng rng(seed);
+  const Vector theta = DecayingWeights(dim, 1.0, &rng);
+  Matrix x(n, dim);
+  Vector y(n);
+  // AR(1) across the feature index simulates neighbouring-sensor
+  // correlation: x_j = rho * x_{j-1} + sqrt(1-rho^2) * fresh.
+  const double rho = 0.6;
+  const double fresh_scale = std::sqrt(1.0 - rho * rho);
+  for (Index i = 0; i < n; ++i) {
+    double* row = x.row_data(i);
+    double prev = rng.Normal();
+    row[0] = prev;
+    for (Index j = 1; j < dim; ++j) {
+      prev = rho * prev + fresh_scale * rng.Normal();
+      row[j] = prev;
+    }
+    double dot = 0.0;
+    for (Index j = 0; j < dim; ++j) dot += row[j] * theta[j];
+    y[i] = dot + rng.Normal(0.0, 0.8);
+  }
+  return Dataset(std::move(x), std::move(y), Task::kRegression);
+}
+
+Dataset MakePowerLike(std::int64_t n, std::uint64_t seed, std::int64_t dim) {
+  BLINKML_CHECK_GT(n, 0);
+  BLINKML_CHECK_GT(dim, 0);
+  Rng rng(seed);
+  const Vector theta = DecayingWeights(dim, 0.8, &rng);
+  // Block-correlated design: features within a block share a latent factor.
+  const Index block = 8;
+  Matrix x(n, dim);
+  Vector y(n);
+  for (Index i = 0; i < n; ++i) {
+    double* row = x.row_data(i);
+    double factor = 0.0;
+    for (Index j = 0; j < dim; ++j) {
+      if (j % block == 0) factor = rng.Normal();
+      row[j] = 0.7 * factor + 0.7 * rng.Normal();
+    }
+    double dot = 0.0;
+    for (Index j = 0; j < dim; ++j) dot += row[j] * theta[j];
+    // Heteroscedastic noise: variance grows with the signal magnitude,
+    // as household power consumption does with total load.
+    const double noise_sd = 0.5 + 0.2 * std::fabs(dot) / (1.0 + std::fabs(dot));
+    y[i] = dot + rng.Normal(0.0, noise_sd);
+  }
+  return Dataset(std::move(x), std::move(y), Task::kRegression);
+}
+
+Dataset MakeHiggsLike(std::int64_t n, std::uint64_t seed, std::int64_t dim) {
+  BLINKML_CHECK_GT(n, 0);
+  BLINKML_CHECK_GT(dim, 0);
+  Rng rng(seed);
+  Vector theta = DecayingWeights(dim, 0.6, &rng);
+  // Real HIGGS features are correlated kinematic quantities derived from
+  // underlying particle momenta; mirror that with shared latent factors of
+  // decaying strength. The latent rank (12) exceeds the q = 10 the PPCA
+  // workloads use, so the covariance spectrum has structure (and gaps)
+  // through the factor count — as the real data's correlated features do;
+  // isotropic features would make PPCA factors unidentifiable.
+  const Index latents = std::min<Index>(12, dim);
+  Matrix loadings(dim, latents);
+  double strength = 1.2;
+  std::vector<double> strengths;
+  for (Index l = 0; l < latents; ++l) {
+    strengths.push_back(strength);
+    strength *= 0.85;  // geometric decay: every factor stays above the
+                       // idiosyncratic noise with a clear gap to the next
+  }
+  for (Index j = 0; j < dim; ++j) {
+    for (Index l = 0; l < latents; ++l) {
+      loadings(j, l) = rng.Normal(0.0, strengths[static_cast<std::size_t>(l)]);
+    }
+  }
+  // Expected margin offset from the chi-square features (their mean is
+  // s_j^2 - 1 after the transform below); subtracting it keeps the label
+  // rate balanced without touching the feature covariance structure.
+  double margin_offset = 0.0;
+  for (Index j = 0; j < dim; ++j) {
+    if (j % 4 != 3) continue;
+    double s2 = 0.25;  // idiosyncratic noise
+    const double* load = loadings.row_data(j);
+    for (Index l = 0; l < latents; ++l) s2 += load[l] * load[l];
+    margin_offset += theta[j] * (s2 - 1.0) * 0.7071067811865476;
+  }
+
+  Matrix x(n, dim);
+  Vector y(n);
+  Vector z(latents);
+  for (Index i = 0; i < n; ++i) {
+    rng.FillNormal(&z);
+    double* row = x.row_data(i);
+    double dot = -margin_offset;
+    for (Index j = 0; j < dim; ++j) {
+      double shared = 0.0;
+      const double* load = loadings.row_data(j);
+      for (Index l = 0; l < latents; ++l) shared += load[l] * z[l];
+      double v = shared + 0.5 * rng.Normal();
+      // Every fourth feature is a derived chi-square-like quantity.
+      if (j % 4 == 3) v = (v * v - 1.0) * 0.7071067811865476;
+      row[j] = v;
+      dot += v * theta[j];
+    }
+    // Moderate signal-to-noise: Bayes-optimal accuracy lands around 72-78%,
+    // like the real HIGGS task.
+    y[i] = rng.Bernoulli(Sigmoid(0.8 * dot)) ? 1.0 : 0.0;
+  }
+  return Dataset(std::move(x), std::move(y), Task::kBinary);
+}
+
+Dataset MakeCriteoLike(std::int64_t n, std::uint64_t seed, std::int64_t dim,
+                       std::int64_t nnz_per_row) {
+  BLINKML_CHECK_GT(n, 0);
+  BLINKML_CHECK_GT(dim, 0);
+  BLINKML_CHECK_GT(nnz_per_row, 0);
+  BLINKML_CHECK_LE(nnz_per_row, dim);
+  Rng rng(seed);
+  // Ground-truth weights over the hashed space. The categorical weights
+  // carry real signal (sigma 0.5): with the flattened popularity below,
+  // each hashed column is observed rarely, so per-weight uncertainty from
+  // a sample is comparable to the weight scale — the regime that makes
+  // click prediction genuinely sample-hungry.
+  Vector theta(dim);
+  for (Index j = 0; j < dim; ++j) theta[j] = rng.Normal(0.0, 0.5);
+  // Intercept-like shift keeps the positive rate CTR-low.
+  const double bias = -3.0;
+
+  std::vector<std::vector<SparseEntry>> rows(static_cast<std::size_t>(n));
+  Vector y(n);
+  const Index num_dense = std::min<Index>(13, dim);  // Criteo's 13 counters
+  for (Index i = 0; i < n; ++i) {
+    auto& row = rows[static_cast<std::size_t>(i)];
+    row.reserve(static_cast<std::size_t>(nnz_per_row));
+    double dot = bias;
+    // Dense numeric counters: log-normal-ish, always present.
+    for (Index j = 0; j < num_dense; ++j) {
+      const double v = std::log1p(std::fabs(rng.Normal(0.0, 2.0)));
+      row.push_back({j, v});
+      dot += v * theta[j];
+    }
+    // Hashed categorical one-hots with mildly skewed popularity: column
+    // index c = floor(U^1.5 * range). Hashing flattens the natural Zipf
+    // head, so most columns are rare — each carrying a weight a sample
+    // estimates noisily.
+    bool seen_duplicate = false;
+    for (Index f = num_dense; f < nnz_per_row; ++f) {
+      const double u = rng.Uniform();
+      const Index c = num_dense + static_cast<Index>(
+          u * std::sqrt(u) * static_cast<double>(dim - num_dense));
+      const Index col = std::min(c, dim - 1);
+      // Duplicates within a row are rare; merge by skipping (harmless).
+      bool dup = false;
+      for (const auto& e : row) {
+        if (e.col == col) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) {
+        seen_duplicate = true;
+        continue;
+      }
+      row.push_back({col, 1.0});
+      dot += theta[col];
+    }
+    (void)seen_duplicate;
+    // Click labels are intrinsically noisy (users click near-randomly a
+    // fraction of the time); the extra flip noise keeps the task as
+    // sample-hungry as real CTR data.
+    bool click = rng.Bernoulli(Sigmoid(dot));
+    if (rng.Bernoulli(0.08)) click = !click;
+    y[i] = click ? 1.0 : 0.0;
+  }
+  return Dataset(SparseMatrix(dim, std::move(rows)), std::move(y),
+                 Task::kBinary);
+}
+
+Dataset MakeMnistLike(std::int64_t n, std::uint64_t seed, std::int64_t dim,
+                      std::int64_t num_classes) {
+  BLINKML_CHECK_GT(n, 0);
+  BLINKML_CHECK_GE(num_classes, 2);
+  const Index side = static_cast<Index>(std::llround(std::sqrt(
+      static_cast<double>(dim))));
+  BLINKML_CHECK_MSG(side * side == dim, "MNIST-like dim must be a square");
+  Rng rng(seed);
+
+  // Each class is a smooth random "stroke pattern": a sum of Gaussian blobs
+  // on the side x side grid. Blobs give spatially correlated pixels, like
+  // digit strokes.
+  // Class prototypes share a common "stroke bank": each class mixes a few
+  // strokes from a shared pool, so neighbouring classes overlap (like 4/9
+  // or 3/8 in real MNIST) and classification is genuinely confusable.
+  const int bank_size = 2 * static_cast<int>(num_classes);
+  std::vector<Vector> bank;
+  bank.reserve(static_cast<std::size_t>(bank_size));
+  for (int s = 0; s < bank_size; ++s) {
+    Vector stroke(dim);
+    const double cx = rng.Uniform(0.2, 0.8) * static_cast<double>(side);
+    const double cy = rng.Uniform(0.2, 0.8) * static_cast<double>(side);
+    const double sigma = rng.Uniform(1.5, 3.5);
+    for (Index py = 0; py < side; ++py) {
+      for (Index px = 0; px < side; ++px) {
+        const double dx = static_cast<double>(px) - cx;
+        const double dy = static_cast<double>(py) - cy;
+        stroke[py * side + px] =
+            std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+      }
+    }
+    bank.push_back(std::move(stroke));
+  }
+  // Per-class stroke sets: two "own" strokes plus one shared with the next
+  // class, with class-specific base amplitudes.
+  struct ClassStrokes {
+    int strokes[3];
+    double amps[3];
+  };
+  std::vector<ClassStrokes> classes(static_cast<std::size_t>(num_classes));
+  for (Index c = 0; c < num_classes; ++c) {
+    auto& cs = classes[static_cast<std::size_t>(c)];
+    cs.strokes[0] = static_cast<int>(2 * c) % bank_size;
+    cs.strokes[1] = static_cast<int>(2 * c + 1) % bank_size;
+    cs.strokes[2] = static_cast<int>(2 * (c + 1)) % bank_size;  // shared
+    cs.amps[0] = rng.Uniform(0.5, 0.8);
+    cs.amps[1] = rng.Uniform(0.35, 0.6);
+    cs.amps[2] = rng.Uniform(0.25, 0.5);
+  }
+
+  Matrix x(n, dim);
+  Vector y(n);
+  for (Index i = 0; i < n; ++i) {
+    const Index c = static_cast<Index>(
+        rng.UniformInt(static_cast<std::uint64_t>(num_classes)));
+    const ClassStrokes& cs = classes[static_cast<std::size_t>(c)];
+    double* row = x.row_data(i);
+    // Per-image amplitude jitter (slant/thickness variation): this puts
+    // genuine within-class variance along every stroke direction, so the
+    // covariance spectrum has structure well past the class count — as
+    // real digit images do.
+    double jittered[3];
+    for (int s = 0; s < 3; ++s) {
+      jittered[s] = cs.amps[s] * (1.0 + 0.45 * rng.Normal());
+    }
+    for (Index j = 0; j < dim; ++j) {
+      double v = rng.Normal(0.0, 0.35);
+      for (int s = 0; s < 3; ++s) {
+        v += jittered[s] *
+             bank[static_cast<std::size_t>(cs.strokes[s])][j];
+      }
+      row[j] = std::clamp(v, 0.0, 1.5);
+    }
+    y[i] = static_cast<double>(c);
+  }
+  return Dataset(std::move(x), std::move(y), Task::kMulticlass, num_classes);
+}
+
+Dataset MakeYelpLike(std::int64_t n, std::uint64_t seed, std::int64_t dim) {
+  BLINKML_CHECK_GT(n, 0);
+  BLINKML_CHECK_GT(dim, 10);
+  Rng rng(seed);
+  const Index num_classes = 5;  // star ratings 0..4
+
+  // Zipfian word popularity: P(word = w) proportional to 1/(w+10).
+  std::vector<double> popularity(static_cast<std::size_t>(dim));
+  for (Index w = 0; w < dim; ++w) {
+    popularity[static_cast<std::size_t>(w)] =
+        1.0 / static_cast<double>(w + 10);
+  }
+  // Per-class sentiment tilt: each word carries a latent polarity; classes
+  // up-weight words whose polarity matches the rating.
+  Vector polarity(dim);
+  for (Index w = 0; w < dim; ++w) polarity[w] = rng.Normal(0.0, 1.0);
+
+  std::vector<std::vector<SparseEntry>> rows(static_cast<std::size_t>(n));
+  Vector y(n);
+  for (Index i = 0; i < n; ++i) {
+    const Index c = static_cast<Index>(rng.UniformInt(num_classes));
+    // Rating as polarity scale in [-1, 1]: 0 stars -> -1, 4 stars -> +1.
+    const double tilt = (static_cast<double>(c) - 2.0) / 2.0;
+    const long length = 20 + rng.Poisson(60.0);  // heavy-ish review lengths
+    std::vector<double> counts;  // sparse accumulation via sorted insert
+    auto& row = rows[static_cast<std::size_t>(i)];
+    for (long t = 0; t < length; ++t) {
+      // Rejection re-weighting: draw from popularity, accept with a
+      // sentiment-dependent probability.
+      Index w;
+      while (true) {
+        const double u = rng.Uniform();
+        w = static_cast<Index>(u * u * u * static_cast<double>(dim));
+        w = std::min(w, dim - 1);
+        const double accept = Sigmoid(1.5 * tilt * polarity[w]);
+        if (rng.Bernoulli(accept)) break;
+      }
+      bool found = false;
+      for (auto& e : row) {
+        if (e.col == w) {
+          e.value += 1.0;
+          found = true;
+          break;
+        }
+      }
+      if (!found) row.push_back({w, 1.0});
+    }
+    // log(1 + count) term weighting, standard for bag-of-words GLMs.
+    for (auto& e : row) e.value = std::log1p(e.value);
+    (void)counts;
+    y[i] = static_cast<double>(c);
+  }
+  return Dataset(SparseMatrix(dim, std::move(rows)), std::move(y),
+                 Task::kMulticlass, num_classes);
+}
+
+Dataset MakeSyntheticLogistic(std::int64_t n, std::int64_t dim,
+                              std::uint64_t seed, double sparsity,
+                              double noise) {
+  BLINKML_CHECK_GT(n, 0);
+  BLINKML_CHECK_GT(dim, 0);
+  BLINKML_CHECK(sparsity > 0.0 && sparsity <= 1.0);
+  Rng rng(seed);
+  Vector theta(dim);
+  for (Index j = 0; j < dim; ++j) {
+    theta[j] = rng.Normal(0.0, 2.0 / std::sqrt(static_cast<double>(dim) *
+                                               sparsity));
+  }
+  auto label_of = [&](double dot) {
+    const double flip = noise;
+    const bool clean = rng.Bernoulli(Sigmoid(dot));
+    return (rng.Bernoulli(flip) ? !clean : clean) ? 1.0 : 0.0;
+  };
+  if (sparsity >= 1.0) {
+    Matrix x(n, dim);
+    Vector y(n);
+    for (Index i = 0; i < n; ++i) {
+      double* row = x.row_data(i);
+      double dot = 0.0;
+      for (Index j = 0; j < dim; ++j) {
+        row[j] = rng.Normal();
+        dot += row[j] * theta[j];
+      }
+      y[i] = label_of(dot);
+    }
+    return Dataset(std::move(x), std::move(y), Task::kBinary);
+  }
+  std::vector<std::vector<SparseEntry>> rows(static_cast<std::size_t>(n));
+  Vector y(n);
+  const Index nnz = std::max<Index>(
+      1, static_cast<Index>(std::llround(sparsity * static_cast<double>(dim))));
+  for (Index i = 0; i < n; ++i) {
+    auto cols = SampleWithoutReplacement(dim, nnz, &rng);
+    std::sort(cols.begin(), cols.end());
+    auto& row = rows[static_cast<std::size_t>(i)];
+    row.reserve(cols.size());
+    double dot = 0.0;
+    for (Index c : cols) {
+      const double v = rng.Normal();
+      row.push_back({c, v});
+      dot += v * theta[c];
+    }
+    y[i] = label_of(dot);
+  }
+  return Dataset(SparseMatrix(dim, std::move(rows)), std::move(y),
+                 Task::kBinary);
+}
+
+Dataset MakeSyntheticLinear(std::int64_t n, std::int64_t dim,
+                            std::uint64_t seed, double noise) {
+  BLINKML_CHECK_GT(n, 0);
+  BLINKML_CHECK_GT(dim, 0);
+  Rng rng(seed);
+  Vector theta(dim);
+  for (Index j = 0; j < dim; ++j) theta[j] = rng.Normal();
+  Matrix x(n, dim);
+  Vector y(n);
+  for (Index i = 0; i < n; ++i) {
+    double* row = x.row_data(i);
+    double dot = 0.0;
+    for (Index j = 0; j < dim; ++j) {
+      row[j] = rng.Normal();
+      dot += row[j] * theta[j];
+    }
+    y[i] = dot + rng.Normal(0.0, noise);
+  }
+  return Dataset(std::move(x), std::move(y), Task::kRegression);
+}
+
+Dataset MakeSyntheticMulticlass(std::int64_t n, std::int64_t dim,
+                                std::int64_t num_classes, std::uint64_t seed,
+                                double spread) {
+  BLINKML_CHECK_GT(n, 0);
+  BLINKML_CHECK_GT(dim, 0);
+  BLINKML_CHECK_GE(num_classes, 2);
+  Rng rng(seed);
+  std::vector<Vector> centroids;
+  centroids.reserve(static_cast<std::size_t>(num_classes));
+  for (Index c = 0; c < num_classes; ++c) {
+    Vector mu(dim);
+    for (Index j = 0; j < dim; ++j) mu[j] = rng.Normal(0.0, spread);
+    centroids.push_back(std::move(mu));
+  }
+  Matrix x(n, dim);
+  Vector y(n);
+  for (Index i = 0; i < n; ++i) {
+    const Index c = static_cast<Index>(
+        rng.UniformInt(static_cast<std::uint64_t>(num_classes)));
+    const Vector& mu = centroids[static_cast<std::size_t>(c)];
+    double* row = x.row_data(i);
+    for (Index j = 0; j < dim; ++j) row[j] = mu[j] + rng.Normal();
+    y[i] = static_cast<double>(c);
+  }
+  return Dataset(std::move(x), std::move(y), Task::kMulticlass, num_classes);
+}
+
+Dataset MakeSyntheticCounts(std::int64_t n, std::int64_t dim,
+                            std::uint64_t seed, double rate_scale) {
+  BLINKML_CHECK_GT(n, 0);
+  BLINKML_CHECK_GT(dim, 0);
+  BLINKML_CHECK_GT(rate_scale, 0.0);
+  Rng rng(seed);
+  // Weights scaled so theta^T x has standard deviation ~0.8: rates span
+  // roughly a factor of 10 around the base rate without exploding.
+  Vector theta(dim);
+  for (Index j = 0; j < dim; ++j) {
+    theta[j] = rng.Normal(0.0, 0.8 / std::sqrt(static_cast<double>(dim)));
+  }
+  const double bias = std::log(rate_scale) + 0.5;
+  Matrix x(n, dim);
+  Vector y(n);
+  for (Index i = 0; i < n; ++i) {
+    double* row = x.row_data(i);
+    double eta = bias;
+    for (Index j = 0; j < dim; ++j) {
+      row[j] = rng.Normal();
+      eta += row[j] * theta[j];
+    }
+    y[i] = static_cast<double>(rng.Poisson(std::exp(eta)));
+  }
+  return Dataset(std::move(x), std::move(y), Task::kRegression);
+}
+
+Dataset MakeSyntheticLowRank(std::int64_t n, std::int64_t dim,
+                             std::int64_t rank, std::uint64_t seed,
+                             double noise) {
+  BLINKML_CHECK_GT(n, 0);
+  BLINKML_CHECK(rank > 0 && rank <= dim);
+  Rng rng(seed);
+  // Loading matrix with decaying column strengths so the spectrum is
+  // well-separated (makes PPCA identifiable).
+  Matrix w(dim, rank);
+  for (Index j = 0; j < dim; ++j) {
+    for (Index r = 0; r < rank; ++r) {
+      w(j, r) = rng.Normal(0.0, 2.0 / std::sqrt(static_cast<double>(r + 1)));
+    }
+  }
+  Matrix x(n, dim);
+  Vector z(rank);
+  for (Index i = 0; i < n; ++i) {
+    rng.FillNormal(&z);
+    double* row = x.row_data(i);
+    for (Index j = 0; j < dim; ++j) {
+      double s = 0.0;
+      const double* wrow = w.row_data(j);
+      for (Index r = 0; r < rank; ++r) s += wrow[r] * z[r];
+      row[j] = s + rng.Normal(0.0, noise);
+    }
+  }
+  return Dataset(std::move(x), Vector(), Task::kUnsupervised);
+}
+
+}  // namespace blinkml

@@ -1,0 +1,233 @@
+#include "data/loader.h"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace blinkml {
+
+namespace {
+
+using Index = Dataset::Index;
+
+// Infers the task from the label values.
+std::pair<Task, Index> InferTask(const Vector& labels) {
+  bool all_01 = true;
+  bool all_small_ints = true;
+  double max_label = 0.0;
+  for (Vector::Index i = 0; i < labels.size(); ++i) {
+    const double y = labels[i];
+    if (y != 0.0 && y != 1.0) all_01 = false;
+    if (y != std::floor(y) || y < 0.0 || y > 1000.0) all_small_ints = false;
+    max_label = std::max(max_label, y);
+  }
+  if (all_01) return {Task::kBinary, 2};
+  if (all_small_ints) {
+    return {Task::kMulticlass, static_cast<Index>(max_label) + 1};
+  }
+  return {Task::kRegression, 0};
+}
+
+Result<double> ParseDouble(std::string_view field) {
+  double value = 0.0;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument(
+        StrFormat("cannot parse '%.*s' as a number",
+                  static_cast<int>(field.size()), field.data()));
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::string line;
+  if (options.has_header && !std::getline(in, line)) {
+    return Status::IOError("empty file " + path);
+  }
+  std::vector<std::vector<double>> rows;
+  std::size_t num_cols = 0;
+  std::size_t line_no = options.has_header ? 1 : 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    const std::vector<std::string> fields =
+        Split(stripped, options.delimiter);
+    if (num_cols == 0) {
+      num_cols = fields.size();
+      if (num_cols < 2) {
+        return Status::InvalidArgument(
+            "CSV needs at least one feature column and one label column");
+      }
+    } else if (fields.size() != num_cols) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu fields, expected %zu", line_no,
+                    fields.size(), num_cols));
+    }
+    std::vector<double> row;
+    row.reserve(num_cols);
+    for (const std::string& f : fields) {
+      BLINKML_ASSIGN_OR_RETURN(double v, ParseDouble(StripWhitespace(f)));
+      row.push_back(v);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("no data rows in " + path);
+  }
+  const int label_col = options.label_column < 0
+                            ? static_cast<int>(num_cols) - 1
+                            : options.label_column;
+  if (label_col >= static_cast<int>(num_cols)) {
+    return Status::InvalidArgument("label column out of range");
+  }
+  const Index n = static_cast<Index>(rows.size());
+  const Index d = static_cast<Index>(num_cols) - 1;
+  Matrix x(n, d);
+  Vector y(n);
+  for (Index i = 0; i < n; ++i) {
+    const auto& row = rows[static_cast<std::size_t>(i)];
+    Index out_col = 0;
+    for (std::size_t c = 0; c < num_cols; ++c) {
+      if (static_cast<int>(c) == label_col) {
+        y[i] = row[c];
+      } else {
+        x(i, out_col++) = row[c];
+      }
+    }
+  }
+  const auto [task, classes] = InferTask(y);
+  return Dataset(std::move(x), std::move(y), task, classes);
+}
+
+Status SaveCsv(const Dataset& data, const std::string& path) {
+  if (data.is_sparse()) {
+    return Status::InvalidArgument("SaveCsv supports dense datasets only");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  const Matrix& x = data.dense();
+  for (Matrix::Index c = 0; c < x.cols(); ++c) out << "f" << c << ",";
+  out << "label\n";
+  out.precision(17);
+  for (Matrix::Index i = 0; i < x.rows(); ++i) {
+    for (Matrix::Index c = 0; c < x.cols(); ++c) out << x(i, c) << ",";
+    out << (data.has_labels() ? data.label(i) : 0.0) << "\n";
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Dataset> LoadLibsvm(const std::string& path, std::int64_t dim) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<std::vector<SparseEntry>> rows;
+  std::vector<double> labels;
+  Index max_index = -1;
+  Index min_index = std::numeric_limits<Index>::max();
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::istringstream ls{std::string(stripped)};
+    double label = 0.0;
+    if (!(ls >> label)) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: missing label", line_no));
+    }
+    std::vector<SparseEntry> row;
+    std::string tok;
+    while (ls >> tok) {
+      const std::size_t colon = tok.find(':');
+      if (colon == std::string::npos) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: token '%s' is not idx:val", line_no,
+                      tok.c_str()));
+      }
+      BLINKML_ASSIGN_OR_RETURN(double idx_d,
+                               ParseDouble(tok.substr(0, colon)));
+      BLINKML_ASSIGN_OR_RETURN(double val, ParseDouble(tok.substr(colon + 1)));
+      const Index idx = static_cast<Index>(idx_d);
+      if (idx < 0) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: negative feature index", line_no));
+      }
+      max_index = std::max(max_index, idx);
+      min_index = std::min(min_index, idx);
+      row.push_back({idx, val});
+    }
+    rows.push_back(std::move(row));
+    labels.push_back(label);
+  }
+  if (rows.empty()) return Status::InvalidArgument("no data rows in " + path);
+  // LIBSVM files are conventionally 1-based; shift if no 0 index was seen.
+  const Index offset = (min_index >= 1) ? 1 : 0;
+  if (offset == 1) {
+    for (auto& row : rows) {
+      for (auto& e : row) e.col -= 1;
+    }
+    max_index -= 1;
+  }
+  Index d = dim > 0 ? dim : max_index + 1;
+  if (max_index >= d) {
+    return Status::InvalidArgument(
+        StrFormat("feature index %lld exceeds dim %lld",
+                  static_cast<long long>(max_index + offset),
+                  static_cast<long long>(d)));
+  }
+  // Map {-1, +1} labels to {0, 1}.
+  bool has_negative = false;
+  for (double y : labels) {
+    if (y == -1.0) has_negative = true;
+  }
+  Vector y(static_cast<Vector::Index>(labels.size()));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    double v = labels[i];
+    if (has_negative) v = (v > 0.0) ? 1.0 : 0.0;
+    y[static_cast<Vector::Index>(i)] = v;
+  }
+  const auto [task, classes] = InferTask(y);
+  return Dataset(SparseMatrix(d, std::move(rows)), std::move(y), task,
+                 classes);
+}
+
+Status SaveLibsvm(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.precision(17);
+  for (Index i = 0; i < data.num_rows(); ++i) {
+    out << (data.has_labels() ? data.label(i) : 0.0);
+    if (data.is_sparse()) {
+      const SparseMatrix& m = data.sparse();
+      const auto nnz = m.RowNnz(i);
+      const auto* cols = m.RowCols(i);
+      const auto* vals = m.RowValues(i);
+      for (Index k = 0; k < nnz; ++k) {
+        out << " " << (cols[k] + 1) << ":" << vals[k];
+      }
+    } else {
+      const Matrix& m = data.dense();
+      for (Matrix::Index c = 0; c < m.cols(); ++c) {
+        if (m(i, c) != 0.0) out << " " << (c + 1) << ":" << m(i, c);
+      }
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace blinkml

@@ -1,0 +1,44 @@
+// File loaders: CSV (dense) and LIBSVM (sparse).
+//
+// These exist so the library can run on the paper's real datasets when they
+// are available; the benchmark harnesses default to the synthetic
+// generators (see generators.h).
+
+#ifndef BLINKML_DATA_LOADER_H_
+#define BLINKML_DATA_LOADER_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace blinkml {
+
+/// Options for CSV loading.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Skip the first line.
+  bool has_header = true;
+  /// Column index (0-based) holding the label; -1 = last column.
+  int label_column = -1;
+};
+
+/// Loads a dense dataset from a CSV file of numeric columns.
+/// The task is inferred: labels that are all 0/1 -> kBinary; all
+/// non-negative small integers -> kMulticlass; otherwise kRegression.
+Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options = {});
+
+/// Writes a dense dataset to CSV (feature columns then label).
+Status SaveCsv(const Dataset& data, const std::string& path);
+
+/// Loads a sparse dataset in LIBSVM format: "label idx:val idx:val ...".
+/// Indices may be 0- or 1-based (auto-detected); `dim` forces the feature
+/// dimension (0 = infer from the max index seen).
+Result<Dataset> LoadLibsvm(const std::string& path, std::int64_t dim = 0);
+
+/// Writes a sparse (or dense) dataset in LIBSVM format with 1-based indices.
+Status SaveLibsvm(const Dataset& data, const std::string& path);
+
+}  // namespace blinkml
+
+#endif  // BLINKML_DATA_LOADER_H_

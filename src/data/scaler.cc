@@ -1,0 +1,59 @@
+#include "data/scaler.h"
+
+#include <cmath>
+
+namespace blinkml {
+
+Result<Standardizer> Standardizer::Fit(const Dataset& data) {
+  if (data.is_sparse()) {
+    return Status::InvalidArgument(
+        "Standardizer supports dense datasets only");
+  }
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("cannot fit on an empty dataset");
+  }
+  const Matrix& x = data.dense();
+  const Matrix::Index n = x.rows();
+  const Matrix::Index d = x.cols();
+  Vector mean(d);
+  Vector scale(d);
+  for (Matrix::Index i = 0; i < n; ++i) {
+    const double* row = x.row_data(i);
+    for (Matrix::Index c = 0; c < d; ++c) mean[c] += row[c];
+  }
+  mean /= static_cast<double>(n);
+  for (Matrix::Index i = 0; i < n; ++i) {
+    const double* row = x.row_data(i);
+    for (Matrix::Index c = 0; c < d; ++c) {
+      const double delta = row[c] - mean[c];
+      scale[c] += delta * delta;
+    }
+  }
+  for (Matrix::Index c = 0; c < d; ++c) {
+    const double var = scale[c] / static_cast<double>(n);
+    scale[c] = var > 0.0 ? std::sqrt(var) : 1.0;
+  }
+  return Standardizer(std::move(mean), std::move(scale));
+}
+
+Result<Dataset> Standardizer::Transform(const Dataset& data) const {
+  if (data.is_sparse()) {
+    return Status::InvalidArgument(
+        "Standardizer supports dense datasets only");
+  }
+  if (data.dim() != mean_.size()) {
+    return Status::InvalidArgument("dimension mismatch with fitted scaler");
+  }
+  Matrix x = data.dense();
+  for (Matrix::Index i = 0; i < x.rows(); ++i) {
+    double* row = x.row_data(i);
+    for (Matrix::Index c = 0; c < x.cols(); ++c) {
+      row[c] = (row[c] - mean_[c]) / scale_[c];
+    }
+  }
+  Vector labels = data.labels();
+  return Dataset(std::move(x), std::move(labels), data.task(),
+                 data.num_classes());
+}
+
+}  // namespace blinkml

@@ -1,0 +1,38 @@
+// Feature standardization (zero mean, unit variance per column).
+//
+// Fitted on a training split and applied to held-out data with the same
+// parameters, as any leakage-free pipeline requires. Dense datasets only:
+// centering a sparse matrix would densify it (for sparse data the library
+// follows the common practice of leaving bag-of-words/one-hot features
+// unscaled).
+
+#ifndef BLINKML_DATA_SCALER_H_
+#define BLINKML_DATA_SCALER_H_
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace blinkml {
+
+class Standardizer {
+ public:
+  /// Learns per-column mean and standard deviation from `data` (dense).
+  /// Columns with zero variance get scale 1 (they become identically 0).
+  static Result<Standardizer> Fit(const Dataset& data);
+
+  /// Returns a transformed copy; dimension must match the fitted data.
+  Result<Dataset> Transform(const Dataset& data) const;
+
+  const Vector& mean() const { return mean_; }
+  const Vector& scale() const { return scale_; }
+
+ private:
+  Standardizer(Vector mean, Vector scale)
+      : mean_(std::move(mean)), scale_(std::move(scale)) {}
+  Vector mean_;
+  Vector scale_;
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_DATA_SCALER_H_

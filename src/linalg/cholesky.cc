@@ -1,0 +1,89 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace blinkml {
+
+Result<Cholesky> Cholesky::Factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  using Index = Matrix::Index;
+  const Index n = a.rows();
+  Matrix l(n, n);
+  for (Index j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    const double* lj = l.row_data(j);
+    for (Index k = 0; k < j; ++k) diag -= lj[k] * lj[k];
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      return Status::InvalidArgument(StrFormat(
+          "matrix is not positive definite (pivot %lld = %g)",
+          static_cast<long long>(j), diag));
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (Index i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      const double* li = l.row_data(i);
+      for (Index k = 0; k < j; ++k) s -= li[k] * lj[k];
+      l(i, j) = s * inv;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Vector Cholesky::SolveLower(const Vector& b) const {
+  using Index = Matrix::Index;
+  const Index n = l_.rows();
+  BLINKML_CHECK_EQ(b.size(), n);
+  Vector y(n);
+  for (Index i = 0; i < n; ++i) {
+    double s = b[i];
+    const double* li = l_.row_data(i);
+    for (Index k = 0; k < i; ++k) s -= li[k] * y[k];
+    y[i] = s / li[i];
+  }
+  return y;
+}
+
+Vector Cholesky::SolveUpper(const Vector& y) const {
+  using Index = Matrix::Index;
+  const Index n = l_.rows();
+  BLINKML_CHECK_EQ(y.size(), n);
+  Vector x(n);
+  for (Index i = n - 1; i >= 0; --i) {
+    double s = y[i];
+    // Traverse column i of L below the diagonal == row entries of L^T.
+    for (Index k = i + 1; k < n; ++k) s -= l_(k, i) * x[k];
+    x[i] = s / l_(i, i);
+  }
+  return x;
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  return SolveUpper(SolveLower(b));
+}
+
+Matrix Cholesky::Solve(const Matrix& b) const {
+  BLINKML_CHECK_EQ(b.rows(), l_.rows());
+  Matrix x(b.rows(), b.cols());
+  for (Matrix::Index c = 0; c < b.cols(); ++c) {
+    x.SetCol(c, Solve(b.Col(c)));
+  }
+  return x;
+}
+
+Matrix Cholesky::Inverse() const {
+  return Solve(Matrix::Identity(l_.rows()));
+}
+
+double Cholesky::LogDet() const {
+  double s = 0.0;
+  for (Matrix::Index i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace blinkml

@@ -1,0 +1,51 @@
+// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+//
+// Used by the dense statistics paths (ClosedForm / InverseGradients) to
+// invert the regularized Hessian H, and by the dense multivariate-normal
+// sampler (L maps standard normals to N(0, A)).
+
+#ifndef BLINKML_LINALG_CHOLESKY_H_
+#define BLINKML_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace blinkml {
+
+class Cholesky {
+ public:
+  /// Factors `a` (symmetric positive definite). Fails with InvalidArgument
+  /// if `a` is not square or a non-positive pivot is encountered (i.e. `a`
+  /// is not numerically positive definite).
+  static Result<Cholesky> Factor(const Matrix& a);
+
+  /// The lower-triangular factor L.
+  const Matrix& L() const { return l_; }
+
+  /// Solves A x = b.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix Solve(const Matrix& b) const;
+
+  /// Solves L y = b (forward substitution).
+  Vector SolveLower(const Vector& b) const;
+
+  /// Solves L^T x = y (back substitution).
+  Vector SolveUpper(const Vector& y) const;
+
+  /// Dense inverse A^{-1} (prefer Solve when possible).
+  Matrix Inverse() const;
+
+  /// log(det A) = 2 * sum_i log L_ii.
+  double LogDet() const;
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_LINALG_CHOLESKY_H_

@@ -1,0 +1,69 @@
+#include "linalg/conjugate_gradient.h"
+
+#include <cmath>
+
+namespace blinkml {
+
+Result<CgResult> ConjugateGradient(
+    const std::function<Vector(const Vector&)>& apply, const Vector& b,
+    const CgOptions& options) {
+  const Vector::Index n = b.size();
+  if (n == 0) return Status::InvalidArgument("empty system");
+  const double b_norm = Norm2(b);
+  CgResult out;
+  out.x = Vector(n);
+  if (b_norm == 0.0) {
+    out.converged = true;
+    return out;  // x = 0 solves exactly
+  }
+  const int max_iterations =
+      options.max_iterations > 0 ? options.max_iterations
+                                 : 10 * static_cast<int>(n);
+  const double target = options.tolerance * b_norm;
+
+  Vector r = b;  // residual b - A x with x = 0
+  Vector p = r;  // search direction
+  double rr = SquaredNorm2(r);
+  for (int it = 0; it < max_iterations; ++it) {
+    if (std::sqrt(rr) <= target) {
+      out.converged = true;
+      break;
+    }
+    const Vector ap = apply(p);
+    if (ap.size() != n) {
+      return Status::InvalidArgument("apply returned wrong dimension");
+    }
+    const double p_ap = Dot(p, ap);
+    if (!(p_ap > 0.0) || !std::isfinite(p_ap)) {
+      return Status::InvalidArgument(
+          "non-positive curvature: operator is not positive definite");
+    }
+    const double alpha = rr / p_ap;
+    Axpy(alpha, p, &out.x);
+    Axpy(-alpha, ap, &r);
+    const double rr_next = SquaredNorm2(r);
+    const double beta = rr_next / rr;
+    // p = r + beta * p
+    p *= beta;
+    p += r;
+    rr = rr_next;
+    ++out.iterations;
+  }
+  out.residual_norm = std::sqrt(rr);
+  out.converged = out.converged || out.residual_norm <= target;
+  return out;
+}
+
+Result<CgResult> ConjugateGradient(const Matrix& a, const Vector& b,
+                                   const CgOptions& options) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("CG requires a square matrix");
+  }
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  return ConjugateGradient(
+      [&a](const Vector& v) { return MatVec(a, v); }, b, options);
+}
+
+}  // namespace blinkml

@@ -1,0 +1,47 @@
+// Conjugate-gradient solver for symmetric positive-definite systems given
+// only a matrix-vector product (matrix-free). Complements the dense
+// factorizations: for regularized Hessian systems H x = b with
+// H = J + beta I and J available only as a factor (the ObservedFisher
+// representation), CG solves in O(iterations * apply-cost) without ever
+// forming H.
+
+#ifndef BLINKML_LINALG_CONJUGATE_GRADIENT_H_
+#define BLINKML_LINALG_CONJUGATE_GRADIENT_H_
+
+#include <functional>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace blinkml {
+
+struct CgOptions {
+  /// Stop when ||r|| <= tolerance * ||b||.
+  double tolerance = 1e-10;
+  /// 0 = 10x the system dimension. (CG reaches the solution in n steps in
+  /// exact arithmetic; rounding on ill-conditioned systems needs slack.)
+  int max_iterations = 0;
+};
+
+struct CgResult {
+  Vector x;
+  double residual_norm = 0.0;  // final ||A x - b||
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Solves A x = b for SPD A given as a matvec callback.
+/// Fails with InvalidArgument if a direction of non-positive curvature is
+/// encountered (A not positive definite).
+Result<CgResult> ConjugateGradient(
+    const std::function<Vector(const Vector&)>& apply, const Vector& b,
+    const CgOptions& options = {});
+
+/// Convenience overload for an explicit dense SPD matrix.
+Result<CgResult> ConjugateGradient(const Matrix& a, const Vector& b,
+                                   const CgOptions& options = {});
+
+}  // namespace blinkml
+
+#endif  // BLINKML_LINALG_CONJUGATE_GRADIENT_H_

@@ -1,0 +1,43 @@
+// Symmetric eigendecomposition A = V diag(w) V^T.
+//
+// Two-phase classical algorithm: Householder reduction to tridiagonal form
+// followed by the implicit-shift QL iteration. O(n^3) overall, robust for
+// the sizes this library needs (Gram matrices up to a few thousand rows,
+// PPCA covariances up to ~1000 features).
+//
+// This is the backbone of three core paths:
+//  * ObservedFisher: eigendecomposition of the gradient Gram matrix gives
+//    the SVD factor of the per-example gradient matrix (paper Section 3.4);
+//  * the covariance-free parameter sampler (paper Section 4.3);
+//  * the PPCA closed-form MLE (top-q eigenpairs of the sample covariance).
+
+#ifndef BLINKML_LINALG_EIGEN_SYM_H_
+#define BLINKML_LINALG_EIGEN_SYM_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace blinkml {
+
+/// Eigendecomposition of a symmetric matrix.
+struct SymmetricEigen {
+  /// Eigenvalues in ascending order.
+  Vector eigenvalues;
+  /// Column i of `eigenvectors` is the unit eigenvector for eigenvalues[i].
+  Matrix eigenvectors;
+};
+
+/// Computes the full eigendecomposition of symmetric `a`.
+///
+/// `a` is symmetrized internally ((A + A^T)/2) so small asymmetries from
+/// accumulated round-off are tolerated. Fails with NotConverged if the QL
+/// iteration exceeds its sweep budget (pathological inputs only).
+Result<SymmetricEigen> EigenSym(const Matrix& a);
+
+/// Eigenvalues only (skips eigenvector accumulation; ~2x faster).
+Result<Vector> EigenSymValues(const Matrix& a);
+
+}  // namespace blinkml
+
+#endif  // BLINKML_LINALG_EIGEN_SYM_H_

@@ -1,0 +1,92 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace blinkml {
+
+using Index = Matrix::Index;
+
+Result<Lu> Lu::Factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU requires a square matrix");
+  }
+  const Index n = a.rows();
+  Matrix lu = a;
+  std::vector<Index> perm(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  int sign = 1;
+
+  for (Index k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    Index pivot = k;
+    double best = std::fabs(lu(k, k));
+    for (Index i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      return Status::InvalidArgument(
+          StrFormat("matrix is singular at column %lld",
+                    static_cast<long long>(k)));
+    }
+    if (pivot != k) {
+      for (Index c = 0; c < n; ++c) std::swap(lu(k, c), lu(pivot, c));
+      std::swap(perm[static_cast<std::size_t>(k)],
+                perm[static_cast<std::size_t>(pivot)]);
+      sign = -sign;
+    }
+    const double inv = 1.0 / lu(k, k);
+    for (Index i = k + 1; i < n; ++i) {
+      const double factor = lu(i, k) * inv;
+      lu(i, k) = factor;
+      if (factor == 0.0) continue;
+      double* ri = lu.row_data(i);
+      const double* rk = lu.row_data(k);
+      for (Index c = k + 1; c < n; ++c) ri[c] -= factor * rk[c];
+    }
+  }
+  return Lu(std::move(lu), std::move(perm), sign);
+}
+
+Vector Lu::Solve(const Vector& b) const {
+  const Index n = lu_.rows();
+  BLINKML_CHECK_EQ(b.size(), n);
+  Vector x(n);
+  // Apply permutation, then forward substitution with unit-diagonal L.
+  for (Index i = 0; i < n; ++i) {
+    double s = b[perm_[static_cast<std::size_t>(i)]];
+    const double* row = lu_.row_data(i);
+    for (Index k = 0; k < i; ++k) s -= row[k] * x[k];
+    x[i] = s;
+  }
+  // Back substitution with U.
+  for (Index i = n - 1; i >= 0; --i) {
+    double s = x[i];
+    const double* row = lu_.row_data(i);
+    for (Index k = i + 1; k < n; ++k) s -= row[k] * x[k];
+    x[i] = s / row[i];
+  }
+  return x;
+}
+
+Matrix Lu::Solve(const Matrix& b) const {
+  BLINKML_CHECK_EQ(b.rows(), lu_.rows());
+  Matrix x(b.rows(), b.cols());
+  for (Index c = 0; c < b.cols(); ++c) x.SetCol(c, Solve(b.Col(c)));
+  return x;
+}
+
+Matrix Lu::Inverse() const { return Solve(Matrix::Identity(lu_.rows())); }
+
+double Lu::Determinant() const {
+  double det = sign_;
+  for (Index i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+}  // namespace blinkml

@@ -1,0 +1,47 @@
+// LU factorization with partial pivoting; general square solver.
+//
+// Used where symmetric positive definiteness is not guaranteed (e.g. the
+// InverseGradients Hessian estimate H ~= R P^{-1}, which is only
+// approximately symmetric before symmetrization).
+
+#ifndef BLINKML_LINALG_LU_H_
+#define BLINKML_LINALG_LU_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace blinkml {
+
+class Lu {
+ public:
+  /// Factors a square matrix; fails with InvalidArgument on exact/near
+  /// singularity.
+  static Result<Lu> Factor(const Matrix& a);
+
+  /// Solves A x = b.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix Solve(const Matrix& b) const;
+
+  /// Dense inverse (prefer Solve when possible).
+  Matrix Inverse() const;
+
+  /// det(A).
+  double Determinant() const;
+
+ private:
+  Lu(Matrix lu, std::vector<Matrix::Index> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), sign_(sign) {}
+
+  Matrix lu_;                        // packed L (unit diag) and U
+  std::vector<Matrix::Index> perm_;  // row permutation
+  int sign_;                         // permutation parity
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_LINALG_LU_H_

@@ -1,0 +1,106 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+
+namespace blinkml {
+
+using Index = Matrix::Index;
+
+Result<Qr> Qr::Factor(const Matrix& a) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument("QR requires rows >= cols");
+  }
+  Matrix qr = a;
+  Vector tau(n);
+  for (Index k = 0; k < n; ++k) {
+    // Householder vector for column k below the diagonal.
+    double norm = 0.0;
+    for (Index i = k; i < m; ++i) norm += qr(i, k) * qr(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      tau[k] = 0.0;
+      continue;
+    }
+    const double alpha = (qr(k, k) >= 0.0) ? -norm : norm;
+    // v = x - alpha e1, normalized so v[0] = 1 (stored implicitly).
+    const double v0 = qr(k, k) - alpha;
+    for (Index i = k + 1; i < m; ++i) qr(i, k) /= v0;
+    tau[k] = -v0 / alpha;  // beta such that H = I - beta v v^T
+    qr(k, k) = alpha;
+    // Apply H to the remaining columns.
+    for (Index j = k + 1; j < n; ++j) {
+      double s = qr(k, j);
+      for (Index i = k + 1; i < m; ++i) s += qr(i, k) * qr(i, j);
+      s *= tau[k];
+      qr(k, j) -= s;
+      for (Index i = k + 1; i < m; ++i) qr(i, j) -= s * qr(i, k);
+    }
+  }
+  return Qr(std::move(qr), std::move(tau));
+}
+
+Result<Vector> Qr::Solve(const Vector& b) const {
+  const Index m = qr_.rows();
+  const Index n = qr_.cols();
+  BLINKML_CHECK_EQ(b.size(), m);
+  Vector y = b;
+  // y = Q^T b via the stored Householder reflectors.
+  for (Index k = 0; k < n; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double s = y[k];
+    for (Index i = k + 1; i < m; ++i) s += qr_(i, k) * y[i];
+    s *= tau_[k];
+    y[k] -= s;
+    for (Index i = k + 1; i < m; ++i) y[i] -= s * qr_(i, k);
+  }
+  // Back substitution with R; a diagonal entry negligibly small relative
+  // to the largest one signals numerical rank deficiency.
+  double max_diag = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    max_diag = std::max(max_diag, std::fabs(qr_(i, i)));
+  }
+  const double threshold = 1e-12 * max_diag;
+  Vector x(n);
+  for (Index i = n - 1; i >= 0; --i) {
+    double s = y[i];
+    for (Index j = i + 1; j < n; ++j) s -= qr_(i, j) * x[j];
+    const double rii = qr_(i, i);
+    if (std::fabs(rii) <= threshold) {
+      return Status::InvalidArgument("rank-deficient least-squares system");
+    }
+    x[i] = s / rii;
+  }
+  return x;
+}
+
+Matrix Qr::R() const {
+  const Index n = qr_.cols();
+  Matrix r(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i; j < n; ++j) r(i, j) = qr_(i, j);
+  }
+  return r;
+}
+
+Matrix Qr::ThinQ() const {
+  const Index m = qr_.rows();
+  const Index n = qr_.cols();
+  Matrix q(m, n);
+  for (Index i = 0; i < n; ++i) q(i, i) = 1.0;
+  // Accumulate reflectors in reverse order: Q = H_0 H_1 ... H_{n-1} I_thin.
+  for (Index k = n - 1; k >= 0; --k) {
+    if (tau_[k] == 0.0) continue;
+    for (Index j = 0; j < n; ++j) {
+      double s = q(k, j);
+      for (Index i = k + 1; i < m; ++i) s += qr_(i, k) * q(i, j);
+      s *= tau_[k];
+      q(k, j) -= s;
+      for (Index i = k + 1; i < m; ++i) q(i, j) -= s * qr_(i, k);
+    }
+  }
+  return q;
+}
+
+}  // namespace blinkml

@@ -1,0 +1,40 @@
+// Householder QR factorization and least-squares solver.
+//
+// Used by the linear-regression closed-form oracle in tests and available
+// as a public building block.
+
+#ifndef BLINKML_LINALG_QR_H_
+#define BLINKML_LINALG_QR_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace blinkml {
+
+class Qr {
+ public:
+  /// Factors an m x n matrix with m >= n.
+  static Result<Qr> Factor(const Matrix& a);
+
+  /// Minimizes ||A x - b||_2; fails with InvalidArgument if A is
+  /// numerically rank-deficient.
+  Result<Vector> Solve(const Vector& b) const;
+
+  /// The upper-triangular factor R (n x n).
+  Matrix R() const;
+
+  /// Explicit thin Q (m x n); O(m n^2).
+  Matrix ThinQ() const;
+
+ private:
+  Qr(Matrix qr, Vector tau) : qr_(std::move(qr)), tau_(std::move(tau)) {}
+
+  // Packed Householder vectors below the diagonal of qr_, R on and above.
+  Matrix qr_;
+  Vector tau_;
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_LINALG_QR_H_

@@ -1,0 +1,147 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+
+namespace blinkml {
+
+SparseMatrix::SparseMatrix(Index cols,
+                           std::vector<std::vector<SparseEntry>> rows)
+    : rows_(static_cast<Index>(rows.size())), cols_(cols) {
+  BLINKML_CHECK_GE(cols, 0);
+  row_ptr_.clear();
+  row_ptr_.reserve(rows.size() + 1);
+  row_ptr_.push_back(0);
+  std::size_t total = 0;
+  for (const auto& row : rows) total += row.size();
+  col_idx_.reserve(total);
+  values_.reserve(total);
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end(),
+              [](const SparseEntry& a, const SparseEntry& b) {
+                return a.col < b.col;
+              });
+    for (const SparseEntry& e : row) {
+      BLINKML_CHECK_MSG(e.col >= 0 && e.col < cols_,
+                        "sparse entry column out of range");
+      col_idx_.push_back(e.col);
+      values_.push_back(e.value);
+    }
+    row_ptr_.push_back(static_cast<Index>(col_idx_.size()));
+  }
+}
+
+SparseMatrix::SparseMatrix(Index rows, Index cols, std::vector<Index> row_ptr,
+                           std::vector<Index> col_idx,
+                           std::vector<double> values)
+    : rows_(rows), cols_(cols), row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)), values_(std::move(values)) {
+  BLINKML_CHECK_EQ(static_cast<Index>(row_ptr_.size()), rows_ + 1);
+  BLINKML_CHECK_EQ(col_idx_.size(), values_.size());
+  BLINKML_CHECK_EQ(row_ptr_.back(), static_cast<Index>(values_.size()));
+}
+
+Vector SparseMatrix::Apply(const Vector& x) const {
+  BLINKML_CHECK_EQ(static_cast<Index>(x.size()), cols_);
+  Vector y(rows_);
+  for (Index r = 0; r < rows_; ++r) y[r] = RowDot(r, x.data());
+  return y;
+}
+
+Vector SparseMatrix::ApplyTransposed(const Vector& x) const {
+  BLINKML_CHECK_EQ(static_cast<Index>(x.size()), rows_);
+  Vector y(cols_);
+  double* py = y.data();
+  for (Index r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    AddRowTo(r, xr, py);
+  }
+  return y;
+}
+
+double SparseMatrix::RowDot(Index r, const Vector& x) const {
+  BLINKML_CHECK_EQ(static_cast<Index>(x.size()), cols_);
+  return RowDot(r, x.data());
+}
+
+double SparseMatrix::RowDot(Index r, const double* x) const {
+  BLINKML_DCHECK(r >= 0 && r < rows_);
+  const Index n = RowNnz(r);
+  const Index* cols = RowCols(r);
+  const double* vals = RowValues(r);
+  double s = 0.0;
+  for (Index i = 0; i < n; ++i) s += vals[i] * x[cols[i]];
+  return s;
+}
+
+void SparseMatrix::AddRowTo(Index r, double alpha, Vector* y) const {
+  BLINKML_CHECK_EQ(static_cast<Index>(y->size()), cols_);
+  AddRowTo(r, alpha, y->data());
+}
+
+void SparseMatrix::AddRowTo(Index r, double alpha, double* y) const {
+  BLINKML_DCHECK(r >= 0 && r < rows_);
+  const Index n = RowNnz(r);
+  const Index* cols = RowCols(r);
+  const double* vals = RowValues(r);
+  for (Index i = 0; i < n; ++i) y[cols[i]] += alpha * vals[i];
+}
+
+SparseMatrix SparseMatrix::TakeRows(const std::vector<Index>& rows) const {
+  std::vector<Index> row_ptr;
+  row_ptr.reserve(rows.size() + 1);
+  row_ptr.push_back(0);
+  std::size_t total = 0;
+  for (Index r : rows) {
+    BLINKML_CHECK_MSG(r >= 0 && r < rows_, "TakeRows index out of range");
+    total += static_cast<std::size_t>(RowNnz(r));
+  }
+  std::vector<Index> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(total);
+  values.reserve(total);
+  for (Index r : rows) {
+    const Index n = RowNnz(r);
+    const Index* cols = RowCols(r);
+    const double* vals = RowValues(r);
+    col_idx.insert(col_idx.end(), cols, cols + n);
+    values.insert(values.end(), vals, vals + n);
+    row_ptr.push_back(static_cast<Index>(col_idx.size()));
+  }
+  return SparseMatrix(static_cast<Index>(rows.size()), cols_,
+                      std::move(row_ptr), std::move(col_idx),
+                      std::move(values));
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix m(rows_, cols_);
+  for (Index r = 0; r < rows_; ++r) {
+    const Index n = RowNnz(r);
+    const Index* cols = RowCols(r);
+    const double* vals = RowValues(r);
+    for (Index i = 0; i < n; ++i) m(r, cols[i]) = vals[i];
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense) {
+  std::vector<Index> row_ptr;
+  row_ptr.reserve(static_cast<std::size_t>(dense.rows()) + 1);
+  row_ptr.push_back(0);
+  std::vector<Index> col_idx;
+  std::vector<double> values;
+  for (Matrix::Index r = 0; r < dense.rows(); ++r) {
+    const double* row = dense.row_data(r);
+    for (Matrix::Index c = 0; c < dense.cols(); ++c) {
+      if (row[c] != 0.0) {
+        col_idx.push_back(c);
+        values.push_back(row[c]);
+      }
+    }
+    row_ptr.push_back(static_cast<Index>(col_idx.size()));
+  }
+  return SparseMatrix(dense.rows(), dense.cols(), std::move(row_ptr),
+                      std::move(col_idx), std::move(values));
+}
+
+}  // namespace blinkml

@@ -1,0 +1,95 @@
+// Compressed-sparse-row (CSR) matrix.
+//
+// Used for the high-dimensional workloads (Criteo-like hashed categorical
+// features, Yelp-like bag-of-words): feature matrices where d is in the
+// tens of thousands but each row touches only a handful of columns. Only
+// the operations the library needs are provided: matvec, transposed matvec,
+// row iteration, and row-subset extraction (for sampling).
+
+#ifndef BLINKML_LINALG_SPARSE_H_
+#define BLINKML_LINALG_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/check.h"
+
+namespace blinkml {
+
+/// One (column, value) entry of a sparse row.
+struct SparseEntry {
+  std::int64_t col;
+  double value;
+};
+
+class SparseMatrix {
+ public:
+  using Index = std::int64_t;
+
+  SparseMatrix() = default;
+
+  /// Builds from per-row entry lists. Entries within a row must have valid
+  /// column indices; they are sorted by column on construction.
+  SparseMatrix(Index cols, std::vector<std::vector<SparseEntry>> rows);
+
+  /// Builds directly from CSR arrays (row_ptr has rows+1 entries).
+  SparseMatrix(Index rows, Index cols, std::vector<Index> row_ptr,
+               std::vector<Index> col_idx, std::vector<double> values);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index nnz() const { return static_cast<Index>(values_.size()); }
+
+  /// Number of entries in row r.
+  Index RowNnz(Index r) const {
+    BLINKML_DCHECK(r >= 0 && r < rows_);
+    return row_ptr_[static_cast<std::size_t>(r) + 1] -
+           row_ptr_[static_cast<std::size_t>(r)];
+  }
+
+  /// Raw access for kernels: columns/values of row r.
+  const Index* RowCols(Index r) const {
+    return col_idx_.data() + row_ptr_[static_cast<std::size_t>(r)];
+  }
+  const double* RowValues(Index r) const {
+    return values_.data() + row_ptr_[static_cast<std::size_t>(r)];
+  }
+
+  /// y = A x.
+  Vector Apply(const Vector& x) const;
+
+  /// y = A^T x.
+  Vector ApplyTransposed(const Vector& x) const;
+
+  /// Dot product of row r with a dense vector.
+  double RowDot(Index r, const Vector& x) const;
+
+  /// Dot product of row r with a raw dense array of length >= cols().
+  double RowDot(Index r, const double* x) const;
+
+  /// y += alpha * row_r (scatter).
+  void AddRowTo(Index r, double alpha, Vector* y) const;
+  void AddRowTo(Index r, double alpha, double* y) const;
+
+  /// New matrix keeping only the given rows, in the given order.
+  SparseMatrix TakeRows(const std::vector<Index>& rows) const;
+
+  /// Dense copy (for tests / small matrices).
+  Matrix ToDense() const;
+
+  /// Builds a CSR matrix from a dense one, dropping exact zeros.
+  static SparseMatrix FromDense(const Matrix& dense);
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Index> row_ptr_ = {0};
+  std::vector<Index> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_LINALG_SPARSE_H_

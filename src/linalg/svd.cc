@@ -1,0 +1,164 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen_sym.h"
+
+namespace blinkml {
+
+namespace {
+using Index = Matrix::Index;
+
+// Orders an eigendecomposition of a Gram matrix into descending singular
+// values, clamping tiny negative eigenvalues (round-off) to zero.
+void EigenToSingular(const SymmetricEigen& eig, Vector* s, Matrix* vecs) {
+  const Index r = eig.eigenvalues.size();
+  s->Resize(r);
+  *vecs = Matrix(eig.eigenvectors.rows(), r);
+  // Eigenvalues come back ascending; reverse to descending.
+  for (Index i = 0; i < r; ++i) {
+    const Index src = r - 1 - i;
+    const double lambda = std::max(0.0, eig.eigenvalues[src]);
+    (*s)[i] = std::sqrt(lambda);
+    for (Index row = 0; row < vecs->rows(); ++row) {
+      (*vecs)(row, i) = eig.eigenvectors(row, src);
+    }
+  }
+}
+
+}  // namespace
+
+Result<Svd> GramSvd(const Matrix& a) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("GramSvd of an empty matrix");
+  }
+  Svd out;
+  if (m <= n) {
+    // Eigendecompose A A^T (m x m): A A^T = U S^2 U^T, then V = A^T U S^-1.
+    BLINKML_ASSIGN_OR_RETURN(SymmetricEigen eig, EigenSym(GramRows(a)));
+    EigenToSingular(eig, &out.singular_values, &out.u);
+    out.v = Matrix(n, m);
+    Matrix atu = MatTMul(a, out.u);  // n x m
+    for (Index i = 0; i < m; ++i) {
+      const double s = out.singular_values[i];
+      if (s > 0.0) {
+        const double inv = 1.0 / s;
+        for (Index row = 0; row < n; ++row) out.v(row, i) = atu(row, i) * inv;
+      }
+      // Null-space columns are left zero: they carry zero singular value and
+      // are never used by callers (the sampler skips zero directions).
+    }
+  } else {
+    // Eigendecompose A^T A (n x n): A^T A = V S^2 V^T, then U = A V S^-1.
+    BLINKML_ASSIGN_OR_RETURN(SymmetricEigen eig, EigenSym(GramCols(a)));
+    EigenToSingular(eig, &out.singular_values, &out.v);
+    out.u = Matrix(m, n);
+    Matrix av = MatMul(a, out.v);  // m x n
+    for (Index i = 0; i < n; ++i) {
+      const double s = out.singular_values[i];
+      if (s > 0.0) {
+        const double inv = 1.0 / s;
+        for (Index row = 0; row < m; ++row) out.u(row, i) = av(row, i) * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Svd> JacobiSvd(const Matrix& a) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("JacobiSvd of an empty matrix");
+  }
+  // Work on the tall orientation so the one-sided sweep is over columns.
+  const bool transposed = m < n;
+  Matrix w = transposed ? a.Transposed() : a;  // rows >= cols
+  const Index rows = w.rows();
+  const Index cols = w.cols();
+  Matrix v = Matrix::Identity(cols);
+
+  constexpr int kMaxSweeps = 60;
+  const double eps = 1e-15;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool converged = true;
+    for (Index p = 0; p < cols - 1; ++p) {
+      for (Index q = p + 1; q < cols; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (Index i = 0; i < rows; ++i) {
+          alpha += w(i, p) * w(i, p);
+          beta += w(i, q) * w(i, q);
+          gamma += w(i, p) * w(i, q);
+        }
+        if (std::fabs(gamma) <= eps * std::sqrt(alpha * beta) ||
+            gamma == 0.0) {
+          continue;
+        }
+        converged = false;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t =
+            std::copysign(1.0, zeta) /
+            (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (Index i = 0; i < rows; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (Index i = 0; i < cols; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Column norms of w are the singular values; normalize to get U.
+  Vector s(cols);
+  Matrix u(rows, cols);
+  for (Index j = 0; j < cols; ++j) {
+    double norm = 0.0;
+    for (Index i = 0; i < rows; ++i) norm += w(i, j) * w(i, j);
+    norm = std::sqrt(norm);
+    s[j] = norm;
+    if (norm > 0.0) {
+      const double inv = 1.0 / norm;
+      for (Index i = 0; i < rows; ++i) u(i, j) = w(i, j) * inv;
+    }
+  }
+  // Sort descending.
+  std::vector<Index> order(static_cast<std::size_t>(cols));
+  for (Index i = 0; i < cols; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(),
+            [&](Index x, Index y) { return s[x] > s[y]; });
+  Svd out;
+  out.singular_values.Resize(cols);
+  out.u = Matrix(rows, cols);
+  out.v = Matrix(cols, cols);
+  for (Index i = 0; i < cols; ++i) {
+    const Index src = order[static_cast<std::size_t>(i)];
+    out.singular_values[i] = s[src];
+    for (Index r = 0; r < rows; ++r) out.u(r, i) = u(r, src);
+    for (Index r = 0; r < cols; ++r) out.v(r, i) = v(r, src);
+  }
+  if (transposed) std::swap(out.u, out.v);
+  return out;
+}
+
+Matrix SvdReconstruct(const Svd& svd) {
+  Matrix us = svd.u;
+  for (Index r = 0; r < us.rows(); ++r) {
+    for (Index c = 0; c < us.cols(); ++c) us(r, c) *= svd.singular_values[c];
+  }
+  return MatMulT(us, svd.v);
+}
+
+}  // namespace blinkml

@@ -1,0 +1,42 @@
+// Thin singular value decomposition A = U diag(s) V^T.
+//
+// Two implementations:
+//  * GramSvd — eigendecomposition of the smaller of A A^T / A^T A; cost
+//    O(min(m,n)^2 * max(m,n)). This is the workhorse used by ObservedFisher
+//    (paper Section 3.4: only the factor of J is ever needed, never the
+//    d x d covariance itself). Precision of small singular values is
+//    limited to ~sqrt(machine epsilon) relative to the largest — adequate
+//    here because directions with negligible singular value contribute
+//    negligible sampler variance.
+//  * JacobiSvd — one-sided Jacobi orthogonalization; slower but fully
+//    accurate; used for small matrices and as the test oracle.
+
+#ifndef BLINKML_LINALG_SVD_H_
+#define BLINKML_LINALG_SVD_H_
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace blinkml {
+
+/// Thin SVD: for an m x n matrix with r = min(m, n), U is m x r,
+/// singular_values has r entries (descending, non-negative), V is n x r.
+struct Svd {
+  Matrix u;
+  Vector singular_values;
+  Matrix v;
+};
+
+/// Thin SVD via the Gram-matrix eigendecomposition (see file comment).
+Result<Svd> GramSvd(const Matrix& a);
+
+/// Thin SVD via one-sided Jacobi rotations (accurate; O(m n^2) per sweep).
+Result<Svd> JacobiSvd(const Matrix& a);
+
+/// Reconstructs U diag(s) V^T (test helper).
+Matrix SvdReconstruct(const Svd& svd);
+
+}  // namespace blinkml
+
+#endif  // BLINKML_LINALG_SVD_H_

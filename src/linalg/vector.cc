@@ -1,0 +1,82 @@
+#include "linalg/vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blinkml {
+
+void Vector::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Vector::Resize(Index n) {
+  BLINKML_CHECK_GE(n, 0);
+  data_.resize(static_cast<std::size_t>(n), 0.0);
+}
+
+Vector& Vector::operator+=(const Vector& other) {
+  BLINKML_CHECK_EQ(size(), other.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  BLINKML_CHECK_EQ(size(), other.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Vector& Vector::operator/=(double s) {
+  BLINKML_CHECK_MSG(s != 0.0, "division by zero");
+  return (*this) *= (1.0 / s);
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  BLINKML_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  const Vector::Index n = a.size();
+  for (Vector::Index i = 0; i < n; ++i) s += pa[i] * pb[i];
+  return s;
+}
+
+double SquaredNorm2(const Vector& v) { return Dot(v, v); }
+
+double Norm2(const Vector& v) { return std::sqrt(SquaredNorm2(v)); }
+
+double NormInf(const Vector& v) {
+  double m = 0.0;
+  for (Vector::Index i = 0; i < v.size(); ++i) m = std::max(m, std::fabs(v[i]));
+  return m;
+}
+
+void Axpy(double alpha, const Vector& x, Vector* y) {
+  BLINKML_CHECK_EQ(x.size(), y->size());
+  double* py = y->data();
+  const double* px = x.data();
+  const Vector::Index n = x.size();
+  for (Vector::Index i = 0; i < n; ++i) py[i] += alpha * px[i];
+}
+
+double CosineSimilarity(const Vector& a, const Vector& b) {
+  const double na = Norm2(a);
+  const double nb = Norm2(b);
+  BLINKML_CHECK_MSG(na > 0.0 && nb > 0.0,
+                    "cosine similarity of zero vector is undefined");
+  return Dot(a, b) / (na * nb);
+}
+
+double MaxAbsDiff(const Vector& a, const Vector& b) {
+  BLINKML_CHECK_EQ(a.size(), b.size());
+  double m = 0.0;
+  for (Vector::Index i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace blinkml

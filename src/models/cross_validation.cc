@@ -1,0 +1,55 @@
+#include "models/cross_validation.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace blinkml {
+
+Result<std::vector<Fold>> KFoldSplit(const Dataset& data, int k, Rng* rng) {
+  using Index = Dataset::Index;
+  if (k < 2) return Status::InvalidArgument("k-fold needs k >= 2");
+  if (static_cast<Index>(k) > data.num_rows()) {
+    return Status::InvalidArgument("more folds than rows");
+  }
+  const std::vector<Index> perm = RandomPermutation(data.num_rows(), rng);
+  std::vector<Fold> folds;
+  folds.reserve(static_cast<std::size_t>(k));
+  const Index n = data.num_rows();
+  Index start = 0;
+  for (int f = 0; f < k; ++f) {
+    // Fold sizes n/k, distributing the remainder over the first folds.
+    const Index size = n / k + (static_cast<Index>(f) < n % k ? 1 : 0);
+    std::vector<Index> validation_rows(perm.begin() + start,
+                                       perm.begin() + start + size);
+    std::vector<Index> train_rows;
+    train_rows.reserve(static_cast<std::size_t>(n - size));
+    train_rows.insert(train_rows.end(), perm.begin(), perm.begin() + start);
+    train_rows.insert(train_rows.end(), perm.begin() + start + size,
+                      perm.end());
+    folds.push_back(
+        {data.TakeRows(train_rows), data.TakeRows(validation_rows)});
+    start += size;
+  }
+  return folds;
+}
+
+Result<CrossValidationResult> CrossValidate(const ModelSpec& spec,
+                                            const Dataset& data, int k,
+                                            Rng* rng,
+                                            const ModelTrainer& trainer) {
+  BLINKML_ASSIGN_OR_RETURN(std::vector<Fold> folds, KFoldSplit(data, k, rng));
+  CrossValidationResult out;
+  out.fold_errors.reserve(folds.size());
+  for (const Fold& fold : folds) {
+    BLINKML_ASSIGN_OR_RETURN(TrainedModel model,
+                             trainer.Train(spec, fold.train));
+    out.fold_errors.push_back(
+        spec.GeneralizationError(model.theta, fold.validation));
+  }
+  out.mean_error = Mean(out.fold_errors);
+  out.stddev_error = StdDev(out.fold_errors);
+  return out;
+}
+
+}  // namespace blinkml

@@ -1,0 +1,50 @@
+// K-fold cross-validation utilities.
+//
+// The paper motivates BlinkML with the exploratory phase of model building
+// (feature selection, hyperparameter tuning — Sections 1 and 5.7); k-fold
+// evaluation is the standard tool of that phase, so the library ships one
+// that composes with ModelSpec and ModelTrainer. The folds are disjoint,
+// cover every row exactly once, and are deterministic given the seed.
+
+#ifndef BLINKML_MODELS_CROSS_VALIDATION_H_
+#define BLINKML_MODELS_CROSS_VALIDATION_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/model_spec.h"
+#include "models/trainer.h"
+#include "util/status.h"
+
+namespace blinkml {
+
+/// One train/validation split of a k-fold partition.
+struct Fold {
+  Dataset train;
+  Dataset validation;
+};
+
+/// Splits `data` into k folds after a seeded shuffle. Every row appears in
+/// exactly one validation set; fold sizes differ by at most one row.
+/// Fails with InvalidArgument unless 2 <= k <= num_rows.
+Result<std::vector<Fold>> KFoldSplit(const Dataset& data, int k, Rng* rng);
+
+/// Result of a cross-validated evaluation.
+struct CrossValidationResult {
+  /// Per-fold generalization error (misclassification rate or normalized
+  /// RMSE, as defined by ModelSpec::GeneralizationError).
+  std::vector<double> fold_errors;
+  double mean_error = 0.0;
+  double stddev_error = 0.0;
+};
+
+/// Trains `spec` on each fold's training part and evaluates on its
+/// validation part. Any fold's training failure fails the whole call.
+Result<CrossValidationResult> CrossValidate(const ModelSpec& spec,
+                                            const Dataset& data, int k,
+                                            Rng* rng,
+                                            const ModelTrainer& trainer = ModelTrainer());
+
+}  // namespace blinkml
+
+#endif  // BLINKML_MODELS_CROSS_VALIDATION_H_

@@ -1,0 +1,152 @@
+#include "models/linear_regression.h"
+
+#include <cmath>
+
+namespace blinkml {
+
+namespace {
+using Index = Dataset::Index;
+}  // namespace
+
+LinearRegressionSpec::LinearRegressionSpec(double l2) : l2_(l2) {
+  BLINKML_CHECK_GE(l2, 0.0);
+}
+
+double LinearRegressionSpec::Objective(const Vector& theta,
+                                       const Dataset& data) const {
+  Vector unused;
+  // Value-only still needs the residual pass; share the fused code.
+  return ObjectiveAndGradient(theta, data, &unused);
+}
+
+void LinearRegressionSpec::Gradient(const Vector& theta, const Dataset& data,
+                                    Vector* grad) const {
+  ObjectiveAndGradient(theta, data, grad);
+}
+
+double LinearRegressionSpec::ObjectiveAndGradient(const Vector& theta,
+                                                  const Dataset& data,
+                                                  Vector* grad) const {
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  BLINKML_CHECK_GT(data.num_rows(), 0);
+  const Index n = data.num_rows();
+  grad->Resize(theta.size());
+  grad->Fill(0.0);
+  double loss = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    const double r = data.RowDot(i, theta.data()) - data.label(i);
+    loss += 0.5 * r * r;
+    data.AddRowTo(i, r, grad->data());
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  loss *= inv_n;
+  (*grad) *= inv_n;
+  Axpy(l2_, theta, grad);
+  return loss + 0.5 * l2_ * SquaredNorm2(theta);
+}
+
+void LinearRegressionSpec::PerExampleGradients(const Vector& theta,
+                                               const Dataset& data,
+                                               Matrix* out) const {
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  const Index n = data.num_rows();
+  *out = Matrix(n, theta.size());
+  for (Index i = 0; i < n; ++i) {
+    const double r = data.RowDot(i, theta.data()) - data.label(i);
+    data.AddRowTo(i, r, out->row_data(i));
+  }
+}
+
+SparseMatrix LinearRegressionSpec::PerExampleGradientsSparse(
+    const Vector& theta, const Dataset& data) const {
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  if (!data.is_sparse()) {
+    Matrix dense;
+    PerExampleGradients(theta, data, &dense);
+    return SparseMatrix::FromDense(dense);
+  }
+  const SparseMatrix& x = data.sparse();
+  std::vector<std::vector<SparseEntry>> rows(
+      static_cast<std::size_t>(data.num_rows()));
+  for (Index i = 0; i < data.num_rows(); ++i) {
+    const double r = data.RowDot(i, theta.data()) - data.label(i);
+    const Index nnz = x.RowNnz(i);
+    const auto* cols = x.RowCols(i);
+    const auto* vals = x.RowValues(i);
+    auto& row = rows[static_cast<std::size_t>(i)];
+    row.reserve(static_cast<std::size_t>(nnz));
+    for (Index k = 0; k < nnz; ++k) row.push_back({cols[k], r * vals[k]});
+  }
+  return SparseMatrix(data.dim(), std::move(rows));
+}
+
+void LinearRegressionSpec::Predict(const Vector& theta, const Dataset& data,
+                                   Vector* out) const {
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  out->Resize(data.num_rows());
+  for (Index i = 0; i < data.num_rows(); ++i) {
+    (*out)[i] = data.RowDot(i, theta.data());
+  }
+}
+
+Matrix LinearRegressionSpec::Scores(const Vector& theta,
+                                    const Dataset& data) const {
+  Vector pred;
+  Predict(theta, data, &pred);
+  Matrix scores(data.num_rows(), 1);
+  for (Index i = 0; i < data.num_rows(); ++i) scores(i, 0) = pred[i];
+  return scores;
+}
+
+double LinearRegressionSpec::DiffFromScores(const Matrix& scores1,
+                                            const Matrix& scores2,
+                                            const Dataset& holdout) const {
+  BLINKML_CHECK_EQ(scores1.rows(), holdout.num_rows());
+  BLINKML_CHECK_EQ(scores2.rows(), holdout.num_rows());
+  const Index n = holdout.num_rows();
+  BLINKML_CHECK_GT(n, 0);
+  double se = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    const double d = scores1(i, 0) - scores2(i, 0);
+    se += d * d;
+  }
+  const double rms = std::sqrt(se / static_cast<double>(n));
+  return rms / LabelScale(holdout);
+}
+
+double LinearRegressionSpec::Diff(const Vector& theta1, const Vector& theta2,
+                                  const Dataset& holdout) const {
+  return DiffFromScores(Scores(theta1, holdout), Scores(theta2, holdout),
+                        holdout);
+}
+
+Result<Matrix> LinearRegressionSpec::ClosedFormHessian(
+    const Vector& theta, const Dataset& data) const {
+  (void)theta;  // the linear-regression Hessian is parameter-independent
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  Matrix h;
+  if (data.is_sparse()) {
+    // Accumulate X^T X from sparse rows.
+    const SparseMatrix& x = data.sparse();
+    h = Matrix(data.dim(), data.dim());
+    for (Index i = 0; i < data.num_rows(); ++i) {
+      const auto nnz = x.RowNnz(i);
+      const auto* cols = x.RowCols(i);
+      const auto* vals = x.RowValues(i);
+      for (Index a = 0; a < nnz; ++a) {
+        for (Index b = 0; b < nnz; ++b) {
+          h(cols[a], cols[b]) += vals[a] * vals[b];
+        }
+      }
+    }
+  } else {
+    h = GramCols(data.dense());
+  }
+  h *= 1.0 / static_cast<double>(data.num_rows());
+  h.AddToDiagonal(l2_);
+  return h;
+}
+
+}  // namespace blinkml

@@ -1,0 +1,61 @@
+// Linear regression with L2 regularization (paper model "Lin").
+//
+// Gaussian MLE with unit noise variance:
+//   f_n(theta) = (1/n) sum_i 0.5 (theta^T x_i - y_i)^2 + (beta/2)||theta||^2
+//   q(theta; x_i, y_i) = (theta^T x_i - y_i) x_i
+//   H = (1/n) X^T X + beta I   (closed form available)
+//
+// The prediction-difference metric v (Appendix C) is the RMS prediction
+// difference normalized by the holdout label standard deviation, so that
+// (1 - v) reads as a scale-free accuracy (see DESIGN.md Section 4).
+
+#ifndef BLINKML_MODELS_LINEAR_REGRESSION_H_
+#define BLINKML_MODELS_LINEAR_REGRESSION_H_
+
+#include "models/model_spec.h"
+
+namespace blinkml {
+
+class LinearRegressionSpec final : public ModelSpec {
+ public:
+  /// `l2` is the paper's beta (default 1e-3, the paper's setting).
+  explicit LinearRegressionSpec(double l2 = 1e-3);
+
+  std::string name() const override { return "LinearRegression"; }
+  Task task() const override { return Task::kRegression; }
+  Vector::Index ParamDim(const Dataset& data) const override {
+    return data.dim();
+  }
+  double l2() const override { return l2_; }
+
+  double Objective(const Vector& theta, const Dataset& data) const override;
+  void Gradient(const Vector& theta, const Dataset& data,
+                Vector* grad) const override;
+  double ObjectiveAndGradient(const Vector& theta, const Dataset& data,
+                              Vector* grad) const override;
+  void PerExampleGradients(const Vector& theta, const Dataset& data,
+                           Matrix* out) const override;
+  bool has_sparse_gradients() const override { return true; }
+  SparseMatrix PerExampleGradientsSparse(const Vector& theta,
+                                         const Dataset& data) const override;
+  void Predict(const Vector& theta, const Dataset& data,
+               Vector* out) const override;
+  double Diff(const Vector& theta1, const Vector& theta2,
+              const Dataset& holdout) const override;
+
+  bool has_linear_scores() const override { return true; }
+  Matrix Scores(const Vector& theta, const Dataset& data) const override;
+  double DiffFromScores(const Matrix& scores1, const Matrix& scores2,
+                        const Dataset& holdout) const override;
+
+  bool has_closed_form_hessian() const override { return true; }
+  Result<Matrix> ClosedFormHessian(const Vector& theta,
+                                   const Dataset& data) const override;
+
+ private:
+  double l2_;
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_MODELS_LINEAR_REGRESSION_H_

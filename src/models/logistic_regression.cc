@@ -1,0 +1,189 @@
+#include "models/logistic_regression.h"
+
+#include <cmath>
+
+namespace blinkml {
+
+namespace {
+using Index = Dataset::Index;
+
+// Numerically stable log(1 + exp(z)).
+double Log1pExp(double z) {
+  if (z > 30.0) return z;
+  if (z < -30.0) return std::exp(z);
+  return std::log1p(std::exp(z));
+}
+
+}  // namespace
+
+double LogisticRegressionSpec::Sigmoid(double margin) {
+  if (margin >= 0.0) {
+    const double e = std::exp(-margin);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(margin);
+  return e / (1.0 + e);
+}
+
+LogisticRegressionSpec::LogisticRegressionSpec(double l2) : l2_(l2) {
+  BLINKML_CHECK_GE(l2, 0.0);
+}
+
+double LogisticRegressionSpec::Objective(const Vector& theta,
+                                         const Dataset& data) const {
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  BLINKML_CHECK_GT(data.num_rows(), 0);
+  double loss = 0.0;
+  for (Index i = 0; i < data.num_rows(); ++i) {
+    const double margin = data.RowDot(i, theta.data());
+    const double t = data.label(i);
+    // -[t log s + (1-t) log(1-s)] = log(1+e^margin) - t * margin.
+    loss += Log1pExp(margin) - t * margin;
+  }
+  loss /= static_cast<double>(data.num_rows());
+  return loss + 0.5 * l2_ * SquaredNorm2(theta);
+}
+
+void LogisticRegressionSpec::Gradient(const Vector& theta, const Dataset& data,
+                                      Vector* grad) const {
+  ObjectiveAndGradient(theta, data, grad);
+}
+
+double LogisticRegressionSpec::ObjectiveAndGradient(const Vector& theta,
+                                                    const Dataset& data,
+                                                    Vector* grad) const {
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  BLINKML_CHECK_GT(data.num_rows(), 0);
+  const Index n = data.num_rows();
+  grad->Resize(theta.size());
+  grad->Fill(0.0);
+  double loss = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    const double margin = data.RowDot(i, theta.data());
+    const double t = data.label(i);
+    loss += Log1pExp(margin) - t * margin;
+    data.AddRowTo(i, Sigmoid(margin) - t, grad->data());
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  loss *= inv_n;
+  (*grad) *= inv_n;
+  Axpy(l2_, theta, grad);
+  return loss + 0.5 * l2_ * SquaredNorm2(theta);
+}
+
+void LogisticRegressionSpec::PerExampleGradients(const Vector& theta,
+                                                 const Dataset& data,
+                                                 Matrix* out) const {
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  const Index n = data.num_rows();
+  *out = Matrix(n, theta.size());
+  for (Index i = 0; i < n; ++i) {
+    const double margin = data.RowDot(i, theta.data());
+    data.AddRowTo(i, Sigmoid(margin) - data.label(i), out->row_data(i));
+  }
+}
+
+SparseMatrix LogisticRegressionSpec::PerExampleGradientsSparse(
+    const Vector& theta, const Dataset& data) const {
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  if (!data.is_sparse()) {
+    Matrix dense;
+    PerExampleGradients(theta, data, &dense);
+    return SparseMatrix::FromDense(dense);
+  }
+  const SparseMatrix& x = data.sparse();
+  std::vector<std::vector<SparseEntry>> rows(
+      static_cast<std::size_t>(data.num_rows()));
+  for (Index i = 0; i < data.num_rows(); ++i) {
+    const double coeff =
+        Sigmoid(data.RowDot(i, theta.data())) - data.label(i);
+    const Index nnz = x.RowNnz(i);
+    const auto* cols = x.RowCols(i);
+    const auto* vals = x.RowValues(i);
+    auto& row = rows[static_cast<std::size_t>(i)];
+    row.reserve(static_cast<std::size_t>(nnz));
+    for (Index k = 0; k < nnz; ++k) row.push_back({cols[k], coeff * vals[k]});
+  }
+  return SparseMatrix(data.dim(), std::move(rows));
+}
+
+void LogisticRegressionSpec::Predict(const Vector& theta, const Dataset& data,
+                                     Vector* out) const {
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  out->Resize(data.num_rows());
+  for (Index i = 0; i < data.num_rows(); ++i) {
+    (*out)[i] = data.RowDot(i, theta.data()) >= 0.0 ? 1.0 : 0.0;
+  }
+}
+
+Matrix LogisticRegressionSpec::Scores(const Vector& theta,
+                                      const Dataset& data) const {
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  Matrix scores(data.num_rows(), 1);
+  for (Index i = 0; i < data.num_rows(); ++i) {
+    scores(i, 0) = data.RowDot(i, theta.data());
+  }
+  return scores;
+}
+
+double LogisticRegressionSpec::DiffFromScores(const Matrix& scores1,
+                                              const Matrix& scores2,
+                                              const Dataset& holdout) const {
+  BLINKML_CHECK_EQ(scores1.rows(), holdout.num_rows());
+  BLINKML_CHECK_EQ(scores2.rows(), holdout.num_rows());
+  const Index n = holdout.num_rows();
+  BLINKML_CHECK_GT(n, 0);
+  Index disagree = 0;
+  for (Index i = 0; i < n; ++i) {
+    const bool p1 = scores1(i, 0) >= 0.0;
+    const bool p2 = scores2(i, 0) >= 0.0;
+    if (p1 != p2) ++disagree;
+  }
+  return static_cast<double>(disagree) / static_cast<double>(n);
+}
+
+double LogisticRegressionSpec::Diff(const Vector& theta1, const Vector& theta2,
+                                    const Dataset& holdout) const {
+  return DiffFromScores(Scores(theta1, holdout), Scores(theta2, holdout),
+                        holdout);
+}
+
+Result<Matrix> LogisticRegressionSpec::ClosedFormHessian(
+    const Vector& theta, const Dataset& data) const {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  const Index n = data.num_rows();
+  const Index d = data.dim();
+  Matrix h(d, d);
+  // H = (1/n) X^T diag(s(1-s)) X + beta I, accumulated row by row.
+  for (Index i = 0; i < n; ++i) {
+    const double s = Sigmoid(data.RowDot(i, theta.data()));
+    const double w = s * (1.0 - s);
+    if (data.is_sparse()) {
+      const SparseMatrix& x = data.sparse();
+      const auto nnz = x.RowNnz(i);
+      const auto* cols = x.RowCols(i);
+      const auto* vals = x.RowValues(i);
+      for (Index a = 0; a < nnz; ++a) {
+        for (Index b = 0; b < nnz; ++b) {
+          h(cols[a], cols[b]) += w * vals[a] * vals[b];
+        }
+      }
+    } else {
+      const double* row = data.dense().row_data(i);
+      for (Index a = 0; a < d; ++a) {
+        const double wa = w * row[a];
+        if (wa == 0.0) continue;
+        double* hrow = h.row_data(a);
+        for (Index b = 0; b < d; ++b) hrow[b] += wa * row[b];
+      }
+    }
+  }
+  h *= 1.0 / static_cast<double>(n);
+  h.AddToDiagonal(l2_);
+  return h;
+}
+
+}  // namespace blinkml

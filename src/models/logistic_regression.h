@@ -1,0 +1,59 @@
+// Binary logistic regression with L2 regularization (paper model "LR").
+//
+//   f_n(theta) = -(1/n) sum_i [t_i log s_i + (1-t_i) log(1-s_i)]
+//                + (beta/2)||theta||^2,   s_i = sigmoid(theta^T x_i)
+//   q(theta; x_i, t_i) = (s_i - t_i) x_i
+//   H = (1/n) X^T diag(s(1-s)) X + beta I   (closed form, paper Sec. 3.4)
+
+#ifndef BLINKML_MODELS_LOGISTIC_REGRESSION_H_
+#define BLINKML_MODELS_LOGISTIC_REGRESSION_H_
+
+#include "models/model_spec.h"
+
+namespace blinkml {
+
+class LogisticRegressionSpec final : public ModelSpec {
+ public:
+  explicit LogisticRegressionSpec(double l2 = 1e-3);
+
+  std::string name() const override { return "LogisticRegression"; }
+  Task task() const override { return Task::kBinary; }
+  Vector::Index ParamDim(const Dataset& data) const override {
+    return data.dim();
+  }
+  double l2() const override { return l2_; }
+
+  double Objective(const Vector& theta, const Dataset& data) const override;
+  void Gradient(const Vector& theta, const Dataset& data,
+                Vector* grad) const override;
+  double ObjectiveAndGradient(const Vector& theta, const Dataset& data,
+                              Vector* grad) const override;
+  void PerExampleGradients(const Vector& theta, const Dataset& data,
+                           Matrix* out) const override;
+  bool has_sparse_gradients() const override { return true; }
+  SparseMatrix PerExampleGradientsSparse(const Vector& theta,
+                                         const Dataset& data) const override;
+  void Predict(const Vector& theta, const Dataset& data,
+               Vector* out) const override;
+  double Diff(const Vector& theta1, const Vector& theta2,
+              const Dataset& holdout) const override;
+
+  bool has_linear_scores() const override { return true; }
+  Matrix Scores(const Vector& theta, const Dataset& data) const override;
+  double DiffFromScores(const Matrix& scores1, const Matrix& scores2,
+                        const Dataset& holdout) const override;
+
+  bool has_closed_form_hessian() const override { return true; }
+  Result<Matrix> ClosedFormHessian(const Vector& theta,
+                                   const Dataset& data) const override;
+
+  /// Predicted probability of class 1 for one margin value.
+  static double Sigmoid(double margin);
+
+ private:
+  double l2_;
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_MODELS_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,70 @@
+// Max-entropy (softmax / multinomial logistic) classifier with L2
+// regularization (paper model "ME").
+//
+// Parameters: theta is the row-major flattening of a C x d matrix; class c
+// occupies theta[c*d .. (c+1)*d). Class scores s_c = theta_c^T x; the
+// likelihood is softmax(s)_y.
+//   q(theta; x_i, y_i) = vec over c of (p_c - 1[c = y_i]) x_i
+// The full C x d parameterization (rather than (C-1) x d) is used; the L2
+// term makes the objective strictly convex despite the softmax's shift
+// invariance, matching common practice (and scikit-learn).
+
+#ifndef BLINKML_MODELS_MAX_ENTROPY_H_
+#define BLINKML_MODELS_MAX_ENTROPY_H_
+
+#include "models/model_spec.h"
+
+namespace blinkml {
+
+class MaxEntropySpec final : public ModelSpec {
+ public:
+  explicit MaxEntropySpec(double l2 = 1e-3);
+
+  std::string name() const override { return "MaxEntropy"; }
+  Task task() const override { return Task::kMulticlass; }
+  Vector::Index ParamDim(const Dataset& data) const override {
+    BLINKML_CHECK_GE(data.num_classes(), 2);
+    return data.num_classes() * data.dim();
+  }
+  double l2() const override { return l2_; }
+
+  double Objective(const Vector& theta, const Dataset& data) const override;
+  void Gradient(const Vector& theta, const Dataset& data,
+                Vector* grad) const override;
+  double ObjectiveAndGradient(const Vector& theta, const Dataset& data,
+                              Vector* grad) const override;
+  void PerExampleGradients(const Vector& theta, const Dataset& data,
+                           Matrix* out) const override;
+  bool has_sparse_gradients() const override { return true; }
+  SparseMatrix PerExampleGradientsSparse(const Vector& theta,
+                                         const Dataset& data) const override;
+  void Predict(const Vector& theta, const Dataset& data,
+               Vector* out) const override;
+  double Diff(const Vector& theta1, const Vector& theta2,
+              const Dataset& holdout) const override;
+
+  bool has_linear_scores() const override { return true; }
+  /// One column per class: scores(i, c) = theta_c^T x_i.
+  Matrix Scores(const Vector& theta, const Dataset& data) const override;
+  double DiffFromScores(const Matrix& scores1, const Matrix& scores2,
+                        const Dataset& holdout) const override;
+
+  /// Analytic Hessian: H = (1/n) sum_i (diag(p_i) - p_i p_i^T) (x) x_i x_i^T
+  /// + beta I (Kronecker block structure). O(n (C d)^2) time and O((C d)^2)
+  /// memory — provided for the statistics-accuracy experiments (paper
+  /// Figure 9b needs a ground-truth covariance for ME); the paper itself
+  /// only lists Lin/LR closed forms.
+  bool has_closed_form_hessian() const override { return true; }
+  Result<Matrix> ClosedFormHessian(const Vector& theta,
+                                   const Dataset& data) const override;
+
+  /// Softmax probabilities for one row of scores (stable: max-shifted).
+  static void Softmax(const double* scores, Vector::Index c, double* probs);
+
+ private:
+  double l2_;
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_MODELS_MAX_ENTROPY_H_

@@ -1,0 +1,82 @@
+#include "models/model_spec.h"
+
+#include <cmath>
+
+namespace blinkml {
+
+SparseMatrix ModelSpec::PerExampleGradientsSparse(const Vector& theta,
+                                                  const Dataset& data) const {
+  Matrix dense;
+  PerExampleGradients(theta, data, &dense);
+  return SparseMatrix::FromDense(dense);
+}
+
+Matrix ModelSpec::Scores(const Vector& theta, const Dataset& data) const {
+  (void)theta;
+  (void)data;
+  BLINKML_CHECK_MSG(false, name() + " does not provide linear scores");
+  return Matrix();
+}
+
+double ModelSpec::DiffFromScores(const Matrix& scores1, const Matrix& scores2,
+                                 const Dataset& holdout) const {
+  (void)scores1;
+  (void)scores2;
+  (void)holdout;
+  BLINKML_CHECK_MSG(false, name() + " does not provide linear scores");
+  return 0.0;
+}
+
+Result<Matrix> ModelSpec::ClosedFormHessian(const Vector& theta,
+                                            const Dataset& data) const {
+  (void)theta;
+  (void)data;
+  return Status::InvalidArgument(name() + " has no closed-form Hessian");
+}
+
+Result<Vector> ModelSpec::TrainClosedForm(const Dataset& data) const {
+  (void)data;
+  return Status::InvalidArgument(name() + " has no closed-form trainer");
+}
+
+double ModelSpec::GeneralizationError(const Vector& theta,
+                                      const Dataset& holdout) const {
+  BLINKML_CHECK_MSG(holdout.task() != Task::kUnsupervised,
+                    "generalization error needs labels");
+  BLINKML_CHECK_GT(holdout.num_rows(), 0);
+  Vector pred;
+  Predict(theta, holdout, &pred);
+  if (holdout.task() == Task::kRegression) {
+    double se = 0.0;
+    for (Dataset::Index i = 0; i < holdout.num_rows(); ++i) {
+      const double r = pred[i] - holdout.label(i);
+      se += r * r;
+    }
+    const double rmse =
+        std::sqrt(se / static_cast<double>(holdout.num_rows()));
+    return rmse / LabelScale(holdout);
+  }
+  Dataset::Index wrong = 0;
+  for (Dataset::Index i = 0; i < holdout.num_rows(); ++i) {
+    if (pred[i] != holdout.label(i)) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(holdout.num_rows());
+}
+
+double LabelScale(const Dataset& data) {
+  BLINKML_CHECK_GT(data.num_rows(), 1);
+  const Vector& y = data.labels();
+  double mean = 0.0;
+  for (Vector::Index i = 0; i < y.size(); ++i) mean += y[i];
+  mean /= static_cast<double>(y.size());
+  double var = 0.0;
+  for (Vector::Index i = 0; i < y.size(); ++i) {
+    var += (y[i] - mean) * (y[i] - mean);
+  }
+  var /= static_cast<double>(y.size());
+  const double sd = std::sqrt(var);
+  // Degenerate labels: fall back to unit scale so v stays finite.
+  return sd > 1e-12 ? sd : 1.0;
+}
+
+}  // namespace blinkml

@@ -1,0 +1,131 @@
+// Model class specification (MCS) — paper Section 2.2.
+//
+// The MCS is the abstraction that keeps BlinkML's estimators generic: a
+// model class exposes
+//   * grads  — per-example gradients q(theta; x_i, y_i) of the negative
+//     log-likelihood, *individually* (not averaged), because the
+//     ObservedFisher statistics computation needs their covariance;
+//   * diff   — the prediction-difference metric v(m1, m2) over a holdout
+//     (classification: disagreement rate; regression: normalized RMS
+//     prediction difference; PPCA: 1 - cosine of the factor parameters;
+//     see paper Section 2.1 and Appendix C);
+// plus the objective/gradient used for training and an optional linear
+// "score" representation that the estimators exploit for caching (the
+// prediction of every supported GLM depends on theta only through scores
+// that are linear in theta).
+
+#ifndef BLINKML_MODELS_MODEL_SPEC_H_
+#define BLINKML_MODELS_MODEL_SPEC_H_
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "util/status.h"
+
+namespace blinkml {
+
+class ModelSpec {
+ public:
+  virtual ~ModelSpec() = default;
+
+  /// Human-readable class name ("LogisticRegression", ...).
+  virtual std::string name() const = 0;
+
+  /// The task this model class solves.
+  virtual Task task() const = 0;
+
+  /// Parameter dimension for the given dataset.
+  virtual Vector::Index ParamDim(const Dataset& data) const = 0;
+
+  /// L2 regularization coefficient beta (0 = unregularized).
+  virtual double l2() const = 0;
+
+  /// Regularized objective f_n(theta) (paper Equation 2): average negative
+  /// log-likelihood plus (beta/2) ||theta||^2.
+  virtual double Objective(const Vector& theta, const Dataset& data) const = 0;
+
+  /// grad f_n(theta); *grad is resized by the callee.
+  virtual void Gradient(const Vector& theta, const Dataset& data,
+                        Vector* grad) const = 0;
+
+  /// Objective and gradient fused (one data pass).
+  virtual double ObjectiveAndGradient(const Vector& theta, const Dataset& data,
+                                      Vector* grad) const = 0;
+
+  /// The `grads` function of the MCS: row i of *out is
+  /// q(theta; x_i, y_i) = -grad log Pr(x_i, y_i; theta), excluding the
+  /// regularizer term r(theta).
+  virtual void PerExampleGradients(const Vector& theta, const Dataset& data,
+                                   Matrix* out) const = 0;
+
+  /// True if PerExampleGradientsSparse has an efficient implementation for
+  /// sparse feature matrices (every GLM: q_i is a multiple of x_i per
+  /// class block). ObservedFisher uses it to keep the gradient Gram matrix
+  /// computation O(nnz) on high-dimensional sparse data.
+  virtual bool has_sparse_gradients() const { return false; }
+
+  /// Sparse per-example gradients; same rows as PerExampleGradients.
+  /// Default densifies (correct but slow) — override where it matters.
+  virtual SparseMatrix PerExampleGradientsSparse(const Vector& theta,
+                                                 const Dataset& data) const;
+
+  /// Predictions: class labels (kBinary/kMulticlass) or values
+  /// (kRegression). Unsupported for kUnsupervised specs.
+  virtual void Predict(const Vector& theta, const Dataset& data,
+                       Vector* out) const = 0;
+
+  /// The `diff` function of the MCS: v(m(theta1), m(theta2)) evaluated on
+  /// `holdout` (ignored by parameter-space metrics such as PPCA's cosine).
+  virtual double Diff(const Vector& theta1, const Vector& theta2,
+                      const Dataset& holdout) const = 0;
+
+  // --- Linear-score fast path (see file comment). ---
+
+  /// True if predictions depend on theta only through Scores(theta, data)
+  /// and the score map is linear in theta.
+  virtual bool has_linear_scores() const { return false; }
+
+  /// Score matrix: one row per data row; columns are model outputs (1 for
+  /// Lin/LR margins, C for max-entropy class scores).
+  virtual Matrix Scores(const Vector& theta, const Dataset& data) const;
+
+  /// v computed from two cached score matrices (same semantics as Diff).
+  virtual double DiffFromScores(const Matrix& scores1, const Matrix& scores2,
+                                const Dataset& holdout) const;
+
+  // --- Optional closed forms. ---
+
+  /// True if ClosedFormHessian is implemented (paper: Lin and LR).
+  virtual bool has_closed_form_hessian() const { return false; }
+
+  /// Analytic Hessian of f_n at theta (including the regularizer), d x d.
+  virtual Result<Matrix> ClosedFormHessian(const Vector& theta,
+                                           const Dataset& data) const;
+
+  /// True if the MLE has a closed-form solution (PPCA).
+  virtual bool has_closed_form_trainer() const { return false; }
+
+  /// Closed-form MLE fit.
+  virtual Result<Vector> TrainClosedForm(const Dataset& data) const;
+
+  /// Starting point for iterative training (zeros by default).
+  virtual Vector InitialTheta(const Dataset& data) const {
+    return Vector(ParamDim(data));
+  }
+
+  /// Generalization error of predictions against the holdout's labels:
+  /// misclassification rate for classifiers, normalized RMSE for
+  /// regression. Unsupported for kUnsupervised.
+  double GeneralizationError(const Vector& theta, const Dataset& holdout) const;
+};
+
+/// Standard deviation of a dataset's labels (the scale used to normalize
+/// regression prediction differences; see DESIGN.md Section 4).
+double LabelScale(const Dataset& data);
+
+}  // namespace blinkml
+
+#endif  // BLINKML_MODELS_MODEL_SPEC_H_

@@ -1,0 +1,168 @@
+#include "models/poisson_regression.h"
+
+#include <cmath>
+
+namespace blinkml {
+
+namespace {
+using Index = Dataset::Index;
+
+// exp with the argument clamped so a transient optimizer step into an
+// extreme region degrades gracefully instead of overflowing to inf (the
+// objective stays finite and the line search backtracks out).
+double SafeExp(double z) { return std::exp(std::min(z, 500.0)); }
+
+}  // namespace
+
+PoissonRegressionSpec::PoissonRegressionSpec(double l2) : l2_(l2) {
+  BLINKML_CHECK_GE(l2, 0.0);
+}
+
+double PoissonRegressionSpec::Objective(const Vector& theta,
+                                        const Dataset& data) const {
+  Vector unused;
+  return ObjectiveAndGradient(theta, data, &unused);
+}
+
+void PoissonRegressionSpec::Gradient(const Vector& theta, const Dataset& data,
+                                     Vector* grad) const {
+  ObjectiveAndGradient(theta, data, grad);
+}
+
+double PoissonRegressionSpec::ObjectiveAndGradient(const Vector& theta,
+                                                   const Dataset& data,
+                                                   Vector* grad) const {
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  BLINKML_CHECK_GT(data.num_rows(), 0);
+  const Index n = data.num_rows();
+  grad->Resize(theta.size());
+  grad->Fill(0.0);
+  double loss = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    const double eta = data.RowDot(i, theta.data());
+    const double rate = SafeExp(eta);
+    const double y = data.label(i);
+    loss += rate - y * eta;
+    data.AddRowTo(i, rate - y, grad->data());
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  loss *= inv_n;
+  (*grad) *= inv_n;
+  Axpy(l2_, theta, grad);
+  return loss + 0.5 * l2_ * SquaredNorm2(theta);
+}
+
+void PoissonRegressionSpec::PerExampleGradients(const Vector& theta,
+                                                const Dataset& data,
+                                                Matrix* out) const {
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  const Index n = data.num_rows();
+  *out = Matrix(n, theta.size());
+  for (Index i = 0; i < n; ++i) {
+    const double rate = SafeExp(data.RowDot(i, theta.data()));
+    data.AddRowTo(i, rate - data.label(i), out->row_data(i));
+  }
+}
+
+SparseMatrix PoissonRegressionSpec::PerExampleGradientsSparse(
+    const Vector& theta, const Dataset& data) const {
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  if (!data.is_sparse()) {
+    Matrix dense;
+    PerExampleGradients(theta, data, &dense);
+    return SparseMatrix::FromDense(dense);
+  }
+  const SparseMatrix& x = data.sparse();
+  std::vector<std::vector<SparseEntry>> rows(
+      static_cast<std::size_t>(data.num_rows()));
+  for (Index i = 0; i < data.num_rows(); ++i) {
+    const double coeff =
+        SafeExp(data.RowDot(i, theta.data())) - data.label(i);
+    const Index nnz = x.RowNnz(i);
+    const auto* cols = x.RowCols(i);
+    const auto* vals = x.RowValues(i);
+    auto& row = rows[static_cast<std::size_t>(i)];
+    row.reserve(static_cast<std::size_t>(nnz));
+    for (Index k = 0; k < nnz; ++k) row.push_back({cols[k], coeff * vals[k]});
+  }
+  return SparseMatrix(data.dim(), std::move(rows));
+}
+
+void PoissonRegressionSpec::Predict(const Vector& theta, const Dataset& data,
+                                    Vector* out) const {
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  out->Resize(data.num_rows());
+  for (Index i = 0; i < data.num_rows(); ++i) {
+    (*out)[i] = SafeExp(data.RowDot(i, theta.data()));
+  }
+}
+
+Matrix PoissonRegressionSpec::Scores(const Vector& theta,
+                                     const Dataset& data) const {
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  Matrix scores(data.num_rows(), 1);
+  for (Index i = 0; i < data.num_rows(); ++i) {
+    scores(i, 0) = data.RowDot(i, theta.data());
+  }
+  return scores;
+}
+
+double PoissonRegressionSpec::DiffFromScores(const Matrix& scores1,
+                                             const Matrix& scores2,
+                                             const Dataset& holdout) const {
+  BLINKML_CHECK_EQ(scores1.rows(), holdout.num_rows());
+  BLINKML_CHECK_EQ(scores2.rows(), holdout.num_rows());
+  const Index n = holdout.num_rows();
+  BLINKML_CHECK_GT(n, 0);
+  double se = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    const double d = SafeExp(scores1(i, 0)) - SafeExp(scores2(i, 0));
+    se += d * d;
+  }
+  const double rms = std::sqrt(se / static_cast<double>(n));
+  return rms / LabelScale(holdout);
+}
+
+double PoissonRegressionSpec::Diff(const Vector& theta1, const Vector& theta2,
+                                   const Dataset& holdout) const {
+  return DiffFromScores(Scores(theta1, holdout), Scores(theta2, holdout),
+                        holdout);
+}
+
+Result<Matrix> PoissonRegressionSpec::ClosedFormHessian(
+    const Vector& theta, const Dataset& data) const {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  BLINKML_CHECK_EQ(theta.size(), data.dim());
+  const Index n = data.num_rows();
+  const Index d = data.dim();
+  Matrix h(d, d);
+  for (Index i = 0; i < n; ++i) {
+    const double w = SafeExp(data.RowDot(i, theta.data()));
+    if (data.is_sparse()) {
+      const SparseMatrix& x = data.sparse();
+      const auto nnz = x.RowNnz(i);
+      const auto* cols = x.RowCols(i);
+      const auto* vals = x.RowValues(i);
+      for (Index a = 0; a < nnz; ++a) {
+        for (Index b = 0; b < nnz; ++b) {
+          h(cols[a], cols[b]) += w * vals[a] * vals[b];
+        }
+      }
+    } else {
+      const double* row = data.dense().row_data(i);
+      for (Index a = 0; a < d; ++a) {
+        const double wa = w * row[a];
+        if (wa == 0.0) continue;
+        double* hrow = h.row_data(a);
+        for (Index b = 0; b < d; ++b) hrow[b] += wa * row[b];
+      }
+    }
+  }
+  h *= 1.0 / static_cast<double>(n);
+  h.AddToDiagonal(l2_);
+  return h;
+}
+
+}  // namespace blinkml

@@ -1,0 +1,68 @@
+// Poisson regression with L2 regularization — the fourth GLM the paper
+// lists among its supported model classes (Section 1).
+//
+// Log-linear count model: y | x ~ Poisson(exp(theta^T x)).
+//   f_n(theta) = (1/n) sum_i [exp(theta^T x_i) - y_i theta^T x_i]
+//                + (beta/2)||theta||^2          (dropping the log y! term)
+//   q(theta; x_i, y_i) = (exp(theta^T x_i) - y_i) x_i
+//   H = (1/n) X^T diag(exp(theta^T x)) X + beta I   (closed form)
+//
+// The prediction-difference metric v follows the regression convention
+// (Appendix C): RMS difference of predicted *rates* normalized by the
+// holdout label standard deviation. Rates (not linear scores) are what a
+// downstream consumer of the model reads, so that is what the guarantee
+// covers; the score fast path still exists because the rate is a fixed
+// monotone function of the linear score.
+
+#ifndef BLINKML_MODELS_POISSON_REGRESSION_H_
+#define BLINKML_MODELS_POISSON_REGRESSION_H_
+
+#include "models/model_spec.h"
+
+namespace blinkml {
+
+class PoissonRegressionSpec final : public ModelSpec {
+ public:
+  explicit PoissonRegressionSpec(double l2 = 1e-3);
+
+  std::string name() const override { return "PoissonRegression"; }
+  Task task() const override { return Task::kRegression; }
+  Vector::Index ParamDim(const Dataset& data) const override {
+    return data.dim();
+  }
+  double l2() const override { return l2_; }
+
+  double Objective(const Vector& theta, const Dataset& data) const override;
+  void Gradient(const Vector& theta, const Dataset& data,
+                Vector* grad) const override;
+  double ObjectiveAndGradient(const Vector& theta, const Dataset& data,
+                              Vector* grad) const override;
+  void PerExampleGradients(const Vector& theta, const Dataset& data,
+                           Matrix* out) const override;
+  bool has_sparse_gradients() const override { return true; }
+  SparseMatrix PerExampleGradientsSparse(const Vector& theta,
+                                         const Dataset& data) const override;
+
+  /// Predicted rate exp(theta^T x).
+  void Predict(const Vector& theta, const Dataset& data,
+               Vector* out) const override;
+  double Diff(const Vector& theta1, const Vector& theta2,
+              const Dataset& holdout) const override;
+
+  bool has_linear_scores() const override { return true; }
+  /// Scores are the linear predictors theta^T x (one column).
+  Matrix Scores(const Vector& theta, const Dataset& data) const override;
+  double DiffFromScores(const Matrix& scores1, const Matrix& scores2,
+                        const Dataset& holdout) const override;
+
+  bool has_closed_form_hessian() const override { return true; }
+  Result<Matrix> ClosedFormHessian(const Vector& theta,
+                                   const Dataset& data) const override;
+
+ private:
+  double l2_;
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_MODELS_POISSON_REGRESSION_H_

@@ -1,0 +1,266 @@
+#include "models/ppca.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+
+namespace blinkml {
+
+namespace {
+
+using Index = Dataset::Index;
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+constexpr double kMinSigma = 1e-6;
+
+// Precomputed Woodbury state for one theta: everything needed to apply
+// C^-1 and to form the shared gradient term C^-1 Theta.
+struct WoodburyState {
+  Matrix factors;       // Theta, d x q
+  double sigma2;        // sigma^2
+  Matrix m_inv;         // (sigma^2 I + Theta^T Theta)^-1, q x q
+  Matrix cinv_factors;  // C^-1 Theta, d x q
+  double logdet_c;      // log |C|
+  double trace_cinv;    // tr(C^-1)
+};
+
+// C^-1 v = (v - Theta M^-1 Theta^T v) / sigma^2.
+Vector ApplyCInv(const WoodburyState& w, const Vector& v) {
+  Vector t = MatTVec(w.factors, v);         // q
+  Vector s = MatVec(w.m_inv, t);            // q
+  Vector out = v;
+  Vector corr = MatVec(w.factors, s);       // d
+  out -= corr;
+  out *= 1.0 / w.sigma2;
+  return out;
+}
+
+WoodburyState BuildWoodbury(const Matrix& factors, double sigma) {
+  WoodburyState w;
+  w.factors = factors;
+  const double sig = std::max(sigma, kMinSigma);
+  w.sigma2 = sig * sig;
+  const Index d = factors.rows();
+  const Index q = factors.cols();
+  Matrix m = GramCols(factors);  // Theta^T Theta
+  m.AddToDiagonal(w.sigma2);
+  Result<Cholesky> chol = Cholesky::Factor(m);
+  BLINKML_CHECK_MSG(chol.ok(), "PPCA Woodbury matrix not PD: " +
+                                   chol.status().ToString());
+  w.m_inv = chol->Inverse();
+  // C^-1 Theta = (Theta - Theta M^-1 (Theta^T Theta)) / sigma^2
+  //            = Theta (I - M^-1 Theta^T Theta) / sigma^2.
+  Matrix tt = GramCols(factors);
+  Matrix inner = MatMul(w.m_inv, tt);  // q x q
+  Matrix eye_minus = Matrix::Identity(q);
+  eye_minus -= inner;
+  w.cinv_factors = MatMul(factors, eye_minus);
+  w.cinv_factors *= 1.0 / w.sigma2;
+  // log|C| = (d - q) log sigma^2 + log|M| (matrix determinant lemma).
+  w.logdet_c = static_cast<double>(d - q) * std::log(w.sigma2) +
+               chol->LogDet();
+  // tr(C^-1) = (d - tr(M^-1 Theta^T Theta)) / sigma^2.
+  double tr_inner = 0.0;
+  for (Index i = 0; i < q; ++i) tr_inner += inner(i, i);
+  w.trace_cinv = (static_cast<double>(d) - tr_inner) / w.sigma2;
+  return w;
+}
+
+}  // namespace
+
+PpcaSpec::PpcaSpec(Vector::Index num_factors) : q_(num_factors) {
+  BLINKML_CHECK_GE(num_factors, 1);
+}
+
+void PpcaSpec::Unpack(const Vector& theta, Vector::Index d, Matrix* factors,
+                      double* sigma) const {
+  BLINKML_CHECK_EQ(theta.size(), d * q_ + 1);
+  *factors = Matrix(d, q_);
+  for (Index j = 0; j < d; ++j) {
+    for (Index r = 0; r < q_; ++r) (*factors)(j, r) = theta[j * q_ + r];
+  }
+  *sigma = std::max(std::fabs(theta[d * q_]), kMinSigma);
+}
+
+double PpcaSpec::Objective(const Vector& theta, const Dataset& data) const {
+  Vector unused;
+  return ObjectiveAndGradient(theta, data, &unused);
+}
+
+void PpcaSpec::Gradient(const Vector& theta, const Dataset& data,
+                        Vector* grad) const {
+  ObjectiveAndGradient(theta, data, grad);
+}
+
+double PpcaSpec::ObjectiveAndGradient(const Vector& theta, const Dataset& data,
+                                      Vector* grad) const {
+  BLINKML_CHECK_GT(data.num_rows(), 0);
+  const Index d = data.dim();
+  const Index n = data.num_rows();
+  BLINKML_CHECK_MSG(q_ < d, "PPCA requires num_factors < dim");
+  Matrix factors;
+  double sigma = 0.0;
+  Unpack(theta, d, &factors, &sigma);
+  const WoodburyState w = BuildWoodbury(factors, sigma);
+
+  grad->Resize(theta.size());
+  grad->Fill(0.0);
+
+  // Gradient wrt Theta: n * (C^-1 Theta) - sum_i (C^-1 x_i)(x_i^T C^-1 Theta),
+  // averaged; wrt sigma: sigma * (tr(C^-1) - mean_i ||C^-1 x_i||^2).
+  // Objective: 0.5 (d log 2pi + log|C| + mean_i x_i^T C^-1 x_i).
+  double quad_sum = 0.0;
+  double cinv_x_norm_sum = 0.0;
+  Vector x(d);
+  Matrix grad_factors(d, q_);
+  for (Index i = 0; i < n; ++i) {
+    // Materialize the row densely (PPCA is a dense-data model here).
+    x.Fill(0.0);
+    data.AddRowTo(i, 1.0, x.data());
+    const Vector cx = ApplyCInv(w, x);
+    quad_sum += Dot(x, cx);
+    cinv_x_norm_sum += Dot(cx, cx);
+    // (C^-1 x_i) (x_i^T C^-1 Theta): outer product accumulation.
+    const Vector xt = MatTVec(w.cinv_factors, x);  // q: Theta^T C^-1 x
+    for (Index j = 0; j < d; ++j) {
+      const double cj = cx[j];
+      if (cj == 0.0) continue;
+      double* grow = grad_factors.row_data(j);
+      for (Index r = 0; r < q_; ++r) grow[r] -= cj * xt[r];
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (Index j = 0; j < d; ++j) {
+    double* grow = grad_factors.row_data(j);
+    const double* crow = w.cinv_factors.row_data(j);
+    for (Index r = 0; r < q_; ++r) {
+      (*grad)[j * q_ + r] = crow[r] + grow[r] * inv_n;
+    }
+  }
+  (*grad)[d * q_] =
+      sigma * (w.trace_cinv - cinv_x_norm_sum * inv_n);
+  return 0.5 * (static_cast<double>(d) * std::log(kTwoPi) + w.logdet_c +
+                quad_sum * inv_n);
+}
+
+void PpcaSpec::PerExampleGradients(const Vector& theta, const Dataset& data,
+                                   Matrix* out) const {
+  const Index d = data.dim();
+  const Index n = data.num_rows();
+  Matrix factors;
+  double sigma = 0.0;
+  Unpack(theta, d, &factors, &sigma);
+  const WoodburyState w = BuildWoodbury(factors, sigma);
+
+  *out = Matrix(n, theta.size());
+  Vector x(d);
+  for (Index i = 0; i < n; ++i) {
+    x.Fill(0.0);
+    data.AddRowTo(i, 1.0, x.data());
+    const Vector cx = ApplyCInv(w, x);
+    const Vector xt = MatTVec(w.cinv_factors, x);  // Theta^T C^-1 x
+    double* row = out->row_data(i);
+    for (Index j = 0; j < d; ++j) {
+      const double* crow = w.cinv_factors.row_data(j);
+      const double cj = cx[j];
+      for (Index r = 0; r < q_; ++r) {
+        row[j * q_ + r] = crow[r] - cj * xt[r];
+      }
+    }
+    row[d * q_] = sigma * (w.trace_cinv - Dot(cx, cx));
+  }
+}
+
+void PpcaSpec::Predict(const Vector& theta, const Dataset& data,
+                       Vector* out) const {
+  (void)theta;
+  (void)data;
+  (void)out;
+  BLINKML_CHECK_MSG(false, "PPCA is unsupervised; Predict is undefined");
+}
+
+double PpcaSpec::Diff(const Vector& theta1, const Vector& theta2,
+                      const Dataset& holdout) const {
+  (void)holdout;  // parameter-space metric
+  BLINKML_CHECK_EQ(theta1.size(), theta2.size());
+  const Index factor_dim = theta1.size() - 1;
+  double dot = 0.0, n1 = 0.0, n2 = 0.0;
+  for (Index i = 0; i < factor_dim; ++i) {
+    dot += theta1[i] * theta2[i];
+    n1 += theta1[i] * theta1[i];
+    n2 += theta2[i] * theta2[i];
+  }
+  BLINKML_CHECK_MSG(n1 > 0.0 && n2 > 0.0, "zero PPCA factor parameters");
+  return 1.0 - dot / std::sqrt(n1 * n2);
+}
+
+Result<Vector> PpcaSpec::TrainClosedForm(const Dataset& data) const {
+  const Index d = data.dim();
+  const Index n = data.num_rows();
+  if (n < 2) return Status::InvalidArgument("PPCA needs at least 2 rows");
+  if (q_ >= d) {
+    return Status::InvalidArgument("PPCA requires num_factors < dim");
+  }
+  // Sample second-moment matrix S = (1/n) sum x x^T (data assumed roughly
+  // centered, as in the paper's treatment).
+  Matrix s(d, d);
+  Vector x(d);
+  for (Index i = 0; i < n; ++i) {
+    x.Fill(0.0);
+    data.AddRowTo(i, 1.0, x.data());
+    for (Index a = 0; a < d; ++a) {
+      const double va = x[a];
+      if (va == 0.0) continue;
+      double* row = s.row_data(a);
+      for (Index b = a; b < d; ++b) row[b] += va * x[b];
+    }
+  }
+  for (Index a = 0; a < d; ++a) {
+    for (Index b = a; b < d; ++b) {
+      const double v = s(a, b) / static_cast<double>(n);
+      s(a, b) = v;
+      s(b, a) = v;
+    }
+  }
+  BLINKML_ASSIGN_OR_RETURN(SymmetricEigen eig, EigenSym(s));
+  // Eigenvalues ascending; the top q are the last q.
+  double sigma2 = 0.0;
+  for (Index j = 0; j < d - q_; ++j) sigma2 += std::max(eig.eigenvalues[j], 0.0);
+  sigma2 /= static_cast<double>(d - q_);
+
+  Vector theta(d * q_ + 1);
+  for (Index r = 0; r < q_; ++r) {
+    const Index src = d - 1 - r;  // r-th largest eigenpair
+    const double lambda = eig.eigenvalues[src];
+    const double scale = std::sqrt(std::max(lambda - sigma2, 0.0));
+    // Sign convention: make the largest-magnitude component positive so
+    // factors from different samples are comparable (cosine metric).
+    Index pivot = 0;
+    for (Index j = 1; j < d; ++j) {
+      if (std::fabs(eig.eigenvectors(j, src)) >
+          std::fabs(eig.eigenvectors(pivot, src))) {
+        pivot = j;
+      }
+    }
+    const double sign = eig.eigenvectors(pivot, src) >= 0.0 ? 1.0 : -1.0;
+    for (Index j = 0; j < d; ++j) {
+      theta[j * q_ + r] = sign * scale * eig.eigenvectors(j, src);
+    }
+  }
+  theta[d * q_] = std::sqrt(std::max(sigma2, kMinSigma * kMinSigma));
+  return theta;
+}
+
+Vector PpcaSpec::InitialTheta(const Dataset& data) const {
+  Vector theta(ParamDim(data));
+  // Small deterministic spread keeps the Woodbury matrix well-conditioned
+  // if iterative training is ever used; sigma starts at 1.
+  for (Index i = 0; i + 1 < theta.size(); ++i) {
+    theta[i] = 0.01 * ((i * 2654435761u % 97) / 96.0 - 0.5);
+  }
+  theta[theta.size() - 1] = 1.0;
+  return theta;
+}
+
+}  // namespace blinkml

@@ -1,0 +1,75 @@
+// Probabilistic Principal Component Analysis (paper model "PPCA";
+// Tipping & Bishop 1999).
+//
+// Generative model: x = Theta z + eps, z ~ N(0, I_q), eps ~ N(0, sigma^2 I).
+// Marginal covariance C = Theta Theta^T + sigma^2 I. The average negative
+// log-likelihood (paper Appendix A) is
+//   f_n(Theta) = 0.5 (d log 2pi + log|C| + tr(C^-1 S)),
+// with S the sample second-moment matrix. The MLE has a closed form: with
+// eigenpairs (lambda_j, u_j) of S sorted descending,
+//   sigma^2 = mean of lambda_{q+1..d},   Theta = U_q (Lambda_q - sigma^2 I)^{1/2}.
+//
+// Parameterization here: theta = [vec(Theta) row-major ; sigma]. Appending
+// sigma makes the per-example gradients (which the ObservedFisher
+// statistics need) functions of theta alone. The paper's prediction-
+// difference metric v = 1 - cosine(theta_n, theta_N) (Appendix C) is
+// computed over the factor block only.
+//
+// Every C^-1 product uses the Woodbury identity
+//   C^-1 = (I - Theta M^-1 Theta^T) / sigma^2,  M = sigma^2 I_q + Theta^T Theta,
+// so per-example gradients cost O(d q) instead of O(d^2).
+
+#ifndef BLINKML_MODELS_PPCA_H_
+#define BLINKML_MODELS_PPCA_H_
+
+#include "models/model_spec.h"
+
+namespace blinkml {
+
+class PpcaSpec final : public ModelSpec {
+ public:
+  /// `num_factors` is the paper's q (default 10, the paper's setting).
+  explicit PpcaSpec(Vector::Index num_factors = 10);
+
+  std::string name() const override { return "PPCA"; }
+  Task task() const override { return Task::kUnsupervised; }
+  Vector::Index ParamDim(const Dataset& data) const override {
+    return data.dim() * q_ + 1;  // vec(Theta) plus sigma
+  }
+  double l2() const override { return 0.0; }  // PPCA is unregularized
+
+  Vector::Index num_factors() const { return q_; }
+
+  double Objective(const Vector& theta, const Dataset& data) const override;
+  void Gradient(const Vector& theta, const Dataset& data,
+                Vector* grad) const override;
+  double ObjectiveAndGradient(const Vector& theta, const Dataset& data,
+                              Vector* grad) const override;
+  void PerExampleGradients(const Vector& theta, const Dataset& data,
+                           Matrix* out) const override;
+
+  /// PPCA is unsupervised: Predict is not defined.
+  void Predict(const Vector& theta, const Dataset& data,
+               Vector* out) const override;
+
+  /// v = 1 - cosine(factor block of theta1, factor block of theta2).
+  double Diff(const Vector& theta1, const Vector& theta2,
+              const Dataset& holdout) const override;
+
+  bool has_closed_form_trainer() const override { return true; }
+  Result<Vector> TrainClosedForm(const Dataset& data) const override;
+
+  Vector InitialTheta(const Dataset& data) const override;
+
+  /// Unpacks theta into Theta (d x q) and sigma (clamped to >= 1e-6 so the
+  /// Woodbury inverse stays defined for sampled parameters).
+  void Unpack(const Vector& theta, Vector::Index d, Matrix* factors,
+              double* sigma) const;
+
+ private:
+  Vector::Index q_;
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_MODELS_PPCA_H_

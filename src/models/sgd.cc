@@ -1,0 +1,59 @@
+#include "models/sgd.h"
+
+#include <cmath>
+
+namespace blinkml {
+
+Result<SgdResult> MinimizeSgd(const ModelSpec& spec, const Dataset& data,
+                              const SgdOptions& options) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  if (options.batch_size <= 0 || options.epochs <= 0 ||
+      options.initial_step <= 0.0 || options.decay < 0.0) {
+    return Status::InvalidArgument("invalid SGD options");
+  }
+  using Index = Dataset::Index;
+  const Index n = data.num_rows();
+  const Index batch = std::min(options.batch_size, n);
+
+  Rng rng(options.seed);
+  SgdResult out;
+  out.theta = spec.InitialTheta(data);
+  const Vector::Index p = out.theta.size();
+
+  Vector averaged(p);
+  Index averaged_batches = 0;
+  Vector batch_grad(p);
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const double step =
+        options.initial_step / (1.0 + options.decay * epoch);
+    const bool averaging =
+        options.average_final_epoch && epoch == options.epochs - 1;
+    const std::vector<Index> order = RandomPermutation(n, &rng);
+    for (Index start = 0; start < n; start += batch) {
+      const Index end = std::min(start + batch, n);
+      const std::vector<Index> rows(order.begin() + start,
+                                    order.begin() + end);
+      const Dataset minibatch = data.TakeRows(rows);
+      // Average regularized gradient over the mini-batch.
+      spec.Gradient(out.theta, minibatch, &batch_grad);
+      Axpy(-step, batch_grad, &out.theta);
+      out.gradient_evaluations += (end - start);
+      if (averaging) {
+        averaged += out.theta;
+        ++averaged_batches;
+      }
+    }
+    ++out.epochs;
+  }
+  if (options.average_final_epoch && averaged_batches > 0) {
+    averaged *= 1.0 / static_cast<double>(averaged_batches);
+    out.theta = std::move(averaged);
+  }
+  out.objective = spec.Objective(out.theta, data);
+  return out;
+}
+
+}  // namespace blinkml

@@ -1,0 +1,47 @@
+// Mini-batch stochastic gradient descent with step-size decay and optional
+// Polyak–Ruppert iterate averaging.
+//
+// BlinkML itself trains with (L-)BFGS, as in the paper (Section 5.1);
+// SGD is provided because the paper's related-work discussion situates
+// BlinkML relative to stochastic optimizers, and because downstream users
+// comparing "train on a sample with a second-order method" against
+// "stream the full data with SGD" need both under one roof. SGD works on
+// the *data-level* interface (ModelSpec + Dataset) rather than the
+// deterministic objective, since it needs per-batch gradients.
+
+#ifndef BLINKML_MODELS_SGD_H_
+#define BLINKML_MODELS_SGD_H_
+
+#include "data/dataset.h"
+#include "models/model_spec.h"
+#include "random/rng.h"
+#include "util/status.h"
+
+namespace blinkml {
+
+struct SgdOptions {
+  Dataset::Index batch_size = 64;
+  /// Step at epoch t is initial_step / (1 + decay * t).
+  double initial_step = 0.1;
+  double decay = 0.1;
+  int epochs = 10;
+  /// Average the iterates of the final epoch (reduces variance at the
+  /// optimum; classical Polyak–Ruppert averaging).
+  bool average_final_epoch = true;
+  std::uint64_t seed = 1;
+};
+
+struct SgdResult {
+  Vector theta;
+  double objective = 0.0;  // full-data objective at the returned theta
+  int epochs = 0;
+  Dataset::Index gradient_evaluations = 0;  // number of example-gradients
+};
+
+/// Minimizes spec's regularized objective over `data` with mini-batch SGD.
+Result<SgdResult> MinimizeSgd(const ModelSpec& spec, const Dataset& data,
+                              const SgdOptions& options = {});
+
+}  // namespace blinkml
+
+#endif  // BLINKML_MODELS_SGD_H_

@@ -1,0 +1,35 @@
+// Interface between models and optimizers: a differentiable scalar
+// objective f(theta) with gradient. Models expose their regularized average
+// negative log-likelihood (paper Equation 2) through this interface.
+
+#ifndef BLINKML_OPTIM_OBJECTIVE_H_
+#define BLINKML_OPTIM_OBJECTIVE_H_
+
+#include "linalg/vector.h"
+
+namespace blinkml {
+
+class DifferentiableObjective {
+ public:
+  virtual ~DifferentiableObjective() = default;
+
+  /// Parameter dimension.
+  virtual Vector::Index dim() const = 0;
+
+  /// f(theta).
+  virtual double Value(const Vector& theta) const = 0;
+
+  /// grad f(theta), written into *grad (resized by the callee).
+  virtual void Gradient(const Vector& theta, Vector* grad) const = 0;
+
+  /// f and grad in one pass. The default calls both; models that can share
+  /// work (all GLMs: one pass over the data) override this.
+  virtual double ValueAndGradient(const Vector& theta, Vector* grad) const {
+    Gradient(theta, grad);
+    return Value(theta);
+  }
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_OPTIM_OBJECTIVE_H_

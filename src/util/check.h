@@ -1,0 +1,77 @@
+// Precondition/invariant checking macros.
+//
+// BLINKML_CHECK* throw blinkml::CheckError (a std::logic_error) instead of
+// aborting so that tests can assert on violations and library users get a
+// catchable error with a useful message. Checks are always on (they guard
+// API misuse, not hot inner loops; hot loops use BLINKML_DCHECK which
+// compiles out under NDEBUG).
+
+#ifndef BLINKML_UTIL_CHECK_H_
+#define BLINKML_UTIL_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace blinkml {
+
+/// Error thrown by BLINKML_CHECK* macros on violated pre/post-conditions.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr,
+                                   const std::string& message) {
+  std::ostringstream os;
+  os << "Check failed at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) os << " — " << message;
+  throw CheckError(os.str());
+}
+
+}  // namespace internal
+}  // namespace blinkml
+
+#define BLINKML_CHECK(expr)                                          \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::blinkml::internal::CheckFail(__FILE__, __LINE__, #expr, ""); \
+    }                                                                \
+  } while (false)
+
+#define BLINKML_CHECK_MSG(expr, msg)                                    \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::blinkml::internal::CheckFail(__FILE__, __LINE__, #expr, (msg)); \
+    }                                                                   \
+  } while (false)
+
+#define BLINKML_CHECK_OP(op, a, b)                                          \
+  do {                                                                      \
+    if (!((a)op(b))) {                                                      \
+      std::ostringstream os_;                                               \
+      os_ << "lhs=" << (a) << " rhs=" << (b);                               \
+      ::blinkml::internal::CheckFail(__FILE__, __LINE__, #a " " #op " " #b, \
+                                     os_.str());                            \
+    }                                                                       \
+  } while (false)
+
+#define BLINKML_CHECK_EQ(a, b) BLINKML_CHECK_OP(==, a, b)
+#define BLINKML_CHECK_NE(a, b) BLINKML_CHECK_OP(!=, a, b)
+#define BLINKML_CHECK_LT(a, b) BLINKML_CHECK_OP(<, a, b)
+#define BLINKML_CHECK_LE(a, b) BLINKML_CHECK_OP(<=, a, b)
+#define BLINKML_CHECK_GT(a, b) BLINKML_CHECK_OP(>, a, b)
+#define BLINKML_CHECK_GE(a, b) BLINKML_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define BLINKML_DCHECK(expr) \
+  do {                       \
+  } while (false)
+#else
+#define BLINKML_DCHECK(expr) BLINKML_CHECK(expr)
+#endif
+
+#endif  // BLINKML_UTIL_CHECK_H_

@@ -1,0 +1,53 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: BLINKML_LOG(INFO) << "trained in " << secs << "s";
+// The global level is controlled with SetLogLevel (default WARNING so the
+// library is quiet unless asked; benches/examples raise it to INFO).
+
+#ifndef BLINKML_UTIL_LOGGING_H_
+#define BLINKML_UTIL_LOGGING_H_
+
+#include <sstream>
+
+namespace blinkml {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace blinkml
+
+#define BLINKML_LOG_DEBUG \
+  ::blinkml::internal::LogMessage(::blinkml::LogLevel::kDebug, __FILE__, __LINE__)
+#define BLINKML_LOG_INFO \
+  ::blinkml::internal::LogMessage(::blinkml::LogLevel::kInfo, __FILE__, __LINE__)
+#define BLINKML_LOG_WARNING \
+  ::blinkml::internal::LogMessage(::blinkml::LogLevel::kWarning, __FILE__, __LINE__)
+#define BLINKML_LOG_ERROR \
+  ::blinkml::internal::LogMessage(::blinkml::LogLevel::kError, __FILE__, __LINE__)
+
+#define BLINKML_LOG(severity) BLINKML_LOG_##severity
+
+#endif  // BLINKML_UTIL_LOGGING_H_

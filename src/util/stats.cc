@@ -1,0 +1,84 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace blinkml {
+
+double Mean(const std::vector<double>& xs) {
+  BLINKML_CHECK_MSG(!xs.empty(), "Mean of empty sample");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Quantile(std::vector<double> xs, double q) {
+  BLINKML_CHECK_MSG(!xs.empty(), "Quantile of empty sample");
+  BLINKML_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile level outside [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double UpperOrderStatistic(std::vector<double> xs, double q) {
+  BLINKML_CHECK_MSG(!xs.empty(), "UpperOrderStatistic of empty sample");
+  BLINKML_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile level outside [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;
+  if (rank > xs.size()) rank = xs.size();
+  return xs[rank - 1];
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  BLINKML_CHECK_MSG(count_ > 0, "mean of empty RunningStats");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  BLINKML_CHECK_MSG(count_ > 0, "min of empty RunningStats");
+  return min_;
+}
+
+double RunningStats::max() const {
+  BLINKML_CHECK_MSG(count_ > 0, "max of empty RunningStats");
+  return max_;
+}
+
+}  // namespace blinkml

@@ -1,0 +1,56 @@
+// Descriptive statistics over samples of doubles: means, variances,
+// quantiles, and a streaming accumulator. Used by the accuracy estimator
+// (empirical quantiles of sampled model differences, paper Lemma 2) and the
+// experiment harnesses (mean / 5th / 95th percentile reporting).
+
+#ifndef BLINKML_UTIL_STATS_H_
+#define BLINKML_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace blinkml {
+
+/// Arithmetic mean; checks the sample is non-empty.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased (n-1) sample variance; returns 0 for samples of size < 2.
+double Variance(const std::vector<double>& xs);
+
+/// Square root of Variance().
+double StdDev(const std::vector<double>& xs);
+
+/// Empirical quantile with linear interpolation between order statistics
+/// (type-7, the NumPy default). `q` must be in [0, 1].
+double Quantile(std::vector<double> xs, double q);
+
+/// Quantile without interpolation: the smallest order statistic x_(m) such
+/// that at least ceil(q * n) observations are <= x_(m). This is the
+/// *conservative* quantile used by the accuracy estimator: the returned
+/// value is never smaller than the interpolated quantile.
+double UpperOrderStatistic(std::vector<double> xs, double q);
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_UTIL_STATS_H_

@@ -1,0 +1,133 @@
+// Status / Result<T>: Arrow-style error propagation for expected failures
+// (bad input files, infeasible contracts, non-convergence). Programming
+// errors use BLINKML_CHECK (check.h) instead.
+
+#ifndef BLINKML_UTIL_STATUS_H_
+#define BLINKML_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace blinkml {
+
+/// Machine-readable failure category.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kNotConverged,
+  kInfeasible,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail in expected ways.
+///
+/// Cheap to copy in the OK case (no allocation); carries a message otherwise.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or a Status explaining why there is none.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // arrow::Result, so `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    BLINKML_CHECK_MSG(!status_.ok(),
+                      "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// The value; checks ok().
+  const T& value() const& {
+    BLINKML_CHECK_MSG(ok(), status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    BLINKML_CHECK_MSG(ok(), status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    BLINKML_CHECK_MSG(ok(), status_.ToString());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace blinkml
+
+/// Propagate a non-OK Status to the caller.
+#define BLINKML_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::blinkml::Status st_ = (expr);            \
+    if (!st_.ok()) return st_;                 \
+  } while (false)
+
+#define BLINKML_CONCAT_IMPL_(a, b) a##b
+#define BLINKML_CONCAT_(a, b) BLINKML_CONCAT_IMPL_(a, b)
+
+#define BLINKML_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value();
+
+/// Assign the value of a Result to `lhs`, or propagate its Status.
+#define BLINKML_ASSIGN_OR_RETURN(lhs, rexpr) \
+  BLINKML_ASSIGN_OR_RETURN_IMPL_(            \
+      BLINKML_CONCAT_(result_, __LINE__), lhs, rexpr)
+
+#endif  // BLINKML_UTIL_STATUS_H_

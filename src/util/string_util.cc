@@ -1,0 +1,81 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cmath>
+
+namespace blinkml {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(s.substr(start));
+      break;
+    }
+    parts.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  const char* ws = " \t\r\n";
+  const std::size_t begin = s.find_first_not_of(ws);
+  if (begin == std::string_view::npos) return std::string_view();
+  const std::size_t end = s.find_last_not_of(ws);
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string HumanSeconds(double seconds) {
+  if (seconds < 1e-3) return StrFormat("%.0fus", seconds * 1e6);
+  if (seconds < 1.0) return StrFormat("%.2fms", seconds * 1e3);
+  if (seconds < 120.0) return StrFormat("%.2fs", seconds);
+  const int mins = static_cast<int>(seconds / 60.0);
+  const int secs = static_cast<int>(std::lround(seconds - 60.0 * mins));
+  return StrFormat("%dm%02ds", mins, secs);
+}
+
+std::string WithThousands(long long n) {
+  std::string digits = std::to_string(n < 0 ? -n : n);
+  std::string out;
+  const std::size_t len = digits.size();
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i > 0 && (len - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return (n < 0 ? "-" : "") + out;
+}
+
+}  // namespace blinkml

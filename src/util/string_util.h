@@ -1,0 +1,35 @@
+// Small string helpers shared by loaders and harness table printers.
+
+#ifndef BLINKML_UTIL_STRING_UTIL_H_
+#define BLINKML_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blinkml {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats seconds compactly: "734us", "1.53ms", "2.4s", "3m12s".
+std::string HumanSeconds(double seconds);
+
+/// Formats a count with thousands separators: 1234567 -> "1,234,567".
+std::string WithThousands(long long n);
+
+}  // namespace blinkml
+
+#endif  // BLINKML_UTIL_STRING_UTIL_H_

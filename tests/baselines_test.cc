@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "data/generators.h"
+#include "models/logistic_regression.h"
+
+namespace blinkml {
+namespace {
+
+BlinkConfig FastConfig() {
+  BlinkConfig config;
+  config.initial_sample_size = 1000;
+  config.holdout_size = 500;
+  config.accuracy_samples = 128;
+  config.seed = 9;
+  return config;
+}
+
+TEST(FixedRatio, TrainsOnFixedFraction) {
+  LogisticRegressionSpec spec;
+  const Dataset data = MakeSyntheticLogistic(20000, 5, 1);
+  const FixedRatioBaseline baseline(0.01, FastConfig());
+  const auto result = baseline.Train(spec, data, {0.05, 0.05});
+  ASSERT_TRUE(result.ok());
+  // 1% of the pool (20000 - 500 holdout).
+  EXPECT_EQ(result->sample_size, 195);
+  EXPECT_EQ(result->models_trained, 1);
+}
+
+TEST(FixedRatio, IgnoresContract) {
+  LogisticRegressionSpec spec;
+  const Dataset data = MakeSyntheticLogistic(10000, 4, 2);
+  const FixedRatioBaseline baseline(0.02, FastConfig());
+  const auto loose = baseline.Train(spec, data, {0.5, 0.05});
+  const auto tight = baseline.Train(spec, data, {0.001, 0.05});
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_EQ(loose->sample_size, tight->sample_size);
+}
+
+TEST(FixedRatio, RejectsBadFraction) {
+  LogisticRegressionSpec spec;
+  const Dataset data = MakeSyntheticLogistic(1000, 3, 3);
+  EXPECT_FALSE(
+      FixedRatioBaseline(0.0, FastConfig()).Train(spec, data, {}).ok());
+  EXPECT_FALSE(
+      FixedRatioBaseline(1.5, FastConfig()).Train(spec, data, {}).ok());
+}
+
+TEST(RelativeRatio, ScalesWithRequestedAccuracy) {
+  LogisticRegressionSpec spec;
+  const Dataset data = MakeSyntheticLogistic(40000, 4, 4);
+  const RelativeRatioBaseline baseline(0.10, FastConfig());
+  const auto at80 = baseline.Train(spec, data, {0.20, 0.05});
+  const auto at99 = baseline.Train(spec, data, {0.01, 0.05});
+  ASSERT_TRUE(at80.ok());
+  ASSERT_TRUE(at99.ok());
+  // (1 - 0.20) * 10% = 8%; (1 - 0.01) * 10% = 9.9%.
+  const double pool = static_cast<double>(at80->full_size);
+  EXPECT_NEAR(at80->sample_size / pool, 0.080, 0.001);
+  EXPECT_NEAR(at99->sample_size / pool, 0.099, 0.001);
+  EXPECT_FALSE(baseline.Train(spec, data, {0.05, 0.0}).ok());
+}
+
+TEST(IncEstimator, GrowsUntilContractMet) {
+  LogisticRegressionSpec spec;
+  const Dataset data = MakeSyntheticLogistic(30000, 5, 5);
+  const IncEstimatorBaseline baseline(FastConfig());
+  const auto result = baseline.Train(spec, data, {0.10, 0.1});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->models_trained, 1);
+  // Sample sizes follow 1000 k^2.
+  bool valid_size = false;
+  for (Dataset::Index k = 1; k * k * 1000 <= 30000; ++k) {
+    if (result->sample_size == 1000 * k * k) valid_size = true;
+  }
+  EXPECT_TRUE(valid_size || result->sample_size == result->full_size);
+}
+
+TEST(IncEstimator, TightContractTrainsMoreModelsThanLoose) {
+  LogisticRegressionSpec spec;
+  const Dataset data = MakeSyntheticLogistic(30000, 5, 6);
+  const IncEstimatorBaseline baseline(FastConfig());
+  const auto loose = baseline.Train(spec, data, {0.30, 0.1});
+  const auto tight = baseline.Train(spec, data, {0.02, 0.1});
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_GE(tight->models_trained, loose->models_trained);
+  EXPECT_GE(tight->sample_size, loose->sample_size);
+}
+
+TEST(IncEstimator, CapsAtFullSize) {
+  LogisticRegressionSpec spec;
+  const Dataset data = MakeSyntheticLogistic(5000, 4, 7);
+  const IncEstimatorBaseline baseline(FastConfig());
+  const auto result = baseline.Train(spec, data, {0.0, 0.1});  // impossible
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sample_size, result->full_size);
+}
+
+}  // namespace
+}  // namespace blinkml

@@ -1,0 +1,125 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.h"
+#include "linalg/conjugate_gradient.h"
+#include "linalg/sparse.h"
+#include "tests/test_util.h"
+
+namespace blinkml {
+namespace {
+
+using testing::ExpectVectorNear;
+using testing::RandomSpd;
+using testing::RandomVector;
+
+TEST(ConjugateGradient, SolvesIdentityInOneStep) {
+  const Vector b{1.0, -2.0, 3.0};
+  const auto result = ConjugateGradient(Matrix::Identity(3), b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_LE(result->iterations, 1);
+  ExpectVectorNear(result->x, b, 1e-12);
+}
+
+TEST(ConjugateGradient, ZeroRhsGivesZeroSolution) {
+  const auto result = ConjugateGradient(Matrix::Identity(4), Vector(4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(result->iterations, 0);
+  EXPECT_DOUBLE_EQ(Norm2(result->x), 0.0);
+}
+
+class CgSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgSizes, MatchesCholeskyOracle) {
+  const int n = GetParam();
+  Rng rng(800 + n);
+  // A generous ridge keeps the condition number moderate; CG's iteration
+  // count scales with sqrt(condition).
+  const Matrix a = RandomSpd(n, &rng, /*ridge=*/5.0);
+  const Vector b = RandomVector(n, &rng);
+  const auto cg = ConjugateGradient(a, b);
+  ASSERT_TRUE(cg.ok());
+  EXPECT_TRUE(cg->converged);
+  const auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  ExpectVectorNear(cg->x, chol->Solve(b), 1e-6, "CG vs Cholesky");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgSizes, ::testing::Values(1, 2, 5, 20, 80));
+
+TEST(ConjugateGradient, MatrixFreeOperatorForm) {
+  // Solve (J + beta I) x = b with J given as a factor Q^T Q — the exact
+  // shape of the ObservedFisher Hessian, never materialized.
+  Rng rng(900);
+  const Matrix q = testing::RandomMatrix(30, 50, &rng);  // J = Q^T Q, 50x50
+  const double beta = 0.1;
+  const Vector b = RandomVector(50, &rng);
+  auto apply = [&](const Vector& v) {
+    Vector jv = MatTVec(q, MatVec(q, v));
+    Axpy(beta, v, &jv);
+    return jv;
+  };
+  const auto cg = ConjugateGradient(apply, b);
+  ASSERT_TRUE(cg.ok());
+  EXPECT_TRUE(cg->converged);
+  // Verify against the dense oracle.
+  Matrix h = GramCols(q);
+  h.AddToDiagonal(beta);
+  const auto chol = Cholesky::Factor(h);
+  ASSERT_TRUE(chol.ok());
+  ExpectVectorNear(cg->x, chol->Solve(b), 1e-6);
+}
+
+TEST(ConjugateGradient, DetectsIndefiniteOperator) {
+  const Matrix a = {{1.0, 0.0}, {0.0, -1.0}};
+  const auto result = ConjugateGradient(a, Vector{1.0, 1.0});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConjugateGradient, RespectsIterationBudget) {
+  Rng rng(901);
+  const Matrix a = RandomSpd(40, &rng);
+  const Vector b = RandomVector(40, &rng);
+  CgOptions options;
+  options.max_iterations = 2;
+  options.tolerance = 1e-14;
+  const auto result = ConjugateGradient(a, b, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->converged);
+  EXPECT_EQ(result->iterations, 2);
+  EXPECT_GT(result->residual_norm, 0.0);
+}
+
+TEST(ConjugateGradient, RejectsBadShapes) {
+  EXPECT_FALSE(ConjugateGradient(Matrix(2, 3), Vector(2)).ok());
+  EXPECT_FALSE(ConjugateGradient(Matrix::Identity(3), Vector(2)).ok());
+  Vector nonzero(3);
+  nonzero[0] = 1.0;
+  EXPECT_FALSE(
+      ConjugateGradient([](const Vector&) { return Vector(5); }, nonzero)
+          .ok());
+}
+
+TEST(ConjugateGradient, ResidualDecreasesMonotonically) {
+  // Run CG one budget step at a time; the residual norm must not grow.
+  Rng rng(902);
+  const Matrix a = RandomSpd(25, &rng);
+  const Vector b = RandomVector(25, &rng);
+  double prev = Norm2(b);
+  for (int budget = 1; budget <= 25; budget += 4) {
+    CgOptions options;
+    options.max_iterations = budget;
+    options.tolerance = 0.0;
+    const auto result = ConjugateGradient(a, b, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->residual_norm, prev * (1.0 + 1e-9)) << budget;
+    prev = result->residual_norm;
+  }
+}
+
+}  // namespace
+}  // namespace blinkml

@@ -1,0 +1,145 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/conservative.h"
+#include "core/contract.h"
+#include "random/rng.h"
+#include "util/check.h"
+
+namespace blinkml {
+namespace {
+
+TEST(ConservativeQuantile, LevelAlwaysAboveConfidence) {
+  // The level must never fall below 1 - delta: the empirical quantile has
+  // to cover at least the target probability mass.
+  for (const double delta : {0.01, 0.05, 0.1, 0.3}) {
+    for (const int k : {16, 128, 1024, 100000}) {
+      const QuantileLevel q = ConservativeQuantileLevel(delta, k);
+      EXPECT_GE(q.level, 1.0 - delta) << "delta=" << delta << " k=" << k;
+      EXPECT_LE(q.level, 1.0);
+    }
+  }
+}
+
+TEST(ConservativeQuantile, LevelDecreasesWithMoreSamples) {
+  // More Monte-Carlo samples -> tighter (smaller) feasible level.
+  const double delta = 0.2;
+  double prev = 1.1;
+  for (const int k : {8, 64, 512, 4096, 32768}) {
+    const QuantileLevel q = ConservativeQuantileLevel(delta, k);
+    EXPECT_LE(q.level, prev + 1e-12) << "k=" << k;
+    prev = q.level;
+  }
+}
+
+TEST(ConservativeQuantile, ConvergesToOneMinusDelta) {
+  // As k -> infinity the Hoeffding correction vanishes and the optimal
+  // split c -> 1, so the level approaches 1 - delta.
+  const QuantileLevel q = ConservativeQuantileLevel(0.1, 10'000'000);
+  EXPECT_LT(q.level, 0.91);
+  EXPECT_FALSE(q.clamped);
+}
+
+TEST(ConservativeQuantile, SmallKClampsToMaximum) {
+  // delta = 0.05 with very few samples: no feasible level < 1 (this is the
+  // regime where the paper's own constant was infeasible); the estimator
+  // then uses the sample maximum.
+  const QuantileLevel q = ConservativeQuantileLevel(0.05, 10);
+  EXPECT_TRUE(q.clamped);
+  EXPECT_DOUBLE_EQ(q.level, 1.0);
+}
+
+TEST(ConservativeQuantile, FeasibleAtModerateKForDelta05) {
+  const QuantileLevel q = ConservativeQuantileLevel(0.05, 20000);
+  EXPECT_FALSE(q.clamped);
+  EXPECT_LT(q.level, 1.0);
+  EXPECT_GE(q.level, 0.95);
+  EXPECT_GT(q.split_c, 0.95);  // split constant must exceed 1 - delta
+}
+
+TEST(ConservativeQuantile, GuaranteeHoldsByMonteCarlo) {
+  // End-to-end check of the probabilistic guarantee: if v has a known
+  // distribution and we bound it by the conservative empirical quantile of
+  // k draws, then Pr[fresh v <= bound] >= 1 - delta should hold for the
+  // *aggregate* coverage across trials.
+  const double delta = 0.2;
+  const int k = 256;
+  const QuantileLevel level = ConservativeQuantileLevel(delta, k);
+  Rng rng(7);
+  int covered = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> vs(k);
+    for (auto& v : vs) v = std::fabs(rng.Normal());
+    std::sort(vs.begin(), vs.end());
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(level.level * k));
+    const double bound = vs[std::min<std::size_t>(rank, k) - 1];
+    // True CDF of |N(0,1)| at bound = erf(bound / sqrt(2)).
+    const double coverage = std::erf(bound / std::sqrt(2.0));
+    if (coverage >= 1.0 - delta) ++covered;
+  }
+  // The bound construction should succeed in the vast majority of trials
+  // (it is conservative, so well above the nominal rate).
+  EXPECT_GE(static_cast<double>(covered) / trials, 0.9);
+}
+
+TEST(ConservativeQuantile, RejectsBadInputs) {
+  EXPECT_THROW(ConservativeQuantileLevel(0.0, 10), CheckError);
+  EXPECT_THROW(ConservativeQuantileLevel(1.0, 10), CheckError);
+  EXPECT_THROW(ConservativeQuantileLevel(0.1, 0), CheckError);
+}
+
+// ---------- Lemma 1 ----------
+
+TEST(Lemma1, MatchesFormula) {
+  EXPECT_DOUBLE_EQ(FullModelGeneralizationBound(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(FullModelGeneralizationBound(0.2, 0.0), 0.2);
+  EXPECT_DOUBLE_EQ(FullModelGeneralizationBound(0.0, 0.1), 0.1);
+  EXPECT_NEAR(FullModelGeneralizationBound(0.2, 0.1), 0.2 + 0.1 - 0.02,
+              1e-15);
+}
+
+TEST(Lemma1, BoundStaysInUnitIntervalAndIsMonotone) {
+  for (double eg = 0.0; eg <= 1.0; eg += 0.25) {
+    double prev = -1.0;
+    for (double e = 0.0; e <= 1.5; e += 0.25) {
+      const double b = FullModelGeneralizationBound(eg, e);
+      EXPECT_GE(b, eg);
+      EXPECT_LE(b, 1.0 + 1e-15);
+      EXPECT_GE(b, prev - 1e-15);  // monotone in eps
+      prev = b;
+    }
+  }
+}
+
+TEST(Lemma1, RejectsInvalidInputs) {
+  EXPECT_THROW(FullModelGeneralizationBound(-0.1, 0.1), CheckError);
+  EXPECT_THROW(FullModelGeneralizationBound(1.1, 0.1), CheckError);
+  EXPECT_THROW(FullModelGeneralizationBound(0.1, -0.1), CheckError);
+}
+
+// ---------- Contract validation ----------
+
+TEST(Contract, ValidationRules) {
+  EXPECT_TRUE(ValidateContract({0.05, 0.05}).ok());
+  EXPECT_TRUE(ValidateContract({0.0, 0.5}).ok());
+  EXPECT_TRUE(ValidateContract({2.0, 0.99}).ok());  // eps > 1 is legal
+  EXPECT_FALSE(ValidateContract({-0.1, 0.05}).ok());
+  EXPECT_FALSE(ValidateContract({0.05, 0.0}).ok());
+  EXPECT_FALSE(ValidateContract({0.05, 1.0}).ok());
+  EXPECT_FALSE(ValidateContract({std::nan(""), 0.05}).ok());
+}
+
+TEST(Contract, StatsMethodNames) {
+  EXPECT_STREQ(StatsMethodName(StatsMethod::kClosedForm), "ClosedForm");
+  EXPECT_STREQ(StatsMethodName(StatsMethod::kInverseGradients),
+               "InverseGradients");
+  EXPECT_STREQ(StatsMethodName(StatsMethod::kObservedFisher),
+               "ObservedFisher");
+}
+
+}  // namespace
+}  // namespace blinkml

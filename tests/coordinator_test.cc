@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "core/coordinator.h"
+#include "data/generators.h"
+#include "models/linear_regression.h"
+#include "models/logistic_regression.h"
+#include "models/max_entropy.h"
+#include "models/ppca.h"
+#include "tests/test_util.h"
+
+namespace blinkml {
+namespace {
+
+BlinkConfig FastConfig(std::uint64_t seed = 42) {
+  BlinkConfig config;
+  config.initial_sample_size = 1000;
+  config.holdout_size = 1000;
+  config.accuracy_samples = 256;
+  config.size_samples = 128;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Coordinator, RejectsBadContractAndTinyData) {
+  const Coordinator coordinator(FastConfig());
+  LogisticRegressionSpec spec;
+  const Dataset data = MakeSyntheticLogistic(5000, 4, 1);
+  EXPECT_FALSE(coordinator.Train(spec, data, {0.05, 0.0}).ok());
+  EXPECT_FALSE(coordinator.Train(spec, data, {-0.1, 0.5}).ok());
+  const Dataset tiny = MakeSyntheticLogistic(5, 2, 2);
+  EXPECT_FALSE(coordinator.Train(spec, tiny, {0.05, 0.05}).ok());
+}
+
+TEST(Coordinator, LooseContractReturnsInitialModel) {
+  const Coordinator coordinator(FastConfig());
+  LogisticRegressionSpec spec;
+  const Dataset data = MakeSyntheticLogistic(20000, 6, 3);
+  const auto result = coordinator.Train(spec, data, {0.9, 0.05});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->used_initial_only);
+  EXPECT_EQ(result->sample_size, 1000);
+  EXPECT_LE(result->final_epsilon, 0.9);
+  EXPECT_EQ(result->timings.final_train, 0.0);
+}
+
+TEST(Coordinator, TightContractTrainsSecondModel) {
+  const Coordinator coordinator(FastConfig());
+  LogisticRegressionSpec spec;
+  const Dataset data = MakeSyntheticLogistic(20000, 6, 4);
+  const auto result = coordinator.Train(spec, data, {0.01, 0.05});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->used_initial_only);
+  EXPECT_GT(result->sample_size, 1000);
+  EXPECT_GT(result->size_estimate.sample_size, 0);
+  EXPECT_GT(result->timings.final_train, 0.0);
+  EXPECT_GT(result->initial_epsilon, 0.01);
+}
+
+TEST(Coordinator, HoldoutIsDisjointFromPoolAccounting) {
+  const Coordinator coordinator(FastConfig());
+  LogisticRegressionSpec spec;
+  const Dataset data = MakeSyntheticLogistic(20000, 4, 5);
+  const auto result = coordinator.Train(spec, data, {0.5, 0.05});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->holdout.num_rows() + result->full_size, data.num_rows());
+  EXPECT_EQ(result->holdout.num_rows(), 1000);
+}
+
+TEST(Coordinator, TimingsArePopulated) {
+  const Coordinator coordinator(FastConfig());
+  LogisticRegressionSpec spec;
+  const Dataset data = MakeSyntheticLogistic(20000, 6, 6);
+  const auto result = coordinator.Train(spec, data, {0.05, 0.05});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->timings.initial_train, 0.0);
+  EXPECT_GT(result->timings.statistics, 0.0);
+  EXPECT_GT(result->timings.accuracy_estimation, 0.0);
+  EXPECT_GT(result->timings.total, 0.0);
+  EXPECT_GE(result->timings.total,
+            result->timings.initial_train + result->timings.statistics);
+}
+
+TEST(Coordinator, DeterministicGivenSeed) {
+  LogisticRegressionSpec spec;
+  const Dataset data = MakeSyntheticLogistic(20000, 5, 7);
+  const Coordinator a(FastConfig(11));
+  const Coordinator b(FastConfig(11));
+  const auto ra = a.Train(spec, data, {0.05, 0.05});
+  const auto rb = b.Train(spec, data, {0.05, 0.05});
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->sample_size, rb->sample_size);
+  EXPECT_DOUBLE_EQ(ra->initial_epsilon, rb->initial_epsilon);
+  testing::ExpectVectorNear(ra->model.theta, rb->model.theta, 0.0);
+}
+
+TEST(Coordinator, EpsilonZeroFallsBackToFullTraining) {
+  const Coordinator coordinator(FastConfig());
+  LogisticRegressionSpec spec;
+  const Dataset data = MakeSyntheticLogistic(15000, 4, 8);
+  const auto result = coordinator.Train(spec, data, {0.0, 0.05});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sample_size, result->full_size);
+  EXPECT_DOUBLE_EQ(result->final_epsilon, 0.0);
+}
+
+// The headline statistical property (paper Section 5.3 / Figure 6): across
+// repeated runs, the returned model agrees with the actually-trained full
+// model within epsilon in at least ~(1 - delta) of runs.
+class CoordinatorContractSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoordinatorContractSweep, ContractHoldsAgainstTrueFullModel) {
+  struct CaseDef {
+    std::shared_ptr<ModelSpec> spec;
+    Dataset data;
+    double epsilon;
+  };
+  const int which = GetParam();
+  CaseDef c = [&]() -> CaseDef {
+    switch (which) {
+      case 0:
+        return {std::make_shared<LinearRegressionSpec>(1e-3),
+                MakeGasLike(30000, 100, /*dim=*/20), 0.05};
+      case 1:
+        return {std::make_shared<LogisticRegressionSpec>(1e-3),
+                MakeHiggsLike(30000, 101, /*dim=*/20), 0.08};
+      case 2:
+        return {std::make_shared<MaxEntropySpec>(1e-3),
+                MakeSyntheticMulticlass(30000, 8, 3, 102), 0.10};
+      default:
+        return {std::make_shared<PpcaSpec>(2),
+                MakeSyntheticLowRank(30000, 10, 2, 103, /*noise=*/0.4),
+                0.01};
+    }
+  }();
+
+  int satisfied = 0;
+  const int trials = 4;
+  const ModelTrainer trainer;
+  for (int t = 0; t < trials; ++t) {
+    const Coordinator coordinator(FastConfig(1000 + t));
+    const auto result =
+        coordinator.Train(*c.spec, c.data, {c.epsilon, 0.1});
+    ASSERT_TRUE(result.ok());
+    // Train the actual full model on the same pool BlinkML used.
+    // (Reconstruct it: holdout rows are excluded.)
+    const auto full = trainer.Train(*c.spec, c.data);
+    ASSERT_TRUE(full.ok());
+    const double v =
+        c.spec->Diff(result->model.theta, full->theta, result->holdout);
+    if (v <= c.epsilon + 0.01) ++satisfied;
+  }
+  // All trials should satisfy (conservative estimator + slack); allow one
+  // failure to keep the test robust.
+  EXPECT_GE(satisfied, trials - 1) << "case " << which;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, CoordinatorContractSweep,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace blinkml

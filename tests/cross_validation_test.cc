@@ -1,0 +1,104 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "models/cross_validation.h"
+#include "data/generators.h"
+#include "models/logistic_regression.h"
+#include "tests/test_util.h"
+
+namespace blinkml {
+namespace {
+
+TEST(KFold, RejectsBadK) {
+  const Dataset data = MakeSyntheticLogistic(20, 2, 1);
+  Rng rng(1);
+  EXPECT_FALSE(KFoldSplit(data, 1, &rng).ok());
+  EXPECT_FALSE(KFoldSplit(data, 21, &rng).ok());
+  EXPECT_TRUE(KFoldSplit(data, 20, &rng).ok());  // leave-one-out boundary
+}
+
+TEST(KFold, FoldsPartitionTheData) {
+  // Use the first feature as a row fingerprint (a.s. unique).
+  const Dataset data = MakeSyntheticLogistic(103, 3, 2);
+  Rng rng(2);
+  const auto folds = KFoldSplit(data, 5, &rng);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds->size(), 5u);
+  std::multiset<double> all_validation;
+  Dataset::Index total_validation = 0;
+  for (const Fold& fold : *folds) {
+    EXPECT_EQ(fold.train.num_rows() + fold.validation.num_rows(), 103);
+    for (Dataset::Index i = 0; i < fold.validation.num_rows(); ++i) {
+      all_validation.insert(fold.validation.dense()(i, 0));
+    }
+    total_validation += fold.validation.num_rows();
+    // Sizes differ by at most one (103 = 5*20 + 3).
+    EXPECT_GE(fold.validation.num_rows(), 20);
+    EXPECT_LE(fold.validation.num_rows(), 21);
+  }
+  EXPECT_EQ(total_validation, 103);
+  EXPECT_EQ(all_validation.size(), 103u);  // every row exactly once
+}
+
+TEST(KFold, TrainAndValidationDisjointWithinFold) {
+  const Dataset data = MakeSyntheticLogistic(60, 2, 3);
+  Rng rng(3);
+  const auto folds = KFoldSplit(data, 4, &rng);
+  ASSERT_TRUE(folds.ok());
+  for (const Fold& fold : *folds) {
+    std::set<double> train_keys;
+    for (Dataset::Index i = 0; i < fold.train.num_rows(); ++i) {
+      train_keys.insert(fold.train.dense()(i, 0));
+    }
+    for (Dataset::Index i = 0; i < fold.validation.num_rows(); ++i) {
+      EXPECT_EQ(train_keys.count(fold.validation.dense()(i, 0)), 0u);
+    }
+  }
+}
+
+TEST(KFold, DeterministicGivenSeed) {
+  const Dataset data = MakeSyntheticLogistic(50, 2, 4);
+  Rng rng_a(7), rng_b(7);
+  const auto a = KFoldSplit(data, 3, &rng_a);
+  const auto b = KFoldSplit(data, 3, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t f = 0; f < 3; ++f) {
+    testing::ExpectMatrixNear((*a)[f].validation.dense(),
+                              (*b)[f].validation.dense(), 0.0);
+  }
+}
+
+TEST(CrossValidate, EstimatesGeneralizationError) {
+  // On well-separated data, every fold error should be small; on noisy
+  // data it should approach the label-noise floor.
+  const Dataset easy = MakeSyntheticLogistic(2000, 4, 5, /*sparsity=*/1.0,
+                                             /*noise=*/0.0);
+  LogisticRegressionSpec spec(1e-3);
+  Rng rng(8);
+  const auto result = CrossValidate(spec, easy, 5, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->fold_errors.size(), 5u);
+  // Labels are drawn from sigmoid(margin), so even "noise = 0" data has an
+  // intrinsic Bayes error around 0.2 at this margin scale.
+  EXPECT_LT(result->mean_error, 0.30);
+  EXPECT_GE(result->stddev_error, 0.0);
+
+  const Dataset noisy = MakeSyntheticLogistic(2000, 4, 6, /*sparsity=*/1.0,
+                                              /*noise=*/0.4);
+  Rng rng2(9);
+  const auto noisy_result = CrossValidate(spec, noisy, 5, &rng2);
+  ASSERT_TRUE(noisy_result.ok());
+  EXPECT_GT(noisy_result->mean_error, result->mean_error);
+}
+
+TEST(CrossValidate, PropagatesBadK) {
+  LogisticRegressionSpec spec(1e-3);
+  const Dataset data = MakeSyntheticLogistic(30, 2, 10);
+  Rng rng(11);
+  EXPECT_FALSE(CrossValidate(spec, data, 1, &rng).ok());
+}
+
+}  // namespace
+}  // namespace blinkml

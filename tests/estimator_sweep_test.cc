@@ -1,0 +1,150 @@
+// Parameterized accuracy-estimator invariants across every model class:
+// the estimator must produce sane, reproducible, monotone bounds for each
+// of the five supported specs — the property the whole system rests on.
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/accuracy_estimator.h"
+#include "core/statistics.h"
+#include "data/generators.h"
+#include "models/linear_regression.h"
+#include "models/logistic_regression.h"
+#include "models/max_entropy.h"
+#include "models/poisson_regression.h"
+#include "models/ppca.h"
+#include "models/trainer.h"
+#include "tests/test_util.h"
+
+namespace blinkml {
+namespace {
+
+struct SweepCase {
+  const char* name;
+  std::shared_ptr<ModelSpec> spec;
+  Dataset data;
+  bool bounded_metric;  // v in [0, 1] (classification / cosine)
+};
+
+SweepCase MakeCase(int which) {
+  switch (which) {
+    case 0:
+      return {"Lin", std::make_shared<LinearRegressionSpec>(1e-3),
+              MakeSyntheticLinear(20000, 6, 900), false};
+    case 1:
+      return {"LR", std::make_shared<LogisticRegressionSpec>(1e-3),
+              MakeSyntheticLogistic(20000, 6, 901), true};
+    case 2:
+      return {"ME", std::make_shared<MaxEntropySpec>(1e-3),
+              MakeSyntheticMulticlass(20000, 5, 4, 902), true};
+    case 3:
+      return {"Poisson", std::make_shared<PoissonRegressionSpec>(1e-3),
+              MakeSyntheticCounts(20000, 6, 903), false};
+    default:
+      return {"PPCA", std::make_shared<PpcaSpec>(3),
+              MakeSyntheticLowRank(20000, 8, 3, 904), true};
+  }
+}
+
+class EstimatorSweep : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    case_ = MakeCase(GetParam());
+    Rng rng(50);
+    auto [holdout, pool] = case_.data.Split(0.1, &rng);
+    holdout_ = std::move(holdout);
+    pool_ = std::move(pool);
+    d0_ = pool_.SampleRows(2000, &rng);
+    const auto model = ModelTrainer().Train(*case_.spec, d0_);
+    ASSERT_TRUE(model.ok()) << case_.name;
+    theta0_ = model->theta;
+    StatsOptions options;
+    Rng stats_rng(51);
+    auto stats =
+        ComputeStatistics(*case_.spec, theta0_, d0_, options, &stats_rng);
+    ASSERT_TRUE(stats.ok()) << case_.name;
+    sampler_ = std::make_unique<ParamSampler>(std::move(*stats));
+  }
+
+  SweepCase case_{nullptr, nullptr, Dataset(), false};
+  Dataset holdout_, pool_, d0_;
+  Vector theta0_;
+  std::unique_ptr<ParamSampler> sampler_;
+};
+
+TEST_P(EstimatorSweep, BoundIsSaneAndFinite) {
+  AccuracyOptions options;
+  options.num_samples = 128;
+  Rng rng(52);
+  const auto est =
+      EstimateAccuracy(*case_.spec, theta0_, 2000, pool_.num_rows(),
+                       *sampler_, holdout_, options, &rng);
+  ASSERT_TRUE(est.ok()) << case_.name;
+  EXPECT_TRUE(std::isfinite(est->epsilon)) << case_.name;
+  EXPECT_GE(est->epsilon, 0.0) << case_.name;
+  if (case_.bounded_metric) {
+    EXPECT_LE(est->epsilon, 1.0 + 1e-12) << case_.name;
+  }
+  EXPECT_GE(est->epsilon, est->mean_v) << case_.name;
+}
+
+TEST_P(EstimatorSweep, BoundDecreasesWithSampleSize) {
+  AccuracyOptions options;
+  options.num_samples = 128;
+  double prev = std::numeric_limits<double>::infinity();
+  for (const Dataset::Index n : {2000, 6000, 14000}) {
+    Rng rng(53);  // common random numbers across n for strictness
+    const auto est = EstimateAccuracy(*case_.spec, theta0_, n,
+                                      pool_.num_rows(), *sampler_, holdout_,
+                                      options, &rng);
+    ASSERT_TRUE(est.ok()) << case_.name;
+    EXPECT_LE(est->epsilon, prev + 1e-12) << case_.name << " n=" << n;
+    prev = est->epsilon;
+  }
+}
+
+TEST_P(EstimatorSweep, DeterministicGivenSeed) {
+  AccuracyOptions options;
+  options.num_samples = 64;
+  Rng rng_a(54), rng_b(54);
+  const auto a = EstimateAccuracy(*case_.spec, theta0_, 2000,
+                                  pool_.num_rows(), *sampler_, holdout_,
+                                  options, &rng_a);
+  const auto b = EstimateAccuracy(*case_.spec, theta0_, 2000,
+                                  pool_.num_rows(), *sampler_, holdout_,
+                                  options, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->epsilon, b->epsilon) << case_.name;
+  EXPECT_DOUBLE_EQ(a->mean_v, b->mean_v) << case_.name;
+}
+
+TEST_P(EstimatorSweep, TighterDeltaGivesLargerBound) {
+  // Smaller delta (more confidence) can only push the conservative
+  // quantile level up, never down.
+  AccuracyOptions loose;
+  loose.num_samples = 256;
+  loose.delta = 0.5;
+  AccuracyOptions tight = loose;
+  tight.delta = 0.01;
+  Rng rng_a(55), rng_b(55);
+  const auto l = EstimateAccuracy(*case_.spec, theta0_, 2000,
+                                  pool_.num_rows(), *sampler_, holdout_,
+                                  loose, &rng_a);
+  const auto t = EstimateAccuracy(*case_.spec, theta0_, 2000,
+                                  pool_.num_rows(), *sampler_, holdout_,
+                                  tight, &rng_b);
+  ASSERT_TRUE(l.ok());
+  ASSERT_TRUE(t.ok());
+  EXPECT_GE(t->epsilon, l->epsilon - 1e-12) << case_.name;
+  EXPECT_GE(t->quantile_level, l->quantile_level) << case_.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModelClasses, EstimatorSweep,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace blinkml

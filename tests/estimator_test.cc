@@ -1,0 +1,277 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/accuracy_estimator.h"
+#include "core/sample_size_estimator.h"
+#include "core/statistics.h"
+#include "data/generators.h"
+#include "models/logistic_regression.h"
+#include "models/linear_regression.h"
+#include "models/ppca.h"
+#include "models/trainer.h"
+#include "tests/test_util.h"
+
+namespace blinkml {
+namespace {
+
+// Fixture: a trained initial logistic model + sampler + holdout, shared
+// across estimator tests.
+class EstimatorFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    full_data_ = MakeSyntheticLogistic(30000, 10, 42, /*sparsity=*/1.0,
+                                       /*noise=*/0.1);
+    Rng rng(1);
+    auto [holdout, pool] = full_data_.Split(0.05, &rng);
+    holdout_ = std::move(holdout);
+    pool_ = std::move(pool);
+    n0_ = 2000;
+    d0_ = pool_.SampleRows(n0_, &rng);
+    const auto model = ModelTrainer().Train(spec_, d0_);
+    ASSERT_TRUE(model.ok());
+    theta0_ = model->theta;
+    StatsOptions options;
+    Rng stats_rng(2);
+    auto stats = ComputeStatistics(spec_, theta0_, d0_, options, &stats_rng);
+    ASSERT_TRUE(stats.ok());
+    sampler_ = std::make_unique<ParamSampler>(std::move(*stats));
+  }
+
+  LogisticRegressionSpec spec_{1e-3};
+  Dataset full_data_, holdout_, pool_, d0_;
+  Dataset::Index n0_ = 0;
+  Vector theta0_;
+  std::unique_ptr<ParamSampler> sampler_;
+};
+
+// ---------- Accuracy estimator ----------
+
+TEST_F(EstimatorFixture, AccuracyZeroWhenSampleIsFullData) {
+  AccuracyOptions options;
+  Rng rng(3);
+  const auto est =
+      EstimateAccuracy(spec_, theta0_, pool_.num_rows(), pool_.num_rows(),
+                       *sampler_, holdout_, options, &rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->epsilon, 0.0);
+}
+
+TEST_F(EstimatorFixture, AccuracyBoundShrinksWithLargerSample) {
+  AccuracyOptions options;
+  options.num_samples = 256;
+  const Dataset::Index full = pool_.num_rows();
+  double prev = 2.0;
+  for (const Dataset::Index n : {500, 2000, 8000, 20000}) {
+    Rng rng(4);
+    const auto est = EstimateAccuracy(spec_, theta0_, n, full, *sampler_,
+                                      holdout_, options, &rng);
+    ASSERT_TRUE(est.ok());
+    EXPECT_LE(est->epsilon, prev + 0.02) << "n=" << n;
+    EXPECT_GE(est->epsilon, 0.0);
+    prev = est->epsilon;
+  }
+}
+
+TEST_F(EstimatorFixture, AccuracyBoundIsConservative) {
+  // The estimated bound must exceed the mean sampled difference (it is an
+  // upper quantile).
+  AccuracyOptions options;
+  Rng rng(5);
+  const auto est = EstimateAccuracy(spec_, theta0_, n0_, pool_.num_rows(),
+                                    *sampler_, holdout_, options, &rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GE(est->epsilon, est->mean_v);
+  EXPECT_GT(est->quantile_level, 0.9);
+}
+
+TEST_F(EstimatorFixture, AccuracyBoundCoversActualDifference) {
+  // Statistical check of the guarantee itself: train the *actual* full
+  // model and verify v(m0, mN) <= estimated epsilon. A single run can fail
+  // with probability <= delta; use delta = 0.2 and require 4/5 successes.
+  AccuracyOptions options;
+  options.delta = 0.2;
+  options.num_samples = 512;
+  const auto full_model = ModelTrainer().Train(spec_, pool_);
+  ASSERT_TRUE(full_model.ok());
+  int covered = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng rng(100 + trial);
+    Rng sample_rng(200 + trial);
+    const Dataset d0 = pool_.SampleRows(n0_, &sample_rng);
+    const auto m0 = ModelTrainer().Train(spec_, d0);
+    ASSERT_TRUE(m0.ok());
+    StatsOptions stats_options;
+    auto stats =
+        ComputeStatistics(spec_, m0->theta, d0, stats_options, &rng);
+    ASSERT_TRUE(stats.ok());
+    const auto est =
+        EstimateAccuracy(spec_, m0->theta, n0_, pool_.num_rows(), *stats,
+                         holdout_, options, &rng);
+    ASSERT_TRUE(est.ok());
+    const double actual_v =
+        spec_.Diff(m0->theta, full_model->theta, holdout_);
+    if (actual_v <= est->epsilon) ++covered;
+  }
+  EXPECT_GE(covered, 4);
+}
+
+TEST_F(EstimatorFixture, AccuracyRejectsBadArguments) {
+  AccuracyOptions options;
+  Rng rng(6);
+  EXPECT_FALSE(EstimateAccuracy(spec_, theta0_, 0, 100, *sampler_, holdout_,
+                                options, &rng)
+                   .ok());
+  EXPECT_FALSE(EstimateAccuracy(spec_, theta0_, 200, 100, *sampler_,
+                                holdout_, options, &rng)
+                   .ok());
+  options.num_samples = 0;
+  EXPECT_FALSE(EstimateAccuracy(spec_, theta0_, 100, 200, *sampler_,
+                                holdout_, options, &rng)
+                   .ok());
+  options.num_samples = 10;
+  options.delta = 0.0;
+  EXPECT_FALSE(EstimateAccuracy(spec_, theta0_, 100, 200, *sampler_,
+                                holdout_, options, &rng)
+                   .ok());
+}
+
+// ---------- Sample size estimator ----------
+
+TEST_F(EstimatorFixture, SizeGrowsAsEpsilonShrinks) {
+  // Paper Section 5.2: more accurate models need larger samples.
+  SampleSizeOptions options;
+  options.num_samples = 128;
+  Dataset::Index prev = 0;
+  for (const double eps : {0.20, 0.10, 0.05, 0.02, 0.01}) {
+    options.epsilon = eps;
+    Rng rng(7);
+    const auto est = EstimateSampleSize(spec_, theta0_, n0_,
+                                        pool_.num_rows(), *sampler_,
+                                        holdout_, options, &rng);
+    ASSERT_TRUE(est.ok());
+    EXPECT_GE(est->sample_size, prev) << "eps=" << eps;
+    EXPECT_LE(est->sample_size, pool_.num_rows());
+    prev = est->sample_size;
+  }
+}
+
+TEST_F(EstimatorFixture, TrivialContractNeedsMinimalSample) {
+  SampleSizeOptions options;
+  options.epsilon = 1.0;  // any model agrees within 1.0
+  options.min_n = 100;
+  Rng rng(8);
+  const auto est =
+      EstimateSampleSize(spec_, theta0_, n0_, pool_.num_rows(), *sampler_,
+                         holdout_, options, &rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->sample_size, 100);
+}
+
+TEST_F(EstimatorFixture, ImpossibleContractReturnsFullSize) {
+  SampleSizeOptions options;
+  options.epsilon = 0.0;  // exact agreement: only n = N guarantees it
+  Rng rng(9);
+  const auto est =
+      EstimateSampleSize(spec_, theta0_, n0_, pool_.num_rows(), *sampler_,
+                         holdout_, options, &rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->sample_size, pool_.num_rows());
+}
+
+TEST_F(EstimatorFixture, SuccessProbabilityMonotoneInN) {
+  // Paper Theorem 2: the success probability increases with n. Verify on
+  // the estimator's own Monte-Carlo estimate (common random numbers make
+  // this hold path-by-path up to small noise).
+  SampleSizeOptions options;
+  options.epsilon = 0.05;
+  options.num_samples = 128;
+  // Probe the internal estimate through its observable: the returned
+  // success fraction at increasing min_n floors.
+  double prev_fraction = -1.0;
+  for (const Dataset::Index floor_n : {2000, 8000, 16000}) {
+    options.min_n = floor_n;
+    Rng rng(10);
+    const auto est =
+        EstimateSampleSize(spec_, theta0_, n0_, pool_.num_rows(), *sampler_,
+                           holdout_, options, &rng);
+    ASSERT_TRUE(est.ok());
+    if (est->sample_size == floor_n) {
+      EXPECT_GE(est->success_fraction + 0.05, prev_fraction);
+      prev_fraction = est->success_fraction;
+    }
+  }
+}
+
+TEST_F(EstimatorFixture, EstimatedSizeActuallySatisfiesContract) {
+  // End-to-end: train on the estimated n; the result should agree with
+  // the actually-trained full model within eps (statistical: 4/5 trials).
+  SampleSizeOptions options;
+  options.epsilon = 0.08;
+  options.delta = 0.2;
+  const auto full_model = ModelTrainer().Train(spec_, pool_);
+  ASSERT_TRUE(full_model.ok());
+  int satisfied = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng rng(300 + trial);
+    const auto est =
+        EstimateSampleSize(spec_, theta0_, n0_, pool_.num_rows(), *sampler_,
+                           holdout_, options, &rng);
+    ASSERT_TRUE(est.ok());
+    Rng sample_rng(400 + trial);
+    const Dataset dn = pool_.SampleRows(est->sample_size, &sample_rng);
+    const auto mn = ModelTrainer().Train(spec_, dn);
+    ASSERT_TRUE(mn.ok());
+    if (spec_.Diff(mn->theta, full_model->theta, holdout_) <=
+        options.epsilon) {
+      ++satisfied;
+    }
+  }
+  EXPECT_GE(satisfied, 4);
+}
+
+TEST_F(EstimatorFixture, SizeEstimatorRejectsBadArguments) {
+  SampleSizeOptions options;
+  Rng rng(11);
+  EXPECT_FALSE(EstimateSampleSize(spec_, theta0_, 0, 100, *sampler_,
+                                  holdout_, options, &rng)
+                   .ok());
+  options.epsilon = -1.0;
+  EXPECT_FALSE(EstimateSampleSize(spec_, theta0_, n0_, pool_.num_rows(),
+                                  *sampler_, holdout_, options, &rng)
+                   .ok());
+}
+
+// The generic (non-score) path must work for PPCA.
+TEST(EstimatorGeneric, PpcaSampleSizeSearch) {
+  const Dataset data = MakeSyntheticLowRank(20000, 8, 2, 50, /*noise=*/0.4);
+  Rng rng(12);
+  auto [holdout, pool] = data.Split(0.05, &rng);
+  PpcaSpec spec(2);
+  const Dataset d0 = pool.SampleRows(1000, &rng);
+  const auto m0 = ModelTrainer().Train(spec, d0);
+  ASSERT_TRUE(m0.ok());
+  StatsOptions stats_options;
+  auto stats = ComputeStatistics(spec, m0->theta, d0, stats_options, &rng);
+  ASSERT_TRUE(stats.ok());
+  SampleSizeOptions options;
+  options.num_samples = 64;
+  options.epsilon = 1e-4;  // tight cosine-distance contract
+  const auto est = EstimateSampleSize(spec, m0->theta, 1000,
+                                      pool.num_rows(), *stats, holdout,
+                                      options, &rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est->sample_size, 1000);
+
+  // A loose contract needs fewer rows.
+  options.epsilon = 0.05;
+  Rng rng2(13);
+  const auto loose = EstimateSampleSize(spec, m0->theta, 1000,
+                                        pool.num_rows(), *stats, holdout,
+                                        options, &rng2);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_LT(loose->sample_size, est->sample_size);
+}
+
+}  // namespace
+}  // namespace blinkml

@@ -1,0 +1,229 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/loader.h"
+#include "data/scaler.h"
+#include "data/generators.h"
+#include "tests/test_util.h"
+
+namespace blinkml {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("blinkml_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  void WriteFile(const std::string& name, const std::string& content) const {
+    std::ofstream out(Path(name));
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+using LoaderTest = TempDir;
+using ScalerTest = TempDir;
+
+TEST_F(LoaderTest, CsvRoundTrip) {
+  const Dataset original = MakeSyntheticLinear(50, 4, /*seed=*/3);
+  ASSERT_TRUE(SaveCsv(original, Path("data.csv")).ok());
+  const auto loaded = LoadCsv(Path("data.csv"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 50);
+  EXPECT_EQ(loaded->dim(), 4);
+  EXPECT_EQ(loaded->task(), Task::kRegression);
+  EXPECT_LT(MaxAbsDiff(loaded->dense(), original.dense()), 1e-12);
+  for (Dataset::Index i = 0; i < 50; ++i) {
+    EXPECT_NEAR(loaded->label(i), original.label(i), 1e-12);
+  }
+}
+
+TEST_F(LoaderTest, CsvInfersBinaryTask) {
+  WriteFile("b.csv", "f0,f1,label\n1.5,2.0,1\n0.5,1.0,0\n");
+  const auto d = LoadCsv(Path("b.csv"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->task(), Task::kBinary);
+}
+
+TEST_F(LoaderTest, CsvInfersMulticlassTask) {
+  WriteFile("m.csv", "f0,label\n1.0,0\n2.0,3\n3.0,1\n");
+  const auto d = LoadCsv(Path("m.csv"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->task(), Task::kMulticlass);
+  EXPECT_EQ(d->num_classes(), 4);
+}
+
+TEST_F(LoaderTest, CsvCustomLabelColumn) {
+  WriteFile("c.csv", "label,f0\n1,5.0\n0,6.0\n");
+  CsvOptions options;
+  options.label_column = 0;
+  const auto d = LoadCsv(Path("c.csv"), options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->label(0), 1.0);
+  EXPECT_DOUBLE_EQ(d->dense()(0, 0), 5.0);
+}
+
+TEST_F(LoaderTest, CsvWithoutHeader) {
+  WriteFile("nh.csv", "1.0,2.0,0\n3.0,4.0,1\n");
+  CsvOptions options;
+  options.has_header = false;
+  const auto d = LoadCsv(Path("nh.csv"), options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 2);
+}
+
+TEST_F(LoaderTest, CsvErrors) {
+  EXPECT_EQ(LoadCsv(Path("missing.csv")).status().code(),
+            StatusCode::kIOError);
+
+  WriteFile("ragged.csv", "a,b,c\n1,2,3\n1,2\n");
+  EXPECT_EQ(LoadCsv(Path("ragged.csv")).status().code(),
+            StatusCode::kInvalidArgument);
+
+  WriteFile("nonnum.csv", "a,b\n1,hello\n");
+  EXPECT_EQ(LoadCsv(Path("nonnum.csv")).status().code(),
+            StatusCode::kInvalidArgument);
+
+  WriteFile("empty.csv", "a,b\n");
+  EXPECT_FALSE(LoadCsv(Path("empty.csv")).ok());
+
+  WriteFile("one_col.csv", "a\n1\n");
+  EXPECT_FALSE(LoadCsv(Path("one_col.csv")).ok());
+}
+
+TEST_F(LoaderTest, CsvSkipsBlankLines) {
+  WriteFile("blank.csv", "a,b\n1,0\n\n2,1\n   \n");
+  const auto d = LoadCsv(Path("blank.csv"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 2);
+}
+
+TEST_F(LoaderTest, SaveCsvRejectsSparse) {
+  const Dataset sparse = MakeCriteoLike(10, 1, /*dim=*/50, /*nnz_per_row=*/5);
+  EXPECT_FALSE(SaveCsv(sparse, Path("x.csv")).ok());
+}
+
+TEST_F(LoaderTest, LibsvmRoundTripSparse) {
+  const Dataset original =
+      MakeCriteoLike(40, 2, /*dim=*/100, /*nnz_per_row=*/8);
+  ASSERT_TRUE(SaveLibsvm(original, Path("d.svm")).ok());
+  const auto loaded = LoadLibsvm(Path("d.svm"), /*dim=*/100);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->is_sparse());
+  EXPECT_EQ(loaded->num_rows(), 40);
+  EXPECT_EQ(loaded->dim(), 100);
+  testing::ExpectMatrixNear(loaded->sparse().ToDense(),
+                            original.sparse().ToDense(), 1e-12);
+}
+
+TEST_F(LoaderTest, LibsvmOneBasedIndexDetection) {
+  WriteFile("one.svm", "1 1:0.5 3:1.5\n0 2:2.5\n");
+  const auto d = LoadLibsvm(Path("one.svm"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->dim(), 3);  // max index 3, shifted to 0-based
+  EXPECT_DOUBLE_EQ(d->sparse().ToDense()(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(d->sparse().ToDense()(1, 1), 2.5);
+}
+
+TEST_F(LoaderTest, LibsvmPlusMinusLabels) {
+  WriteFile("pm.svm", "+1 1:1.0\n-1 1:2.0\n");
+  const auto d = LoadLibsvm(Path("pm.svm"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->task(), Task::kBinary);
+  EXPECT_DOUBLE_EQ(d->label(0), 1.0);
+  EXPECT_DOUBLE_EQ(d->label(1), 0.0);
+}
+
+TEST_F(LoaderTest, LibsvmErrors) {
+  EXPECT_EQ(LoadLibsvm(Path("missing.svm")).status().code(),
+            StatusCode::kIOError);
+  WriteFile("bad.svm", "1 notanentry\n");
+  EXPECT_FALSE(LoadLibsvm(Path("bad.svm")).ok());
+  WriteFile("over.svm", "1 1:1 500:2\n");
+  EXPECT_FALSE(LoadLibsvm(Path("over.svm"), /*dim=*/10).ok());
+}
+
+TEST_F(LoaderTest, LibsvmSkipsComments) {
+  WriteFile("comment.svm", "# header comment\n1 1:1.0\n");
+  const auto d = LoadLibsvm(Path("comment.svm"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 1);
+}
+
+// ---------- Standardizer ----------
+
+TEST(Scaler, FitTransformZeroMeanUnitVariance) {
+  const Dataset d = MakeSyntheticLinear(500, 3, /*seed=*/4, /*noise=*/1.0);
+  const auto scaler = Standardizer::Fit(d);
+  ASSERT_TRUE(scaler.ok());
+  const auto scaled = scaler->Transform(d);
+  ASSERT_TRUE(scaled.ok());
+  for (int c = 0; c < 3; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (Dataset::Index i = 0; i < scaled->num_rows(); ++i) {
+      mean += scaled->dense()(i, c);
+    }
+    mean /= scaled->num_rows();
+    for (Dataset::Index i = 0; i < scaled->num_rows(); ++i) {
+      const double v = scaled->dense()(i, c) - mean;
+      var += v * v;
+    }
+    var /= scaled->num_rows();
+    EXPECT_NEAR(mean, 0.0, 1e-10);
+    EXPECT_NEAR(var, 1.0, 1e-10);
+  }
+}
+
+TEST(Scaler, ConstantColumnGetsUnitScale) {
+  Matrix x(3, 2);
+  for (int i = 0; i < 3; ++i) {
+    x(i, 0) = 5.0;             // constant
+    x(i, 1) = i;               // varying
+  }
+  const Dataset d(std::move(x), Vector{1.0, 2.0, 3.0}, Task::kRegression);
+  const auto scaler = Standardizer::Fit(d);
+  ASSERT_TRUE(scaler.ok());
+  EXPECT_DOUBLE_EQ(scaler->scale()[0], 1.0);
+  const auto scaled = scaler->Transform(d);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_DOUBLE_EQ(scaled->dense()(0, 0), 0.0);  // (5-5)/1
+}
+
+TEST(Scaler, TransformAppliesTrainParametersToTest) {
+  const Dataset train = MakeSyntheticLinear(300, 2, 5);
+  const Dataset test = MakeSyntheticLinear(100, 2, 6);
+  const auto scaler = Standardizer::Fit(train);
+  ASSERT_TRUE(scaler.ok());
+  const auto scaled_test = scaler->Transform(test);
+  ASSERT_TRUE(scaled_test.ok());
+  // Spot-check one cell against the formula.
+  const double expected =
+      (test.dense()(0, 0) - scaler->mean()[0]) / scaler->scale()[0];
+  EXPECT_NEAR(scaled_test->dense()(0, 0), expected, 1e-12);
+}
+
+TEST(Scaler, RejectsSparseAndMismatchedDim) {
+  const Dataset sparse = MakeCriteoLike(10, 3, /*dim=*/20, /*nnz_per_row=*/4);
+  EXPECT_FALSE(Standardizer::Fit(sparse).ok());
+  const Dataset a = MakeSyntheticLinear(10, 2, 7);
+  const Dataset b = MakeSyntheticLinear(10, 3, 8);
+  const auto scaler = Standardizer::Fit(a);
+  ASSERT_TRUE(scaler.ok());
+  EXPECT_FALSE(scaler->Transform(b).ok());
+}
+
+}  // namespace
+}  // namespace blinkml

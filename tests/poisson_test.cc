@@ -1,0 +1,226 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/coordinator.h"
+#include "data/generators.h"
+#include "models/poisson_regression.h"
+#include "models/trainer.h"
+#include "tests/test_util.h"
+
+namespace blinkml {
+namespace {
+
+using testing::RandomVector;
+
+TEST(Poisson, BasicsAndValidation) {
+  PoissonRegressionSpec spec(1e-3);
+  EXPECT_EQ(spec.name(), "PoissonRegression");
+  EXPECT_EQ(spec.task(), Task::kRegression);
+  EXPECT_DOUBLE_EQ(spec.l2(), 1e-3);
+  EXPECT_TRUE(spec.has_linear_scores());
+  EXPECT_TRUE(spec.has_closed_form_hessian());
+  EXPECT_TRUE(spec.has_sparse_gradients());
+  EXPECT_THROW(PoissonRegressionSpec(-1.0), CheckError);
+}
+
+TEST(Poisson, CountGeneratorProducesNonNegativeIntegers) {
+  const Dataset data = MakeSyntheticCounts(500, 6, 1);
+  EXPECT_EQ(data.task(), Task::kRegression);
+  double total = 0.0;
+  for (Dataset::Index i = 0; i < data.num_rows(); ++i) {
+    const double y = data.label(i);
+    EXPECT_GE(y, 0.0);
+    EXPECT_EQ(y, std::floor(y));
+    total += y;
+  }
+  EXPECT_GT(total, 0.0);  // not all zero
+}
+
+TEST(Poisson, CountGeneratorRateScale) {
+  const Dataset low = MakeSyntheticCounts(3000, 4, 2, /*rate_scale=*/0.5);
+  const Dataset high = MakeSyntheticCounts(3000, 4, 3, /*rate_scale=*/8.0);
+  auto mean_label = [](const Dataset& d) {
+    double s = 0.0;
+    for (Dataset::Index i = 0; i < d.num_rows(); ++i) s += d.label(i);
+    return s / static_cast<double>(d.num_rows());
+  };
+  EXPECT_GT(mean_label(high), 4.0 * mean_label(low));
+}
+
+TEST(Poisson, GradientMatchesFiniteDifferences) {
+  const Dataset data = MakeSyntheticCounts(80, 5, 4);
+  PoissonRegressionSpec spec(1e-2);
+  Rng rng(5);
+  Vector theta = RandomVector(5, &rng);
+  theta *= 0.2;
+  Vector grad;
+  spec.Gradient(theta, data, &grad);
+  const double h = 1e-6;
+  for (int j = 0; j < 5; ++j) {
+    Vector tp = theta, tm = theta;
+    tp[j] += h;
+    tm[j] -= h;
+    const double fd =
+        (spec.Objective(tp, data) - spec.Objective(tm, data)) / (2.0 * h);
+    EXPECT_NEAR(grad[j], fd, 1e-5 * std::max(1.0, std::fabs(fd)));
+  }
+}
+
+TEST(Poisson, PerExampleGradientsAverageToFullGradient) {
+  const Dataset data = MakeSyntheticCounts(60, 4, 6);
+  PoissonRegressionSpec spec(5e-3);
+  Rng rng(7);
+  Vector theta = RandomVector(4, &rng);
+  theta *= 0.2;
+  Matrix q;
+  spec.PerExampleGradients(theta, data, &q);
+  Vector mean(4);
+  for (Matrix::Index i = 0; i < q.rows(); ++i) {
+    for (int j = 0; j < 4; ++j) mean[j] += q(i, j);
+  }
+  mean *= 1.0 / static_cast<double>(q.rows());
+  Axpy(spec.l2(), theta, &mean);
+  Vector grad;
+  spec.Gradient(theta, data, &grad);
+  testing::ExpectVectorNear(mean, grad, 1e-9);
+}
+
+TEST(Poisson, ClosedFormHessianMatchesFiniteDifference) {
+  const Dataset data = MakeSyntheticCounts(60, 3, 8);
+  PoissonRegressionSpec spec(1e-2);
+  Rng rng(9);
+  Vector theta = RandomVector(3, &rng);
+  theta *= 0.2;
+  const auto h = spec.ClosedFormHessian(theta, data);
+  ASSERT_TRUE(h.ok());
+  const double step = 1e-6;
+  for (int j = 0; j < 3; ++j) {
+    Vector tp = theta, tm = theta;
+    tp[j] += step;
+    tm[j] -= step;
+    Vector gp, gm;
+    spec.Gradient(tp, data, &gp);
+    spec.Gradient(tm, data, &gm);
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_NEAR((*h)(r, j), (gp[r] - gm[r]) / (2.0 * step),
+                  1e-4 * std::max(1.0, std::fabs((*h)(r, j))));
+    }
+  }
+}
+
+TEST(Poisson, RecoverRatesOnGeneratedData) {
+  // Trained on enough data, predicted rates should track true counts: the
+  // average absolute error should be near the Poisson noise floor.
+  const Dataset data = MakeSyntheticCounts(20000, 6, 10, /*rate_scale=*/3.0);
+  PoissonRegressionSpec spec(1e-4);
+  // The synthetic bias is folded into the labels, not the features, so
+  // append a constant column to let the model absorb it.
+  Matrix x(data.num_rows(), 7);
+  for (Dataset::Index i = 0; i < data.num_rows(); ++i) {
+    for (int j = 0; j < 6; ++j) x(i, j) = data.dense()(i, j);
+    x(i, 6) = 1.0;
+  }
+  const Dataset with_bias(std::move(x), Vector(data.labels()),
+                          Task::kRegression);
+  const auto model = ModelTrainer().Train(spec, with_bias);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model->converged);
+  Vector pred;
+  spec.Predict(model->theta, with_bias, &pred);
+  double mean_rate = 0.0, mean_abs_err = 0.0;
+  for (Dataset::Index i = 0; i < with_bias.num_rows(); ++i) {
+    mean_rate += pred[i];
+    mean_abs_err += std::fabs(pred[i] - with_bias.label(i));
+  }
+  mean_rate /= static_cast<double>(with_bias.num_rows());
+  mean_abs_err /= static_cast<double>(with_bias.num_rows());
+  EXPECT_GT(mean_rate, 2.0);
+  // Poisson noise floor: E|y - rate| ~ sqrt(rate); allow 1.5x.
+  EXPECT_LT(mean_abs_err, 1.5 * std::sqrt(mean_rate));
+}
+
+TEST(Poisson, SparseGradientsMatchDense) {
+  // Build a sparse count dataset by sparsifying features.
+  const Dataset dense = MakeSyntheticCounts(50, 10, 11);
+  Matrix x = dense.dense();
+  for (Matrix::Index i = 0; i < x.rows(); ++i) {
+    for (Matrix::Index j = 0; j < x.cols(); ++j) {
+      if ((i + j) % 3 != 0) x(i, j) = 0.0;
+    }
+  }
+  const Dataset sparse(SparseMatrix::FromDense(x), Vector(dense.labels()),
+                       Task::kRegression);
+  PoissonRegressionSpec spec(1e-3);
+  Rng rng(12);
+  Vector theta = RandomVector(10, &rng);
+  theta *= 0.1;
+  Matrix dense_grads;
+  spec.PerExampleGradients(theta, sparse, &dense_grads);
+  testing::ExpectMatrixNear(
+      spec.PerExampleGradientsSparse(theta, sparse).ToDense(), dense_grads,
+      1e-12);
+}
+
+TEST(Poisson, DiffIsNormalizedRateDifference) {
+  const Dataset data = MakeSyntheticCounts(200, 4, 13);
+  PoissonRegressionSpec spec(1e-3);
+  Rng rng(14);
+  Vector t1 = RandomVector(4, &rng);
+  t1 *= 0.1;
+  EXPECT_NEAR(spec.Diff(t1, t1, data), 0.0, 1e-12);
+  Vector t2 = t1;
+  t2[0] += 0.05;
+  const double v = spec.Diff(t1, t2, data);
+  EXPECT_GT(v, 0.0);
+  EXPECT_NEAR(v, spec.Diff(t2, t1, data), 1e-12);
+  // Consistent with DiffFromScores.
+  EXPECT_NEAR(v,
+              spec.DiffFromScores(spec.Scores(t1, data),
+                                  spec.Scores(t2, data), data),
+              1e-12);
+}
+
+TEST(Poisson, SafeAtExtremeParameters) {
+  // Objective stays finite under extreme linear predictors (the optimizer
+  // can probe such points during line search).
+  const Dataset data = MakeSyntheticCounts(20, 3, 15);
+  PoissonRegressionSpec spec(1e-3);
+  const Vector huge{300.0, 300.0, 300.0};
+  const double f = spec.Objective(huge, data);
+  EXPECT_TRUE(std::isfinite(f));
+  Vector grad;
+  spec.Gradient(huge, data, &grad);
+  for (int j = 0; j < 3; ++j) EXPECT_TRUE(std::isfinite(grad[j]));
+}
+
+TEST(Poisson, EndToEndCoordinatorContract) {
+  // Include an intercept column so the generator's base rate is
+  // representable (a misspecified mean structure would put the task
+  // outside the MLE framework the guarantee assumes).
+  const Dataset raw = MakeSyntheticCounts(40000, 8, 16, /*rate_scale=*/2.0);
+  Matrix x(raw.num_rows(), 9);
+  for (Dataset::Index i = 0; i < raw.num_rows(); ++i) {
+    for (int j = 0; j < 8; ++j) x(i, j) = raw.dense()(i, j);
+    x(i, 8) = 1.0;
+  }
+  const Dataset data(std::move(x), Vector(raw.labels()), Task::kRegression);
+  PoissonRegressionSpec spec(1e-3);
+  BlinkConfig config;
+  config.initial_sample_size = 2000;
+  config.holdout_size = 1000;
+  config.accuracy_samples = 256;
+  config.size_samples = 128;
+  config.seed = 17;
+  const Coordinator coordinator(config);
+  const auto result = coordinator.Train(spec, data, {0.05, 0.05});
+  ASSERT_TRUE(result.ok());
+  const auto full = ModelTrainer().Train(spec, data);
+  ASSERT_TRUE(full.ok());
+  const double v =
+      spec.Diff(result->model.theta, full->theta, result->holdout);
+  EXPECT_LE(v, 0.05 + 0.02);
+}
+
+}  // namespace
+}  // namespace blinkml

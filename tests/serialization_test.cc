@@ -1,0 +1,123 @@
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "models/logistic_regression.h"
+#include "models/serialization.h"
+#include "models/trainer.h"
+#include "tests/test_util.h"
+
+namespace blinkml {
+namespace {
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "blinkml_serialization";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SerializationTest, RoundTripPreservesEverything) {
+  const Dataset data = MakeSyntheticLogistic(500, 6, 1);
+  LogisticRegressionSpec spec(1e-3);
+  const auto trained = ModelTrainer().Train(spec, data);
+  ASSERT_TRUE(trained.ok());
+
+  const std::string path = Path("model.blink");
+  ASSERT_TRUE(SaveModel(path, spec.name(), *trained, 0.05, 0.01).ok());
+
+  const auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->model_class, "LogisticRegression");
+  EXPECT_DOUBLE_EQ(loaded->epsilon, 0.05);
+  EXPECT_DOUBLE_EQ(loaded->delta, 0.01);
+  EXPECT_EQ(loaded->model.iterations, trained->iterations);
+  EXPECT_EQ(loaded->model.converged, trained->converged);
+  EXPECT_EQ(loaded->model.sample_size, trained->sample_size);
+  EXPECT_DOUBLE_EQ(loaded->model.objective, trained->objective);
+  // Bit-exact parameters (printed at 17 significant digits).
+  testing::ExpectVectorNear(loaded->model.theta, trained->theta, 0.0);
+}
+
+TEST_F(SerializationTest, LoadedModelPredictsIdentically) {
+  const Dataset data = MakeSyntheticLogistic(400, 5, 2);
+  LogisticRegressionSpec spec(1e-3);
+  const auto trained = ModelTrainer().Train(spec, data);
+  ASSERT_TRUE(trained.ok());
+  const std::string path = Path("predict.blink");
+  ASSERT_TRUE(SaveModel(path, spec.name(), *trained).ok());
+  const auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(spec.Diff(loaded->model.theta, trained->theta, data),
+                   0.0);
+  EXPECT_DOUBLE_EQ(loaded->epsilon, -1.0);  // no contract recorded
+}
+
+TEST_F(SerializationTest, RejectsMissingFile) {
+  const auto loaded = LoadModel(Path("nonexistent.blink"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(SerializationTest, RejectsWrongMagic) {
+  std::ofstream(Path("bad.blink")) << "not-a-model 1\n";
+  const auto loaded = LoadModel(Path("bad.blink"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializationTest, RejectsWrongVersion) {
+  std::ofstream(Path("v9.blink")) << "blinkml-model 9\nclass X\nparams 0\ntheta\n";
+  EXPECT_FALSE(LoadModel(Path("v9.blink")).ok());
+}
+
+TEST_F(SerializationTest, RejectsTruncatedTheta) {
+  std::ofstream(Path("trunc.blink"))
+      << "blinkml-model 1\nclass LR\nparams 3\ntheta\n1.0\n2.0\n";
+  const auto loaded = LoadModel(Path("trunc.blink"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos);
+}
+
+TEST_F(SerializationTest, RejectsMissingThetaSection) {
+  std::ofstream(Path("nothe.blink"))
+      << "blinkml-model 1\nclass LR\nparams 3\n";
+  EXPECT_FALSE(LoadModel(Path("nothe.blink")).ok());
+}
+
+TEST_F(SerializationTest, RejectsMultiTokenClassName) {
+  TrainedModel model;
+  model.theta = Vector{1.0};
+  EXPECT_FALSE(SaveModel(Path("x.blink"), "two words", model).ok());
+}
+
+TEST_F(SerializationTest, SkipsUnknownKeysForForwardCompatibility) {
+  std::ofstream(Path("future.blink"))
+      << "blinkml-model 1\nclass LR\nfuture_key future_value\nparams 2\n"
+      << "theta\n1.5\n-2.5\n";
+  const auto loaded = LoadModel(Path("future.blink"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->model.theta.size(), 2);
+  EXPECT_DOUBLE_EQ(loaded->model.theta[1], -2.5);
+}
+
+TEST_F(SerializationTest, EmptyParameterVectorRoundTrips) {
+  TrainedModel model;  // zero parameters
+  ASSERT_TRUE(SaveModel(Path("empty.blink"), "Empty", model).ok());
+  const auto loaded = LoadModel(Path("empty.blink"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->model.theta.size(), 0);
+}
+
+}  // namespace
+}  // namespace blinkml

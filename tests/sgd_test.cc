@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "models/linear_regression.h"
+#include "models/logistic_regression.h"
+#include "models/trainer.h"
+#include "models/sgd.h"
+#include "tests/test_util.h"
+
+namespace blinkml {
+namespace {
+
+TEST(Sgd, RejectsBadOptions) {
+  LinearRegressionSpec spec(1e-2);
+  const Dataset data = MakeSyntheticLinear(100, 3, 1);
+  SgdOptions options;
+  options.batch_size = 0;
+  EXPECT_FALSE(MinimizeSgd(spec, data, options).ok());
+  options = {};
+  options.epochs = 0;
+  EXPECT_FALSE(MinimizeSgd(spec, data, options).ok());
+  options = {};
+  options.initial_step = 0.0;
+  EXPECT_FALSE(MinimizeSgd(spec, data, options).ok());
+  const Dataset empty(Matrix(0, 3), Vector(), Task::kUnsupervised);
+  EXPECT_FALSE(MinimizeSgd(spec, empty, {}).ok());
+}
+
+TEST(Sgd, ApproachesExactRidgeSolution) {
+  const Dataset data = MakeSyntheticLinear(4000, 5, 2, /*noise=*/0.3);
+  LinearRegressionSpec spec(1e-2);
+  SgdOptions options;
+  options.epochs = 30;
+  options.initial_step = 0.05;
+  options.decay = 0.2;
+  const auto sgd = MinimizeSgd(spec, data, options);
+  ASSERT_TRUE(sgd.ok());
+  const auto exact = ModelTrainer().Train(spec, data);
+  ASSERT_TRUE(exact.ok());
+  // SGD lands close to the exact optimum in objective value.
+  EXPECT_LT(sgd->objective, exact->objective * 1.05 + 1e-3);
+}
+
+TEST(Sgd, ObjectiveDecreasesWithMoreEpochs) {
+  const Dataset data = MakeSyntheticLogistic(3000, 6, 3);
+  LogisticRegressionSpec spec(1e-3);
+  double prev = spec.Objective(spec.InitialTheta(data), data);
+  for (const int epochs : {1, 5, 20}) {
+    SgdOptions options;
+    options.epochs = epochs;
+    options.seed = 4;
+    const auto result = MinimizeSgd(spec, data, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LT(result->objective, prev + 1e-6) << epochs;
+    prev = result->objective;
+  }
+}
+
+TEST(Sgd, AveragingReducesObjectiveNoise) {
+  const Dataset data = MakeSyntheticLinear(2000, 4, 5);
+  LinearRegressionSpec spec(1e-2);
+  SgdOptions noisy;
+  noisy.epochs = 12;
+  noisy.initial_step = 0.08;
+  noisy.average_final_epoch = false;
+  SgdOptions averaged = noisy;
+  averaged.average_final_epoch = true;
+  // Across several seeds, averaging should not be worse on average.
+  double total_noisy = 0.0, total_averaged = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    noisy.seed = seed;
+    averaged.seed = seed;
+    total_noisy += MinimizeSgd(spec, data, noisy)->objective;
+    total_averaged += MinimizeSgd(spec, data, averaged)->objective;
+  }
+  EXPECT_LE(total_averaged, total_noisy * 1.02);
+}
+
+TEST(Sgd, CountsGradientEvaluations) {
+  const Dataset data = MakeSyntheticLinear(100, 3, 6);
+  LinearRegressionSpec spec(1e-2);
+  SgdOptions options;
+  options.epochs = 3;
+  options.batch_size = 32;
+  const auto result = MinimizeSgd(spec, data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->epochs, 3);
+  EXPECT_EQ(result->gradient_evaluations, 300);  // every row, every epoch
+}
+
+TEST(Sgd, DeterministicGivenSeed) {
+  const Dataset data = MakeSyntheticLogistic(500, 4, 7);
+  LogisticRegressionSpec spec(1e-3);
+  SgdOptions options;
+  options.seed = 99;
+  const auto a = MinimizeSgd(spec, data, options);
+  const auto b = MinimizeSgd(spec, data, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  testing::ExpectVectorNear(a->theta, b->theta, 0.0);
+}
+
+TEST(Sgd, BatchLargerThanDataBehavesAsGradientDescent) {
+  const Dataset data = MakeSyntheticLinear(50, 3, 8);
+  LinearRegressionSpec spec(1e-2);
+  SgdOptions options;
+  options.batch_size = 1000;  // clamped to n
+  options.epochs = 5;
+  const auto result = MinimizeSgd(spec, data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->gradient_evaluations, 250);
+}
+
+}  // namespace
+}  // namespace blinkml

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "linalg/sparse.h"
+#include "tests/test_util.h"
+
+namespace blinkml {
+namespace {
+
+using testing::ExpectMatrixNear;
+using testing::ExpectVectorNear;
+using testing::RandomVector;
+
+SparseMatrix SmallSparse() {
+  // [[1, 0, 2],
+  //  [0, 0, 0],
+  //  [0, 3, 0]]
+  std::vector<std::vector<SparseEntry>> rows(3);
+  rows[0] = {{2, 2.0}, {0, 1.0}};  // deliberately unsorted
+  rows[2] = {{1, 3.0}};
+  return SparseMatrix(3, std::move(rows));
+}
+
+TEST(SparseMatrix, BasicProperties) {
+  const SparseMatrix m = SmallSparse();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.RowNnz(0), 2);
+  EXPECT_EQ(m.RowNnz(1), 0);
+  EXPECT_EQ(m.RowNnz(2), 1);
+}
+
+TEST(SparseMatrix, ColumnsSortedOnConstruction) {
+  const SparseMatrix m = SmallSparse();
+  EXPECT_EQ(m.RowCols(0)[0], 0);
+  EXPECT_EQ(m.RowCols(0)[1], 2);
+  EXPECT_DOUBLE_EQ(m.RowValues(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.RowValues(0)[1], 2.0);
+}
+
+TEST(SparseMatrix, RejectsOutOfRangeColumn) {
+  std::vector<std::vector<SparseEntry>> rows(1);
+  rows[0] = {{5, 1.0}};
+  EXPECT_THROW(SparseMatrix(3, std::move(rows)), CheckError);
+}
+
+TEST(SparseMatrix, ToDenseMatchesLayout) {
+  const Matrix d = SmallSparse().ToDense();
+  EXPECT_DOUBLE_EQ(d(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(d(2, 1), 3.0);
+}
+
+TEST(SparseMatrix, FromDenseRoundTrip) {
+  const Matrix d = SmallSparse().ToDense();
+  const SparseMatrix s = SparseMatrix::FromDense(d);
+  EXPECT_EQ(s.nnz(), 3);
+  ExpectMatrixNear(s.ToDense(), d, 0.0);
+}
+
+TEST(SparseMatrix, ApplyMatchesDense) {
+  Rng rng(21);
+  const SparseMatrix s = SmallSparse();
+  const Matrix d = s.ToDense();
+  const Vector x = RandomVector(3, &rng);
+  ExpectVectorNear(s.Apply(x), MatVec(d, x), 1e-14, "A x");
+  ExpectVectorNear(s.ApplyTransposed(x), MatTVec(d, x), 1e-14, "A^T x");
+}
+
+TEST(SparseMatrix, RowDotAndAddRowTo) {
+  const SparseMatrix s = SmallSparse();
+  const Vector x{1.0, 10.0, 100.0};
+  EXPECT_DOUBLE_EQ(s.RowDot(0, x), 201.0);
+  EXPECT_DOUBLE_EQ(s.RowDot(1, x), 0.0);
+  Vector y(3);
+  s.AddRowTo(0, 2.0, &y);
+  ExpectVectorNear(y, Vector{2.0, 0.0, 4.0}, 0.0);
+}
+
+TEST(SparseMatrix, TakeRowsSelectsAndReorders) {
+  const SparseMatrix s = SmallSparse();
+  const SparseMatrix t = s.TakeRows({2, 0});
+  EXPECT_EQ(t.rows(), 2);
+  const Matrix d = t.ToDense();
+  EXPECT_DOUBLE_EQ(d(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 1.0);
+  EXPECT_THROW(s.TakeRows({3}), CheckError);
+}
+
+TEST(SparseMatrix, EmptyMatrixBehaves) {
+  const SparseMatrix s(5, std::vector<std::vector<SparseEntry>>(4));
+  EXPECT_EQ(s.nnz(), 0);
+  const Vector x(5);
+  ExpectVectorNear(s.Apply(x), Vector(4), 0.0);
+}
+
+TEST(SparseMatrix, DimensionMismatchThrows) {
+  const SparseMatrix s = SmallSparse();
+  EXPECT_THROW(s.Apply(Vector(2)), CheckError);
+  EXPECT_THROW(s.ApplyTransposed(Vector(2)), CheckError);
+}
+
+// Property sweep: random sparse matrices agree with their dense copies.
+class SparseRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseRandom, OperationsMatchDenseOracle) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const int rows = 1 + static_cast<int>(rng.UniformInt(40));
+  const int cols = 1 + static_cast<int>(rng.UniformInt(60));
+  std::vector<std::vector<SparseEntry>> entries(
+      static_cast<std::size_t>(rows));
+  for (auto& row : entries) {
+    const int nnz = static_cast<int>(rng.UniformInt(
+        static_cast<std::uint64_t>(cols / 2 + 1)));
+    const auto chosen = SampleWithoutReplacement(cols, nnz, &rng);
+    for (const auto c : chosen) row.push_back({c, rng.Normal()});
+  }
+  const SparseMatrix s(cols, std::move(entries));
+  const Matrix d = s.ToDense();
+  const Vector x = RandomVector(cols, &rng);
+  const Vector y = RandomVector(rows, &rng);
+  ExpectVectorNear(s.Apply(x), MatVec(d, x), 1e-12);
+  ExpectVectorNear(s.ApplyTransposed(y), MatTVec(d, y), 1e-12);
+  for (int r = 0; r < rows; ++r) {
+    EXPECT_NEAR(s.RowDot(r, x), Dot(d.Row(r), x), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseRandom, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace blinkml

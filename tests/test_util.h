@@ -1,0 +1,66 @@
+// Shared helpers for the test suite.
+
+#ifndef BLINKML_TESTS_TEST_UTIL_H_
+#define BLINKML_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "random/rng.h"
+
+namespace blinkml {
+namespace testing {
+
+/// Random matrix with i.i.d. N(0,1) entries.
+inline Matrix RandomMatrix(Matrix::Index rows, Matrix::Index cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (Matrix::Index r = 0; r < rows; ++r) {
+    for (Matrix::Index c = 0; c < cols; ++c) m(r, c) = rng->Normal();
+  }
+  return m;
+}
+
+/// Random symmetric positive-definite matrix A = B B^T + ridge I.
+inline Matrix RandomSpd(Matrix::Index n, Rng* rng, double ridge = 0.5) {
+  const Matrix b = RandomMatrix(n, n, rng);
+  Matrix a = MatMulT(b, b);
+  a.AddToDiagonal(ridge);
+  return a;
+}
+
+/// Random symmetric (possibly indefinite) matrix.
+inline Matrix RandomSymmetric(Matrix::Index n, Rng* rng) {
+  Matrix a = RandomMatrix(n, n, rng);
+  Matrix at = a.Transposed();
+  a += at;
+  a *= 0.5;
+  return a;
+}
+
+/// Random vector with i.i.d. N(0,1) entries.
+inline Vector RandomVector(Vector::Index n, Rng* rng) {
+  Vector v(n);
+  rng->FillNormal(&v);
+  return v;
+}
+
+/// EXPECT that two matrices agree element-wise within tol.
+inline void ExpectMatrixNear(const Matrix& a, const Matrix& b, double tol,
+                             const char* what = "") {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  EXPECT_LE(MaxAbsDiff(a, b), tol) << what;
+}
+
+/// EXPECT that two vectors agree element-wise within tol.
+inline void ExpectVectorNear(const Vector& a, const Vector& b, double tol,
+                             const char* what = "") {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  EXPECT_LE(MaxAbsDiff(a, b), tol) << what;
+}
+
+}  // namespace testing
+}  // namespace blinkml
+
+#endif  // BLINKML_TESTS_TEST_UTIL_H_

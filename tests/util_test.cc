@@ -1,0 +1,264 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace blinkml {
+namespace {
+
+// ---------- check.h ----------
+
+TEST(Check, PassesOnTrue) { EXPECT_NO_THROW(BLINKML_CHECK(1 + 1 == 2)); }
+
+TEST(Check, ThrowsOnFalse) {
+  EXPECT_THROW(BLINKML_CHECK(false), CheckError);
+}
+
+TEST(Check, MessageContainsExpressionAndLocation) {
+  try {
+    BLINKML_CHECK_MSG(false, "the context");
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("the context"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cc"), std::string::npos);
+  }
+}
+
+TEST(Check, ComparisonMacrosIncludeOperands) {
+  try {
+    const int a = 3, b = 7;
+    BLINKML_CHECK_EQ(a, b);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lhs=3"), std::string::npos);
+    EXPECT_NE(what.find("rhs=7"), std::string::npos);
+  }
+}
+
+TEST(Check, AllComparisonDirections) {
+  EXPECT_NO_THROW(BLINKML_CHECK_LT(1, 2));
+  EXPECT_NO_THROW(BLINKML_CHECK_LE(2, 2));
+  EXPECT_NO_THROW(BLINKML_CHECK_GT(3, 2));
+  EXPECT_NO_THROW(BLINKML_CHECK_GE(2, 2));
+  EXPECT_NO_THROW(BLINKML_CHECK_NE(1, 2));
+  EXPECT_THROW(BLINKML_CHECK_LT(2, 2), CheckError);
+  EXPECT_THROW(BLINKML_CHECK_GT(2, 2), CheckError);
+  EXPECT_THROW(BLINKML_CHECK_NE(2, 2), CheckError);
+}
+
+// ---------- status.h ----------
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotConverged), "NotConverged");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInfeasible), "Infeasible");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_THROW(r.value(), CheckError);
+}
+
+TEST(Result, ConstructingFromOkStatusIsAnError) {
+  EXPECT_THROW(Result<int> r(Status::OK()), CheckError);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterEven(int x) {
+  BLINKML_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  return HalveEven(half);
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(QuarterEven(8).value(), 2);
+  EXPECT_FALSE(QuarterEven(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(QuarterEven(3).ok());
+}
+
+// ---------- stats.h ----------
+
+TEST(Stats, MeanVarianceStdDev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(Variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, MeanOfEmptyThrows) {
+  EXPECT_THROW(Mean({}), CheckError);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(Variance({3.0}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, QuantileRejectsBadLevel) {
+  EXPECT_THROW(Quantile({1.0}, -0.1), CheckError);
+  EXPECT_THROW(Quantile({1.0}, 1.1), CheckError);
+}
+
+TEST(Stats, UpperOrderStatisticIsConservative) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  // ceil(0.5 * 5) = 3rd order statistic.
+  EXPECT_DOUBLE_EQ(UpperOrderStatistic(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(UpperOrderStatistic(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(UpperOrderStatistic(xs, 0.0), 10.0);  // clamped to 1st
+  // The defining property (what Lemma 2 needs): the empirical fraction of
+  // observations <= the returned value is at least q.
+  for (double q = 0.05; q < 1.0; q += 0.05) {
+    const double bound = UpperOrderStatistic(xs, q);
+    int below = 0;
+    for (double x : xs) {
+      if (x <= bound) ++below;
+    }
+    EXPECT_GE(below / static_cast<double>(xs.size()), q) << "q=" << q;
+  }
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  const std::vector<double> xs = {0.5, -1.0, 2.25, 3.0, -0.75, 4.0};
+  RunningStats rs;
+  for (double x : xs) rs.Add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), Mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), Variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.0);
+}
+
+TEST(Stats, RunningStatsEmptyThrows) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), CheckError);
+  EXPECT_THROW(rs.min(), CheckError);
+}
+
+// ---------- string_util.h ----------
+
+TEST(StringUtil, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("\t \n"), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(StartsWith("prefix-rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+}
+
+TEST(StringUtil, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(0.0000005), "0us");
+  EXPECT_EQ(HumanSeconds(0.0123), "12.30ms");
+  EXPECT_EQ(HumanSeconds(3.5), "3.50s");
+  EXPECT_EQ(HumanSeconds(195.0), "3m15s");
+}
+
+TEST(StringUtil, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+  EXPECT_EQ(WithThousands(-45000), "-45,000");
+}
+
+// ---------- timer.h ----------
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(sink, 0.0);
+  EXPECT_GE(t.Seconds(), 0.0);
+  EXPECT_GE(t.Millis(), t.Seconds());  // millis are 1000x seconds
+}
+
+TEST(Timer, ScopedTimerAccumulates) {
+  double total = 0.0;
+  {
+    ScopedTimer st(&total);
+  }
+  {
+    ScopedTimer st(&total);
+  }
+  EXPECT_GE(total, 0.0);
+}
+
+// ---------- logging.h ----------
+
+TEST(Logging, LevelRoundTrips) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Suppressed message must not crash.
+  BLINKML_LOG(INFO) << "should be invisible";
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace blinkml

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "tests/test_util.h"
+#include "util/check.h"
+
+namespace blinkml {
+namespace {
+
+using testing::ExpectMatrixNear;
+using testing::ExpectVectorNear;
+using testing::RandomMatrix;
+using testing::RandomVector;
+
+// ---------- Vector ----------
+
+TEST(Vector, ConstructionAndAccess) {
+  Vector v(3);
+  EXPECT_EQ(v.size(), 3);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  v[1] = 2.5;
+  EXPECT_DOUBLE_EQ(v[1], 2.5);
+  const Vector w{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(w[2], 3.0);
+  EXPECT_TRUE(Vector().empty());
+}
+
+TEST(Vector, NegativeSizeThrows) {
+  EXPECT_THROW(Vector(-1), CheckError);
+}
+
+TEST(Vector, Arithmetic) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{4.0, 5.0, 6.0};
+  ExpectVectorNear(a + b, Vector{5.0, 7.0, 9.0}, 0.0);
+  ExpectVectorNear(b - a, Vector{3.0, 3.0, 3.0}, 0.0);
+  ExpectVectorNear(a * 2.0, Vector{2.0, 4.0, 6.0}, 0.0);
+  ExpectVectorNear(2.0 * a, Vector{2.0, 4.0, 6.0}, 0.0);
+  ExpectVectorNear(b / 2.0, Vector{2.0, 2.5, 3.0}, 0.0);
+}
+
+TEST(Vector, SizeMismatchThrows) {
+  Vector a{1.0, 2.0};
+  const Vector b{1.0, 2.0, 3.0};
+  EXPECT_THROW(a += b, CheckError);
+  EXPECT_THROW(Dot(a, b), CheckError);
+}
+
+TEST(Vector, DivisionByZeroThrows) {
+  Vector a{1.0};
+  EXPECT_THROW(a /= 0.0, CheckError);
+}
+
+TEST(Vector, DotAndNorms) {
+  const Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm2(a), 25.0);
+  EXPECT_DOUBLE_EQ(Norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(NormInf(a), 4.0);
+  EXPECT_DOUBLE_EQ(NormInf(Vector{-7.0, 2.0}), 7.0);
+  EXPECT_DOUBLE_EQ(NormInf(Vector()), 0.0);
+}
+
+TEST(Vector, Axpy) {
+  const Vector x{1.0, 2.0};
+  Vector y{10.0, 20.0};
+  Axpy(3.0, x, &y);
+  ExpectVectorNear(y, Vector{13.0, 26.0}, 0.0);
+}
+
+TEST(Vector, CosineSimilarity) {
+  EXPECT_NEAR(CosineSimilarity(Vector{1.0, 0.0}, Vector{0.0, 1.0}), 0.0,
+              1e-15);
+  EXPECT_NEAR(CosineSimilarity(Vector{1.0, 1.0}, Vector{2.0, 2.0}), 1.0,
+              1e-15);
+  EXPECT_NEAR(CosineSimilarity(Vector{1.0, 0.0}, Vector{-3.0, 0.0}), -1.0,
+              1e-15);
+  EXPECT_THROW(CosineSimilarity(Vector{0.0, 0.0}, Vector{1.0, 0.0}),
+               CheckError);
+}
+
+TEST(Vector, FillAndResize) {
+  Vector v(2);
+  v.Fill(7.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+  v.Resize(4);
+  EXPECT_EQ(v.size(), 4);
+  EXPECT_DOUBLE_EQ(v[0], 7.0);   // preserved
+  EXPECT_DOUBLE_EQ(v[3], 0.0);   // zero-filled
+}
+
+// ---------- Matrix ----------
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+
+  const Matrix init = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(init(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(init(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), CheckError);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix eye = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(eye(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+  const Matrix d = Matrix::Diagonal(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 0.0);
+}
+
+TEST(Matrix, RowColAccess) {
+  const Matrix m = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  ExpectVectorNear(m.Row(1), Vector{3.0, 4.0}, 0.0);
+  ExpectVectorNear(m.Col(1), Vector{2.0, 4.0, 6.0}, 0.0);
+  Matrix w = m;
+  w.SetRow(0, Vector{9.0, 8.0});
+  EXPECT_DOUBLE_EQ(w(0, 1), 8.0);
+  w.SetCol(0, Vector{1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(w(2, 0), 1.0);
+  EXPECT_THROW(w.SetRow(0, Vector{1.0}), CheckError);
+}
+
+TEST(Matrix, TransposedRoundTrip) {
+  Rng rng(11);
+  const Matrix m = RandomMatrix(4, 7, &rng);
+  ExpectMatrixNear(m.Transposed().Transposed(), m, 0.0);
+  EXPECT_EQ(m.Transposed().rows(), 7);
+}
+
+TEST(Matrix, AddToDiagonal) {
+  Matrix m(2, 2);
+  m.AddToDiagonal(3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(Matrix, MatMulAgainstHandComputed) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  ExpectMatrixNear(MatMul(a, b), Matrix{{19.0, 22.0}, {43.0, 50.0}}, 1e-14);
+}
+
+TEST(Matrix, MatMulShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(MatMul(a, b), CheckError);
+}
+
+TEST(Matrix, TransposedProductsMatchExplicit) {
+  Rng rng(12);
+  const Matrix a = RandomMatrix(5, 3, &rng);
+  const Matrix b = RandomMatrix(5, 4, &rng);
+  ExpectMatrixNear(MatTMul(a, b), MatMul(a.Transposed(), b), 1e-12,
+                   "A^T B");
+  const Matrix c = RandomMatrix(4, 3, &rng);
+  const Matrix d = RandomMatrix(6, 3, &rng);
+  ExpectMatrixNear(MatMulT(c, d), MatMul(c, d.Transposed()), 1e-12, "A B^T");
+}
+
+TEST(Matrix, MatVecMatchesManual) {
+  const Matrix a = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  ExpectVectorNear(MatVec(a, Vector{1.0, 1.0, 1.0}), Vector{6.0, 15.0},
+                   1e-14);
+  ExpectVectorNear(MatTVec(a, Vector{1.0, 1.0}), Vector{5.0, 7.0, 9.0},
+                   1e-14);
+}
+
+TEST(Matrix, GramMatricesMatchExplicit) {
+  Rng rng(13);
+  const Matrix a = RandomMatrix(6, 4, &rng);
+  ExpectMatrixNear(GramRows(a), MatMul(a, a.Transposed()), 1e-12, "A A^T");
+  ExpectMatrixNear(GramCols(a), MatMul(a.Transposed(), a), 1e-12, "A^T A");
+}
+
+TEST(Matrix, FrobeniusAndMaxAbs) {
+  const Matrix m = {{3.0, 0.0}, {0.0, -4.0}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+}
+
+TEST(Matrix, MeanFrobeniusError) {
+  const Matrix a = {{1.0, 1.0}, {1.0, 1.0}};
+  const Matrix b = {{0.0, 0.0}, {0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(MeanFrobeniusError(a, b), 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(MeanFrobeniusError(a, a), 0.0);
+}
+
+// Parameterized: products at many shapes agree with a naive reference.
+class MatMulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapes, MatchesNaiveTripleLoop) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(100 + m * 31 + k * 7 + n);
+  const Matrix a = RandomMatrix(m, k, &rng);
+  const Matrix b = RandomMatrix(k, n, &rng);
+  Matrix expected(m, n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int p = 0; p < k; ++p) s += a(i, p) * b(p, j);
+      expected(i, j) = s;
+    }
+  }
+  ExpectMatrixNear(MatMul(a, b), expected, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 5, 3),
+                      std::make_tuple(7, 1, 2), std::make_tuple(8, 8, 8),
+                      std::make_tuple(65, 64, 63),
+                      std::make_tuple(100, 3, 100),
+                      std::make_tuple(3, 100, 3),
+                      std::make_tuple(129, 130, 5)));
+
+}  // namespace
+}  // namespace blinkml
