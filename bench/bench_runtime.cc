@@ -1,0 +1,162 @@
+// Thread-count scaling of the parallel runtime on BlinkML's two dominant
+// phases: ObservedFisher statistics computation (per-example gradient
+// matrix Q + Gram matrix + eigendecomposition) and Monte-Carlo accuracy /
+// sample-size estimation. The serial baseline disables the runtime
+// (RuntimeOptions::enabled = false), which is the seed implementation's
+// code path; each parallel row runs the identical chunk layout on a pool
+// of the given size, so the reported estimates are identical down the
+// column by the runtime's determinism contract.
+//
+// Shapes are chosen so the parallelizable Gram phase dominates the serial
+// eigendecomposition (p >> n_s puts ObservedFisher on the Gram path).
+// BLINKML_SCALE scales the dataset; BLINKML_REPEATS the timing repeats.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/accuracy_estimator.h"
+#include "core/sample_size_estimator.h"
+#include "core/statistics.h"
+#include "data/generators.h"
+#include "models/logistic_regression.h"
+#include "models/trainer.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace blinkml {
+namespace {
+
+struct Workload {
+  LogisticRegressionSpec spec{1e-3};
+  Dataset data;
+  Dataset holdout;
+  Vector theta;
+  StatsOptions stats_options;
+};
+
+struct PhaseSeconds {
+  double statistics = 0.0;
+  double accuracy = 0.0;
+  double sample_size = 0.0;
+};
+
+Workload MakeWorkload(double scale) {
+  Workload w;
+  const std::int64_t n = static_cast<std::int64_t>(4000 * scale);
+  const std::int64_t d = static_cast<std::int64_t>(2048 * scale);
+  w.data = MakeSyntheticLogistic(n, d, /*seed=*/101, /*sparsity=*/1.0);
+  w.holdout = MakeSyntheticLogistic(1000, d, /*seed=*/102, /*sparsity=*/1.0);
+  const auto model = ModelTrainer().Train(w.spec, w.data);
+  BLINKML_CHECK(model.ok());
+  w.theta = model->theta;
+  // p > n_s: the Gram path, whose n_s^2 * p dot products dominate the
+  // n_s^3 eigendecomposition by a factor of p / n_s.
+  w.stats_options.method = StatsMethod::kObservedFisher;
+  w.stats_options.stats_sample_size = 384;
+  return w;
+}
+
+PhaseSeconds RunOnce(const Workload& w, int repeats) {
+  PhaseSeconds out;
+  for (int r = 0; r < repeats; ++r) {
+    Rng stats_rng(1000 + r);
+    WallTimer timer;
+    auto sampler = ComputeStatistics(w.spec, w.theta, w.data,
+                                     w.stats_options, &stats_rng);
+    out.statistics += timer.Seconds();
+    BLINKML_CHECK(sampler.ok());
+
+    AccuracyOptions acc_options;
+    acc_options.num_samples = 256;
+    Rng acc_rng(2000 + r);
+    timer.Reset();
+    auto acc = EstimateAccuracy(w.spec, w.theta, w.data.num_rows(),
+                                10 * w.data.num_rows(), *sampler, w.holdout,
+                                acc_options, &acc_rng);
+    out.accuracy += timer.Seconds();
+    BLINKML_CHECK(acc.ok());
+
+    SampleSizeOptions size_options;
+    size_options.num_samples = 128;
+    size_options.epsilon = std::max(acc->epsilon / 4.0, 1e-4);
+    Rng size_rng(3000 + r);
+    timer.Reset();
+    auto size = EstimateSampleSize(w.spec, w.theta, w.data.num_rows(),
+                                   10 * w.data.num_rows(), *sampler,
+                                   w.holdout, size_options, &size_rng);
+    out.sample_size += timer.Seconds();
+    BLINKML_CHECK(size.ok());
+  }
+  const double inv = 1.0 / repeats;
+  out.statistics *= inv;
+  out.accuracy *= inv;
+  out.sample_size *= inv;
+  return out;
+}
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+std::string FormatSpeedup(double serial, double parallel) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", serial / parallel);
+  return buf;
+}
+
+}  // namespace
+}  // namespace blinkml
+
+int main() {
+  using namespace blinkml;
+
+  const double scale = bench::ScaleFromEnv();
+  const int repeats = bench::RepeatsFromEnv(3);
+  const Workload w = MakeWorkload(scale);
+
+  bench::PrintHeader("Runtime scaling: statistics + estimation phases");
+  std::printf("rows=%lld dim=%lld stats_sample=%lld repeats=%d hardware=%d\n",
+              static_cast<long long>(w.data.num_rows()),
+              static_cast<long long>(w.data.dim()),
+              static_cast<long long>(w.stats_options.stats_sample_size),
+              repeats, ThreadPool::DefaultParallelism());
+
+  const std::vector<int> widths = {10, 12, 12, 12, 12};
+  bench::PrintRow({"threads", "stats(s)", "speedup", "accuracy(s)",
+                   "sizeest(s)"},
+                  widths);
+
+  // Serial baseline: the runtime disabled end to end (seed code path).
+  RuntimeOptions serial;
+  serial.enabled = false;
+  PhaseSeconds base;
+  {
+    RuntimeScope scope(serial);
+    base = RunOnce(w, repeats);
+  }
+  bench::PrintRow({"serial", FormatSeconds(base.statistics), "1.00x",
+                   FormatSeconds(base.accuracy),
+                   FormatSeconds(base.sample_size)},
+                  widths);
+
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    RuntimeOptions options;
+    options.pool = &pool;
+    options.num_threads = threads;
+    RuntimeScope scope(options);
+    const PhaseSeconds t = RunOnce(w, repeats);
+    bench::PrintRow({std::to_string(threads), FormatSeconds(t.statistics),
+                     FormatSpeedup(base.statistics, t.statistics),
+                     FormatSeconds(t.accuracy), FormatSeconds(t.sample_size)},
+                    widths);
+  }
+  return 0;
+}

@@ -3,9 +3,16 @@
 #include <cmath>
 
 #include "core/conservative.h"
+#include "runtime/parallel.h"
 #include "util/stats.h"
 
 namespace blinkml {
+
+// The Monte-Carlo loops below chunk with kFineGrain: each chunk consumes
+// its own Rng stream (split off the caller's generator in chunk order
+// before the parallel region), and the chunk layout is a pure function of
+// the sample count — so the drawn v_i are identical for any thread count,
+// including fully serial execution.
 
 Result<AccuracyEstimate> EstimateAccuracy(
     const ModelSpec& spec, const Vector& theta_n, Dataset::Index n,
@@ -40,22 +47,29 @@ Result<AccuracyEstimate> EstimateAccuracy(
   Matrix base_scores;
   if (score_path) base_scores = spec.Scores(theta_n, holdout);
 
-  std::vector<double> vs;
-  vs.reserve(static_cast<std::size_t>(options.num_samples));
-  for (int i = 0; i < options.num_samples; ++i) {
-    const Vector delta_theta = sampler.Draw(scale, rng);
-    double v;
-    if (score_path) {
-      Matrix scores = spec.Scores(delta_theta, holdout);
-      scores += base_scores;
-      v = spec.DiffFromScores(base_scores, scores, holdout);
-    } else {
-      Vector theta_full = theta_n;
-      theta_full += delta_theta;
-      v = spec.Diff(theta_n, theta_full, holdout);
-    }
-    vs.push_back(v);
-  }
+  const ParallelIndex k = options.num_samples;
+  const ChunkLayout layout = ComputeChunks(k, kFineGrain);
+  std::vector<Rng> chunk_rngs = SplitRngPerChunk(layout, rng);
+  std::vector<double> vs(static_cast<std::size_t>(k));
+  ParallelForChunks(
+      0, k, layout,
+      [&](ParallelIndex chunk, ParallelIndex b, ParallelIndex e) {
+        Rng& chunk_rng = chunk_rngs[static_cast<std::size_t>(chunk)];
+        for (ParallelIndex i = b; i < e; ++i) {
+          const Vector delta_theta = sampler.Draw(scale, &chunk_rng);
+          double v;
+          if (score_path) {
+            Matrix scores = spec.Scores(delta_theta, holdout);
+            scores += base_scores;
+            v = spec.DiffFromScores(base_scores, scores, holdout);
+          } else {
+            Vector theta_full = theta_n;
+            theta_full += delta_theta;
+            v = spec.Diff(theta_n, theta_full, holdout);
+          }
+          vs[static_cast<std::size_t>(i)] = v;
+        }
+      });
 
   out.mean_v = Mean(vs);
   const QuantileLevel level =

@@ -7,6 +7,7 @@
 
 #include "data/dataset.h"
 #include "models/trainer.h"
+#include "runtime/runtime_options.h"
 #include "util/status.h"
 
 namespace blinkml {
@@ -65,6 +66,12 @@ struct BlinkConfig {
 
   /// Master seed for every random choice (sampling, Monte Carlo).
   std::uint64_t seed = 42;
+
+  /// Parallel-runtime knobs (thread count, on/off switch); installed by
+  /// Coordinator::Train for the duration of a run. The determinism
+  /// contract (runtime/parallel.h) guarantees identical results for any
+  /// num_threads setting.
+  RuntimeOptions runtime;
 
   /// Training configuration (optimizer choice defaults to the paper's
   /// dimension policy).

@@ -21,6 +21,11 @@ Result<ApproxResult> Coordinator::Train(
     return Status::InvalidArgument("dataset too small");
   }
 
+  // Every parallel hot path below (statistics, Monte-Carlo estimation,
+  // training gradients) honors the config's runtime knobs for the
+  // duration of this run.
+  RuntimeScope runtime_scope(config_.runtime);
+
   WallTimer total_timer;
   Rng rng(config_.seed);
 

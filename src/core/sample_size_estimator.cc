@@ -4,12 +4,17 @@
 #include <vector>
 
 #include "core/conservative.h"
+#include "runtime/parallel.h"
 
 namespace blinkml {
 
 namespace {
 
 using Index = Dataset::Index;
+
+// The Monte-Carlo loops chunk with the runtime's kFineGrain so the chunk
+// layout (and the per-chunk Rng stream assignment) never depends on the
+// thread count. See accuracy_estimator.cc for the determinism argument.
 
 // Scales for a candidate n: a1 = sqrt(1/n0 - 1/n), a2 = sqrt(1/n - 1/N).
 struct Scales {
@@ -52,18 +57,32 @@ Result<SampleSizeEstimate> EstimateSampleSize(
   // or as parameter vectors (generic path; O(k p) memory).
   std::vector<Matrix> score_u, score_w;
   std::vector<Vector> param_u, param_w;
-  score_u.reserve(static_cast<std::size_t>(k));
-  score_w.reserve(static_cast<std::size_t>(k));
-  for (int i = 0; i < k; ++i) {
-    Vector u = sampler.Draw(1.0, rng);
-    Vector w = sampler.Draw(1.0, rng);
-    if (score_path) {
-      score_u.push_back(spec.Scores(u, holdout));
-      score_w.push_back(spec.Scores(w, holdout));
-    } else {
-      param_u.push_back(std::move(u));
-      param_w.push_back(std::move(w));
-    }
+  if (score_path) {
+    score_u.resize(static_cast<std::size_t>(k));
+    score_w.resize(static_cast<std::size_t>(k));
+  } else {
+    param_u.resize(static_cast<std::size_t>(k));
+    param_w.resize(static_cast<std::size_t>(k));
+  }
+  {
+    const ChunkLayout layout = ComputeChunks(k, kFineGrain);
+    std::vector<Rng> chunk_rngs = SplitRngPerChunk(layout, rng);
+    ParallelForChunks(
+        0, k, layout,
+        [&](ParallelIndex chunk, ParallelIndex b, ParallelIndex e) {
+          Rng& chunk_rng = chunk_rngs[static_cast<std::size_t>(chunk)];
+          for (ParallelIndex i = b; i < e; ++i) {
+            Vector u = sampler.Draw(1.0, &chunk_rng);
+            Vector w = sampler.Draw(1.0, &chunk_rng);
+            if (score_path) {
+              score_u[static_cast<std::size_t>(i)] = spec.Scores(u, holdout);
+              score_w[static_cast<std::size_t>(i)] = spec.Scores(w, holdout);
+            } else {
+              param_u[static_cast<std::size_t>(i)] = std::move(u);
+              param_w[static_cast<std::size_t>(i)] = std::move(w);
+            }
+          }
+        });
   }
   Matrix base_scores;
   if (score_path) base_scores = spec.Scores(theta0, holdout);
@@ -74,30 +93,38 @@ Result<SampleSizeEstimate> EstimateSampleSize(
   out.quantile_level = level.level;
 
   // Feasibility: fraction of pairs with v(theta_n,i, theta_N,i) <= eps.
+  // The pairs are independent; the integer ok-count reduction is exact, so
+  // the fraction is identical for any thread count.
   auto success_fraction = [&](Index n) {
     const Scales s = ScalesFor(n0, n, full_n);
-    int ok_count = 0;
-    for (int i = 0; i < k; ++i) {
-      double v;
-      if (score_path) {
-        // scores(theta_n,i) = S0 + a1 * Su_i;
-        // scores(theta_N,i) = S0 + a1 * Su_i + a2 * Sw_i.
-        Matrix s1 = score_u[static_cast<std::size_t>(i)];
-        s1 *= s.a1;
-        s1 += base_scores;
-        Matrix s2 = score_w[static_cast<std::size_t>(i)];
-        s2 *= s.a2;
-        s2 += s1;
-        v = spec.DiffFromScores(s1, s2, holdout);
-      } else {
-        Vector t1 = theta0;
-        Axpy(s.a1, param_u[static_cast<std::size_t>(i)], &t1);
-        Vector t2 = t1;
-        Axpy(s.a2, param_w[static_cast<std::size_t>(i)], &t2);
-        v = spec.Diff(t1, t2, holdout);
-      }
-      if (v <= options.epsilon) ++ok_count;
-    }
+    const int ok_count = ParallelReduce(
+        ParallelIndex{0}, static_cast<ParallelIndex>(k), 0,
+        [&](ParallelIndex b, ParallelIndex e) {
+          int part = 0;
+          for (ParallelIndex i = b; i < e; ++i) {
+            double v;
+            if (score_path) {
+              // scores(theta_n,i) = S0 + a1 * Su_i;
+              // scores(theta_N,i) = S0 + a1 * Su_i + a2 * Sw_i.
+              Matrix s1 = score_u[static_cast<std::size_t>(i)];
+              s1 *= s.a1;
+              s1 += base_scores;
+              Matrix s2 = score_w[static_cast<std::size_t>(i)];
+              s2 *= s.a2;
+              s2 += s1;
+              v = spec.DiffFromScores(s1, s2, holdout);
+            } else {
+              Vector t1 = theta0;
+              Axpy(s.a1, param_u[static_cast<std::size_t>(i)], &t1);
+              Vector t2 = t1;
+              Axpy(s.a2, param_w[static_cast<std::size_t>(i)], &t2);
+              v = spec.Diff(t1, t2, holdout);
+            }
+            if (v <= options.epsilon) ++part;
+          }
+          return part;
+        },
+        [](int acc, int part) { return acc + part; }, kFineGrain);
     ++out.evaluations;
     return static_cast<double>(ok_count) / static_cast<double>(k);
   };

@@ -6,6 +6,7 @@
 
 #include "linalg/cholesky.h"
 #include "linalg/eigen_sym.h"
+#include "runtime/parallel.h"
 #include "util/string_util.h"
 
 namespace blinkml {
@@ -94,31 +95,36 @@ Result<ParamSampler> ComputeInverseGradients(const ModelSpec& spec,
 Matrix SparseGram(const SparseMatrix& q) {
   const Index n = static_cast<Index>(q.rows());
   Matrix g(n, n);
-  for (Index i = 0; i < n; ++i) {
-    const auto nnz_i = q.RowNnz(i);
-    const auto* cols_i = q.RowCols(i);
-    const auto* vals_i = q.RowValues(i);
-    for (Index j = i; j < n; ++j) {
-      const auto nnz_j = q.RowNnz(j);
-      const auto* cols_j = q.RowCols(j);
-      const auto* vals_j = q.RowValues(j);
-      double s = 0.0;
-      SparseMatrix::Index a = 0, b = 0;
-      while (a < nnz_i && b < nnz_j) {
-        if (cols_i[a] < cols_j[b]) {
-          ++a;
-        } else if (cols_i[a] > cols_j[b]) {
-          ++b;
-        } else {
-          s += vals_i[a] * vals_j[b];
-          ++a;
-          ++b;
+  // Parallel over rows of the upper triangle; every (i, j) merge is one
+  // independent dot product, so results match the serial loop bitwise. Row
+  // i costs O(n - i) merges; small chunks keep the lanes balanced.
+  ParallelFor(0, n, [&](Index i0, Index i1) {
+    for (Index i = i0; i < i1; ++i) {
+      const auto nnz_i = q.RowNnz(i);
+      const auto* cols_i = q.RowCols(i);
+      const auto* vals_i = q.RowValues(i);
+      for (Index j = i; j < n; ++j) {
+        const auto nnz_j = q.RowNnz(j);
+        const auto* cols_j = q.RowCols(j);
+        const auto* vals_j = q.RowValues(j);
+        double s = 0.0;
+        SparseMatrix::Index a = 0, b = 0;
+        while (a < nnz_i && b < nnz_j) {
+          if (cols_i[a] < cols_j[b]) {
+            ++a;
+          } else if (cols_i[a] > cols_j[b]) {
+            ++b;
+          } else {
+            s += vals_i[a] * vals_j[b];
+            ++a;
+            ++b;
+          }
         }
+        g(i, j) = s;
+        g(j, i) = s;
       }
-      g(i, j) = s;
-      g(j, i) = s;
     }
-  }
+  }, kFineGrain);
   return g;
 }
 

@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel.h"
+
 namespace blinkml {
+
+// Every parallel loop in this file assigns each output element to exactly
+// one chunk and accumulates it in the serial order, so results are bitwise
+// identical to the serial loops for any thread count and any chunk layout.
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = static_cast<Index>(rows.size());
@@ -106,12 +112,13 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   const Index m = a.rows(), k = a.cols(), n = b.cols();
   Matrix c(m, n);
   // ikj ordering: the inner loop streams over contiguous rows of B and C.
+  // Parallel over row blocks of C: each output row is produced by exactly
+  // one chunk with the serial accumulation order.
   constexpr Index kBlock = 64;
-  for (Index i0 = 0; i0 < m; i0 += kBlock) {
-    const Index i1 = std::min(i0 + kBlock, m);
+  ParallelFor(0, m, [&](Index r0, Index r1) {
     for (Index p0 = 0; p0 < k; p0 += kBlock) {
       const Index p1 = std::min(p0 + kBlock, k);
-      for (Index i = i0; i < i1; ++i) {
+      for (Index i = r0; i < r1; ++i) {
         double* crow = c.row_data(i);
         const double* arow = a.row_data(i);
         for (Index p = p0; p < p1; ++p) {
@@ -122,7 +129,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
         }
       }
     }
-  }
+  }, kBlock);
   return c;
 }
 
@@ -193,16 +200,22 @@ Matrix GramRows(const Matrix& a) {
   using Index = Matrix::Index;
   const Index n = a.rows(), d = a.cols();
   Matrix g(n, n);
-  for (Index i = 0; i < n; ++i) {
-    const double* ri = a.row_data(i);
-    for (Index j = i; j < n; ++j) {
-      const double* rj = a.row_data(j);
-      double s = 0.0;
-      for (Index c = 0; c < d; ++c) s += ri[c] * rj[c];
-      g(i, j) = s;
-      g(j, i) = s;
+  // Each (i, j >= i) entry is one independent dot product; the mirrored
+  // (j, i) write belongs to the same chunk, so chunks touch disjoint
+  // entry pairs. Row i costs O(n - i); the fine grain plus the runtime's
+  // strided lane assignment keep the lanes balanced.
+  ParallelFor(0, n, [&](Index i0, Index i1) {
+    for (Index i = i0; i < i1; ++i) {
+      const double* ri = a.row_data(i);
+      for (Index j = i; j < n; ++j) {
+        const double* rj = a.row_data(j);
+        double s = 0.0;
+        for (Index c = 0; c < d; ++c) s += ri[c] * rj[c];
+        g(i, j) = s;
+        g(j, i) = s;
+      }
     }
-  }
+  }, kFineGrain);
   return g;
 }
 
@@ -210,15 +223,38 @@ Matrix GramCols(const Matrix& a) {
   using Index = Matrix::Index;
   const Index n = a.rows(), d = a.cols();
   Matrix g(d, d);
-  // Accumulate rank-1 updates row by row (streams A once).
-  for (Index r = 0; r < n; ++r) {
-    const double* row = a.row_data(r);
-    for (Index i = 0; i < d; ++i) {
-      const double v = row[i];
-      if (v == 0.0) continue;
-      double* grow = g.row_data(i);
-      for (Index j = i; j < d; ++j) grow[j] += v * row[j];
+  // Entry (i, j) accumulates over the rows of A in ascending order under
+  // both loops below, so the result is bitwise identical regardless of
+  // lane count or chunking.
+  const int lanes = CurrentParallelism();
+  if (lanes <= 1) {
+    // Serial: rank-1 updates row by row (streams A exactly once).
+    for (Index r = 0; r < n; ++r) {
+      const double* row = a.row_data(r);
+      for (Index i = 0; i < d; ++i) {
+        const double v = row[i];
+        if (v == 0.0) continue;
+        double* grow = g.row_data(i);
+        for (Index j = i; j < d; ++j) grow[j] += v * row[j];
+      }
     }
+  } else {
+    // Parallel over output rows of G (column pairs of A): each chunk
+    // streams every row of A but writes only its own rows of G. Two chunks
+    // per lane balance the triangular row costs while keeping the total
+    // streaming of A bounded by ~2x lanes (not once per fine chunk).
+    const Index grain = std::max<Index>(1, (d + 2 * lanes - 1) / (2 * lanes));
+    ParallelFor(0, d, [&](Index i0, Index i1) {
+      for (Index r = 0; r < n; ++r) {
+        const double* row = a.row_data(r);
+        for (Index i = i0; i < i1; ++i) {
+          const double v = row[i];
+          if (v == 0.0) continue;
+          double* grow = g.row_data(i);
+          for (Index j = i; j < d; ++j) grow[j] += v * row[j];
+        }
+      }
+    }, grain);
   }
   for (Index i = 0; i < d; ++i) {
     for (Index j = i + 1; j < d; ++j) g(j, i) = g(i, j);

@@ -1,0 +1,36 @@
+// Shared plumbing for the parallel GLM training loops: every spec's fused
+// objective-and-gradient pass reduces per-chunk (loss, grad) partials, and
+// the runtime's fixed chunk -> slot mapping makes the combined result
+// independent of the thread count (see runtime/parallel.h).
+
+#ifndef BLINKML_MODELS_GLM_PARALLEL_H_
+#define BLINKML_MODELS_GLM_PARALLEL_H_
+
+#include <utility>
+
+#include "linalg/vector.h"
+#include "runtime/parallel.h"
+
+namespace blinkml {
+namespace internal {
+
+/// Per-chunk partial of an averaged-loss + full-gradient data pass.
+struct LossGradPartial {
+  double loss = 0.0;
+  Vector grad;  // empty until a chunk seeds it
+};
+
+/// Chunk-order combine; the first partial seeds the accumulator so the
+/// empty init never allocates.
+inline LossGradPartial CombineLossGrad(LossGradPartial acc,
+                                       LossGradPartial& part) {
+  if (acc.grad.size() == 0) return std::move(part);
+  acc.loss += part.loss;
+  acc.grad += part.grad;
+  return acc;
+}
+
+}  // namespace internal
+}  // namespace blinkml
+
+#endif  // BLINKML_MODELS_GLM_PARALLEL_H_

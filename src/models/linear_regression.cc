@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "models/glm_parallel.h"
+
 namespace blinkml {
 
 namespace {
@@ -30,16 +32,24 @@ double LinearRegressionSpec::ObjectiveAndGradient(const Vector& theta,
   BLINKML_CHECK_EQ(theta.size(), data.dim());
   BLINKML_CHECK_GT(data.num_rows(), 0);
   const Index n = data.num_rows();
-  grad->Resize(theta.size());
-  grad->Fill(0.0);
-  double loss = 0.0;
-  for (Index i = 0; i < n; ++i) {
-    const double r = data.RowDot(i, theta.data()) - data.label(i);
-    loss += 0.5 * r * r;
-    data.AddRowTo(i, r, grad->data());
-  }
+  internal::LossGradPartial total = ParallelReduce(
+      ParallelIndex{0}, static_cast<ParallelIndex>(n),
+      internal::LossGradPartial{},
+      [&](ParallelIndex b, ParallelIndex e) {
+        internal::LossGradPartial part;
+        part.grad.Resize(theta.size());
+        for (Index i = b; i < e; ++i) {
+          const double r = data.RowDot(i, theta.data()) - data.label(i);
+          part.loss += 0.5 * r * r;
+          data.AddRowTo(i, r, part.grad.data());
+        }
+        return part;
+      },
+      internal::CombineLossGrad,
+      GradientGrain(static_cast<ParallelIndex>(n)));
   const double inv_n = 1.0 / static_cast<double>(n);
-  loss *= inv_n;
+  const double loss = total.loss * inv_n;
+  *grad = std::move(total.grad);
   (*grad) *= inv_n;
   Axpy(l2_, theta, grad);
   return loss + 0.5 * l2_ * SquaredNorm2(theta);
@@ -51,10 +61,12 @@ void LinearRegressionSpec::PerExampleGradients(const Vector& theta,
   BLINKML_CHECK_EQ(theta.size(), data.dim());
   const Index n = data.num_rows();
   *out = Matrix(n, theta.size());
-  for (Index i = 0; i < n; ++i) {
-    const double r = data.RowDot(i, theta.data()) - data.label(i);
-    data.AddRowTo(i, r, out->row_data(i));
-  }
+  ParallelFor(0, n, [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) {
+      const double r = data.RowDot(i, theta.data()) - data.label(i);
+      data.AddRowTo(i, r, out->row_data(i));
+    }
+  });
 }
 
 SparseMatrix LinearRegressionSpec::PerExampleGradientsSparse(
@@ -84,9 +96,11 @@ void LinearRegressionSpec::Predict(const Vector& theta, const Dataset& data,
                                    Vector* out) const {
   BLINKML_CHECK_EQ(theta.size(), data.dim());
   out->Resize(data.num_rows());
-  for (Index i = 0; i < data.num_rows(); ++i) {
-    (*out)[i] = data.RowDot(i, theta.data());
-  }
+  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) {
+      (*out)[i] = data.RowDot(i, theta.data());
+    }
+  });
 }
 
 Matrix LinearRegressionSpec::Scores(const Vector& theta,

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "models/glm_parallel.h"
+
 namespace blinkml {
 
 namespace {
@@ -33,15 +35,22 @@ double LogisticRegressionSpec::Objective(const Vector& theta,
                                          const Dataset& data) const {
   BLINKML_CHECK_EQ(theta.size(), data.dim());
   BLINKML_CHECK_GT(data.num_rows(), 0);
-  double loss = 0.0;
-  for (Index i = 0; i < data.num_rows(); ++i) {
-    const double margin = data.RowDot(i, theta.data());
-    const double t = data.label(i);
-    // -[t log s + (1-t) log(1-s)] = log(1+e^margin) - t * margin.
-    loss += Log1pExp(margin) - t * margin;
-  }
-  loss /= static_cast<double>(data.num_rows());
-  return loss + 0.5 * l2_ * SquaredNorm2(theta);
+  const double loss = ParallelReduce(
+      ParallelIndex{0}, static_cast<ParallelIndex>(data.num_rows()), 0.0,
+      [&](ParallelIndex b, ParallelIndex e) {
+        double part = 0.0;
+        for (Index i = b; i < e; ++i) {
+          const double margin = data.RowDot(i, theta.data());
+          const double t = data.label(i);
+          // -[t log s + (1-t) log(1-s)] = log(1+e^margin) - t * margin.
+          part += Log1pExp(margin) - t * margin;
+        }
+        return part;
+      },
+      [](double acc, double part) { return acc + part; },
+      GradientGrain(static_cast<ParallelIndex>(data.num_rows())));
+  return loss / static_cast<double>(data.num_rows()) +
+         0.5 * l2_ * SquaredNorm2(theta);
 }
 
 void LogisticRegressionSpec::Gradient(const Vector& theta, const Dataset& data,
@@ -55,17 +64,25 @@ double LogisticRegressionSpec::ObjectiveAndGradient(const Vector& theta,
   BLINKML_CHECK_EQ(theta.size(), data.dim());
   BLINKML_CHECK_GT(data.num_rows(), 0);
   const Index n = data.num_rows();
-  grad->Resize(theta.size());
-  grad->Fill(0.0);
-  double loss = 0.0;
-  for (Index i = 0; i < n; ++i) {
-    const double margin = data.RowDot(i, theta.data());
-    const double t = data.label(i);
-    loss += Log1pExp(margin) - t * margin;
-    data.AddRowTo(i, Sigmoid(margin) - t, grad->data());
-  }
+  internal::LossGradPartial total = ParallelReduce(
+      ParallelIndex{0}, static_cast<ParallelIndex>(n),
+      internal::LossGradPartial{},
+      [&](ParallelIndex b, ParallelIndex e) {
+        internal::LossGradPartial part;
+        part.grad.Resize(theta.size());
+        for (Index i = b; i < e; ++i) {
+          const double margin = data.RowDot(i, theta.data());
+          const double t = data.label(i);
+          part.loss += Log1pExp(margin) - t * margin;
+          data.AddRowTo(i, Sigmoid(margin) - t, part.grad.data());
+        }
+        return part;
+      },
+      internal::CombineLossGrad,
+      GradientGrain(static_cast<ParallelIndex>(n)));
   const double inv_n = 1.0 / static_cast<double>(n);
-  loss *= inv_n;
+  double loss = total.loss * inv_n;
+  *grad = std::move(total.grad);
   (*grad) *= inv_n;
   Axpy(l2_, theta, grad);
   return loss + 0.5 * l2_ * SquaredNorm2(theta);
@@ -77,10 +94,12 @@ void LogisticRegressionSpec::PerExampleGradients(const Vector& theta,
   BLINKML_CHECK_EQ(theta.size(), data.dim());
   const Index n = data.num_rows();
   *out = Matrix(n, theta.size());
-  for (Index i = 0; i < n; ++i) {
-    const double margin = data.RowDot(i, theta.data());
-    data.AddRowTo(i, Sigmoid(margin) - data.label(i), out->row_data(i));
-  }
+  ParallelFor(0, n, [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) {
+      const double margin = data.RowDot(i, theta.data());
+      data.AddRowTo(i, Sigmoid(margin) - data.label(i), out->row_data(i));
+    }
+  });
 }
 
 SparseMatrix LogisticRegressionSpec::PerExampleGradientsSparse(
@@ -111,18 +130,22 @@ void LogisticRegressionSpec::Predict(const Vector& theta, const Dataset& data,
                                      Vector* out) const {
   BLINKML_CHECK_EQ(theta.size(), data.dim());
   out->Resize(data.num_rows());
-  for (Index i = 0; i < data.num_rows(); ++i) {
-    (*out)[i] = data.RowDot(i, theta.data()) >= 0.0 ? 1.0 : 0.0;
-  }
+  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) {
+      (*out)[i] = data.RowDot(i, theta.data()) >= 0.0 ? 1.0 : 0.0;
+    }
+  });
 }
 
 Matrix LogisticRegressionSpec::Scores(const Vector& theta,
                                       const Dataset& data) const {
   BLINKML_CHECK_EQ(theta.size(), data.dim());
   Matrix scores(data.num_rows(), 1);
-  for (Index i = 0; i < data.num_rows(); ++i) {
-    scores(i, 0) = data.RowDot(i, theta.data());
-  }
+  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) {
+      scores(i, 0) = data.RowDot(i, theta.data());
+    }
+  });
   return scores;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "models/glm_parallel.h"
+
 namespace blinkml {
 
 namespace {
@@ -56,27 +58,38 @@ double MaxEntropySpec::ObjectiveAndGradient(const Vector& theta,
   BLINKML_CHECK_EQ(theta.size(), c * d);
   BLINKML_CHECK_GT(data.num_rows(), 0);
   const Index n = data.num_rows();
-  grad->Resize(theta.size());
-  grad->Fill(0.0);
-  std::vector<double> scores(static_cast<std::size_t>(c));
-  std::vector<double> probs(static_cast<std::size_t>(c));
-  double loss = 0.0;
-  for (Index i = 0; i < n; ++i) {
-    for (Index k = 0; k < c; ++k) {
-      scores[static_cast<std::size_t>(k)] =
-          data.RowDot(i, theta.data() + k * d);
-    }
-    Softmax(scores.data(), c, probs.data());
-    const Index y = static_cast<Index>(data.label(i));
-    loss -= std::log(std::max(probs[static_cast<std::size_t>(y)], 1e-300));
-    for (Index k = 0; k < c; ++k) {
-      const double coeff =
-          probs[static_cast<std::size_t>(k)] - (k == y ? 1.0 : 0.0);
-      if (coeff != 0.0) data.AddRowTo(i, coeff, grad->data() + k * d);
-    }
-  }
+  internal::LossGradPartial total = ParallelReduce(
+      ParallelIndex{0}, static_cast<ParallelIndex>(n),
+      internal::LossGradPartial{},
+      [&](ParallelIndex b, ParallelIndex e) {
+        internal::LossGradPartial part;
+        part.grad.Resize(theta.size());
+        std::vector<double> scores(static_cast<std::size_t>(c));
+        std::vector<double> probs(static_cast<std::size_t>(c));
+        for (Index i = b; i < e; ++i) {
+          for (Index k = 0; k < c; ++k) {
+            scores[static_cast<std::size_t>(k)] =
+                data.RowDot(i, theta.data() + k * d);
+          }
+          Softmax(scores.data(), c, probs.data());
+          const Index y = static_cast<Index>(data.label(i));
+          part.loss -=
+              std::log(std::max(probs[static_cast<std::size_t>(y)], 1e-300));
+          for (Index k = 0; k < c; ++k) {
+            const double coeff =
+                probs[static_cast<std::size_t>(k)] - (k == y ? 1.0 : 0.0);
+            if (coeff != 0.0) {
+              data.AddRowTo(i, coeff, part.grad.data() + k * d);
+            }
+          }
+        }
+        return part;
+      },
+      internal::CombineLossGrad,
+      GradientGrain(static_cast<ParallelIndex>(n)));
   const double inv_n = 1.0 / static_cast<double>(n);
-  loss *= inv_n;
+  const double loss = total.loss * inv_n;
+  *grad = std::move(total.grad);
   (*grad) *= inv_n;
   Axpy(l2_, theta, grad);
   return loss + 0.5 * l2_ * SquaredNorm2(theta);
@@ -90,22 +103,24 @@ void MaxEntropySpec::PerExampleGradients(const Vector& theta,
   BLINKML_CHECK_EQ(theta.size(), c * d);
   const Index n = data.num_rows();
   *out = Matrix(n, c * d);
-  std::vector<double> scores(static_cast<std::size_t>(c));
-  std::vector<double> probs(static_cast<std::size_t>(c));
-  for (Index i = 0; i < n; ++i) {
-    for (Index k = 0; k < c; ++k) {
-      scores[static_cast<std::size_t>(k)] =
-          data.RowDot(i, theta.data() + k * d);
+  ParallelFor(0, n, [&](Index b, Index e) {
+    std::vector<double> scores(static_cast<std::size_t>(c));
+    std::vector<double> probs(static_cast<std::size_t>(c));
+    for (Index i = b; i < e; ++i) {
+      for (Index k = 0; k < c; ++k) {
+        scores[static_cast<std::size_t>(k)] =
+            data.RowDot(i, theta.data() + k * d);
+      }
+      Softmax(scores.data(), c, probs.data());
+      const Index y = static_cast<Index>(data.label(i));
+      double* row = out->row_data(i);
+      for (Index k = 0; k < c; ++k) {
+        const double coeff =
+            probs[static_cast<std::size_t>(k)] - (k == y ? 1.0 : 0.0);
+        if (coeff != 0.0) data.AddRowTo(i, coeff, row + k * d);
+      }
     }
-    Softmax(scores.data(), c, probs.data());
-    const Index y = static_cast<Index>(data.label(i));
-    double* row = out->row_data(i);
-    for (Index k = 0; k < c; ++k) {
-      const double coeff =
-          probs[static_cast<std::size_t>(k)] - (k == y ? 1.0 : 0.0);
-      if (coeff != 0.0) data.AddRowTo(i, coeff, row + k * d);
-    }
-  }
+  });
 }
 
 SparseMatrix MaxEntropySpec::PerExampleGradientsSparse(
@@ -153,14 +168,16 @@ void MaxEntropySpec::Predict(const Vector& theta, const Dataset& data,
   const Index d = data.dim();
   BLINKML_CHECK_EQ(theta.size(), c * d);
   out->Resize(data.num_rows());
-  std::vector<double> scores(static_cast<std::size_t>(c));
-  for (Index i = 0; i < data.num_rows(); ++i) {
-    for (Index k = 0; k < c; ++k) {
-      scores[static_cast<std::size_t>(k)] =
-          data.RowDot(i, theta.data() + k * d);
+  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
+    std::vector<double> scores(static_cast<std::size_t>(c));
+    for (Index i = b; i < e; ++i) {
+      for (Index k = 0; k < c; ++k) {
+        scores[static_cast<std::size_t>(k)] =
+            data.RowDot(i, theta.data() + k * d);
+      }
+      (*out)[i] = static_cast<double>(ArgMax(scores.data(), c));
     }
-    (*out)[i] = static_cast<double>(ArgMax(scores.data(), c));
-  }
+  });
 }
 
 Matrix MaxEntropySpec::Scores(const Vector& theta, const Dataset& data) const {
@@ -168,12 +185,14 @@ Matrix MaxEntropySpec::Scores(const Vector& theta, const Dataset& data) const {
   const Index d = data.dim();
   BLINKML_CHECK_EQ(theta.size(), c * d);
   Matrix scores(data.num_rows(), c);
-  for (Index i = 0; i < data.num_rows(); ++i) {
-    double* row = scores.row_data(i);
-    for (Index k = 0; k < c; ++k) {
-      row[k] = data.RowDot(i, theta.data() + k * d);
+  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) {
+      double* row = scores.row_data(i);
+      for (Index k = 0; k < c; ++k) {
+        row[k] = data.RowDot(i, theta.data() + k * d);
+      }
     }
-  }
+  });
   return scores;
 }
 

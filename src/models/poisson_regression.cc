@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "models/glm_parallel.h"
+
 namespace blinkml {
 
 namespace {
@@ -35,18 +37,26 @@ double PoissonRegressionSpec::ObjectiveAndGradient(const Vector& theta,
   BLINKML_CHECK_EQ(theta.size(), data.dim());
   BLINKML_CHECK_GT(data.num_rows(), 0);
   const Index n = data.num_rows();
-  grad->Resize(theta.size());
-  grad->Fill(0.0);
-  double loss = 0.0;
-  for (Index i = 0; i < n; ++i) {
-    const double eta = data.RowDot(i, theta.data());
-    const double rate = SafeExp(eta);
-    const double y = data.label(i);
-    loss += rate - y * eta;
-    data.AddRowTo(i, rate - y, grad->data());
-  }
+  internal::LossGradPartial total = ParallelReduce(
+      ParallelIndex{0}, static_cast<ParallelIndex>(n),
+      internal::LossGradPartial{},
+      [&](ParallelIndex b, ParallelIndex e) {
+        internal::LossGradPartial part;
+        part.grad.Resize(theta.size());
+        for (Index i = b; i < e; ++i) {
+          const double eta = data.RowDot(i, theta.data());
+          const double rate = SafeExp(eta);
+          const double y = data.label(i);
+          part.loss += rate - y * eta;
+          data.AddRowTo(i, rate - y, part.grad.data());
+        }
+        return part;
+      },
+      internal::CombineLossGrad,
+      GradientGrain(static_cast<ParallelIndex>(n)));
   const double inv_n = 1.0 / static_cast<double>(n);
-  loss *= inv_n;
+  const double loss = total.loss * inv_n;
+  *grad = std::move(total.grad);
   (*grad) *= inv_n;
   Axpy(l2_, theta, grad);
   return loss + 0.5 * l2_ * SquaredNorm2(theta);
@@ -58,10 +68,12 @@ void PoissonRegressionSpec::PerExampleGradients(const Vector& theta,
   BLINKML_CHECK_EQ(theta.size(), data.dim());
   const Index n = data.num_rows();
   *out = Matrix(n, theta.size());
-  for (Index i = 0; i < n; ++i) {
-    const double rate = SafeExp(data.RowDot(i, theta.data()));
-    data.AddRowTo(i, rate - data.label(i), out->row_data(i));
-  }
+  ParallelFor(0, n, [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) {
+      const double rate = SafeExp(data.RowDot(i, theta.data()));
+      data.AddRowTo(i, rate - data.label(i), out->row_data(i));
+    }
+  });
 }
 
 SparseMatrix PoissonRegressionSpec::PerExampleGradientsSparse(
@@ -92,18 +104,22 @@ void PoissonRegressionSpec::Predict(const Vector& theta, const Dataset& data,
                                     Vector* out) const {
   BLINKML_CHECK_EQ(theta.size(), data.dim());
   out->Resize(data.num_rows());
-  for (Index i = 0; i < data.num_rows(); ++i) {
-    (*out)[i] = SafeExp(data.RowDot(i, theta.data()));
-  }
+  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) {
+      (*out)[i] = SafeExp(data.RowDot(i, theta.data()));
+    }
+  });
 }
 
 Matrix PoissonRegressionSpec::Scores(const Vector& theta,
                                      const Dataset& data) const {
   BLINKML_CHECK_EQ(theta.size(), data.dim());
   Matrix scores(data.num_rows(), 1);
-  for (Index i = 0; i < data.num_rows(); ++i) {
-    scores(i, 0) = data.RowDot(i, theta.data());
-  }
+  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) {
+      scores(i, 0) = data.RowDot(i, theta.data());
+    }
+  });
   return scores;
 }
 

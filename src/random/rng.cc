@@ -193,4 +193,13 @@ std::vector<std::int64_t> SampleWithoutReplacement(std::int64_t n,
   return out;
 }
 
+std::vector<Rng> SplitRngPerChunk(const ChunkLayout& layout, Rng* base) {
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(layout.num_chunks));
+  for (ParallelIndex c = 0; c < layout.num_chunks; ++c) {
+    rngs.push_back(base->Split());
+  }
+  return rngs;
+}
+
 }  // namespace blinkml

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "linalg/vector.h"
+#include "runtime/parallel.h"
 
 namespace blinkml {
 
@@ -73,6 +74,16 @@ std::vector<std::int64_t> RandomPermutation(std::int64_t n, Rng* rng);
 /// k is a large fraction of n, Floyd's algorithm otherwise.
 std::vector<std::int64_t> SampleWithoutReplacement(std::int64_t n,
                                                    std::int64_t k, Rng* rng);
+
+/// One Rng stream per chunk of `layout`, split off `base` in chunk order —
+/// the pairing the runtime determinism contract requires of parallel
+/// Monte-Carlo loops. Use with the layout overload of ParallelForChunks so
+/// the indexing and the loop share one layout:
+///
+///   const ChunkLayout layout = ComputeChunks(k, kFineGrain);
+///   std::vector<Rng> rngs = SplitRngPerChunk(layout, rng);
+///   ParallelForChunks(0, k, layout, [&](chunk, b, e) { rngs[chunk]...; });
+std::vector<Rng> SplitRngPerChunk(const ChunkLayout& layout, Rng* base);
 
 }  // namespace blinkml
 

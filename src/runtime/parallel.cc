@@ -1,0 +1,163 @@
+#include "runtime/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "runtime/thread_pool.h"
+
+namespace blinkml {
+
+namespace {
+
+const RuntimeOptions kDefaultOptions;
+thread_local const RuntimeOptions* g_current_options = &kDefaultOptions;
+thread_local bool g_in_parallel_region = false;
+
+// Cap on reduction-slot count; part of the chunk layout and therefore of
+// the determinism contract (must not depend on thread count).
+constexpr ParallelIndex kMaxChunks = 64;
+
+// Shared state of one parallel region.
+struct Region {
+  const std::function<void(ParallelIndex, ParallelIndex, ParallelIndex)>* body;
+  ParallelIndex begin;
+  ParallelIndex end;
+  ChunkLayout layout;
+  int lanes;
+
+  std::atomic<bool> abort{false};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int lanes_remaining;
+  std::exception_ptr first_exception;
+
+  // Lane r runs chunks r, r + lanes, r + 2*lanes, ... On exception the
+  // region aborts: already-running chunks finish, queued ones are skipped.
+  void RunLane(int lane) {
+    const bool was_in_region = g_in_parallel_region;
+    g_in_parallel_region = true;
+    for (ParallelIndex c = lane; c < layout.num_chunks; c += lanes) {
+      if (abort.load(std::memory_order_relaxed)) break;
+      const ParallelIndex b = begin + c * layout.chunk_size;
+      const ParallelIndex e = std::min(b + layout.chunk_size, end);
+      try {
+        (*body)(c, b, e);
+      } catch (...) {
+        abort.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_exception) first_exception = std::current_exception();
+      }
+    }
+    g_in_parallel_region = was_in_region;
+    std::lock_guard<std::mutex> lock(mu);
+    if (--lanes_remaining == 0) done_cv.notify_all();
+  }
+};
+
+}  // namespace
+
+RuntimeScope::RuntimeScope(const RuntimeOptions& options)
+    : options_(options), previous_(g_current_options) {
+  g_current_options = &options_;
+}
+
+RuntimeScope::~RuntimeScope() { g_current_options = previous_; }
+
+const RuntimeOptions& RuntimeScope::Current() { return *g_current_options; }
+
+bool InParallelRegion() { return g_in_parallel_region; }
+
+int CurrentParallelism() {
+  const RuntimeOptions& options = RuntimeScope::Current();
+  if (!options.enabled || InParallelRegion()) return 1;
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::Global();
+  const int lanes = options.num_threads > 0 ? options.num_threads
+                                            : pool.parallelism();
+  return std::max(1, std::min(lanes, pool.parallelism()));
+}
+
+ChunkLayout ComputeChunks(ParallelIndex n, ParallelIndex grain) {
+  ChunkLayout layout;
+  if (n <= 0) return layout;
+  const ParallelIndex g = std::max<ParallelIndex>(grain, 1);
+  layout.chunk_size = std::max(g, (n + kMaxChunks - 1) / kMaxChunks);
+  layout.num_chunks = (n + layout.chunk_size - 1) / layout.chunk_size;
+  return layout;
+}
+
+void ParallelForChunks(
+    ParallelIndex begin, ParallelIndex end, ParallelIndex grain,
+    const std::function<void(ParallelIndex, ParallelIndex, ParallelIndex)>&
+        body) {
+  ParallelForChunks(begin, end, ComputeChunks(end - begin, grain), body);
+}
+
+void ParallelForChunks(
+    ParallelIndex begin, ParallelIndex end, const ChunkLayout& layout,
+    const std::function<void(ParallelIndex, ParallelIndex, ParallelIndex)>&
+        body) {
+  if (layout.num_chunks == 0) return;
+
+  const RuntimeOptions& options = RuntimeScope::Current();
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::Global();
+  int lanes = options.num_threads > 0 ? options.num_threads
+                                      : pool.parallelism();
+  lanes = std::min(lanes, pool.parallelism());
+  lanes = static_cast<int>(
+      std::min<ParallelIndex>(lanes, layout.num_chunks));
+  if (!options.enabled || lanes <= 1 || InParallelRegion()) {
+    // Inline execution: same chunk layout, same results, no handoff.
+    for (ParallelIndex c = 0; c < layout.num_chunks; ++c) {
+      const ParallelIndex b = begin + c * layout.chunk_size;
+      body(c, b, std::min(b + layout.chunk_size, end));
+    }
+    return;
+  }
+
+  Region region;
+  region.body = &body;
+  region.begin = begin;
+  region.end = end;
+  region.layout = layout;
+  region.lanes = lanes;
+  region.lanes_remaining = lanes;
+  int submitted = 0;
+  std::exception_ptr submit_failure;
+  try {
+    for (int lane = 1; lane < lanes; ++lane) {
+      pool.Submit([&region, lane] { region.RunLane(lane); });
+      ++submitted;
+    }
+  } catch (...) {
+    // Already-enqueued lane tasks reference `region`; abort them, account
+    // for the lanes that never got enqueued, and still wait below so the
+    // region outlives every task that holds a pointer to it.
+    submit_failure = std::current_exception();
+    region.abort.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(region.mu);
+    region.lanes_remaining -= lanes - 1 - submitted;
+  }
+  region.RunLane(0);
+  {
+    std::unique_lock<std::mutex> lock(region.mu);
+    region.done_cv.wait(lock, [&region] {
+      return region.lanes_remaining == 0;
+    });
+  }
+  if (region.first_exception) std::rethrow_exception(region.first_exception);
+  if (submit_failure) std::rethrow_exception(submit_failure);
+}
+
+void ParallelFor(ParallelIndex begin, ParallelIndex end,
+                 const std::function<void(ParallelIndex, ParallelIndex)>& body,
+                 ParallelIndex grain) {
+  ParallelForChunks(begin, end, grain,
+                    [&body](ParallelIndex, ParallelIndex b, ParallelIndex e) {
+                      body(b, e);
+                    });
+}
+
+}  // namespace blinkml

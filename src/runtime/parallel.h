@@ -1,0 +1,115 @@
+// Parallel loops with a determinism contract.
+//
+// Every parallel construct here partitions [begin, end) into chunks whose
+// boundaries depend only on the range size and the grain — never on the
+// thread count. ParallelFor chunks are distributed to lanes statically
+// (lane r runs chunks r, r + P, r + 2P, ...); ParallelReduce gives every
+// chunk its own partial slot and combines the slots serially in chunk
+// order. Consequently any quantity computed through these constructs is
+// bitwise identical for 1, 2, or N threads, and identical again when the
+// runtime is capped by RuntimeOptions::num_threads or disabled outright.
+//
+// Nested parallel regions execute inline on the calling lane (no deadlock,
+// same chunk layout, same results).
+
+#ifndef BLINKML_RUNTIME_PARALLEL_H_
+#define BLINKML_RUNTIME_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runtime/runtime_options.h"
+
+namespace blinkml {
+
+/// Loop index type (matches Matrix::Index / Dataset::Index width).
+using ParallelIndex = std::ptrdiff_t;
+
+/// Deterministic chunk layout: boundaries are a pure function of the range
+/// size and grain. The chunk count is additionally capped (at 64) so that
+/// reduction slots stay cheap on huge ranges.
+struct ChunkLayout {
+  ParallelIndex chunk_size = 0;
+  ParallelIndex num_chunks = 0;
+};
+ChunkLayout ComputeChunks(ParallelIndex n, ParallelIndex grain);
+
+/// Default grain: small enough to balance triangular / uneven chunk costs,
+/// large enough to amortize the per-chunk dispatch.
+inline constexpr ParallelIndex kDefaultGrain = 64;
+
+/// Grain for loops whose per-item cost is large or strongly uneven
+/// (triangular Gram rows, Monte-Carlo draws). Part of the determinism
+/// contract wherever the chunk layout feeds per-chunk Rng streams or
+/// reduction slots — keep every such call site on this one constant.
+inline constexpr ParallelIndex kFineGrain = 8;
+
+/// Grain for per-example reduction loops (full gradients): large chunks
+/// keep the number of theta-sized partial buffers small while still
+/// splitting any real dataset across the pool. GradientGrain additionally
+/// caps the chunk count at 16 — peak reduction memory is then at most 16
+/// gradient-sized partials however large the dataset. Both are pure
+/// functions of n, so the layout stays thread-count independent.
+inline constexpr ParallelIndex kGradientGrain = 256;
+inline constexpr ParallelIndex kMaxGradientChunks = 16;
+inline ParallelIndex GradientGrain(ParallelIndex n) {
+  const ParallelIndex capped =
+      (n + kMaxGradientChunks - 1) / kMaxGradientChunks;
+  return capped > kGradientGrain ? capped : kGradientGrain;
+}
+
+/// Lanes the next non-nested parallel region would use under the current
+/// scope (1 when the runtime is disabled, the pool is 1-wide, or the
+/// caller is already inside a region). Lets loops whose results are
+/// layout-independent pick a coarser chunking when running serial.
+int CurrentParallelism();
+
+/// True while the calling thread is executing inside a parallel region
+/// (used to run nested regions inline).
+bool InParallelRegion();
+
+/// Runs body(chunk_index, chunk_begin, chunk_end) for every chunk of
+/// [begin, end). Exceptions thrown by any chunk abort outstanding chunks
+/// and the first one is rethrown on the calling thread.
+void ParallelForChunks(
+    ParallelIndex begin, ParallelIndex end, ParallelIndex grain,
+    const std::function<void(ParallelIndex, ParallelIndex, ParallelIndex)>&
+        body);
+
+/// Same, over a layout the caller already computed with ComputeChunks —
+/// for call sites that size per-chunk state (e.g. one Rng stream per
+/// chunk) and must index it with the exact layout the loop runs.
+void ParallelForChunks(
+    ParallelIndex begin, ParallelIndex end, const ChunkLayout& layout,
+    const std::function<void(ParallelIndex, ParallelIndex, ParallelIndex)>&
+        body);
+
+/// Runs body(range_begin, range_end) over disjoint chunks of [begin, end).
+void ParallelFor(ParallelIndex begin, ParallelIndex end,
+                 const std::function<void(ParallelIndex, ParallelIndex)>& body,
+                 ParallelIndex grain = kDefaultGrain);
+
+/// Deterministic reduction: chunk_fn(chunk_begin, chunk_end) -> partial,
+/// combined in chunk-index order as acc = combine(move(acc), partial).
+/// Bitwise-reproducible for any thread count (fixed chunk -> slot mapping).
+template <typename T, typename ChunkFn, typename CombineFn>
+T ParallelReduce(ParallelIndex begin, ParallelIndex end, T init,
+                 const ChunkFn& chunk_fn, const CombineFn& combine,
+                 ParallelIndex grain = kDefaultGrain) {
+  const ChunkLayout layout = ComputeChunks(end - begin, grain);
+  if (layout.num_chunks == 0) return init;
+  std::vector<T> partials(static_cast<std::size_t>(layout.num_chunks));
+  ParallelForChunks(begin, end, layout,
+                    [&](ParallelIndex chunk, ParallelIndex b, ParallelIndex e) {
+                      partials[static_cast<std::size_t>(chunk)] =
+                          chunk_fn(b, e);
+                    });
+  T acc = std::move(init);
+  for (auto& partial : partials) acc = combine(std::move(acc), partial);
+  return acc;
+}
+
+}  // namespace blinkml
+
+#endif  // BLINKML_RUNTIME_PARALLEL_H_

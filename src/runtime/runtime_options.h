@@ -1,0 +1,54 @@
+// Lightweight runtime configuration: the knobs threaded through
+// BlinkConfig and the RAII scope that installs them. Kept free of the
+// threading headers so config-level headers (core/contract.h) stay thin;
+// the parallel constructs themselves live in runtime/parallel.h.
+
+#ifndef BLINKML_RUNTIME_RUNTIME_OPTIONS_H_
+#define BLINKML_RUNTIME_RUNTIME_OPTIONS_H_
+
+namespace blinkml {
+
+class ThreadPool;
+
+/// Knobs for the parallel runtime, threaded through BlinkConfig and applied
+/// with a RuntimeScope. The defaults (ambient when no scope is active) use
+/// the global pool at full parallelism.
+struct RuntimeOptions {
+  /// Lanes a parallel region may use; 0 = the pool's full parallelism.
+  /// Values above the pool's capacity are clamped (results are unaffected
+  /// either way — see the determinism contract in runtime/parallel.h).
+  int num_threads = 0;
+
+  /// false runs every chunk inline on the calling thread. The chunk layout
+  /// is unchanged, so disabling the runtime does not change results; it
+  /// only drops the worker handoff.
+  bool enabled = true;
+
+  /// Pool to run on; nullptr = ThreadPool::Global(). Tests inject local
+  /// pools here to exercise specific thread counts deterministically.
+  ThreadPool* pool = nullptr;
+};
+
+/// RAII ambient-options override (thread-local): parallel constructs
+/// consult the innermost active scope. Coordinator::Train installs the
+/// BlinkConfig's RuntimeOptions for the duration of a run. The options are
+/// stored by value, so binding a temporary is safe.
+class RuntimeScope {
+ public:
+  explicit RuntimeScope(const RuntimeOptions& options);
+  ~RuntimeScope();
+
+  RuntimeScope(const RuntimeScope&) = delete;
+  RuntimeScope& operator=(const RuntimeScope&) = delete;
+
+  /// The innermost active scope's options (defaults when none).
+  static const RuntimeOptions& Current();
+
+ private:
+  RuntimeOptions options_;
+  const RuntimeOptions* previous_;
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_RUNTIME_RUNTIME_OPTIONS_H_

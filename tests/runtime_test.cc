@@ -1,0 +1,280 @@
+// Tests for the parallel runtime: pool lifecycle, exception propagation,
+// the determinism contract across thread counts, and end-to-end
+// equivalence of the parallel statistics/estimation paths with serial
+// execution.
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/accuracy_estimator.h"
+#include "core/sample_size_estimator.h"
+#include "core/statistics.h"
+#include "data/generators.h"
+#include "models/logistic_regression.h"
+#include "models/trainer.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+#include "tests/test_util.h"
+
+namespace blinkml {
+namespace {
+
+TEST(ThreadPool, StartupShutdownAndTaskExecution) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.parallelism(), 4);
+    std::atomic<int> remaining{100};
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&] {
+        ++count;
+        --remaining;
+      });
+    }
+    // Destruction drains the queue before joining the workers.
+    while (remaining.load() > 0) std::this_thread::yield();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleThreadPoolSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.parallelism(), 1);
+  // ParallelFor on a 1-wide pool runs inline and still covers the range.
+  RuntimeOptions options;
+  options.pool = &pool;
+  RuntimeScope scope(options);
+  std::vector<int> hits(64, 0);
+  ParallelFor(0, 64, [&](ParallelIndex b, ParallelIndex e) {
+    for (ParallelIndex i = b; i < e; ++i) hits[i] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, ChunkLayoutIsThreadCountIndependent) {
+  const ChunkLayout a = ComputeChunks(1000, 8);
+  EXPECT_EQ(a.chunk_size, 16);  // ceil(1000 / 64) = 16 > grain
+  EXPECT_EQ(a.num_chunks, 63);
+  const ChunkLayout b = ComputeChunks(100, 8);
+  EXPECT_EQ(b.chunk_size, 8);
+  EXPECT_EQ(b.num_chunks, 13);
+  EXPECT_EQ(ComputeChunks(0, 8).num_chunks, 0);
+}
+
+TEST(Parallel, ForCoversRangeExactlyOnce) {
+  ThreadPool pool(8);
+  RuntimeOptions options;
+  options.pool = &pool;
+  RuntimeScope scope(options);
+  constexpr ParallelIndex kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(0, kN, [&](ParallelIndex b, ParallelIndex e) {
+    for (ParallelIndex i = b; i < e; ++i) ++hits[i];
+  });
+  for (ParallelIndex i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  RuntimeOptions options;
+  options.pool = &pool;
+  RuntimeScope scope(options);
+  EXPECT_THROW(
+      ParallelFor(0, 1000,
+                  [&](ParallelIndex b, ParallelIndex) {
+                    if (b >= 0) throw std::runtime_error("chunk failure");
+                  }),
+      std::runtime_error);
+  // The pool survives a failed region and keeps executing work.
+  std::vector<int> hits(32, 0);
+  ParallelFor(0, 32, [&](ParallelIndex b, ParallelIndex e) {
+    for (ParallelIndex i = b; i < e; ++i) hits[i] = 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, NestedRegionsRunInline) {
+  ThreadPool pool(4);
+  RuntimeOptions options;
+  options.pool = &pool;
+  RuntimeScope scope(options);
+  std::atomic<int> total{0};
+  ParallelFor(
+      0, 256,
+      [&](ParallelIndex b, ParallelIndex e) {
+        EXPECT_TRUE(InParallelRegion());
+        // Inner region must not deadlock waiting for occupied workers.
+        ParallelFor(0, 8, [&](ParallelIndex ib, ParallelIndex ie) {
+          total += static_cast<int>((ie - ib) * (e - b > 0 ? 1 : 0));
+        });
+      },
+      /*grain=*/4);
+  EXPECT_GT(total.load(), 0);
+}
+
+// Reduction result must be bitwise identical for 1, 2, and 8 threads
+// (fixed chunk -> slot mapping, combined in chunk order).
+TEST(Parallel, ReduceIsDeterministicAcrossThreadCounts) {
+  // Summands with wildly varying magnitudes so any reassociation of the
+  // combine order would change the bits.
+  constexpr ParallelIndex kN = 4099;
+  std::vector<double> xs(kN);
+  Rng rng(7);
+  for (auto& x : xs) x = rng.Normal() * std::pow(10.0, rng.Uniform(-8, 8));
+
+  auto sum_with_threads = [&](int threads) {
+    ThreadPool pool(threads);
+    RuntimeOptions options;
+    options.pool = &pool;
+    RuntimeScope scope(options);
+    return ParallelReduce(
+        ParallelIndex{0}, kN, 0.0,
+        [&](ParallelIndex b, ParallelIndex e) {
+          double s = 0.0;
+          for (ParallelIndex i = b; i < e; ++i) s += xs[i];
+          return s;
+        },
+        [](double acc, double part) { return acc + part; });
+  };
+
+  const double s1 = sum_with_threads(1);
+  const double s2 = sum_with_threads(2);
+  const double s8 = sum_with_threads(8);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1, s8);
+
+  // Disabling the runtime keeps the chunk layout and hence the bits.
+  RuntimeOptions serial;
+  serial.enabled = false;
+  RuntimeScope scope(serial);
+  const double s0 = ParallelReduce(
+      ParallelIndex{0}, kN, 0.0,
+      [&](ParallelIndex b, ParallelIndex e) {
+        double s = 0.0;
+        for (ParallelIndex i = b; i < e; ++i) s += xs[i];
+        return s;
+      },
+      [](double acc, double part) { return acc + part; });
+  EXPECT_EQ(s0, s1);
+}
+
+// Full-gradient evaluation (the trainers' hot loop) is bitwise
+// reproducible across thread counts.
+TEST(Parallel, ModelGradientDeterministicAcrossThreadCounts) {
+  const Dataset data = MakeSyntheticLogistic(3000, 24, /*seed=*/3);
+  const LogisticRegressionSpec spec(1e-3);
+  Rng rng(11);
+  const Vector theta = testing::RandomVector(24, &rng);
+
+  auto gradient_with_threads = [&](int threads) {
+    ThreadPool pool(threads);
+    RuntimeOptions options;
+    options.pool = &pool;
+    RuntimeScope scope(options);
+    Vector grad;
+    spec.Gradient(theta, data, &grad);
+    return grad;
+  };
+
+  const Vector g1 = gradient_with_threads(1);
+  const Vector g2 = gradient_with_threads(2);
+  const Vector g8 = gradient_with_threads(8);
+  ASSERT_EQ(g1.size(), g8.size());
+  for (Vector::Index i = 0; i < g1.size(); ++i) {
+    EXPECT_EQ(g1[i], g2[i]);
+    EXPECT_EQ(g1[i], g8[i]);
+  }
+}
+
+struct StatisticsRun {
+  Vector variances;
+  double accuracy_epsilon = 0.0;
+  Dataset::Index sample_size = 0;
+};
+
+// One full statistics + estimation pass under the given runtime options.
+StatisticsRun RunStatistics(const RuntimeOptions& options,
+                            Matrix::Index stats_sample) {
+  RuntimeScope scope(options);
+  const Dataset data = MakeSyntheticLogistic(2000, 20, /*seed=*/5);
+  const LogisticRegressionSpec spec(1e-2);
+  const auto model = ModelTrainer().Train(spec, data);
+  BLINKML_CHECK(model.ok());
+
+  StatsOptions stats_options;
+  stats_options.method = StatsMethod::kObservedFisher;
+  stats_options.stats_sample_size = stats_sample;
+  Rng stats_rng(17);
+  auto sampler = ComputeStatistics(spec, model->theta, data, stats_options,
+                                   &stats_rng);
+  BLINKML_CHECK(sampler.ok());
+
+  StatisticsRun run;
+  auto diag = sampler->VarianceDiagonal();
+  BLINKML_CHECK(diag.ok());
+  run.variances = std::move(*diag);
+
+  const Dataset holdout = MakeSyntheticLogistic(500, 20, /*seed=*/6);
+  AccuracyOptions acc_options;
+  acc_options.num_samples = 128;
+  Rng acc_rng(23);
+  auto acc = EstimateAccuracy(spec, model->theta, data.num_rows(),
+                              10 * data.num_rows(), *sampler, holdout,
+                              acc_options, &acc_rng);
+  BLINKML_CHECK(acc.ok());
+  run.accuracy_epsilon = acc->epsilon;
+
+  SampleSizeOptions size_options;
+  size_options.num_samples = 64;
+  size_options.epsilon = acc->epsilon / 4.0;
+  Rng size_rng(29);
+  auto size = EstimateSampleSize(spec, model->theta, data.num_rows(),
+                                 10 * data.num_rows(), *sampler, holdout,
+                                 size_options, &size_rng);
+  BLINKML_CHECK(size.ok());
+  run.sample_size = size->sample_size;
+  return run;
+}
+
+// ComputeStatistics and the two Monte-Carlo estimators agree between
+// serial execution and 1/2/8-thread parallel execution to 1e-10 relative
+// tolerance, on both the small-dimension (p <= n_s) and Gram (p > n_s)
+// ObservedFisher paths.
+TEST(Parallel, StatisticsEquivalentSerialVsParallel) {
+  for (const Matrix::Index stats_sample : {Matrix::Index{256},   // p <= n_s
+                                           Matrix::Index{16}}) {  // p > n_s
+    RuntimeOptions serial;
+    serial.enabled = false;
+    const StatisticsRun base = RunStatistics(serial, stats_sample);
+
+    for (const int threads : {1, 2, 8}) {
+      ThreadPool pool(threads);
+      RuntimeOptions options;
+      options.pool = &pool;
+      options.num_threads = threads;
+      const StatisticsRun run = RunStatistics(options, stats_sample);
+
+      ASSERT_EQ(base.variances.size(), run.variances.size());
+      for (Vector::Index i = 0; i < base.variances.size(); ++i) {
+        const double scale = std::max(std::abs(base.variances[i]), 1e-300);
+        EXPECT_LE(std::abs(base.variances[i] - run.variances[i]) / scale,
+                  1e-10)
+            << "variance " << i << " with " << threads << " threads";
+      }
+      const double eps_scale = std::max(std::abs(base.accuracy_epsilon),
+                                        1e-300);
+      EXPECT_LE(std::abs(base.accuracy_epsilon - run.accuracy_epsilon) /
+                    eps_scale,
+                1e-10);
+      EXPECT_EQ(base.sample_size, run.sample_size);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blinkml
