@@ -120,6 +120,126 @@ BlinkConfig ConfigFor(const Workload& workload, std::uint64_t seed) {
   return config;
 }
 
+bool JsonPathFromArgs(int argc, char** argv, const std::string& default_path,
+                      std::string* path) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--json") {
+      *path = default_path;
+      return true;
+    }
+    if (StartsWith(arg, "--json=")) {
+      *path = std::string(arg.substr(7));
+      if (path->empty()) *path = default_path;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (std::isnan(value)) return "null";
+  if (std::isinf(value)) return value > 0 ? "1e308" : "-1e308";
+  return StrFormat("%.17g", value);
+}
+
+}  // namespace
+
+JsonObject& JsonObject::Number(const std::string& key, double value) {
+  fields_.emplace_back(key, JsonNumber(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Int(const std::string& key, long long value) {
+  fields_.emplace_back(key, StrFormat("%lld", value));
+  return *this;
+}
+
+JsonObject& JsonObject::Bool(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+JsonObject& JsonObject::Str(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  return *this;
+}
+
+JsonObject& JsonObject::Object(const std::string& key,
+                               const JsonObject& child) {
+  fields_.emplace_back(key, child.ToCompact());
+  return *this;
+}
+
+JsonObject& JsonObject::Array(const std::string& key,
+                              const std::vector<JsonObject>& items) {
+  // One compact element per line, indented one level below the key.
+  std::string raw = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    raw += i > 0 ? ",\n    " : "\n    ";
+    raw += items[i].ToCompact();
+  }
+  raw += items.empty() ? "]" : "\n  ]";
+  fields_.emplace_back(key, std::move(raw));
+  return *this;
+}
+
+std::string JsonObject::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    out += i > 0 ? ",\n  " : "\n  ";
+    out += "\"" + JsonEscape(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  out += "\n}";
+  return out;
+}
+
+std::string JsonObject::ToCompact() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+bool WriteBenchFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 void PrintHeader(const std::string& title) {
   std::printf("\n===== %s =====\n", title.c_str());
 }

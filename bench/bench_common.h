@@ -54,6 +54,45 @@ std::vector<Workload> MakePaperWorkloads(double scale,
 /// sample, Monte-Carlo budgets), seeded with `seed`.
 BlinkConfig ConfigFor(const Workload& workload, std::uint64_t seed);
 
+// --- Machine-readable output (--json) ---------------------------------
+//
+// Harnesses that track a perf trajectory over time emit a JSON file next
+// to their human-readable table. The flag is `--json` (default path,
+// "BENCH_<name>.json") or `--json=<path>`.
+
+/// Scans argv for --json / --json=<path>. Returns true when requested;
+/// *path is the explicit path or `default_path`.
+bool JsonPathFromArgs(int argc, char** argv, const std::string& default_path,
+                      std::string* path);
+
+/// Minimal ordered JSON-object builder (numbers round-trip via %.17g;
+/// strings are escaped). Enough for flat metrics plus one level of
+/// object arrays — not a general JSON library. The top level renders one
+/// field per line; nested objects/array elements render compactly on a
+/// single line so the output stays aligned at any depth.
+class JsonObject {
+ public:
+  JsonObject& Number(const std::string& key, double value);
+  JsonObject& Int(const std::string& key, long long value);
+  JsonObject& Bool(const std::string& key, bool value);
+  JsonObject& Str(const std::string& key, const std::string& value);
+  JsonObject& Object(const std::string& key, const JsonObject& child);
+  JsonObject& Array(const std::string& key,
+                    const std::vector<JsonObject>& items);
+
+  /// Rendered object ("{...}"): one field per line at the top level.
+  std::string ToString() const;
+
+  /// Single-line rendering (used for nested values).
+  std::string ToCompact() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> raw
+};
+
+/// Writes `content` to `path` (truncating); prints a note to stdout.
+bool WriteBenchFile(const std::string& path, const std::string& content);
+
 /// Prints a horizontal rule and a centered title.
 void PrintHeader(const std::string& title);
 

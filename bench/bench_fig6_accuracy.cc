@@ -43,7 +43,7 @@ void RunWorkload(const Workload& workload, int repeats) {
           coordinator.Train(*workload.spec, workload.data, contract);
       if (!result.ok()) continue;
       const double v = workload.spec->Diff(result->model.theta, full->theta,
-                                           result->holdout);
+                                           *result->holdout);
       actual.push_back(1.0 - v);
       if (1.0 - v < level) ++violations;
     }

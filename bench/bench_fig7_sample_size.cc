@@ -88,7 +88,7 @@ void RunWorkload(const Workload& workload) {
       WallTimer t;
       const auto r = blinkml.Train(*workload.spec, workload.data, contract);
       if (r.ok()) {
-        rows[3] = {eval(r->model.theta, r->holdout), t.Seconds(),
+        rows[3] = {eval(r->model.theta, *r->holdout), t.Seconds(),
                    r->sample_size, true};
         pure_train = r->timings.initial_train + r->timings.final_train;
       }

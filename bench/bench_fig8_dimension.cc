@@ -57,9 +57,9 @@ void RunDimension(std::int64_t dim, std::int64_t rows) {
   }
 
   const double gen_approx =
-      spec.GeneralizationError(result->model.theta, result->holdout);
+      spec.GeneralizationError(result->model.theta, *result->holdout);
   const double gen_full =
-      spec.GeneralizationError(full->theta, result->holdout);
+      spec.GeneralizationError(full->theta, *result->holdout);
   const double predicted_bound =
       FullModelGeneralizationBound(gen_approx, contract.epsilon);
   const PhaseTimings& t = result->timings;

@@ -1,0 +1,164 @@
+// Session amortization benchmark: k-candidate hyperparameter search via
+// TrainingSession + HyperparamSearch (holdout/D_0 computed once,
+// candidates concurrent on the runtime pool) against the naive loop of
+// standalone Coordinator::Train calls (everything recomputed per
+// candidate, candidates serial). The two paths produce bitwise-identical
+// models, so the comparison isolates the session machinery.
+//
+//   $ ./build/bench_session [--json[=path]]
+//
+// Honors BLINKML_SCALE (dataset size) and BLINKML_NUM_THREADS. With
+// --json the summary is written to BENCH_session.json so the perf
+// trajectory is tracked run over run.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/coordinator.h"
+#include "data/generators.h"
+#include "linalg/matrix.h"
+#include "models/logistic_regression.h"
+#include "runtime/thread_pool.h"
+#include "session/hyperparam_search.h"
+#include "session/training_session.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace blinkml;
+  using namespace blinkml::bench;
+
+  const double scale = ScaleFromEnv();
+  const auto rows = static_cast<Dataset::Index>(120'000 * scale);
+  const auto shared_data = std::make_shared<const Dataset>(
+      MakeCriteoLike(rows, /*seed=*/21, /*dim=*/2000, /*nnz_per_row=*/30));
+  const Dataset& data = *shared_data;
+
+  BlinkConfig config;
+  config.initial_sample_size = 8000;
+  config.holdout_size = 2000;
+  config.stats_sample_size = 640;
+  config.accuracy_samples = 256;
+  config.size_samples = 192;
+  config.seed = 11;
+  const ApproximationContract contract{0.05, 0.05};
+
+  const std::vector<Candidate> candidates =
+      HyperparamSearch::LogGrid(3e-5, 1e-1, 8);
+  const auto spec_factory = [](const Candidate& c) {
+    return std::make_shared<LogisticRegressionSpec>(c.l2);
+  };
+
+  PrintHeader("Session amortization: 8-candidate L2 search, LR sparse");
+  std::printf("rows=%s dim=2000 threads=%d\n",
+              WithThousands(data.num_rows()).c_str(),
+              ThreadPool::DefaultParallelism());
+
+  // Naive baseline: one standalone Coordinator per candidate, serially.
+  // Inner phases still use the runtime pool, exactly as in the session
+  // path; only the cross-candidate amortization/concurrency differs.
+  std::vector<ApproxResult> naive_results;
+  std::vector<double> naive_seconds;
+  WallTimer naive_timer;
+  for (const Candidate& c : candidates) {
+    const auto spec = spec_factory(c);
+    WallTimer timer;
+    auto result = Coordinator(config).Train(*spec, data, contract);
+    if (!result.ok()) {
+      std::fprintf(stderr, "naive candidate l2=%g failed: %s\n", c.l2,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    naive_seconds.push_back(timer.Seconds());
+    naive_results.push_back(std::move(*result));
+  }
+  const double naive_total = naive_timer.Seconds();
+
+  // Session path: shared prefix, concurrent candidates, no dataset copy.
+  TrainingSession session(shared_data, config);
+  SearchOptions options;
+  options.contract = contract;
+  HyperparamSearch search(&session, options);
+  WallTimer session_timer;
+  const SearchOutcome outcome = search.Run(spec_factory, candidates);
+  const double session_total = session_timer.Seconds();
+
+  bool bitwise_identical = true;
+  std::printf("\n%-10s| %-12s| %-10s| %-12s| %-12s| %s\n", "l2", "sample n",
+              "eps", "naive", "session", "identical");
+  std::vector<JsonObject> candidate_json;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const CandidateResult& cr = outcome.candidates[i];
+    if (!cr.status.ok()) {
+      std::fprintf(stderr, "session candidate l2=%g failed: %s\n",
+                   candidates[i].l2, cr.status.ToString().c_str());
+      return 1;
+    }
+    const bool same =
+        MaxAbsDiff(cr.result.model.theta, naive_results[i].model.theta) ==
+            0.0 &&
+        cr.result.final_epsilon == naive_results[i].final_epsilon;
+    bitwise_identical = bitwise_identical && same;
+    std::printf("%-10g| %-12s| %-10.4f| %-12s| %-12s| %s\n", candidates[i].l2,
+                WithThousands(cr.result.sample_size).c_str(),
+                cr.result.final_epsilon,
+                HumanSeconds(naive_seconds[i]).c_str(),
+                HumanSeconds(cr.seconds).c_str(), same ? "yes" : "NO");
+    candidate_json.push_back(
+        JsonObject()
+            .Number("l2", candidates[i].l2)
+            .Int("sample_size", cr.result.sample_size)
+            .Number("final_epsilon", cr.result.final_epsilon)
+            .Bool("used_initial_only", cr.result.used_initial_only)
+            .Bool("contract_satisfied", cr.result.contract_satisfied)
+            .Number("naive_seconds", naive_seconds[i])
+            .Number("session_candidate_seconds", cr.seconds)
+            .Bool("bitwise_identical", same));
+  }
+
+  const auto k = static_cast<double>(candidates.size());
+  const SessionStats stats = outcome.session_stats;
+  std::printf("\nnaive loop:    %s total  (%.2f candidates/sec)\n",
+              HumanSeconds(naive_total).c_str(), k / naive_total);
+  std::printf("session:       %s total  (%.2f candidates/sec)\n",
+              HumanSeconds(session_total).c_str(), k / session_total);
+  std::printf("speedup:       %.2fx\n", naive_total / session_total);
+  std::printf("prefix:        computed %dx (%s); cache %llu hits / %llu "
+              "misses, %s rows shared\n",
+              stats.prefixes_computed,
+              HumanSeconds(stats.prefix_seconds).c_str(),
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.misses),
+              WithThousands(stats.cache.cached_rows).c_str());
+  std::printf("models:        %s\n",
+              bitwise_identical ? "bitwise identical to the naive loop"
+                                : "MISMATCH vs the naive loop");
+
+  std::string json_path;
+  if (JsonPathFromArgs(argc, argv, "BENCH_session.json", &json_path)) {
+    JsonObject root;
+    root.Str("bench", "session")
+        .Int("rows", data.num_rows())
+        .Int("dim", data.dim())
+        .Int("num_candidates", static_cast<long long>(candidates.size()))
+        .Int("threads", ThreadPool::DefaultParallelism())
+        .Number("scale", scale)
+        .Number("naive_seconds_total", naive_total)
+        .Number("session_seconds_total", session_total)
+        .Number("speedup", naive_total / session_total)
+        .Number("naive_per_candidate_seconds", naive_total / k)
+        .Number("amortized_per_candidate_seconds", session_total / k)
+        .Number("candidates_per_sec_naive", k / naive_total)
+        .Number("candidates_per_sec_session", k / session_total)
+        .Number("prefix_seconds", stats.prefix_seconds)
+        .Int("prefixes_computed", stats.prefixes_computed)
+        .Int("cache_hits", static_cast<long long>(stats.cache.hits))
+        .Int("cache_misses", static_cast<long long>(stats.cache.misses))
+        .Bool("bitwise_identical", bitwise_identical)
+        .Array("candidates", candidate_json);
+    if (!WriteBenchFile(json_path, root.ToString())) return 1;
+  }
+  return bitwise_identical ? 0 : 1;
+}

@@ -59,7 +59,7 @@ int main() {
     return 1;
   }
   const double v =
-      spec.Diff(result->model.theta, full->theta, result->holdout);
+      spec.Diff(result->model.theta, full->theta, *result->holdout);
   std::printf("Full model in %s; actual rate difference v = %.4f "
               "(requested <= %.4f)\n",
               HumanSeconds(full_timer.Seconds()).c_str(), v,
@@ -84,7 +84,7 @@ int main() {
               "identical predictions: %s\n",
               path.c_str(), loaded->model_class.c_str(), loaded->epsilon,
               spec.Diff(loaded->model.theta, result->model.theta,
-                        result->holdout) == 0.0
+                        *result->holdout) == 0.0
                   ? "yes"
                   : "NO");
   return v <= contract.epsilon ? 0 : 2;

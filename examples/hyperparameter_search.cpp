@@ -1,77 +1,127 @@
 // Hyperparameter search with approximate models (the paper's Section 5.7
 // use case, scaled to a demo).
 //
-//   $ ./build/examples/hyperparameter_search
+//   $ ./build/example_hyperparameter_search [--smoke]
 //
-// Random search over L2 coefficients for logistic regression. Each
-// candidate is evaluated with a fast 95%-accurate BlinkML model; only the
-// winning configuration is retrained in full at the end. This is the
-// workflow the paper motivates: cheap approximate models during the
-// exploration phase, one exact model once the configuration has converged.
+// Grid search over L2 coefficients for logistic regression, driven by the
+// session subsystem: a TrainingSession computes the holdout split and the
+// initial sample once, and HyperparamSearch runs every candidate
+// concurrently on the runtime thread pool. Each candidate is evaluated
+// with a fast 95%-accurate BlinkML model; only the winning configuration
+// is retrained in full at the end. For comparison, the same candidates
+// are first walked the naive way — one standalone Coordinator::Train per
+// candidate, everything recomputed, no cross-candidate concurrency. The
+// two paths return bitwise-identical models; only the wall-clock differs.
+//
+// --smoke shrinks the dataset and grid so CI can run this binary as a
+// smoke test in a few seconds.
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "core/coordinator.h"
 #include "data/generators.h"
 #include "models/logistic_regression.h"
 #include "models/trainer.h"
+#include "session/hyperparam_search.h"
+#include "session/training_session.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace blinkml;
 
-  const Dataset train = MakeCriteoLike(150'000, /*seed=*/3, /*dim=*/2000,
-                                       /*nnz_per_row=*/30);
-  const Dataset validation = MakeCriteoLike(15'000, /*seed=*/4, /*dim=*/2000,
-                                            /*nnz_per_row=*/30);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const Dataset::Index train_rows = smoke ? 30'000 : 150'000;
+  const int grid_size = smoke ? 4 : 8;
+
+  const auto train = std::make_shared<const Dataset>(
+      MakeCriteoLike(train_rows, /*seed=*/3, /*dim=*/2000,
+                     /*nnz_per_row=*/30));
+  const Dataset validation = MakeCriteoLike(train_rows / 10, /*seed=*/4,
+                                            /*dim=*/2000, /*nnz_per_row=*/30);
   std::printf("Searching L2 coefficients on %s sparse rows (d=2000)\n",
-              WithThousands(train.num_rows()).c_str());
+              WithThousands(train->num_rows()).c_str());
 
   // Candidate grid (log-spaced), walked with approximate models.
-  const std::vector<double> candidates = {3e-5, 1e-4, 3e-4, 1e-3,
-                                          3e-3, 1e-2, 3e-2, 1e-1};
+  const std::vector<Candidate> candidates =
+      HyperparamSearch::LogGrid(3e-5, 1e-1, grid_size);
+  const auto spec_factory = [](const Candidate& c) {
+    return std::make_shared<LogisticRegressionSpec>(c.l2);
+  };
+  const ApproximationContract contract{0.05, 0.05};
+
   BlinkConfig config;
   config.initial_sample_size = 8000;
   config.holdout_size = 1500;
   config.seed = 11;
-  const Coordinator coordinator(config);
 
-  double best_accuracy = 0.0;
-  double best_l2 = candidates.front();
-  WallTimer search_timer;
-  std::printf("\n%-10s| %-12s| %-12s| %-10s| %s\n", "l2", "sample n",
-              "val acc", "time", "eps bound");
-  for (const double l2 : candidates) {
-    LogisticRegressionSpec spec(l2);
-    WallTimer timer;
-    const auto result = coordinator.Train(spec, train, {0.05, 0.05});
+  // Baseline: the naive loop (what this example did before the session
+  // subsystem existed) — a fresh Coordinator per candidate, serially.
+  std::printf("\n--- naive loop: standalone Coordinator per candidate ---\n");
+  const Coordinator coordinator(config);
+  WallTimer naive_timer;
+  for (const Candidate& c : candidates) {
+    const auto spec = spec_factory(c);
+    const auto result = coordinator.Train(*spec, *train, contract);
     if (!result.ok()) {
-      std::printf("%-10g| training failed: %s\n", l2,
+      std::printf("l2=%-8g training failed: %s\n", c.l2,
                   result.status().ToString().c_str());
-      continue;
-    }
-    const double accuracy =
-        1.0 - spec.GeneralizationError(result->model.theta, validation);
-    std::printf("%-10g| %-12s| %-12s| %-10s| %.4f\n", l2,
-                WithThousands(result->sample_size).c_str(),
-                StrFormat("%.2f%%", 100.0 * accuracy).c_str(),
-                HumanSeconds(timer.Seconds()).c_str(),
-                result->final_epsilon);
-    if (accuracy > best_accuracy) {
-      best_accuracy = accuracy;
-      best_l2 = l2;
     }
   }
-  const double search_seconds = search_timer.Seconds();
+  const double naive_seconds = naive_timer.Seconds();
+  std::printf("naive loop: %s for %zu configurations\n",
+              HumanSeconds(naive_seconds).c_str(), candidates.size());
+
+  // Session path: holdout + D_0 computed once, candidates concurrent.
+  std::printf("\n--- session: shared prefix, concurrent candidates ---\n");
+  TrainingSession session(train, config);
+  SearchOptions options;
+  options.contract = contract;
+  options.validation = &validation;
+  HyperparamSearch search(&session, options);
+  WallTimer session_timer;
+  const SearchOutcome outcome = search.Run(spec_factory, candidates);
+  const double session_seconds = session_timer.Seconds();
+
+  std::printf("\n%-10s| %-12s| %-12s| %-10s| %s\n", "l2", "sample n",
+              "val acc", "time", "eps bound");
+  for (const CandidateResult& cr : outcome.candidates) {
+    if (!cr.status.ok()) {
+      std::printf("%-10g| training failed: %s\n", cr.candidate.l2,
+                  cr.status.ToString().c_str());
+      continue;
+    }
+    std::printf("%-10g| %-12s| %-12s| %-10s| %.4f\n", cr.candidate.l2,
+                WithThousands(cr.result.sample_size).c_str(),
+                StrFormat("%.2f%%", 100.0 * cr.score).c_str(),
+                HumanSeconds(cr.seconds).c_str(), cr.result.final_epsilon);
+  }
+  const SessionStats stats = outcome.session_stats;
+  std::printf("\nsession: %s for %zu configurations (%.2fx vs naive; "
+              "prefix computed once in %s)\n",
+              HumanSeconds(session_seconds).c_str(), candidates.size(),
+              naive_seconds / session_seconds,
+              HumanSeconds(stats.prefix_seconds).c_str());
+
+  if (outcome.best_index < 0) {
+    std::fprintf(stderr, "no candidate finished\n");
+    return 1;
+  }
+  const CandidateResult& best =
+      outcome.candidates[static_cast<std::size_t>(outcome.best_index)];
+  std::printf("\nWinner: l2 = %g (validation accuracy %.2f%%)\n",
+              best.candidate.l2, 100.0 * best.score);
 
   // Final exact training with the winning configuration.
-  std::printf("\nWinner: l2 = %g (validation accuracy %.2f%%)\n", best_l2,
-              100.0 * best_accuracy);
-  LogisticRegressionSpec winner(best_l2);
+  LogisticRegressionSpec winner(best.candidate.l2);
   WallTimer full_timer;
-  const auto full = ModelTrainer().Train(winner, train);
+  const auto full = ModelTrainer().Train(winner, *train);
   if (!full.ok()) {
     std::fprintf(stderr, "final training failed: %s\n",
                  full.status().ToString().c_str());
@@ -81,7 +131,5 @@ int main() {
               100.0 * (1.0 -
                        winner.GeneralizationError(full->theta, validation)),
               HumanSeconds(full_timer.Seconds()).c_str());
-  std::printf("Search phase total: %s for %zu configurations\n",
-              HumanSeconds(search_seconds).c_str(), candidates.size());
   return 0;
 }

@@ -60,7 +60,7 @@ int main() {
     return 1;
   }
   const double v = spec.Diff(result->model.theta, full->theta,
-                             result->holdout);
+                             *result->holdout);
   std::printf("Full model: %s\n", HumanSeconds(full_timer.Seconds()).c_str());
   std::printf("Actual factor cosine distance: %.6f (similarity %.4f%%)\n", v,
               100.0 * (1.0 - v));

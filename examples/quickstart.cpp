@@ -68,7 +68,7 @@ int main() {
   const double full_seconds = full_timer.Seconds();
 
   const double v =
-      spec.Diff(result->model.theta, full->theta, result->holdout);
+      spec.Diff(result->model.theta, full->theta, *result->holdout);
   std::printf("\nComparison:\n");
   std::printf("  full-model time    : %s\n",
               HumanSeconds(full_seconds).c_str());
@@ -77,8 +77,8 @@ int main() {
               contract.epsilon);
   std::printf("  actual agreement   : %.2f%%\n", 100.0 * (1.0 - v));
   std::printf("  gen. error approx  : %.4f\n",
-              spec.GeneralizationError(result->model.theta, result->holdout));
+              spec.GeneralizationError(result->model.theta, *result->holdout));
   std::printf("  gen. error full    : %.4f\n",
-              spec.GeneralizationError(full->theta, result->holdout));
+              spec.GeneralizationError(full->theta, *result->holdout));
   return v <= contract.epsilon ? 0 : 2;
 }

@@ -1,15 +1,11 @@
 #include "core/coordinator.h"
 
-#include <algorithm>
+#include <memory>
+#include <utility>
 
-#include "util/logging.h"
 #include "util/timer.h"
 
 namespace blinkml {
-
-namespace {
-using Index = Dataset::Index;
-}  // namespace
 
 Coordinator::Coordinator(BlinkConfig config) : config_(std::move(config)) {}
 
@@ -17,156 +13,16 @@ Result<ApproxResult> Coordinator::Train(
     const ModelSpec& spec, const Dataset& data,
     const ApproximationContract& contract) const {
   BLINKML_RETURN_NOT_OK(ValidateContract(contract));
-  if (data.num_rows() < 10) {
-    return Status::InvalidArgument("dataset too small");
-  }
-
-  // Every parallel hot path below (statistics, Monte-Carlo estimation,
-  // training gradients) honors the config's runtime knobs for the
-  // duration of this run.
-  RuntimeScope runtime_scope(config_.runtime);
-
   WallTimer total_timer;
-  Rng rng(config_.seed);
-
-  ApproxResult out;
-  out.contract = contract;
-
-  // Holdout split. The holdout estimates v; everything else is the pool
-  // the "full model" would be trained on. Only the holdout and the (much
-  // smaller) training samples are materialized; the pool stays an index
-  // view into `data` so no O(N) copy is ever made.
-  Index holdout_size = std::min<Index>(config_.holdout_size,
-                                       data.num_rows() / 5);
-  holdout_size = std::max<Index>(holdout_size, 1);
-  Rng split_rng = rng.Split();
-  std::vector<Index> perm = RandomPermutation(data.num_rows(), &split_rng);
-  std::vector<Index> holdout_rows(perm.begin(), perm.begin() + holdout_size);
-  std::vector<Index> pool_rows(perm.begin() + holdout_size, perm.end());
-  out.holdout = data.TakeRows(holdout_rows);
-  const Index full_n = static_cast<Index>(pool_rows.size());
-  out.full_size = full_n;
-
-  // Materializes a uniform random size-k subset of the pool.
-  auto sample_pool = [&](Index k, Rng* sample_rng) {
-    std::vector<Index> chosen = SampleWithoutReplacement(full_n, k, sample_rng);
-    for (Index& c : chosen) c = pool_rows[static_cast<std::size_t>(c)];
-    return data.TakeRows(chosen);
-  };
-
-  // Initial model m_0 on D_0.
-  const Index n0 = std::min<Index>(config_.initial_sample_size, full_n);
-  Rng sample_rng = rng.Split();
-  const Dataset d0 = sample_pool(n0, &sample_rng);
-  const ModelTrainer trainer(config_.trainer);
-  TrainedModel m0;
-  {
-    ScopedTimer t(&out.timings.initial_train);
-    BLINKML_ASSIGN_OR_RETURN(m0, trainer.Train(spec, d0));
-  }
-  out.initial_iterations = m0.iterations;
-
-  // Statistics at m_0.
-  StatsOptions stats_options;
-  stats_options.method = config_.stats_method;
-  stats_options.stats_sample_size = config_.stats_sample_size;
-  stats_options.max_rank = config_.sampler_max_rank;
-  Rng stats_rng = rng.Split();
-  ParamSampler sampler = ParamSampler::FromDenseFactor(Matrix());
-  {
-    ScopedTimer t(&out.timings.statistics);
-    BLINKML_ASSIGN_OR_RETURN(
-        sampler,
-        ComputeStatistics(spec, m0.theta, d0, stats_options, &stats_rng));
-  }
-
-  // Accuracy of m_0.
-  AccuracyOptions acc_options;
-  acc_options.num_samples = config_.accuracy_samples;
-  acc_options.delta = contract.delta;
-  Rng acc_rng = rng.Split();
-  AccuracyEstimate eps0;
-  {
-    ScopedTimer t(&out.timings.accuracy_estimation);
-    BLINKML_ASSIGN_OR_RETURN(
-        eps0, EstimateAccuracy(spec, m0.theta, n0, full_n, sampler,
-                               out.holdout, acc_options, &acc_rng));
-  }
-  out.initial_epsilon = eps0.epsilon;
-
-  if (eps0.epsilon <= contract.epsilon) {
-    BLINKML_LOG(INFO) << spec.name() << ": initial model meets the contract"
-                      << " (eps0=" << eps0.epsilon << " <= "
-                      << contract.epsilon << ")";
-    out.model = std::move(m0);
-    out.sample_size = n0;
-    out.final_epsilon = eps0.epsilon;
-    out.used_initial_only = true;
-    out.timings.total = total_timer.Seconds();
-    return out;
-  }
-
-  // Minimum sample size for the final model.
-  SampleSizeOptions size_options;
-  size_options.num_samples = config_.size_samples;
-  size_options.epsilon = contract.epsilon;
-  size_options.delta = contract.delta;
-  size_options.min_n = std::max<Index>(config_.min_sample_size, n0);
-  Rng size_rng = rng.Split();
-  {
-    ScopedTimer t(&out.timings.size_estimation);
-    BLINKML_ASSIGN_OR_RETURN(
-        out.size_estimate,
-        EstimateSampleSize(spec, m0.theta, n0, full_n, sampler, out.holdout,
-                           size_options, &size_rng));
-  }
-  const Index n = out.size_estimate.sample_size;
-  BLINKML_LOG(INFO) << spec.name() << ": estimated minimum sample size " << n
-                    << " of " << full_n;
-
-  // Final model m_n on a fresh sample.
-  Rng final_rng = rng.Split();
-  const Dataset dn = (n >= full_n) ? data.TakeRows(pool_rows)
-                                   : sample_pool(n, &final_rng);
-  TrainerOptions final_options = config_.trainer;
-  if (config_.warm_start_final && !spec.has_closed_form_trainer()) {
-    final_options.warm_start = m0.theta;
-  }
-  const ModelTrainer final_trainer(final_options);
-  TrainedModel mn;
-  {
-    ScopedTimer t(&out.timings.final_train);
-    BLINKML_ASSIGN_OR_RETURN(mn, final_trainer.Train(spec, dn));
-  }
-  out.final_iterations = mn.iterations;
-  out.sample_size = dn.num_rows();
-
-  // Re-estimate the returned model's bound with statistics at theta_n.
-  if (config_.reestimate_final_accuracy && dn.num_rows() < full_n) {
-    Rng restats_rng = rng.Split();
-    Rng reacc_rng = rng.Split();
-    ParamSampler final_sampler = ParamSampler::FromDenseFactor(Matrix());
-    {
-      ScopedTimer t(&out.timings.statistics);
-      BLINKML_ASSIGN_OR_RETURN(
-          final_sampler, ComputeStatistics(spec, mn.theta, dn, stats_options,
-                                           &restats_rng));
-    }
-    AccuracyEstimate eps_final;
-    {
-      ScopedTimer t(&out.timings.accuracy_estimation);
-      BLINKML_ASSIGN_OR_RETURN(
-          eps_final,
-          EstimateAccuracy(spec, mn.theta, dn.num_rows(), full_n,
-                           final_sampler, out.holdout, acc_options,
-                           &reacc_rng));
-    }
-    out.final_epsilon = eps_final.epsilon;
-  } else {
-    out.final_epsilon = (dn.num_rows() >= full_n) ? 0.0 : contract.epsilon;
-  }
-
-  out.model = std::move(mn);
+  BLINKML_ASSIGN_OR_RETURN(TrainingPrefix prefix,
+                           ComputeTrainingPrefix(data, config_));
+  TrainingPipeline pipeline(
+      spec, data, contract, config_,
+      std::make_shared<const TrainingPrefix>(std::move(prefix)));
+  BLINKML_ASSIGN_OR_RETURN(ApproxResult out, pipeline.RunAll());
+  // The one-shot path charges the prefix (split + D_0) to this run; a
+  // session amortizes it instead (ApproxResult::timings then covers only
+  // the stages).
   out.timings.total = total_timer.Seconds();
   return out;
 }

@@ -11,71 +11,21 @@
 //      and return it.
 // At most two models are ever trained. Per-phase wall-clock timings are
 // recorded (they are the subject of paper Figure 8a).
+//
+// The run body lives in core/pipeline.h as composable stages (prefix +
+// TrainingPipeline); Coordinator is the one-shot driver. Multi-model
+// drivers that amortize the prefix live in session/training_session.h.
 
 #ifndef BLINKML_CORE_COORDINATOR_H_
 #define BLINKML_CORE_COORDINATOR_H_
 
-#include "core/accuracy_estimator.h"
 #include "core/contract.h"
-#include "core/param_sampler.h"
-#include "core/sample_size_estimator.h"
-#include "core/statistics.h"
+#include "core/pipeline.h"
 #include "data/dataset.h"
 #include "models/model_spec.h"
-#include "models/trainer.h"
 #include "util/status.h"
 
 namespace blinkml {
-
-/// Wall-clock breakdown of one approximate-training run (paper Figure 8a).
-struct PhaseTimings {
-  double initial_train = 0.0;
-  double statistics = 0.0;
-  double size_estimation = 0.0;
-  double final_train = 0.0;
-  double accuracy_estimation = 0.0;
-  double total = 0.0;
-};
-
-/// Everything a BlinkML training run returns.
-struct ApproxResult {
-  /// The approximate model (the initial model when it already met the
-  /// contract, otherwise the final model).
-  TrainedModel model;
-
-  /// Rows the returned model was trained on.
-  Dataset::Index sample_size = 0;
-
-  /// Size of the training pool (the "N" of the guarantee).
-  Dataset::Index full_size = 0;
-
-  /// The contract that was requested.
-  ApproximationContract contract;
-
-  /// Accuracy bound of the initial model (eps_0).
-  double initial_epsilon = 0.0;
-
-  /// Accuracy bound of the returned model.
-  double final_epsilon = 0.0;
-
-  /// True when the initial model already satisfied the contract and was
-  /// returned directly (paper Section 5.3 observes this regime).
-  bool used_initial_only = false;
-
-  /// The Sample Size Estimator's output (sample_size == 0 when the search
-  /// was skipped).
-  SampleSizeEstimate size_estimate;
-
-  /// The held-out rows (not used for training) on which v was estimated;
-  /// exposed so callers can evaluate generalization error consistently.
-  Dataset holdout;
-
-  PhaseTimings timings;
-
-  /// Optimizer iterations of the initial / final training (Figure 8c).
-  int initial_iterations = 0;
-  int final_iterations = 0;
-};
 
 class Coordinator {
  public:

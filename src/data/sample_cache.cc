@@ -1,0 +1,41 @@
+#include "data/sample_cache.h"
+
+namespace blinkml {
+
+void SampleCache::set_max_cached_rows(Dataset::Index max_rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_cached_rows_ = max_rows;
+}
+
+std::shared_ptr<const Dataset> SampleCache::GetOrCreate(
+    const Key& key, const Factory& factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  auto dataset = std::make_shared<const Dataset>(factory());
+  if (max_cached_rows_ > 0 &&
+      stats_.cached_rows + dataset->num_rows() > max_cached_rows_) {
+    ++stats_.bypassed;
+    return dataset;
+  }
+  stats_.cached_rows += dataset->num_rows();
+  cache_.emplace(key, dataset);
+  return dataset;
+}
+
+void SampleCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  stats_.cached_rows = 0;
+}
+
+SampleCache::Stats SampleCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace blinkml

@@ -1,0 +1,101 @@
+// Thread-safe cache of materialized row subsets of one base dataset.
+//
+// BlinkML's samples are materialized copies (dataset.h); a multi-model
+// session re-draws the same holdout, initial sample, and full-pool subsets
+// for every candidate. The cache keys a materialization by the triple that
+// determines its rows deterministically — (purpose, seed, size) — and
+// hands the same std::shared_ptr<const Dataset> to every requester, so a
+// k-candidate search pays each copy once instead of k times.
+//
+// A cache belongs to one base dataset (the session's); keys carry no
+// dataset identity. Misses run the factory under the lock, so concurrent
+// requests for the same key materialize exactly once (sampling is cheap
+// relative to the trainings that follow; serializing it is deliberate).
+
+#ifndef BLINKML_DATA_SAMPLE_CACHE_H_
+#define BLINKML_DATA_SAMPLE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "data/dataset.h"
+
+namespace blinkml {
+
+class SampleCache {
+ public:
+  /// What a cached subset is for; part of the key so equal-sized subsets
+  /// drawn from different Rng streams never collide.
+  enum class Purpose : std::uint8_t {
+    kHoldout = 0,        // the holdout split
+    kInitialSample = 1,  // D_0
+    kFinalSample = 2,    // the final model's size-n sample
+    kFullPool = 3,       // the whole pool (n >= full_n fallback)
+    kCustom = 4,         // caller-defined subsets
+  };
+
+  struct Key {
+    Purpose purpose = Purpose::kCustom;
+    std::uint64_t seed = 0;       // master seed the subset derives from
+    Dataset::Index size = 0;      // subset row count requested
+    bool operator==(const Key& other) const {
+      return purpose == other.purpose && seed == other.seed &&
+             size == other.size;
+    }
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /// Misses materialized but NOT retained because the cache was at its
+    /// row budget (callers still get their dataset, unshared).
+    std::uint64_t bypassed = 0;
+    /// Total rows held by cached datasets (what re-copying would cost per
+    /// additional run).
+    Dataset::Index cached_rows = 0;
+  };
+
+  using Factory = std::function<Dataset()>;
+
+  /// Retention budget: once cached_rows would exceed this, further misses
+  /// are materialized but not retained (0 = unlimited). Bounds a
+  /// long-lived session's memory; correctness is unaffected because keys
+  /// determine rows, so an unshared copy is identical to a shared one.
+  void set_max_cached_rows(Dataset::Index max_rows);
+
+  /// The cached dataset for `key`, materializing it with `factory` on the
+  /// first request. The factory must be a pure function of the key (same
+  /// key => same rows); this holds for every sampler in the pipeline
+  /// because subsets are drawn from seed-determined Rng streams.
+  std::shared_ptr<const Dataset> GetOrCreate(const Key& key,
+                                             const Factory& factory);
+
+  /// Drops every cached subset (the shared_ptrs keep live users valid).
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      // splitmix-style mix of the three fields.
+      std::uint64_t h = static_cast<std::uint64_t>(key.purpose) * 0x9E3779B9ull;
+      h ^= key.seed + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      h ^= static_cast<std::uint64_t>(key.size) + 0x9E3779B97F4A7C15ull +
+           (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const Dataset>, KeyHash> cache_;
+  Stats stats_;
+  Dataset::Index max_cached_rows_ = 0;
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_DATA_SAMPLE_CACHE_H_

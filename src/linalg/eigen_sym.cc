@@ -6,6 +6,7 @@
 #include <numeric>
 #include <vector>
 
+#include "runtime/parallel.h"
 #include "util/string_util.h"
 
 namespace blinkml {
@@ -15,6 +16,28 @@ namespace {
 using Index = Matrix::Index;
 
 double Hypot(double a, double b) { return std::hypot(a, b); }
+
+// Row ranges below this size run their chunk loops inline: the pool
+// handoff costs more than the O(rows * n) work of a Householder step.
+// Both paths go through ParallelForChunks — the inline one under a
+// disabled runtime scope — so there is exactly one chunk-to-range
+// mapping, and the threshold (a pure function of the range size) never
+// changes results; see the determinism contract in runtime/parallel.h.
+constexpr ParallelIndex kParallelEigenRows = 128;
+
+void ForEigenChunks(
+    ParallelIndex rows, const ChunkLayout& layout,
+    const std::function<void(ParallelIndex, ParallelIndex, ParallelIndex)>&
+        body) {
+  if (rows >= kParallelEigenRows) {
+    ParallelForChunks(0, rows, layout, body);
+  } else {
+    RuntimeOptions serial;
+    serial.enabled = false;
+    RuntimeScope scope(serial);
+    ParallelForChunks(0, rows, layout, body);
+  }
+}
 
 // Householder reduction of symmetric z (n x n, modified in place) to
 // tridiagonal form. On exit: d holds the diagonal, e the sub-diagonal
@@ -30,6 +53,15 @@ void Tridiagonalize(Matrix* z_mat, Vector* d_vec, Vector* e_vec,
   Vector& d = *d_vec;
   Vector& e = *e_vec;
   const Index n = z.rows();
+
+  // Per-chunk partial rows for the parallel accumulations below (e := A v
+  // and g := v^T Z). The steps' row ranges shrink from n-1 to 1 and the
+  // chunk count is not monotone in the range size, so size the buffer by
+  // the bound over every sub-range, not by the largest layout alone.
+  const ParallelIndex max_chunks =
+      MaxChunksForRanges(static_cast<ParallelIndex>(n), kFineGrain);
+  std::vector<double> partials(
+      static_cast<std::size_t>(std::max<ParallelIndex>(max_chunks, 1) * n));
 
   for (Index i = n - 1; i >= 1; --i) {
     const Index l = i - 1;
@@ -56,17 +88,31 @@ void Tridiagonalize(Matrix* z_mat, Vector* d_vec, Vector* e_vec,
         // row i. Only the lower triangle of A is valid; accumulate with
         // row-contiguous sweeps: for each row j, its contribution to
         // e[0..j] uses row j directly, and its contribution to e[j] from
-        // rows k > j is gathered when visiting those rows.
+        // rows k > j is gathered when visiting those rows. Row chunks run
+        // in parallel, each into its own partial slot; slots combine in
+        // chunk order, so the result is identical for any thread count.
+        const ParallelIndex rows = static_cast<ParallelIndex>(l) + 1;
+        const ChunkLayout layout = ComputeChunks(rows, kFineGrain);
+        ForEigenChunks(
+            rows, layout,
+            [&](ParallelIndex chunk, ParallelIndex jb, ParallelIndex je) {
+              double* pe = partials.data() + chunk * n;
+              std::fill(pe, pe + rows, 0.0);
+              for (ParallelIndex j = jb; j < je; ++j) {
+                const double* zj = z.row_data(j);
+                const double vj = zi_mut[j];
+                double acc = 0.0;
+                for (ParallelIndex k = 0; k < j; ++k) {
+                  acc += zj[k] * zi_mut[k];  // A(j,k) * v_k
+                  pe[k] += zj[k] * vj;       // A(k,j) * v_j, symmetric image
+                }
+                pe[j] += acc + zj[j] * vj;
+              }
+            });
         for (Index k = 0; k <= l; ++k) e[k] = 0.0;
-        for (Index j = 0; j <= l; ++j) {
-          const double* zj = z.row_data(j);
-          const double vj = zi_mut[j];
-          double acc = 0.0;
-          for (Index k = 0; k < j; ++k) {
-            acc += zj[k] * zi_mut[k];  // A(j,k) * v_k
-            e[k] += zj[k] * vj;        // A(k,j) * v_j, symmetric image
-          }
-          e[j] += acc + zj[j] * vj;
+        for (ParallelIndex c = 0; c < layout.num_chunks; ++c) {
+          const double* pe = partials.data() + c * n;
+          for (Index k = 0; k <= l; ++k) e[k] += pe[k];
         }
         f = 0.0;
         const double inv_h = 1.0 / h;
@@ -77,15 +123,20 @@ void Tridiagonalize(Matrix* z_mat, Vector* d_vec, Vector* e_vec,
         const double hh = f / (h + h);
         for (Index j = 0; j <= l; ++j) e[j] -= hh * zi_mut[j];
         // Rank-2 update A := A - v w^T - w v^T on the lower triangle,
-        // row-contiguous.
-        for (Index j = 0; j <= l; ++j) {
-          const double vj = zi_mut[j];
-          const double wj = e[j];
-          double* zj = z.row_data(j);
-          for (Index k = 0; k <= j; ++k) {
-            zj[k] -= vj * e[k] + wj * zi_mut[k];
-          }
-        }
+        // row-contiguous. Rows are independent, so the parallel split is
+        // bitwise identical to the serial sweep.
+        ForEigenChunks(
+            rows, layout,
+            [&](ParallelIndex, ParallelIndex jb, ParallelIndex je) {
+              for (ParallelIndex j = jb; j < je; ++j) {
+                const double vj = zi_mut[j];
+                const double wj = e[j];
+                double* zj = z.row_data(j);
+                for (ParallelIndex k = 0; k <= j; ++k) {
+                  zj[k] -= vj * e[k] + wj * zi_mut[k];
+                }
+              }
+            });
       }
     } else {
       e[i] = zi[l];
@@ -105,26 +156,48 @@ void Tridiagonalize(Matrix* z_mat, Vector* d_vec, Vector* e_vec,
         // g[j] = sum_k v_k Z(k, j) computed k-outer, then
         // Z(k, j) -= g[j] * v_k, also k-outer.
         const double* vi = z.row_data(i);
+        const ParallelIndex rows = static_cast<ParallelIndex>(l) + 1;
+        const ChunkLayout layout = ComputeChunks(rows, kFineGrain);
+        // g[j] = sum_k v_k Z(k, j), k-outer per chunk into a partial slot;
+        // slots combine in chunk order (thread-count independent).
+        ForEigenChunks(
+            rows, layout,
+            [&](ParallelIndex chunk, ParallelIndex kb, ParallelIndex ke) {
+              double* pg = partials.data() + chunk * n;
+              std::fill(pg, pg + rows, 0.0);
+              for (ParallelIndex k = kb; k < ke; ++k) {
+                const double vk = vi[k];
+                if (vk == 0.0) continue;
+                const double* zk = z.row_data(k);
+                for (ParallelIndex j = 0; j < rows; ++j) {
+                  pg[j] += vk * zk[j];
+                }
+              }
+            });
         std::vector<double> g(static_cast<std::size_t>(l + 1), 0.0);
-        for (Index k = 0; k <= l; ++k) {
-          const double vk = vi[k] ;
-          if (vk == 0.0) continue;
-          const double* zk = z.row_data(k);
-          for (Index j = 0; j <= l; ++j) {
-            g[static_cast<std::size_t>(j)] += vk * zk[j];
+        for (ParallelIndex c = 0; c < layout.num_chunks; ++c) {
+          const double* pg = partials.data() + c * n;
+          for (ParallelIndex j = 0; j < rows; ++j) {
+            g[static_cast<std::size_t>(j)] += pg[j];
           }
         }
         // vi entries were scaled by 1/h when stored column-wise in the
-        // classical algorithm; here divide once during the update.
+        // classical algorithm; here divide once during the update. Rows of
+        // Z are independent, so the parallel split is bitwise identical to
+        // the serial sweep.
         const double inv_h = 1.0 / d[i];
-        for (Index k = 0; k <= l; ++k) {
-          const double vk = vi[k] * inv_h;
-          if (vk == 0.0) continue;
-          double* zk = z.row_data(k);
-          for (Index j = 0; j <= l; ++j) {
-            zk[j] -= vk * g[static_cast<std::size_t>(j)];
-          }
-        }
+        ForEigenChunks(
+            rows, layout,
+            [&](ParallelIndex, ParallelIndex kb, ParallelIndex ke) {
+              for (ParallelIndex k = kb; k < ke; ++k) {
+                const double vk = vi[k] * inv_h;
+                if (vk == 0.0) continue;
+                double* zk = z.row_data(k);
+                for (ParallelIndex j = 0; j < rows; ++j) {
+                  zk[j] -= vk * g[static_cast<std::size_t>(j)];
+                }
+              }
+            });
       }
       d[i] = z(i, i);
       z(i, i) = 1.0;

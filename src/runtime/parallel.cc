@@ -16,9 +16,10 @@ const RuntimeOptions kDefaultOptions;
 thread_local const RuntimeOptions* g_current_options = &kDefaultOptions;
 thread_local bool g_in_parallel_region = false;
 
-// Cap on reduction-slot count; part of the chunk layout and therefore of
-// the determinism contract (must not depend on thread count).
-constexpr ParallelIndex kMaxChunks = 64;
+// Cap on reduction-slot count (kMaxParallelChunks in the header); part of
+// the chunk layout and therefore of the determinism contract (must not
+// depend on thread count).
+constexpr ParallelIndex kMaxChunks = kMaxParallelChunks;
 
 // Shared state of one parallel region.
 struct Region {

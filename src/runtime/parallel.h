@@ -27,13 +27,28 @@ namespace blinkml {
 using ParallelIndex = std::ptrdiff_t;
 
 /// Deterministic chunk layout: boundaries are a pure function of the range
-/// size and grain. The chunk count is additionally capped (at 64) so that
-/// reduction slots stay cheap on huge ranges.
+/// size and grain. The chunk count is additionally capped (at
+/// kMaxParallelChunks) so that reduction slots stay cheap on huge ranges.
 struct ChunkLayout {
   ParallelIndex chunk_size = 0;
   ParallelIndex num_chunks = 0;
 };
 ChunkLayout ComputeChunks(ParallelIndex n, ParallelIndex grain);
+
+/// Hard cap on ComputeChunks' chunk count.
+inline constexpr ParallelIndex kMaxParallelChunks = 64;
+
+/// Upper bound on ComputeChunks(m, grain).num_chunks for every m <= n.
+/// Needed by callers that allocate one slot buffer for many sub-ranges:
+/// num_chunks is NOT monotone in the range size (it dips where the
+/// kMaxParallelChunks cap starts to bind), so sizing by the largest range
+/// alone under-allocates.
+inline ParallelIndex MaxChunksForRanges(ParallelIndex n, ParallelIndex grain) {
+  if (n <= 0) return 0;
+  const ParallelIndex g = grain < 1 ? 1 : grain;
+  const ParallelIndex by_grain = (n + g - 1) / g;
+  return by_grain < kMaxParallelChunks ? by_grain : kMaxParallelChunks;
+}
 
 /// Default grain: small enough to balance triangular / uneven chunk costs,
 /// large enough to amortize the per-chunk dispatch.

@@ -1,0 +1,207 @@
+#include "session/hyperparam_search.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "runtime/parallel.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace blinkml {
+
+namespace {
+
+/// Higher-is-better scalar score of a model on `eval_data`.
+double ScoreOf(const ModelSpec& spec, const Vector& theta,
+               const Dataset& eval_data) {
+  if (eval_data.task() == Task::kUnsupervised || !eval_data.has_labels()) {
+    return -spec.Objective(theta, eval_data);
+  }
+  return 1.0 - spec.GeneralizationError(theta, eval_data);
+}
+
+}  // namespace
+
+HyperparamSearch::HyperparamSearch(TrainingSession* session,
+                                   SearchOptions options)
+    : session_(session), options_(std::move(options)) {}
+
+std::vector<Candidate> HyperparamSearch::LogGrid(double lo, double hi,
+                                                 int count) {
+  std::vector<Candidate> out;
+  if (count <= 0 || lo <= 0.0 || hi < lo) return out;
+  out.reserve(static_cast<std::size_t>(count));
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  for (int i = 0; i < count; ++i) {
+    const double t = count > 1 ? static_cast<double>(i) / (count - 1) : 0.0;
+    Candidate c;
+    // Exact endpoints (exp(log(x)) can be one ulp off).
+    c.l2 = i == 0 ? lo
+                  : (i == count - 1 ? hi
+                                    : std::exp(log_lo + t * (log_hi - log_lo)));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<Candidate> HyperparamSearch::LogRandom(double lo, double hi,
+                                                   int count,
+                                                   std::uint64_t seed) {
+  std::vector<Candidate> out;
+  if (count <= 0 || lo <= 0.0 || hi < lo) return out;
+  out.reserve(static_cast<std::size_t>(count));
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    Candidate c;
+    c.l2 = std::exp(rng.Uniform(std::log(lo), std::log(hi)));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+SearchOutcome HyperparamSearch::Run(
+    const SpecFactory& factory,
+    const std::vector<Candidate>& candidates) const {
+  SearchOutcome out;
+  out.candidates.resize(candidates.size());
+  if (candidates.empty()) return out;
+
+  // The session config's runtime knobs govern the whole search: the
+  // candidate loop below distributes candidates across pool lanes, and
+  // every parallel region a candidate opens then runs inline on its lane
+  // (same chunk layouts, same results — runtime/parallel.h).
+  RuntimeScope runtime_scope(session_->config().runtime);
+
+  WallTimer search_timer;
+  std::atomic<int> final_train_tokens{options_.max_final_trains > 0
+                                          ? options_.max_final_trains
+                                          : std::numeric_limits<int>::max()};
+  std::mutex best_mu;
+  double best_completed_score = -std::numeric_limits<double>::infinity();
+
+  const auto k = static_cast<ParallelIndex>(candidates.size());
+  ParallelFor(
+      0, k,
+      [&](ParallelIndex begin, ParallelIndex end) {
+        for (ParallelIndex i = begin; i < end; ++i) {
+          CandidateResult& slot =
+              out.candidates[static_cast<std::size_t>(i)];
+          slot.candidate = candidates[static_cast<std::size_t>(i)];
+          if (slot.candidate.label.empty()) {
+            slot.candidate.label = StrFormat("l2=%g", slot.candidate.l2);
+          }
+          if (options_.time_budget_seconds > 0.0 &&
+              search_timer.Seconds() >= options_.time_budget_seconds) {
+            slot.skipped = true;
+            continue;
+          }
+          WallTimer timer;
+          const std::shared_ptr<ModelSpec> spec = factory(slot.candidate);
+          if (!spec) {
+            slot.status =
+                Status::InvalidArgument("spec factory returned null");
+            continue;
+          }
+          const std::uint64_t seed = slot.candidate.seed != 0
+                                         ? slot.candidate.seed
+                                         : session_->config().seed;
+          auto pipeline_or =
+              session_->MakePipeline(*spec, options_.contract, seed);
+          if (!pipeline_or.ok()) {
+            slot.status = pipeline_or.status();
+            continue;
+          }
+          TrainingPipeline& pipeline = **pipeline_or;
+
+          Status st = pipeline.TrainInitial();
+          if (st.ok()) st = pipeline.ComputeInitialStatistics();
+          if (st.ok()) st = pipeline.EstimateInitialAccuracy();
+          if (!st.ok()) {
+            slot.status = st;
+            continue;
+          }
+
+          double m0_score = 0.0;
+          bool m0_scored = false;
+          if (!pipeline.initial_meets_contract()) {
+            bool run_final = true;
+            if (options_.prune_dominated) {
+              // Optimistic bound: the contract-bound final model agrees
+              // with m_0 on all but an eps_0 fraction of points (w.p.
+              // 1 - delta), so its score is at most score(m_0) + eps_0.
+              // A candidate that cannot beat the best completed score
+              // even then is dominated: stop after m_0. (Exact for
+              // classification accuracy; a heuristic otherwise — see the
+              // SearchOptions doc.)
+              const Dataset& eval_data = options_.validation
+                                             ? *options_.validation
+                                             : pipeline.holdout();
+              m0_score =
+                  ScoreOf(*spec, pipeline.initial_model().theta, eval_data);
+              m0_scored = true;
+              const double optimistic = m0_score + pipeline.initial_epsilon();
+              std::lock_guard<std::mutex> lock(best_mu);
+              if (best_completed_score >= optimistic) {
+                run_final = false;
+                slot.pruned = true;
+              }
+            }
+            if (run_final && final_train_tokens.fetch_sub(
+                                 1, std::memory_order_relaxed) <= 0) {
+              run_final = false;
+              slot.final_train_skipped = true;
+            }
+            if (run_final) {
+              st = pipeline.EstimateMinimumSampleSize();
+              if (st.ok()) st = pipeline.TrainFinal();
+              if (!st.ok()) {
+                // Refund the token: this candidate failed, so the budget
+                // should still admit another candidate's final training.
+                final_train_tokens.fetch_add(1, std::memory_order_relaxed);
+                slot.status = st;
+                continue;
+              }
+            }
+          }
+
+          slot.result = pipeline.Finish();
+          session_->RecordRun(slot.result.timings);
+          if (slot.result.used_initial_only && m0_scored) {
+            // The returned model IS m_0; reuse the dominance-check score
+            // instead of a second pass over the eval data.
+            slot.score = m0_score;
+          } else {
+            const Dataset& eval_data = options_.validation
+                                           ? *options_.validation
+                                           : *slot.result.holdout;
+            slot.score = ScoreOf(*spec, slot.result.model.theta, eval_data);
+          }
+          slot.seconds = timer.Seconds();
+          {
+            std::lock_guard<std::mutex> lock(best_mu);
+            best_completed_score =
+                std::max(best_completed_score, slot.score);
+          }
+        }
+      },
+      /*grain=*/1);
+
+  out.total_seconds = search_timer.Seconds();
+  for (std::size_t i = 0; i < out.candidates.size(); ++i) {
+    const CandidateResult& c = out.candidates[i];
+    if (!c.status.ok() || c.skipped) continue;
+    if (out.best_index < 0 ||
+        c.score > out.candidates[static_cast<std::size_t>(out.best_index)]
+                      .score) {
+      out.best_index = static_cast<int>(i);
+    }
+  }
+  out.session_stats = session_->stats();
+  return out;
+}
+
+}  // namespace blinkml

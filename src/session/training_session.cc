@@ -1,0 +1,88 @@
+#include "session/training_session.h"
+
+#include <utility>
+
+namespace blinkml {
+
+TrainingSession::TrainingSession(Dataset data, BlinkConfig config)
+    : TrainingSession(std::make_shared<const Dataset>(std::move(data)),
+                      std::move(config)) {}
+
+TrainingSession::TrainingSession(std::shared_ptr<const Dataset> data,
+                                 BlinkConfig config)
+    : data_(std::move(data)), config_(std::move(config)) {
+  // Bound a long-lived session's retention at ~4 extra copies of the
+  // dataset; past that, further samples are materialized unshared
+  // (identical rows, just not cached). ROADMAP tracks a real eviction
+  // policy.
+  cache_.set_max_cached_rows(4 * data_->num_rows());
+}
+
+Result<ApproxResult> TrainingSession::Train(
+    const ModelSpec& spec, const ApproximationContract& contract) {
+  return Train(spec, contract, config_.seed);
+}
+
+Result<ApproxResult> TrainingSession::Train(
+    const ModelSpec& spec, const ApproximationContract& contract,
+    std::uint64_t seed) {
+  BLINKML_ASSIGN_OR_RETURN(std::unique_ptr<TrainingPipeline> pipeline,
+                           MakePipeline(spec, contract, seed));
+  BLINKML_ASSIGN_OR_RETURN(ApproxResult out, pipeline->RunAll());
+  RecordRun(out.timings);
+  return out;
+}
+
+Result<std::unique_ptr<TrainingPipeline>> TrainingSession::MakePipeline(
+    const ModelSpec& spec, const ApproximationContract& contract,
+    std::uint64_t seed) {
+  BLINKML_RETURN_NOT_OK(ValidateContract(contract));
+  const BlinkConfig& config = ConfigForSeed(seed);
+  BLINKML_ASSIGN_OR_RETURN(std::shared_ptr<const TrainingPrefix> prefix,
+                           PrefixFor(seed));
+  return std::make_unique<TrainingPipeline>(spec, *data_, contract, config,
+                                            std::move(prefix), &cache_);
+}
+
+void TrainingSession::RecordRun(const PhaseTimings& timings) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.run_timings += timings;
+  ++stats_.runs;
+}
+
+SessionStats TrainingSession::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionStats out = stats_;
+  out.cache = cache_.stats();
+  return out;
+}
+
+const BlinkConfig& TrainingSession::ConfigForSeed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = seed_configs_.find(seed);
+  if (it == seed_configs_.end()) {
+    auto config = std::make_shared<BlinkConfig>(config_);
+    config->seed = seed;
+    it = seed_configs_.emplace(seed, std::move(config)).first;
+  }
+  return *it->second;
+}
+
+Result<std::shared_ptr<const TrainingPrefix>> TrainingSession::PrefixFor(
+    std::uint64_t seed) {
+  const BlinkConfig& config = ConfigForSeed(seed);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = prefixes_.find(seed);
+  if (it != prefixes_.end()) return it->second;
+  // Computed under the lock: concurrent first requests for one seed
+  // materialize the prefix exactly once and the losers reuse it.
+  BLINKML_ASSIGN_OR_RETURN(TrainingPrefix prefix,
+                           ComputeTrainingPrefix(*data_, config, &cache_));
+  ++stats_.prefixes_computed;
+  stats_.prefix_seconds += prefix.seconds;
+  auto shared = std::make_shared<const TrainingPrefix>(std::move(prefix));
+  prefixes_.emplace(seed, shared);
+  return shared;
+}
+
+}  // namespace blinkml

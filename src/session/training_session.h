@@ -1,0 +1,118 @@
+// TrainingSession: a multi-model service over one dataset.
+//
+// The paper's headline application (Section 3.4, Figure 10) trains many
+// contract-bound models — hyperparameter candidates — on the same data.
+// The expensive shared artifacts (holdout split, initial sample D_0,
+// materialized row subsets) depend only on (dataset, seed, size knobs),
+// so a session computes them once and serves every subsequent training
+// from the cache:
+//
+//   TrainingSession session(data, config);
+//   auto a = session.Train(LogisticRegressionSpec(1e-4), {0.05, 0.05});
+//   auto b = session.Train(LogisticRegressionSpec(1e-3), {0.05, 0.05});
+//   // b reused a's holdout + D_0; session.stats() shows the amortization.
+//
+// Determinism: a session run is bitwise identical to a standalone
+// Coordinator::Train with the same config/seed at any thread count — the
+// cached prefix is exactly what the one-shot path would recompute, and
+// every pipeline stream is split from the run's own master Rng
+// (core/pipeline.h). Train is thread-safe; concurrent drivers live in
+// session/hyperparam_search.h.
+
+#ifndef BLINKML_SESSION_TRAINING_SESSION_H_
+#define BLINKML_SESSION_TRAINING_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/pipeline.h"
+#include "data/dataset.h"
+#include "data/sample_cache.h"
+#include "models/model_spec.h"
+#include "util/status.h"
+
+namespace blinkml {
+
+/// Aggregate accounting of a session's runs (the measurable side of the
+/// amortization: `prefix_seconds` is paid once per distinct seed instead
+/// of once per run).
+struct SessionStats {
+  /// Per-phase timings summed over completed runs.
+  PhaseTimings run_timings;
+  /// Completed pipeline runs.
+  int runs = 0;
+  /// Distinct prefixes (holdout split + D_0) materialized.
+  int prefixes_computed = 0;
+  /// Total wall-clock spent computing prefixes (amortized across runs).
+  double prefix_seconds = 0.0;
+  /// Shared-sample cache counters.
+  SampleCache::Stats cache;
+};
+
+class TrainingSession {
+ public:
+  /// Takes ownership of the dataset; `config` seeds every run that does
+  /// not override the seed.
+  TrainingSession(Dataset data, BlinkConfig config = {});
+
+  /// Shares an existing dataset without copying it (the service-layer
+  /// shape: many sessions over one resident dataset).
+  TrainingSession(std::shared_ptr<const Dataset> data,
+                  BlinkConfig config = {});
+
+  // Pipelines hold pointers into the session; it is immovable.
+  TrainingSession(const TrainingSession&) = delete;
+  TrainingSession& operator=(const TrainingSession&) = delete;
+
+  /// One contract-bound training with the session seed. Thread-safe.
+  Result<ApproxResult> Train(const ModelSpec& spec,
+                             const ApproximationContract& contract);
+
+  /// Same with an explicit master seed (its prefix is cached per seed).
+  Result<ApproxResult> Train(const ModelSpec& spec,
+                             const ApproximationContract& contract,
+                             std::uint64_t seed);
+
+  /// A stage-wise pipeline against the cached prefix, for drivers that
+  /// interleave stages (hyperparameter search's dominance pruning). The
+  /// caller runs the stages, then Finish(), then RecordRun() with the
+  /// result's timings. The pipeline must not outlive the session.
+  Result<std::unique_ptr<TrainingPipeline>> MakePipeline(
+      const ModelSpec& spec, const ApproximationContract& contract,
+      std::uint64_t seed);
+
+  /// Folds a completed run's timings into the session totals.
+  void RecordRun(const PhaseTimings& timings);
+
+  const Dataset& data() const { return *data_; }
+  const BlinkConfig& config() const { return config_; }
+
+  /// Snapshot of the aggregate accounting.
+  SessionStats stats() const;
+
+ private:
+  /// The session config with its seed replaced; stable storage because
+  /// pipelines keep a pointer for their lifetime.
+  const BlinkConfig& ConfigForSeed(std::uint64_t seed);
+
+  /// The cached prefix for a seed, computing it on first touch
+  /// (single-flight: concurrent first requests materialize once).
+  Result<std::shared_ptr<const TrainingPrefix>> PrefixFor(std::uint64_t seed);
+
+  const std::shared_ptr<const Dataset> data_;
+  const BlinkConfig config_;
+  SampleCache cache_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const BlinkConfig>>
+      seed_configs_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const TrainingPrefix>>
+      prefixes_;
+  SessionStats stats_;
+};
+
+}  // namespace blinkml
+
+#endif  // BLINKML_SESSION_TRAINING_SESSION_H_

@@ -62,8 +62,8 @@ TEST(Coordinator, HoldoutIsDisjointFromPoolAccounting) {
   const Dataset data = MakeSyntheticLogistic(20000, 4, 5);
   const auto result = coordinator.Train(spec, data, {0.5, 0.05});
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->holdout.num_rows() + result->full_size, data.num_rows());
-  EXPECT_EQ(result->holdout.num_rows(), 1000);
+  EXPECT_EQ(result->holdout->num_rows() + result->full_size, data.num_rows());
+  EXPECT_EQ(result->holdout->num_rows(), 1000);
 }
 
 TEST(Coordinator, TimingsArePopulated) {
@@ -147,7 +147,7 @@ TEST_P(CoordinatorContractSweep, ContractHoldsAgainstTrueFullModel) {
     const auto full = trainer.Train(*c.spec, c.data);
     ASSERT_TRUE(full.ok());
     const double v =
-        c.spec->Diff(result->model.theta, full->theta, result->holdout);
+        c.spec->Diff(result->model.theta, full->theta, *result->holdout);
     if (v <= c.epsilon + 0.01) ++satisfied;
   }
   // All trials should satisfy (conservative estimator + slack); allow one

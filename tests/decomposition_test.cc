@@ -1,4 +1,5 @@
 #include <cmath>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -7,6 +8,8 @@
 #include "linalg/lu.h"
 #include "linalg/qr.h"
 #include "linalg/svd.h"
+#include "runtime/runtime_options.h"
+#include "runtime/thread_pool.h"
 #include "tests/test_util.h"
 
 namespace blinkml {
@@ -155,6 +158,61 @@ TEST(EigenSym, ToleratesSlightAsymmetry) {
   Matrix a = RandomSymmetric(10, &rng);
   a(3, 7) += 1e-13;  // round-off-scale asymmetry
   EXPECT_TRUE(EigenSym(a).ok());
+}
+
+// Regression: the tridiagonalization's partial-slot buffer must cover the
+// chunk counts of every Householder step's sub-range, which are not
+// monotone in the range size. n = 600 is in the regime where sizing by
+// the largest range under-allocates (60 slots vs the 64 a 512-row step
+// uses) — this overflowed the heap before MaxChunksForRanges.
+TEST(EigenSym, NonMonotoneChunkCountSizesAreSafe) {
+  Rng rng(606);
+  const Matrix a = RandomSymmetric(600, &rng);
+  const auto eig = EigenSym(a);
+  ASSERT_TRUE(eig.ok());
+  // Light sanity: eigenvalues ascending, eigenvector columns unit norm.
+  for (Matrix::Index i = 1; i < 600; ++i) {
+    EXPECT_LE(eig->eigenvalues[i - 1], eig->eigenvalues[i]);
+  }
+  double norm = 0.0;
+  for (Matrix::Index r = 0; r < 600; ++r) {
+    norm += eig->eigenvectors(r, 0) * eig->eigenvectors(r, 0);
+  }
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+// The Householder tridiagonalization runs its row loops through the
+// parallel runtime; the chunk layout is a pure function of the matrix
+// size, so serial and parallel execution must agree bitwise at any
+// thread count (runtime/parallel.h determinism contract).
+TEST(EigenSym, SerialAndParallelAgreeBitwise) {
+  Rng rng(777);
+  // 192 rows: above the inline threshold, so worker lanes really run.
+  const Matrix a = RandomSymmetric(192, &rng);
+
+  SymmetricEigen serial;
+  {
+    RuntimeOptions options;
+    options.enabled = false;
+    RuntimeScope scope(options);
+    auto eig = EigenSym(a);
+    ASSERT_TRUE(eig.ok());
+    serial = std::move(*eig);
+  }
+
+  ThreadPool pool(8);
+  for (const int threads : {2, 3, 8}) {
+    RuntimeOptions options;
+    options.pool = &pool;
+    options.num_threads = threads;
+    RuntimeScope scope(options);
+    auto eig = EigenSym(a);
+    ASSERT_TRUE(eig.ok());
+    EXPECT_EQ(MaxAbsDiff(eig->eigenvalues, serial.eigenvalues), 0.0)
+        << threads << " threads";
+    EXPECT_EQ(MaxAbsDiff(eig->eigenvectors, serial.eigenvectors), 0.0)
+        << threads << " threads";
+  }
 }
 
 // ---------- SVD ----------

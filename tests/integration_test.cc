@@ -46,7 +46,7 @@ TEST(Integration, SparseHighDimensionalLogisticRegression) {
   const auto full = ModelTrainer().Train(spec, data);
   ASSERT_TRUE(full.ok());
   const double v =
-      spec.Diff(result->model.theta, full->theta, result->holdout);
+      spec.Diff(result->model.theta, full->theta, *result->holdout);
   EXPECT_LE(v, 0.03 + 0.02);
 }
 
@@ -64,7 +64,7 @@ TEST(Integration, SparseMulticlassYelpLike) {
   ASSERT_TRUE(result.ok());
   const auto full = ModelTrainer().Train(spec, data);
   ASSERT_TRUE(full.ok());
-  EXPECT_LE(spec.Diff(result->model.theta, full->theta, result->holdout),
+  EXPECT_LE(spec.Diff(result->model.theta, full->theta, *result->holdout),
             0.15 + 0.03);
 }
 
@@ -76,7 +76,7 @@ TEST(Integration, RegressionOnPowerLikeData) {
   ASSERT_TRUE(result.ok());
   const auto full = ModelTrainer().Train(spec, data);
   ASSERT_TRUE(full.ok());
-  EXPECT_LE(spec.Diff(result->model.theta, full->theta, result->holdout),
+  EXPECT_LE(spec.Diff(result->model.theta, full->theta, *result->holdout),
             0.05 + 0.02);
 }
 
@@ -95,7 +95,7 @@ TEST(Integration, PpcaOnMnistLikeData) {
   ASSERT_TRUE(result.ok());
   const auto full = ModelTrainer().Train(spec, unlabeled);
   ASSERT_TRUE(full.ok());
-  EXPECT_LE(spec.Diff(result->model.theta, full->theta, result->holdout),
+  EXPECT_LE(spec.Diff(result->model.theta, full->theta, *result->holdout),
             0.02 + 0.01);
 }
 
@@ -111,9 +111,9 @@ TEST(Integration, Lemma1GeneralizationTransfer) {
   const auto full = ModelTrainer().Train(spec, data);
   ASSERT_TRUE(full.ok());
   const double gen_approx =
-      spec.GeneralizationError(result->model.theta, result->holdout);
+      spec.GeneralizationError(result->model.theta, *result->holdout);
   const double gen_full =
-      spec.GeneralizationError(full->theta, result->holdout);
+      spec.GeneralizationError(full->theta, *result->holdout);
   EXPECT_LE(gen_full, FullModelGeneralizationBound(gen_approx, eps) + 0.02);
 }
 

@@ -218,7 +218,7 @@ TEST(Poisson, EndToEndCoordinatorContract) {
   const auto full = ModelTrainer().Train(spec, data);
   ASSERT_TRUE(full.ok());
   const double v =
-      spec.Diff(result->model.theta, full->theta, result->holdout);
+      spec.Diff(result->model.theta, full->theta, *result->holdout);
   EXPECT_LE(v, 0.05 + 0.02);
 }
 

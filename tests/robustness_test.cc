@@ -116,7 +116,7 @@ TEST(Robustness, AllSameLabelStillTrains) {
   ASSERT_TRUE(result.ok());
   // The intercept dominates: nearly every prediction is class 1.
   Vector pred;
-  spec.Predict(result->model.theta, result->holdout, &pred);
+  spec.Predict(result->model.theta, *result->holdout, &pred);
   int ones = 0;
   for (Vector::Index i = 0; i < pred.size(); ++i) {
     if (pred[i] == 1.0) ++ones;
@@ -183,8 +183,8 @@ TEST(Robustness, HoldoutCappedForSmallDatasets) {
   const Coordinator coordinator(config);
   const auto result = coordinator.Train(spec, data, {0.5, 0.2});
   ASSERT_TRUE(result.ok());
-  EXPECT_LE(result->holdout.num_rows(), 12);  // 20% cap
-  EXPECT_GE(result->holdout.num_rows(), 1);
+  EXPECT_LE(result->holdout->num_rows(), 12);  // 20% cap
+  EXPECT_GE(result->holdout->num_rows(), 1);
 }
 
 TEST(Robustness, ZeroRegularizationPathWorks) {
@@ -198,7 +198,7 @@ TEST(Robustness, ZeroRegularizationPathWorks) {
   ASSERT_TRUE(result.ok());
   const auto full = ModelTrainer().Train(spec, data);
   ASSERT_TRUE(full.ok());
-  EXPECT_LE(spec.Diff(result->model.theta, full->theta, result->holdout),
+  EXPECT_LE(spec.Diff(result->model.theta, full->theta, *result->holdout),
             0.10 + 0.05);
 }
 

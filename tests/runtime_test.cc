@@ -66,6 +66,25 @@ TEST(Parallel, ChunkLayoutIsThreadCountIndependent) {
   EXPECT_EQ(ComputeChunks(0, 8).num_chunks, 0);
 }
 
+// Memory-safety contract of MaxChunksForRanges: callers (the eigensolver's
+// partial-slot buffer) allocate one buffer for MANY sub-ranges m <= n, and
+// num_chunks is not monotone in the range size. Pointwise bound plus
+// monotonicity of the bound together give: for all m <= n,
+// ComputeChunks(m).num_chunks <= MaxChunksForRanges(n).
+TEST(Parallel, MaxChunksForRangesBoundsEverySubRange) {
+  for (const ParallelIndex grain : {1, 8, 64}) {
+    ParallelIndex prev_bound = 0;
+    for (ParallelIndex m = 1; m <= 4096; ++m) {
+      const ParallelIndex bound = MaxChunksForRanges(m, grain);
+      ASSERT_GE(bound, prev_bound) << "m=" << m << " grain=" << grain;
+      ASSERT_LE(ComputeChunks(m, grain).num_chunks, bound)
+          << "m=" << m << " grain=" << grain;
+      prev_bound = bound;
+    }
+  }
+  EXPECT_EQ(MaxChunksForRanges(0, 8), 0);
+}
+
 TEST(Parallel, ForCoversRangeExactlyOnce) {
   ThreadPool pool(8);
   RuntimeOptions options;

@@ -1,0 +1,295 @@
+// TrainingSession / HyperparamSearch: the session's runs must be bitwise
+// identical to standalone Coordinator::Train at any thread count, and the
+// search must keep deterministic candidate ordering under concurrency.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/coordinator.h"
+#include "data/generators.h"
+#include "models/logistic_regression.h"
+#include "models/ppca.h"
+#include "runtime/thread_pool.h"
+#include "session/hyperparam_search.h"
+#include "session/training_session.h"
+#include "tests/test_util.h"
+
+namespace blinkml {
+namespace {
+
+BlinkConfig FastConfig(std::uint64_t seed = 42) {
+  BlinkConfig config;
+  config.initial_sample_size = 1000;
+  config.holdout_size = 1000;
+  config.accuracy_samples = 256;
+  config.size_samples = 128;
+  config.seed = seed;
+  return config;
+}
+
+// A contract tight enough that every candidate runs the full pipeline
+// (size estimation + final training), so the equivalence check covers
+// every stage.
+constexpr ApproximationContract kTightContract{0.01, 0.05};
+
+void ExpectBitwiseEqual(const ApproxResult& a, const ApproxResult& b,
+                        const char* what) {
+  EXPECT_EQ(a.sample_size, b.sample_size) << what;
+  EXPECT_EQ(a.full_size, b.full_size) << what;
+  EXPECT_EQ(a.used_initial_only, b.used_initial_only) << what;
+  EXPECT_EQ(a.initial_epsilon, b.initial_epsilon) << what;
+  EXPECT_EQ(a.final_epsilon, b.final_epsilon) << what;
+  EXPECT_EQ(a.size_estimate.sample_size, b.size_estimate.sample_size) << what;
+  EXPECT_EQ(MaxAbsDiff(a.model.theta, b.model.theta), 0.0) << what;
+}
+
+TEST(TrainingSession, MatchesStandaloneCoordinatorBitwise) {
+  const Dataset data = MakeSyntheticLogistic(20000, 6, 3);
+  const std::vector<double> l2s = {1e-4, 1e-3, 1e-2};
+
+  TrainingSession session(Dataset(data), FastConfig(11));
+  const Coordinator coordinator(FastConfig(11));
+  for (const double l2 : l2s) {
+    LogisticRegressionSpec spec(l2);
+    const auto via_session = session.Train(spec, kTightContract);
+    const auto standalone = coordinator.Train(spec, data, kTightContract);
+    ASSERT_TRUE(via_session.ok());
+    ASSERT_TRUE(standalone.ok());
+    ExpectBitwiseEqual(*via_session, *standalone, "session vs standalone");
+  }
+
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.runs, static_cast<int>(l2s.size()));
+  // One prefix served every run: the amortization the session exists for.
+  // (The prefix itself is memoized above the sample cache, so the cache
+  // records its holdout + D_0 materializations as misses, once.)
+  EXPECT_EQ(stats.prefixes_computed, 1);
+  EXPECT_GE(stats.cache.misses, 2u);
+  EXPECT_GT(stats.cache.cached_rows, 0);
+  EXPECT_GT(stats.prefix_seconds, 0.0);
+  EXPECT_GT(stats.run_timings.total, 0.0);
+}
+
+TEST(SampleCacheTest, SharesMaterializationsByKey) {
+  const Dataset data = MakeSyntheticLogistic(500, 4, 1);
+  SampleCache cache;
+  int factory_calls = 0;
+  const SampleCache::Key key{SampleCache::Purpose::kFinalSample, 42, 100};
+  auto factory = [&] {
+    ++factory_calls;
+    Rng rng(7);
+    return data.SampleRows(100, &rng);
+  };
+  const auto a = cache.GetOrCreate(key, factory);
+  const auto b = cache.GetOrCreate(key, factory);
+  EXPECT_EQ(a.get(), b.get());  // shared by reference, not re-copied
+  EXPECT_EQ(factory_calls, 1);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.cached_rows, 100);
+
+  // A different purpose or size is a different subset.
+  const auto c = cache.GetOrCreate(
+      {SampleCache::Purpose::kCustom, 42, 100}, factory);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(factory_calls, 2);
+
+  cache.Clear();
+  EXPECT_EQ(cache.stats().cached_rows, 0);
+  EXPECT_EQ(a->num_rows(), 100);  // live users keep their dataset
+}
+
+TEST(TrainingSession, PerRunSeedsGetTheirOwnPrefix) {
+  const Dataset data = MakeSyntheticLogistic(20000, 5, 7);
+  TrainingSession session(Dataset(data), FastConfig(11));
+  LogisticRegressionSpec spec(1e-3);
+
+  const auto a = session.Train(spec, kTightContract, 11);
+  const auto b = session.Train(spec, kTightContract, 99);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(session.stats().prefixes_computed, 2);
+
+  // Each seed matches its standalone run.
+  const auto sa = Coordinator(FastConfig(11)).Train(spec, data, kTightContract);
+  const auto sb = Coordinator(FastConfig(99)).Train(spec, data, kTightContract);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  ExpectBitwiseEqual(*a, *sa, "seed 11");
+  ExpectBitwiseEqual(*b, *sb, "seed 99");
+}
+
+TEST(HyperparamSearch, ConcurrentSearchMatchesStandaloneAtAnyThreadCount) {
+  const Dataset data = MakeSyntheticLogistic(20000, 6, 5);
+  const std::vector<Candidate> candidates =
+      HyperparamSearch::LogGrid(1e-4, 1e-1, 4);
+
+  // Standalone reference, fully serial.
+  std::vector<ApproxResult> reference;
+  for (const Candidate& c : candidates) {
+    BlinkConfig config = FastConfig(11);
+    config.runtime.enabled = false;
+    LogisticRegressionSpec spec(c.l2);
+    const auto r = Coordinator(config).Train(spec, data, kTightContract);
+    ASSERT_TRUE(r.ok());
+    reference.push_back(*r);
+  }
+
+  ThreadPool pool(4);
+  for (const int threads : {1, 2, 4}) {
+    BlinkConfig config = FastConfig(11);
+    config.runtime.pool = &pool;
+    config.runtime.num_threads = threads;
+    TrainingSession session(Dataset(data), config);
+    SearchOptions options;
+    options.contract = kTightContract;
+    HyperparamSearch search(&session, options);
+    const SearchOutcome outcome = search.Run(
+        [](const Candidate& c) {
+          return std::make_shared<LogisticRegressionSpec>(c.l2);
+        },
+        candidates);
+
+    ASSERT_EQ(outcome.candidates.size(), candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const CandidateResult& cr = outcome.candidates[i];
+      ASSERT_TRUE(cr.status.ok()) << cr.status.ToString();
+      EXPECT_FALSE(cr.skipped);
+      EXPECT_FALSE(cr.pruned);
+      // Deterministic ordering: slot i holds candidate i.
+      EXPECT_EQ(cr.candidate.l2, candidates[i].l2);
+      ExpectBitwiseEqual(cr.result, reference[i], "search vs standalone");
+    }
+    EXPECT_GE(outcome.best_index, 0);
+    // Scores are deterministic, so the winner is too.
+    const double best_score =
+        outcome.candidates[static_cast<std::size_t>(outcome.best_index)]
+            .score;
+    for (const CandidateResult& cr : outcome.candidates) {
+      EXPECT_LE(cr.score, best_score);
+    }
+    // The k candidates shared one prefix computation.
+    EXPECT_EQ(outcome.session_stats.prefixes_computed, 1);
+    EXPECT_EQ(outcome.session_stats.runs,
+              static_cast<int>(candidates.size()));
+  }
+}
+
+TEST(HyperparamSearch, FinalTrainTokenBudgetIsHonoredAndFlagged) {
+  const Dataset data = MakeSyntheticLogistic(20000, 6, 9);
+  TrainingSession session(Dataset(data), FastConfig(11));
+  SearchOptions options;
+  options.contract = kTightContract;  // every candidate wants a final train
+  options.max_final_trains = 1;
+  HyperparamSearch search(&session, options);
+  const SearchOutcome outcome = search.Run(
+      [](const Candidate& c) {
+        return std::make_shared<LogisticRegressionSpec>(c.l2);
+      },
+      HyperparamSearch::LogGrid(1e-4, 1e-1, 3));
+
+  int finals = 0;
+  for (const CandidateResult& cr : outcome.candidates) {
+    ASSERT_TRUE(cr.status.ok());
+    if (!cr.result.used_initial_only) ++finals;
+    if (cr.final_train_skipped) {
+      // Clipped, not satisfied: the m_0 bound exceeded the contract.
+      EXPECT_TRUE(cr.result.used_initial_only);
+      EXPECT_FALSE(cr.result.contract_satisfied);
+    }
+  }
+  EXPECT_EQ(finals, 1);
+  EXPECT_EQ(static_cast<int>(outcome.candidates.size()) - finals, 2);
+}
+
+TEST(HyperparamSearch, DominatedCandidateIsPrunedAfterInitialModel) {
+  // PPCA rank selection: the candidate knob is the factor rank. On
+  // true-rank-2 data the rank-1 model's log-likelihood is far worse than
+  // the rank-2 model's while its eps_0 stays small, so its optimistic
+  // bound (score(m_0) + eps_0) cannot beat the completed rank-2 candidate.
+  const Dataset labeled = MakeSyntheticLowRank(20000, 8, 2, 13, 0.4);
+  const Dataset data(Matrix(labeled.dense()), Vector(), Task::kUnsupervised);
+  BlinkConfig config = FastConfig(11);
+  // Serial execution => candidates complete in order, so the dominance
+  // check against "best completed so far" is deterministic.
+  config.runtime.enabled = false;
+  TrainingSession session(Dataset(data), config);
+  SearchOptions options;
+  // Tight enough that no initial model satisfies the contract outright
+  // (a contract-satisfying m_0 returns before the dominance check).
+  options.contract = {1e-6, 0.05};
+  options.prune_dominated = true;
+  HyperparamSearch search(&session, options);
+
+  std::vector<Candidate> candidates(2);
+  candidates[0].l2 = 2;  // interpreted as rank by the factory
+  candidates[1].l2 = 1;
+  const SearchOutcome outcome = search.Run(
+      [](const Candidate& c) {
+        return std::make_shared<PpcaSpec>(
+            static_cast<Vector::Index>(c.l2));
+      },
+      candidates);
+
+  ASSERT_TRUE(outcome.candidates[0].status.ok())
+      << outcome.candidates[0].status.ToString();
+  ASSERT_TRUE(outcome.candidates[1].status.ok())
+      << outcome.candidates[1].status.ToString();
+  EXPECT_FALSE(outcome.candidates[0].pruned);
+  EXPECT_TRUE(outcome.candidates[1].pruned);
+  EXPECT_TRUE(outcome.candidates[1].result.used_initial_only);
+  EXPECT_EQ(outcome.best_index, 0);
+}
+
+TEST(HyperparamSearch, ExhaustedTimeBudgetSkipsAndFlagsCandidates) {
+  const Dataset data = MakeSyntheticLogistic(5000, 4, 9);
+  TrainingSession session(Dataset(data), FastConfig(11));
+  SearchOptions options;
+  options.contract = kTightContract;
+  options.time_budget_seconds = 1e-9;  // expires before any candidate starts
+  HyperparamSearch search(&session, options);
+  const SearchOutcome outcome = search.Run(
+      [](const Candidate& c) {
+        return std::make_shared<LogisticRegressionSpec>(c.l2);
+      },
+      HyperparamSearch::LogGrid(1e-4, 1e-1, 3));
+
+  ASSERT_EQ(outcome.candidates.size(), 3u);
+  for (const CandidateResult& cr : outcome.candidates) {
+    EXPECT_TRUE(cr.skipped);
+    EXPECT_TRUE(cr.status.ok());
+  }
+  EXPECT_EQ(outcome.best_index, -1);
+  EXPECT_EQ(outcome.session_stats.runs, 0);
+}
+
+TEST(HyperparamSearch, GridAndRandomCandidateGenerators) {
+  const auto grid = HyperparamSearch::LogGrid(1e-4, 1e-1, 4);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_DOUBLE_EQ(grid.front().l2, 1e-4);
+  EXPECT_NEAR(grid.back().l2, 1e-1, 1e-12);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GT(grid[i].l2, grid[i - 1].l2);
+  }
+
+  const auto random = HyperparamSearch::LogRandom(1e-4, 1e-1, 16, 123);
+  ASSERT_EQ(random.size(), 16u);
+  for (const Candidate& c : random) {
+    EXPECT_GE(c.l2, 1e-4);
+    EXPECT_LE(c.l2, 1e-1);
+  }
+  // Same seed, same draws.
+  const auto random2 = HyperparamSearch::LogRandom(1e-4, 1e-1, 16, 123);
+  for (std::size_t i = 0; i < random.size(); ++i) {
+    EXPECT_EQ(random[i].l2, random2[i].l2);
+  }
+
+  EXPECT_TRUE(HyperparamSearch::LogGrid(1e-1, 1e-4, 4).empty());
+  EXPECT_TRUE(HyperparamSearch::LogRandom(0.0, 1e-1, 4, 1).empty());
+}
+
+}  // namespace
+}  // namespace blinkml
