@@ -8,7 +8,10 @@
 //  * gram   — W = Q^T * V_scaled is applied lazily (Q is the per-example
 //    gradient matrix, sparse or dense; V_scaled is n_s x r). This is the
 //    memory- and time-efficient path for high-dimensional models: a draw
-//    costs O(n_s r + nnz(Q)) and p x r storage is never allocated.
+//    costs O(n_s r + nnz(Q)) and p x r storage is never allocated. For a
+//    single-output GLM the sparse Q is diag(c) X and ALIASES the sample's
+//    CSR structure (linalg/sparse.h): holding the factor here costs only
+//    the nnz values, not a second copy of the index arrays.
 //
 // Both paper optimizations are built in:
 //  * sampling by scaling — Draw takes the sqrt(1/n - 1/N) scale as an

@@ -17,6 +17,7 @@ StatsOptions StatsOptionsFrom(const BlinkConfig& config) {
   options.method = config.stats_method;
   options.stats_sample_size = config.stats_sample_size;
   options.max_rank = config.sampler_max_rank;
+  options.reuse_feature_gram = config.reuse_feature_gram;
   return options;
 }
 
@@ -90,13 +91,15 @@ Result<TrainingPrefix> ComputeTrainingPrefix(const Dataset& data,
 TrainingPipeline::TrainingPipeline(
     const ModelSpec& spec, const Dataset& data,
     const ApproximationContract& contract, const BlinkConfig& config,
-    std::shared_ptr<const TrainingPrefix> prefix, SampleCache* cache)
+    std::shared_ptr<const TrainingPrefix> prefix, SampleCache* cache,
+    FeatureGramCache* gram_cache)
     : spec_(&spec),
       data_(&data),
       contract_(contract),
       config_(&config),
       prefix_(std::move(prefix)),
       cache_(cache),
+      gram_cache_(gram_cache),
       rng_(config.seed) {
   // The prefix consumed the first two streams of the master Rng (holdout
   // split, D_0 draw); discard them so the stage streams below line up with
@@ -128,12 +131,21 @@ Status TrainingPipeline::ComputeInitialStatistics() {
   next_stage_ = 2;
   RuntimeScope runtime_scope(config_->runtime);
   Rng stats_rng = rng_.Split();
+  StatsOptions options = StatsOptionsFrom(*config_);
+  if (gram_cache_ != nullptr) {
+    // D_0 and the stats sub-sample drawn from it (the stream split above)
+    // are pure functions of (seed, n_0), so every candidate on this seed
+    // shares one feature Gram.
+    options.gram_cache = gram_cache_;
+    options.gram_key = {FeatureGramCache::Phase::kInitialStats,
+                        config_->seed, prefix_->initial_sample->num_rows()};
+  }
   {
     ScopedTimer t(&out_.timings.statistics);
     BLINKML_ASSIGN_OR_RETURN(
         sampler_,
         ComputeStatistics(*spec_, m0_.theta, *prefix_->initial_sample,
-                          StatsOptionsFrom(*config_), &stats_rng));
+                          options, &stats_rng));
   }
   return Status::OK();
 }
@@ -241,12 +253,22 @@ Status TrainingPipeline::TrainFinal() {
   if (config_->reestimate_final_accuracy && final_n_ < full_n) {
     Rng restats_rng = rng_.Split();
     Rng reacc_rng = rng_.Split();
+    StatsOptions restats_options = StatsOptionsFrom(*config_);
+    if (gram_cache_ != nullptr) {
+      // The final sample's rows are a pure function of (seed, n) — the
+      // same property the kFinalSample entry of the sample cache relies
+      // on — and the stats sub-sample stream is at a fixed split offset,
+      // so candidates landing on the same n share this Gram too.
+      restats_options.gram_cache = gram_cache_;
+      restats_options.gram_key = {FeatureGramCache::Phase::kFinalStats,
+                                  config_->seed, dn->num_rows()};
+    }
     ParamSampler final_sampler = ParamSampler::FromDenseFactor(Matrix());
     {
       ScopedTimer t(&out_.timings.statistics);
       BLINKML_ASSIGN_OR_RETURN(
           final_sampler,
-          ComputeStatistics(*spec_, mn_.theta, *dn, StatsOptionsFrom(*config_),
+          ComputeStatistics(*spec_, mn_.theta, *dn, restats_options,
                             &restats_rng));
     }
     AccuracyOptions acc_options;

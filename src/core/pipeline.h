@@ -128,11 +128,16 @@ Result<TrainingPrefix> ComputeTrainingPrefix(const Dataset& data,
 class TrainingPipeline {
  public:
   /// Positions the master Rng after the prefix's two Split() calls.
+  /// `gram_cache` (optional, session-owned) shares the statistics phase's
+  /// feature Gram across candidates; the statistics stages key it by
+  /// (phase, seed, sample rows), which determine the stats sub-sample
+  /// deterministically.
   TrainingPipeline(const ModelSpec& spec, const Dataset& data,
                    const ApproximationContract& contract,
                    const BlinkConfig& config,
                    std::shared_ptr<const TrainingPrefix> prefix,
-                   SampleCache* cache = nullptr);
+                   SampleCache* cache = nullptr,
+                   FeatureGramCache* gram_cache = nullptr);
 
   // --- Stages (call in order). ---
 
@@ -177,6 +182,7 @@ class TrainingPipeline {
   const BlinkConfig* config_;
   std::shared_ptr<const TrainingPrefix> prefix_;
   SampleCache* cache_;
+  FeatureGramCache* gram_cache_;
 
   Rng rng_;
   WallTimer total_timer_;

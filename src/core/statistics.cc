@@ -204,12 +204,49 @@ Result<ParamSampler> ComputeObservedFisher(const ModelSpec& spec,
   Matrix q_dense;
   Matrix gram;
   if (sparse_path) {
-    q_sparse = spec.PerExampleGradientsSparse(theta, stats_rows);
-    // Scale rows by 1/sqrt(n_s) so J = Q^T Q is the covariance estimate:
-    // rebuild with scaled values (CSR values are contiguous; rescale via
-    // Gram on the unscaled matrix and adjust eigenvalues instead).
-    gram = SparseGram(q_sparse);
-    gram *= row_scale * row_scale;
+    if (options.reuse_feature_gram && spec.has_gradient_coeffs()) {
+      // Structure-sharing path: Q = diag(c) X, so
+      //   Gram(Q)(i, j) = c_i c_j Gram(X)(i, j).
+      // Gram(X) is candidate-independent — pay its O(n^2 * overlap)
+      // sorted merge once (per cache key when a session cache is wired
+      // in) and give each candidate an O(n^2) rescale. The scaled Q
+      // aliases X's CSR structure (linalg/sparse.h), so the sampler
+      // factor costs only the values.
+      Vector coeffs;
+      spec.PerExampleGradientCoeffs(theta, stats_rows, &coeffs);
+      const SparseMatrix& x = stats_rows.sparse();
+      const auto factory = [&x] { return SparseGram(x); };
+      std::shared_ptr<const Matrix> gram_x =
+          options.gram_cache
+              ? options.gram_cache->GetOrCreate(options.gram_key, factory)
+              : std::make_shared<const Matrix>(factory());
+      // A key collision (e.g. one cache fed by configs with different
+      // stats_sample_size) must fail loudly, not read out of bounds.
+      BLINKML_CHECK_EQ(gram_x->rows(), n_s);
+      // Fold the 1/sqrt(n_s) row scaling into the coefficients so the
+      // rescale below lands directly on the covariance estimate.
+      Vector scaled = coeffs;
+      scaled *= row_scale;
+      gram = Matrix(n_s, n_s);
+      ParallelFor(0, n_s, [&](Index i0, Index i1) {
+        for (Index i = i0; i < i1; ++i) {
+          const double si = scaled[i];
+          const double* src = gram_x->row_data(i);
+          double* dst = gram.row_data(i);
+          for (Index j = 0; j < n_s; ++j) dst[j] = si * scaled[j] * src[j];
+        }
+      });
+      q_sparse = x.ScaleRows(coeffs);
+    } else {
+      // Per-candidate merge path (multi-output specs such as max_entropy,
+      // and the opt-out oracle for the rescale algebra above).
+      q_sparse = spec.PerExampleGradientsSparse(theta, stats_rows);
+      // Scale rows by 1/sqrt(n_s) so J = Q^T Q is the covariance estimate:
+      // rebuild with scaled values (CSR values are contiguous; rescale via
+      // Gram on the unscaled matrix and adjust eigenvalues instead).
+      gram = SparseGram(q_sparse);
+      gram *= row_scale * row_scale;
+    }
   } else {
     spec.PerExampleGradients(theta, stats_rows, &q_dense);
     q_dense *= row_scale;

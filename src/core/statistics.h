@@ -25,6 +25,7 @@
 #include "core/contract.h"
 #include "core/param_sampler.h"
 #include "data/dataset.h"
+#include "data/feature_gram_cache.h"
 #include "models/model_spec.h"
 #include "random/rng.h"
 #include "util/status.h"
@@ -45,6 +46,20 @@ struct StatsOptions {
   /// Gram eigenvalues below rel_floor * lambda_max are treated as zero
   /// (numerically rank-deficient directions carry no observed information).
   double eigenvalue_floor_rel = 1e-10;
+  /// Structure-sharing sparse path: when the spec exposes per-example
+  /// gradient coefficients (q_i = c_i x_i), compute the gradient Gram as
+  /// c_i c_j * Gram(X)(i, j) — the feature Gram is candidate-independent
+  /// and shareable via `gram_cache` — instead of re-merging the scaled
+  /// rows per candidate. Off = the original per-candidate sorted-merge
+  /// path (kept for multi-output specs and as the opt-out oracle).
+  bool reuse_feature_gram = true;
+  /// Cross-candidate feature-Gram cache (session-owned); nullptr = compute
+  /// the feature Gram locally (the rescale algebra still applies).
+  FeatureGramCache* gram_cache = nullptr;
+  /// Key under which this computation's feature Gram is shared; must be
+  /// set by the caller when gram_cache is non-null (the pipeline keys by
+  /// phase, seed, and parent-sample size — see data/feature_gram_cache.h).
+  FeatureGramCache::Key gram_key;
 };
 
 /// Builds the sampler for the unscaled distribution N(0, H^-1 J H^-1),

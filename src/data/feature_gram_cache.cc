@@ -1,0 +1,98 @@
+#include "data/feature_gram_cache.h"
+
+namespace blinkml {
+
+std::uint64_t FeatureGramCache::BytesOf(const Matrix& gram) {
+  return static_cast<std::uint64_t>(gram.rows()) *
+         static_cast<std::uint64_t>(gram.cols()) * sizeof(double);
+}
+
+void FeatureGramCache::set_max_cached_bytes(std::uint64_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_cached_bytes_ = max_bytes;
+  EvictFor(0);
+}
+
+std::shared_ptr<const Matrix> FeatureGramCache::GetOrCreate(
+    const Key& key, const Factory& factory) {
+  std::promise<std::shared_ptr<const Matrix>> promise;
+  GramFuture wait_on;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      // Refresh recency: move the entry to the front of the LRU list.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->gram;
+    }
+    auto flight = inflight_.find(key);
+    if (flight != inflight_.end()) {
+      // Another thread is computing this key: share its result (a hit —
+      // the Gram is computed once), waiting outside the lock so the
+      // leader can publish and other keys can proceed.
+      ++stats_.hits;
+      wait_on = flight->second;
+    } else {
+      ++stats_.misses;
+      leader = true;
+      inflight_.emplace(key, promise.get_future().share());
+    }
+  }
+  if (!leader) return wait_on.get();  // rethrows the leader's exception
+
+  // Leader: run the expensive factory with no cache lock held, so misses
+  // for other keys (and every hit) stay concurrent.
+  std::shared_ptr<const Matrix> gram;
+  try {
+    gram = std::make_shared<const Matrix>(factory());
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(key);
+    const std::uint64_t bytes = BytesOf(*gram);
+    if (max_cached_bytes_ > 0 && bytes > max_cached_bytes_) {
+      ++stats_.bypassed;
+    } else {
+      EvictFor(bytes);
+      lru_.push_front(Entry{key, gram, bytes});
+      index_.emplace(key, lru_.begin());
+      stats_.cached_bytes += bytes;
+    }
+  }
+  promise.set_value(gram);
+  return gram;
+}
+
+void FeatureGramCache::EvictFor(std::uint64_t incoming) {
+  if (max_cached_bytes_ == 0) return;
+  while (!lru_.empty() && stats_.cached_bytes + incoming > max_cached_bytes_) {
+    const Entry& victim = lru_.back();
+    stats_.cached_bytes -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void FeatureGramCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.cached_bytes = 0;
+}
+
+FeatureGramCache::Stats FeatureGramCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace blinkml

@@ -155,45 +155,33 @@ Dataset MakeCriteoLike(std::int64_t n, std::uint64_t seed, std::int64_t dim,
   // Intercept-like shift keeps the positive rate CTR-low.
   const double bias = -3.0;
 
-  std::vector<std::vector<SparseEntry>> rows(static_cast<std::size_t>(n));
+  CsrBuilder builder;
+  builder.Reserve(n, n * nnz_per_row);
   Vector y(n);
   const Index num_dense = std::min<Index>(13, dim);  // Criteo's 13 counters
   for (Index i = 0; i < n; ++i) {
-    auto& row = rows[static_cast<std::size_t>(i)];
-    row.reserve(static_cast<std::size_t>(nnz_per_row));
     double dot = bias;
     // Dense numeric counters: log-normal-ish, always present.
     for (Index j = 0; j < num_dense; ++j) {
       const double v = std::log1p(std::fabs(rng.Normal(0.0, 2.0)));
-      row.push_back({j, v});
+      builder.Add(j, v);
       dot += v * theta[j];
     }
     // Hashed categorical one-hots with mildly skewed popularity: column
     // index c = floor(U^1.5 * range). Hashing flattens the natural Zipf
     // head, so most columns are rare — each carrying a weight a sample
     // estimates noisily.
-    bool seen_duplicate = false;
     for (Index f = num_dense; f < nnz_per_row; ++f) {
       const double u = rng.Uniform();
       const Index c = num_dense + static_cast<Index>(
           u * std::sqrt(u) * static_cast<double>(dim - num_dense));
       const Index col = std::min(c, dim - 1);
       // Duplicates within a row are rare; merge by skipping (harmless).
-      bool dup = false;
-      for (const auto& e : row) {
-        if (e.col == col) {
-          dup = true;
-          break;
-        }
-      }
-      if (dup) {
-        seen_duplicate = true;
-        continue;
-      }
-      row.push_back({col, 1.0});
+      if (builder.FindInOpenRow(col) != nullptr) continue;
+      builder.Add(col, 1.0);
       dot += theta[col];
     }
-    (void)seen_duplicate;
+    builder.FinishRow();
     // Click labels are intrinsically noisy (users click near-randomly a
     // fraction of the time); the extra flip noise keeps the task as
     // sample-hungry as real CTR data.
@@ -201,8 +189,7 @@ Dataset MakeCriteoLike(std::int64_t n, std::uint64_t seed, std::int64_t dim,
     if (rng.Bernoulli(0.08)) click = !click;
     y[i] = click ? 1.0 : 0.0;
   }
-  return Dataset(SparseMatrix(dim, std::move(rows)), std::move(y),
-                 Task::kBinary);
+  return Dataset(std::move(builder).Build(dim), std::move(y), Task::kBinary);
 }
 
 Dataset MakeMnistLike(std::int64_t n, std::uint64_t seed, std::int64_t dim,
@@ -300,15 +287,14 @@ Dataset MakeYelpLike(std::int64_t n, std::uint64_t seed, std::int64_t dim) {
   Vector polarity(dim);
   for (Index w = 0; w < dim; ++w) polarity[w] = rng.Normal(0.0, 1.0);
 
-  std::vector<std::vector<SparseEntry>> rows(static_cast<std::size_t>(n));
+  CsrBuilder builder;
+  builder.Reserve(n, n * 60);
   Vector y(n);
   for (Index i = 0; i < n; ++i) {
     const Index c = static_cast<Index>(rng.UniformInt(num_classes));
     // Rating as polarity scale in [-1, 1]: 0 stars -> -1, 4 stars -> +1.
     const double tilt = (static_cast<double>(c) - 2.0) / 2.0;
     const long length = 20 + rng.Poisson(60.0);  // heavy-ish review lengths
-    std::vector<double> counts;  // sparse accumulation via sorted insert
-    auto& row = rows[static_cast<std::size_t>(i)];
     for (long t = 0; t < length; ++t) {
       // Rejection re-weighting: draw from popularity, accept with a
       // sentiment-dependent probability.
@@ -320,22 +306,21 @@ Dataset MakeYelpLike(std::int64_t n, std::uint64_t seed, std::int64_t dim) {
         const double accept = Sigmoid(1.5 * tilt * polarity[w]);
         if (rng.Bernoulli(accept)) break;
       }
-      bool found = false;
-      for (auto& e : row) {
-        if (e.col == w) {
-          e.value += 1.0;
-          found = true;
-          break;
-        }
+      double* count = builder.FindInOpenRow(w);
+      if (count != nullptr) {
+        *count += 1.0;
+      } else {
+        builder.Add(w, 1.0);
       }
-      if (!found) row.push_back({w, 1.0});
     }
     // log(1 + count) term weighting, standard for bag-of-words GLMs.
-    for (auto& e : row) e.value = std::log1p(e.value);
-    (void)counts;
+    double* values = builder.open_row_values();
+    const Index row_nnz = builder.open_row_nnz();
+    for (Index e = 0; e < row_nnz; ++e) values[e] = std::log1p(values[e]);
+    builder.FinishRow();
     y[i] = static_cast<double>(c);
   }
-  return Dataset(SparseMatrix(dim, std::move(rows)), std::move(y),
+  return Dataset(std::move(builder).Build(dim), std::move(y),
                  Task::kMulticlass, num_classes);
 }
 
@@ -370,25 +355,24 @@ Dataset MakeSyntheticLogistic(std::int64_t n, std::int64_t dim,
     }
     return Dataset(std::move(x), std::move(y), Task::kBinary);
   }
-  std::vector<std::vector<SparseEntry>> rows(static_cast<std::size_t>(n));
-  Vector y(n);
   const Index nnz = std::max<Index>(
       1, static_cast<Index>(std::llround(sparsity * static_cast<double>(dim))));
+  CsrBuilder builder;
+  builder.Reserve(n, n * nnz);
+  Vector y(n);
   for (Index i = 0; i < n; ++i) {
     auto cols = SampleWithoutReplacement(dim, nnz, &rng);
     std::sort(cols.begin(), cols.end());
-    auto& row = rows[static_cast<std::size_t>(i)];
-    row.reserve(cols.size());
     double dot = 0.0;
     for (Index c : cols) {
       const double v = rng.Normal();
-      row.push_back({c, v});
+      builder.Add(c, v);
       dot += v * theta[c];
     }
+    builder.FinishRow();
     y[i] = label_of(dot);
   }
-  return Dataset(SparseMatrix(dim, std::move(rows)), std::move(y),
-                 Task::kBinary);
+  return Dataset(std::move(builder).Build(dim), std::move(y), Task::kBinary);
 }
 
 Dataset MakeSyntheticLinear(std::int64_t n, std::int64_t dim,

@@ -132,7 +132,10 @@ Status SaveCsv(const Dataset& data, const std::string& path) {
 Result<Dataset> LoadLibsvm(const std::string& path, std::int64_t dim) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
-  std::vector<std::vector<SparseEntry>> rows;
+  // Stream straight into flat CSR arrays — no per-row vector churn. The
+  // 1-based shift (unknown until the whole file is read) is applied to
+  // the builder's column array before Build.
+  CsrBuilder builder;
   std::vector<double> labels;
   Index max_index = -1;
   Index min_index = std::numeric_limits<Index>::max();
@@ -148,7 +151,6 @@ Result<Dataset> LoadLibsvm(const std::string& path, std::int64_t dim) {
       return Status::InvalidArgument(
           StrFormat("line %zu: missing label", line_no));
     }
-    std::vector<SparseEntry> row;
     std::string tok;
     while (ls >> tok) {
       const std::size_t colon = tok.find(':');
@@ -167,18 +169,16 @@ Result<Dataset> LoadLibsvm(const std::string& path, std::int64_t dim) {
       }
       max_index = std::max(max_index, idx);
       min_index = std::min(min_index, idx);
-      row.push_back({idx, val});
+      builder.Add(idx, val);
     }
-    rows.push_back(std::move(row));
+    builder.FinishRow();
     labels.push_back(label);
   }
-  if (rows.empty()) return Status::InvalidArgument("no data rows in " + path);
+  if (labels.empty()) return Status::InvalidArgument("no data rows in " + path);
   // LIBSVM files are conventionally 1-based; shift if no 0 index was seen.
   const Index offset = (min_index >= 1) ? 1 : 0;
   if (offset == 1) {
-    for (auto& row : rows) {
-      for (auto& e : row) e.col -= 1;
-    }
+    builder.ShiftColumns(-1);
     max_index -= 1;
   }
   Index d = dim > 0 ? dim : max_index + 1;
@@ -200,8 +200,7 @@ Result<Dataset> LoadLibsvm(const std::string& path, std::int64_t dim) {
     y[static_cast<Vector::Index>(i)] = v;
   }
   const auto [task, classes] = InferTask(y);
-  return Dataset(SparseMatrix(d, std::move(rows)), std::move(y), task,
-                 classes);
+  return Dataset(std::move(builder).Build(d), std::move(y), task, classes);
 }
 
 Status SaveLibsvm(const Dataset& data, const std::string& path) {

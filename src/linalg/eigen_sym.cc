@@ -211,10 +211,50 @@ void Tridiagonalize(Matrix* z_mat, Vector* d_vec, Vector* e_vec,
   }
 }
 
+// Applies a deferred chain of Givens rotations to zt: rotation j rotates
+// Z columns (i, i+1) with i = m - 1 - j, which in the transposed storage
+// is rows (i, i+1). Elements interact only within one k (a zt column), so
+// the chain is applied per k-chunk in parallel — one coarse region per
+// sweep instead of one pool handoff per O(n)-flop rotation — and the
+// per-element operation sequence is exactly the serial one (bitwise
+// identical at any thread count; runtime/parallel.h).
+void ApplyRotationChain(Matrix* zt_mat, Index m,
+                        const std::vector<double>& rot_s,
+                        const std::vector<double>& rot_c) {
+  Matrix& zt = *zt_mat;
+  const auto cols = static_cast<ParallelIndex>(zt.cols());
+  const auto count = static_cast<Index>(rot_s.size());
+  auto apply = [&](ParallelIndex kb, ParallelIndex ke) {
+    for (Index j = 0; j < count; ++j) {
+      const Index i = m - 1 - j;
+      const double s = rot_s[static_cast<std::size_t>(j)];
+      const double c = rot_c[static_cast<std::size_t>(j)];
+      double* row_i = zt.row_data(i);
+      double* row_i1 = zt.row_data(i + 1);
+      for (ParallelIndex k = kb; k < ke; ++k) {
+        const double t = row_i1[k];
+        row_i1[k] = s * row_i[k] + c * t;
+        row_i[k] = c * row_i[k] - s * t;
+      }
+    }
+  };
+  if (cols >= kParallelEigenRows) {
+    ParallelForChunks(0, cols, ComputeChunks(cols, kDefaultGrain),
+                      [&](ParallelIndex, ParallelIndex kb, ParallelIndex ke) {
+                        apply(kb, ke);
+                      });
+  } else {
+    apply(0, cols);
+  }
+}
+
 // Implicit-shift QL iteration on the tridiagonal (d, e). When want_vectors,
 // accumulates the rotations into zt, which holds the eigenvector matrix
 // TRANSPOSED (row r of zt is the r-th column of Z): a Givens rotation of
-// columns (i, i+1) of Z touches two contiguous rows of zt.
+// columns (i, i+1) of Z touches two contiguous rows of zt. The d/e
+// recurrence is sequential, so each sweep's rotation coefficients are
+// recorded and the zt accumulation is applied afterwards as one batched,
+// column-parallel chain (ApplyRotationChain).
 Status QlImplicit(Vector* d_vec, Vector* e_vec, Matrix* zt_mat,
                   bool want_vectors) {
   Vector& d = *d_vec;
@@ -225,6 +265,13 @@ Status QlImplicit(Vector* d_vec, Vector* e_vec, Matrix* zt_mat,
 
   for (Index i = 1; i < n; ++i) e[i - 1] = e[i];
   e[n - 1] = 0.0;
+
+  std::vector<double> rot_s;
+  std::vector<double> rot_c;
+  if (want_vectors) {
+    rot_s.reserve(static_cast<std::size_t>(n));
+    rot_c.reserve(static_cast<std::size_t>(n));
+  }
 
   for (Index l = 0; l < n; ++l) {
     int iter = 0;
@@ -248,12 +295,16 @@ Status QlImplicit(Vector* d_vec, Vector* e_vec, Matrix* zt_mat,
         double s = 1.0;
         double c = 1.0;
         double p = 0.0;
+        rot_s.clear();
+        rot_c.clear();
         for (Index i = m - 1; i >= l; --i) {
           double f = s * e[i];
           const double b = c * e[i];
           r = Hypot(f, g);
           e[i + 1] = r;
           if (r == 0.0) {
+            // No rotation this iteration: the chain recorded so far is
+            // exactly what the element-wise serial version had applied.
             d[i + 1] -= p;
             e[m] = 0.0;
             break;
@@ -266,14 +317,12 @@ Status QlImplicit(Vector* d_vec, Vector* e_vec, Matrix* zt_mat,
           d[i + 1] = g + p;
           g = c * r - b;
           if (want_vectors) {
-            double* row_i = zt.row_data(i);
-            double* row_i1 = zt.row_data(i + 1);
-            for (Index k = 0; k < n; ++k) {
-              f = row_i1[k];
-              row_i1[k] = s * row_i[k] + c * f;
-              row_i[k] = c * row_i[k] - s * f;
-            }
+            rot_s.push_back(s);
+            rot_c.push_back(c);
           }
+        }
+        if (want_vectors && !rot_s.empty()) {
+          ApplyRotationChain(&zt, m, rot_s, rot_c);
         }
         if (r == 0.0 && m - 1 >= l) continue;
         d[l] -= p;

@@ -36,8 +36,9 @@ class LinearRegressionSpec final : public ModelSpec {
   void PerExampleGradients(const Vector& theta, const Dataset& data,
                            Matrix* out) const override;
   bool has_sparse_gradients() const override { return true; }
-  SparseMatrix PerExampleGradientsSparse(const Vector& theta,
-                                         const Dataset& data) const override;
+  bool has_gradient_coeffs() const override { return true; }
+  void PerExampleGradientCoeffs(const Vector& theta, const Dataset& data,
+                                Vector* coeffs) const override;
   void Predict(const Vector& theta, const Dataset& data,
                Vector* out) const override;
   double Diff(const Vector& theta1, const Vector& theta2,

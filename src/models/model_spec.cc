@@ -4,8 +4,22 @@
 
 namespace blinkml {
 
+void ModelSpec::PerExampleGradientCoeffs(const Vector& theta,
+                                         const Dataset& data,
+                                         Vector* coeffs) const {
+  (void)theta;
+  (void)data;
+  (void)coeffs;
+  BLINKML_CHECK_MSG(false, name() + " has no per-example gradient coeffs");
+}
+
 SparseMatrix ModelSpec::PerExampleGradientsSparse(const Vector& theta,
                                                   const Dataset& data) const {
+  if (data.is_sparse() && has_gradient_coeffs()) {
+    Vector coeffs;
+    PerExampleGradientCoeffs(theta, data, &coeffs);
+    return data.sparse().ScaleRows(coeffs);
+  }
   Matrix dense;
   PerExampleGradients(theta, data, &dense);
   return SparseMatrix::FromDense(dense);

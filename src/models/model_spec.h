@@ -67,8 +67,25 @@ class ModelSpec {
   /// computation O(nnz) on high-dimensional sparse data.
   virtual bool has_sparse_gradients() const { return false; }
 
-  /// Sparse per-example gradients; same rows as PerExampleGradients.
-  /// Default densifies (correct but slow) — override where it matters.
+  /// True for single-output GLMs whose per-example gradient is a scalar
+  /// multiple of the feature row: q_i = c_i * x_i (linear, logistic,
+  /// poisson). The sparse gradient matrix is then diag(c) X — it shares
+  /// X's sparsity structure exactly, and Gram(Q)(i,j) = c_i c_j Gram(X)(i,j),
+  /// which is what lets the statistics path reuse one feature Gram across
+  /// many candidate models (core/statistics.h).
+  virtual bool has_gradient_coeffs() const { return false; }
+
+  /// The c of q_i = c_i x_i; *coeffs is resized by the callee. Only valid
+  /// when has_gradient_coeffs().
+  virtual void PerExampleGradientCoeffs(const Vector& theta,
+                                        const Dataset& data,
+                                        Vector* coeffs) const;
+
+  /// Sparse per-example gradients; same rows as PerExampleGradients. The
+  /// default scales the feature rows by PerExampleGradientCoeffs when the
+  /// spec provides them and the data is sparse (structure-sharing, O(nnz)),
+  /// and densifies otherwise (correct but slow) — override only for
+  /// multi-output models (max_entropy materializes its C*d-wide rows).
   virtual SparseMatrix PerExampleGradientsSparse(const Vector& theta,
                                                  const Dataset& data) const;
 

@@ -76,28 +76,16 @@ void PoissonRegressionSpec::PerExampleGradients(const Vector& theta,
   });
 }
 
-SparseMatrix PoissonRegressionSpec::PerExampleGradientsSparse(
-    const Vector& theta, const Dataset& data) const {
+void PoissonRegressionSpec::PerExampleGradientCoeffs(const Vector& theta,
+                                                     const Dataset& data,
+                                                     Vector* coeffs) const {
   BLINKML_CHECK_EQ(theta.size(), data.dim());
-  if (!data.is_sparse()) {
-    Matrix dense;
-    PerExampleGradients(theta, data, &dense);
-    return SparseMatrix::FromDense(dense);
-  }
-  const SparseMatrix& x = data.sparse();
-  std::vector<std::vector<SparseEntry>> rows(
-      static_cast<std::size_t>(data.num_rows()));
-  for (Index i = 0; i < data.num_rows(); ++i) {
-    const double coeff =
-        SafeExp(data.RowDot(i, theta.data())) - data.label(i);
-    const Index nnz = x.RowNnz(i);
-    const auto* cols = x.RowCols(i);
-    const auto* vals = x.RowValues(i);
-    auto& row = rows[static_cast<std::size_t>(i)];
-    row.reserve(static_cast<std::size_t>(nnz));
-    for (Index k = 0; k < nnz; ++k) row.push_back({cols[k], coeff * vals[k]});
-  }
-  return SparseMatrix(data.dim(), std::move(rows));
+  coeffs->Resize(data.num_rows());
+  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) {
+      (*coeffs)[i] = SafeExp(data.RowDot(i, theta.data())) - data.label(i);
+    }
+  });
 }
 
 void PoissonRegressionSpec::Predict(const Vector& theta, const Dataset& data,

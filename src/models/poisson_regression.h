@@ -40,8 +40,9 @@ class PoissonRegressionSpec final : public ModelSpec {
   void PerExampleGradients(const Vector& theta, const Dataset& data,
                            Matrix* out) const override;
   bool has_sparse_gradients() const override { return true; }
-  SparseMatrix PerExampleGradientsSparse(const Vector& theta,
-                                         const Dataset& data) const override;
+  bool has_gradient_coeffs() const override { return true; }
+  void PerExampleGradientCoeffs(const Vector& theta, const Dataset& data,
+                                Vector* coeffs) const override;
 
   /// Predicted rate exp(theta^T x).
   void Predict(const Vector& theta, const Dataset& data,

@@ -1,9 +1,11 @@
 #include "models/ppca.h"
 
 #include <cmath>
+#include <utility>
 
 #include "linalg/cholesky.h"
 #include "linalg/eigen_sym.h"
+#include "runtime/parallel.h"
 
 namespace blinkml {
 
@@ -110,29 +112,53 @@ double PpcaSpec::ObjectiveAndGradient(const Vector& theta, const Dataset& data,
   // Gradient wrt Theta: n * (C^-1 Theta) - sum_i (C^-1 x_i)(x_i^T C^-1 Theta),
   // averaged; wrt sigma: sigma * (tr(C^-1) - mean_i ||C^-1 x_i||^2).
   // Objective: 0.5 (d log 2pi + log|C| + mean_i x_i^T C^-1 x_i).
-  double quad_sum = 0.0;
-  double cinv_x_norm_sum = 0.0;
-  Vector x(d);
-  Matrix grad_factors(d, q_);
-  for (Index i = 0; i < n; ++i) {
-    // Materialize the row densely (PPCA is a dense-data model here).
-    x.Fill(0.0);
-    data.AddRowTo(i, 1.0, x.data());
-    const Vector cx = ApplyCInv(w, x);
-    quad_sum += Dot(x, cx);
-    cinv_x_norm_sum += Dot(cx, cx);
-    // (C^-1 x_i) (x_i^T C^-1 Theta): outer product accumulation.
-    const Vector xt = MatTVec(w.cinv_factors, x);  // q: Theta^T C^-1 x
-    for (Index j = 0; j < d; ++j) {
-      const double cj = cx[j];
-      if (cj == 0.0) continue;
-      double* grow = grad_factors.row_data(j);
-      for (Index r = 0; r < q_; ++r) grow[r] -= cj * xt[r];
-    }
-  }
+  // Row chunks reduce (quad, norm, grad_factors) partials combined in
+  // chunk order — the fixed layout makes the result thread-count
+  // independent (runtime/parallel.h); GradientGrain bounds the number of
+  // d x q partial matrices.
+  struct Partial {
+    double quad = 0.0;
+    double cinv_norm = 0.0;
+    Matrix grad_factors;  // d x q; empty until a chunk seeds it
+  };
+  Partial total = ParallelReduce(
+      ParallelIndex{0}, static_cast<ParallelIndex>(n), Partial{},
+      [&](ParallelIndex b, ParallelIndex e) {
+        Partial part;
+        part.grad_factors = Matrix(d, q_);
+        Vector x(d);
+        for (Index i = b; i < e; ++i) {
+          // Materialize the row densely (PPCA is a dense-data model here).
+          x.Fill(0.0);
+          data.AddRowTo(i, 1.0, x.data());
+          const Vector cx = ApplyCInv(w, x);
+          part.quad += Dot(x, cx);
+          part.cinv_norm += Dot(cx, cx);
+          // (C^-1 x_i) (x_i^T C^-1 Theta): outer product accumulation.
+          const Vector xt = MatTVec(w.cinv_factors, x);  // q: Theta^T C^-1 x
+          for (Index j = 0; j < d; ++j) {
+            const double cj = cx[j];
+            if (cj == 0.0) continue;
+            double* grow = part.grad_factors.row_data(j);
+            for (Index r = 0; r < q_; ++r) grow[r] -= cj * xt[r];
+          }
+        }
+        return part;
+      },
+      [](Partial acc, Partial& part) {
+        if (acc.grad_factors.rows() == 0) return std::move(part);
+        acc.quad += part.quad;
+        acc.cinv_norm += part.cinv_norm;
+        acc.grad_factors += part.grad_factors;
+        return acc;
+      },
+      GradientGrain(static_cast<ParallelIndex>(n)));
+  const double quad_sum = total.quad;
+  const double cinv_x_norm_sum = total.cinv_norm;
+  const Matrix& grad_factors = total.grad_factors;
   const double inv_n = 1.0 / static_cast<double>(n);
   for (Index j = 0; j < d; ++j) {
-    double* grow = grad_factors.row_data(j);
+    const double* grow = grad_factors.row_data(j);
     const double* crow = w.cinv_factors.row_data(j);
     for (Index r = 0; r < q_; ++r) {
       (*grad)[j * q_ + r] = crow[r] + grow[r] * inv_n;
@@ -154,22 +180,26 @@ void PpcaSpec::PerExampleGradients(const Vector& theta, const Dataset& data,
   const WoodburyState w = BuildWoodbury(factors, sigma);
 
   *out = Matrix(n, theta.size());
-  Vector x(d);
-  for (Index i = 0; i < n; ++i) {
-    x.Fill(0.0);
-    data.AddRowTo(i, 1.0, x.data());
-    const Vector cx = ApplyCInv(w, x);
-    const Vector xt = MatTVec(w.cinv_factors, x);  // Theta^T C^-1 x
-    double* row = out->row_data(i);
-    for (Index j = 0; j < d; ++j) {
-      const double* crow = w.cinv_factors.row_data(j);
-      const double cj = cx[j];
-      for (Index r = 0; r < q_; ++r) {
-        row[j * q_ + r] = crow[r] - cj * xt[r];
+  // Rows write disjoint output slices, so the parallel sweep is bitwise
+  // identical to the serial one at any thread count.
+  ParallelFor(0, n, [&](Index b, Index e) {
+    Vector x(d);
+    for (Index i = b; i < e; ++i) {
+      x.Fill(0.0);
+      data.AddRowTo(i, 1.0, x.data());
+      const Vector cx = ApplyCInv(w, x);
+      const Vector xt = MatTVec(w.cinv_factors, x);  // Theta^T C^-1 x
+      double* row = out->row_data(i);
+      for (Index j = 0; j < d; ++j) {
+        const double* crow = w.cinv_factors.row_data(j);
+        const double cj = cx[j];
+        for (Index r = 0; r < q_; ++r) {
+          row[j * q_ + r] = crow[r] - cj * xt[r];
+        }
       }
+      row[d * q_] = sigma * (w.trace_cinv - Dot(cx, cx));
     }
-    row[d * q_] = sigma * (w.trace_cinv - Dot(cx, cx));
-  }
+  });
 }
 
 void PpcaSpec::Predict(const Vector& theta, const Dataset& data,
@@ -203,19 +233,32 @@ Result<Vector> PpcaSpec::TrainClosedForm(const Dataset& data) const {
     return Status::InvalidArgument("PPCA requires num_factors < dim");
   }
   // Sample second-moment matrix S = (1/n) sum x x^T (data assumed roughly
-  // centered, as in the paper's treatment).
-  Matrix s(d, d);
-  Vector x(d);
-  for (Index i = 0; i < n; ++i) {
-    x.Fill(0.0);
-    data.AddRowTo(i, 1.0, x.data());
-    for (Index a = 0; a < d; ++a) {
-      const double va = x[a];
-      if (va == 0.0) continue;
-      double* row = s.row_data(a);
-      for (Index b = a; b < d; ++b) row[b] += va * x[b];
-    }
-  }
+  // centered, as in the paper's treatment). Row chunks accumulate the
+  // upper triangle into partial matrices combined in chunk order
+  // (thread-count independent); GradientGrain bounds the d x d partials.
+  Matrix s = ParallelReduce(
+      ParallelIndex{0}, static_cast<ParallelIndex>(n), Matrix{},
+      [&](ParallelIndex b, ParallelIndex e) {
+        Matrix part(d, d);
+        Vector x(d);
+        for (Index i = b; i < e; ++i) {
+          x.Fill(0.0);
+          data.AddRowTo(i, 1.0, x.data());
+          for (Index a = 0; a < d; ++a) {
+            const double va = x[a];
+            if (va == 0.0) continue;
+            double* row = part.row_data(a);
+            for (Index c = a; c < d; ++c) row[c] += va * x[c];
+          }
+        }
+        return part;
+      },
+      [](Matrix acc, Matrix& part) {
+        if (acc.rows() == 0) return std::move(part);
+        acc += part;
+        return acc;
+      },
+      GradientGrain(static_cast<ParallelIndex>(n)));
   for (Index a = 0; a < d; ++a) {
     for (Index b = a; b < d; ++b) {
       const double v = s(a, b) / static_cast<double>(n);

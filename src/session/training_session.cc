@@ -16,6 +16,11 @@ TrainingSession::TrainingSession(std::shared_ptr<const Dataset> data,
   // (identical rows, just not cached). ROADMAP tracks a real eviction
   // policy.
   cache_.set_max_cached_rows(4 * data_->num_rows());
+  // Feature Grams are stats_sample_size^2 doubles each (8 MB at the
+  // default 1024); a handful covers a search's keys, and LRU eviction
+  // keeps a long-lived service bounded when candidates spread over many
+  // final sample sizes.
+  gram_cache_.set_max_cached_bytes(256ull << 20);
 }
 
 Result<ApproxResult> TrainingSession::Train(
@@ -41,7 +46,8 @@ Result<std::unique_ptr<TrainingPipeline>> TrainingSession::MakePipeline(
   BLINKML_ASSIGN_OR_RETURN(std::shared_ptr<const TrainingPrefix> prefix,
                            PrefixFor(seed));
   return std::make_unique<TrainingPipeline>(spec, *data_, contract, config,
-                                            std::move(prefix), &cache_);
+                                            std::move(prefix), &cache_,
+                                            &gram_cache_);
 }
 
 void TrainingSession::RecordRun(const PhaseTimings& timings) {
@@ -54,6 +60,7 @@ SessionStats TrainingSession::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   SessionStats out = stats_;
   out.cache = cache_.stats();
+  out.gram_cache = gram_cache_.stats();
   return out;
 }
 

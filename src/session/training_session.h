@@ -29,6 +29,7 @@
 
 #include "core/pipeline.h"
 #include "data/dataset.h"
+#include "data/feature_gram_cache.h"
 #include "data/sample_cache.h"
 #include "models/model_spec.h"
 #include "util/status.h"
@@ -49,6 +50,9 @@ struct SessionStats {
   double prefix_seconds = 0.0;
   /// Shared-sample cache counters.
   SampleCache::Stats cache;
+  /// Feature-Gram cache counters (the statistics-phase amortization:
+  /// one sorted-merge Gram per key, rescales for every later candidate).
+  FeatureGramCache::Stats gram_cache;
 };
 
 class TrainingSession {
@@ -104,6 +108,7 @@ class TrainingSession {
   const std::shared_ptr<const Dataset> data_;
   const BlinkConfig config_;
   SampleCache cache_;
+  FeatureGramCache gram_cache_;
 
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<const BlinkConfig>>

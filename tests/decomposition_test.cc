@@ -215,6 +215,53 @@ TEST(EigenSym, SerialAndParallelAgreeBitwise) {
   }
 }
 
+// The QL iteration's Givens rotation accumulation is row-parallel over
+// the transposed eigenvector storage. A matrix with tightly clustered
+// eigenvalues forces many QL sweeps (and thus many rotations), so this
+// stresses that path specifically; serial and parallel runs must agree
+// bitwise at any thread count.
+TEST(EigenSym, QlRotationAccumulationSerialParallelBitwise) {
+  Rng rng(909);
+  // Q diag(l) Q^T with clustered eigenvalues: l_i in {1, 1+1e-9, 2, ...}.
+  const Matrix base = RandomSymmetric(256, &rng);
+  auto base_eig = EigenSym(base);
+  ASSERT_TRUE(base_eig.ok());
+  Matrix clustered(256, 256);
+  for (Matrix::Index i = 0; i < 256; ++i) {
+    const double l = 1.0 + static_cast<double>(i / 32) +
+                     1e-9 * static_cast<double>(i % 32);
+    for (Matrix::Index r = 0; r < 256; ++r) {
+      for (Matrix::Index c = 0; c < 256; ++c) {
+        clustered(r, c) += l * base_eig->eigenvectors(r, i) *
+                           base_eig->eigenvectors(c, i);
+      }
+    }
+  }
+
+  SymmetricEigen serial;
+  {
+    RuntimeOptions options;
+    options.enabled = false;
+    RuntimeScope scope(options);
+    auto eig = EigenSym(clustered);
+    ASSERT_TRUE(eig.ok());
+    serial = std::move(*eig);
+  }
+  ThreadPool pool(8);
+  for (const int threads : {2, 8}) {
+    RuntimeOptions options;
+    options.pool = &pool;
+    options.num_threads = threads;
+    RuntimeScope scope(options);
+    auto eig = EigenSym(clustered);
+    ASSERT_TRUE(eig.ok());
+    EXPECT_EQ(MaxAbsDiff(eig->eigenvalues, serial.eigenvalues), 0.0)
+        << threads << " threads";
+    EXPECT_EQ(MaxAbsDiff(eig->eigenvectors, serial.eigenvectors), 0.0)
+        << threads << " threads";
+  }
+}
+
 // ---------- SVD ----------
 
 TEST(GramSvd, KnownRankOne) {

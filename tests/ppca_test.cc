@@ -7,6 +7,8 @@
 #include "linalg/eigen_sym.h"
 #include "models/ppca.h"
 #include "models/trainer.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
 #include "tests/test_util.h"
 
 namespace blinkml {
@@ -138,6 +140,56 @@ TEST(Ppca, ObjectiveMatchesDirectDensityComputation) {
   constexpr double kTwoPi = 6.283185307179586476925286766559;
   const double expected = 0.5 * (5.0 * std::log(kTwoPi) + chol->LogDet() + quad);
   EXPECT_NEAR(spec.Objective(*trained, data), expected, 1e-8);
+}
+
+// The PPCA inner loops (objective/gradient reduction, per-example
+// gradients, the closed-form moment accumulation) run through the parallel
+// runtime with fixed chunk layouts, so every output must be bitwise
+// identical at 1, 2, and 8 threads (runtime/parallel.h determinism
+// contract).
+TEST(Ppca, ParallelLoopsAreThreadCountInvariant) {
+  const Dataset data = MakeSyntheticLowRank(1500, 10, 3, 21, /*noise=*/0.3);
+  PpcaSpec spec(3);
+  const Vector theta0 = spec.InitialTheta(data);
+
+  struct Outputs {
+    double objective = 0.0;
+    Vector gradient;
+    Matrix per_example;
+    Vector closed_form;
+  };
+  auto run = [&] {
+    Outputs out;
+    out.objective = spec.ObjectiveAndGradient(theta0, data, &out.gradient);
+    spec.PerExampleGradients(theta0, data, &out.per_example);
+    auto trained = spec.TrainClosedForm(data);
+    EXPECT_TRUE(trained.ok());
+    out.closed_form = std::move(*trained);
+    return out;
+  };
+
+  RuntimeOptions serial;
+  serial.enabled = false;
+  Outputs reference;
+  {
+    RuntimeScope scope(serial);
+    reference = run();
+  }
+  ThreadPool pool(8);
+  for (const int threads : {1, 2, 8}) {
+    RuntimeOptions options;
+    options.pool = &pool;
+    options.num_threads = threads;
+    RuntimeScope scope(options);
+    const Outputs parallel = run();
+    EXPECT_EQ(parallel.objective, reference.objective) << threads;
+    EXPECT_EQ(MaxAbsDiff(parallel.gradient, reference.gradient), 0.0)
+        << threads;
+    EXPECT_EQ(MaxAbsDiff(parallel.per_example, reference.per_example), 0.0)
+        << threads;
+    EXPECT_EQ(MaxAbsDiff(parallel.closed_form, reference.closed_form), 0.0)
+        << threads;
+  }
 }
 
 TEST(Ppca, SubspaceStableAcrossSamples) {

@@ -72,6 +72,42 @@ TEST(TrainingSession, MatchesStandaloneCoordinatorBitwise) {
   EXPECT_GT(stats.run_timings.total, 0.0);
 }
 
+// Sparse workload through the ObservedFisher Gram path: the session's
+// shared feature Gram (reuse_feature_gram on, the default) and the
+// per-candidate merge oracle (off) must BOTH be bitwise identical to a
+// standalone Coordinator with the same flag — the cache only removes a
+// recomputation, and the rescale algebra is applied identically with or
+// without a session.
+TEST(TrainingSession, SparseStatisticsMatchStandaloneWithGramReuseOnAndOff) {
+  const Dataset data = MakeCriteoLike(20000, /*seed=*/13, /*dim=*/400,
+                                      /*nnz_per_row=*/12);
+  for (const bool reuse : {true, false}) {
+    BlinkConfig config = FastConfig(11);
+    config.reuse_feature_gram = reuse;
+    config.stats_sample_size = 256;  // below dim: sparse Gram path engaged
+    TrainingSession session(Dataset(data), config);
+    const Coordinator coordinator(config);
+    for (const double l2 : {1e-3, 1e-2}) {
+      LogisticRegressionSpec spec(l2);
+      const auto via_session = session.Train(spec, kTightContract);
+      const auto standalone = coordinator.Train(spec, data, kTightContract);
+      ASSERT_TRUE(via_session.ok()) << via_session.status().ToString();
+      ASSERT_TRUE(standalone.ok()) << standalone.status().ToString();
+      ExpectBitwiseEqual(*via_session, *standalone,
+                         reuse ? "gram reuse on" : "gram reuse off");
+    }
+    const SessionStats stats = session.stats();
+    if (reuse) {
+      // The second candidate's initial statistics hit the cached Gram.
+      EXPECT_GE(stats.gram_cache.hits, 1u);
+      EXPECT_GE(stats.gram_cache.misses, 1u);
+    } else {
+      // The merge path never touches the Gram cache.
+      EXPECT_EQ(stats.gram_cache.hits + stats.gram_cache.misses, 0u);
+    }
+  }
+}
+
 TEST(SampleCacheTest, SharesMaterializationsByKey) {
   const Dataset data = MakeSyntheticLogistic(500, 4, 1);
   SampleCache cache;

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "linalg/sparse.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
 #include "tests/test_util.h"
 
 namespace blinkml {
@@ -8,6 +10,7 @@ namespace {
 
 using testing::ExpectMatrixNear;
 using testing::ExpectVectorNear;
+using testing::RandomMatrix;
 using testing::RandomVector;
 
 SparseMatrix SmallSparse() {
@@ -129,6 +132,155 @@ TEST_P(SparseRandom, OperationsMatchDenseOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SparseRandom, ::testing::Range(0, 10));
+
+// ---------- Structure sharing ----------
+
+TEST(SparseMatrix, ScaleRowsSharesStructureAndMatchesDense) {
+  const SparseMatrix s = SmallSparse();
+  const Vector coeffs{2.0, -1.0, 0.5};
+  const SparseMatrix scaled = s.ScaleRows(coeffs);
+  EXPECT_TRUE(scaled.SharesStructureWith(s));
+  EXPECT_EQ(scaled.nnz(), s.nnz());
+  Matrix expected = s.ToDense();
+  for (Matrix::Index r = 0; r < expected.rows(); ++r) {
+    for (Matrix::Index c = 0; c < expected.cols(); ++c) {
+      expected(r, c) *= coeffs[r];
+    }
+  }
+  ExpectMatrixNear(scaled.ToDense(), expected, 0.0, "diag(c) X");
+  // The source's values are untouched (ScaleRows copies values, aliases
+  // only the structure).
+  EXPECT_DOUBLE_EQ(s.RowValues(0)[0], 1.0);
+  EXPECT_THROW(s.ScaleRows(Vector(2)), CheckError);
+}
+
+TEST(SparseMatrix, WithValuesSharesStructure) {
+  const SparseMatrix s = SmallSparse();
+  const SparseMatrix t = s.WithValues({10.0, 20.0, 30.0});
+  EXPECT_TRUE(t.SharesStructureWith(s));
+  EXPECT_DOUBLE_EQ(t.ToDense()(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(t.ToDense()(0, 2), 20.0);
+  EXPECT_THROW(s.WithValues({1.0}), CheckError);
+}
+
+TEST(SparseMatrix, TakeRowsAndIndependentBuildsDoNotShareStructure) {
+  const SparseMatrix s = SmallSparse();
+  EXPECT_FALSE(s.TakeRows({0, 1}).SharesStructureWith(s));
+  EXPECT_FALSE(SmallSparse().SharesStructureWith(s));
+  // Chained rescales all alias the one structure.
+  const Vector ones{1.0, 1.0, 1.0};
+  EXPECT_TRUE(s.ScaleRows(ones).ScaleRows(ones).SharesStructureWith(s));
+}
+
+// Construction, FromDense, TakeRows, and ScaleRows are chunk-parallel;
+// their outputs must be identical at any thread count (the per-row output
+// ranges are precomputed — runtime/parallel.h determinism contract).
+TEST(SparseMatrix, ParallelConstructionIsThreadCountInvariant) {
+  Rng rng(314);
+  const Matrix dense = [&] {
+    Matrix m = RandomMatrix(300, 40, &rng);
+    // Sparsify: drop ~2/3 of the entries.
+    for (Matrix::Index r = 0; r < m.rows(); ++r) {
+      for (Matrix::Index c = 0; c < m.cols(); ++c) {
+        if ((r * 31 + c * 7) % 3 != 0) m(r, c) = 0.0;
+      }
+    }
+    return m;
+  }();
+  Vector coeffs = RandomVector(300, &rng);
+  std::vector<SparseMatrix::Index> subset;
+  for (SparseMatrix::Index r = 0; r < 300; r += 3) subset.push_back(r);
+
+  auto build_all = [&] {
+    const SparseMatrix s = SparseMatrix::FromDense(dense);
+    struct Out {
+      Matrix from_dense, taken, scaled;
+    };
+    return Out{s.ToDense(), s.TakeRows(subset).ToDense(),
+               s.ScaleRows(coeffs).ToDense()};
+  };
+
+  RuntimeOptions serial;
+  serial.enabled = false;
+  decltype(build_all()) reference = [&] {
+    RuntimeScope scope(serial);
+    return build_all();
+  }();
+
+  ThreadPool pool(8);
+  for (const int threads : {1, 2, 8}) {
+    RuntimeOptions options;
+    options.pool = &pool;
+    options.num_threads = threads;
+    RuntimeScope scope(options);
+    const auto parallel = build_all();
+    ExpectMatrixNear(parallel.from_dense, reference.from_dense, 0.0);
+    ExpectMatrixNear(parallel.taken, reference.taken, 0.0);
+    ExpectMatrixNear(parallel.scaled, reference.scaled, 0.0);
+  }
+}
+
+// ---------- CsrBuilder ----------
+
+TEST(CsrBuilder, MatchesVectorOfVectorsConstruction) {
+  Rng rng(99);
+  std::vector<std::vector<SparseEntry>> rows(25);
+  CsrBuilder builder;
+  builder.Reserve(25, 25 * 8);
+  for (auto& row : rows) {
+    const int nnz = static_cast<int>(rng.UniformInt(9));
+    const auto chosen = SampleWithoutReplacement(40, nnz, &rng);
+    for (const auto c : chosen) {
+      const double v = rng.Normal();
+      row.push_back({c, v});
+      builder.Add(c, v);
+    }
+    builder.FinishRow();
+  }
+  const SparseMatrix via_vectors(40, std::move(rows));
+  const SparseMatrix via_builder = std::move(builder).Build(40);
+  EXPECT_EQ(via_builder.rows(), via_vectors.rows());
+  EXPECT_EQ(via_builder.nnz(), via_vectors.nnz());
+  ExpectMatrixNear(via_builder.ToDense(), via_vectors.ToDense(), 0.0);
+  // Rows came out column-sorted, like the vector-of-vectors constructor.
+  for (SparseMatrix::Index r = 0; r < via_builder.rows(); ++r) {
+    for (SparseMatrix::Index i = 1; i < via_builder.RowNnz(r); ++i) {
+      EXPECT_LT(via_builder.RowCols(r)[i - 1], via_builder.RowCols(r)[i]);
+    }
+  }
+}
+
+TEST(CsrBuilder, FindInOpenRowAccumulatesCounts) {
+  CsrBuilder builder;
+  builder.Add(3, 1.0);
+  builder.Add(1, 1.0);
+  ASSERT_NE(builder.FindInOpenRow(3), nullptr);
+  *builder.FindInOpenRow(3) += 1.0;
+  EXPECT_EQ(builder.FindInOpenRow(2), nullptr);
+  EXPECT_EQ(builder.open_row_nnz(), 2);
+  builder.FinishRow();
+  // The finished row is out of scope for FindInOpenRow.
+  EXPECT_EQ(builder.FindInOpenRow(3), nullptr);
+  const SparseMatrix m = std::move(builder).Build(5);
+  EXPECT_DOUBLE_EQ(m.ToDense()(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(m.ToDense()(0, 1), 1.0);
+}
+
+TEST(CsrBuilder, ShiftColumnsAndValidation) {
+  CsrBuilder one_based;
+  one_based.Add(1, 5.0);
+  one_based.Add(3, 7.0);
+  one_based.FinishRow();
+  one_based.ShiftColumns(-1);
+  const SparseMatrix m = std::move(one_based).Build(3);
+  EXPECT_DOUBLE_EQ(m.ToDense()(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m.ToDense()(0, 2), 7.0);
+
+  CsrBuilder out_of_range;
+  out_of_range.Add(5, 1.0);
+  out_of_range.FinishRow();
+  EXPECT_THROW(std::move(out_of_range).Build(3), CheckError);
+}
 
 }  // namespace
 }  // namespace blinkml
