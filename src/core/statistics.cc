@@ -128,6 +128,28 @@ Matrix SparseGram(const SparseMatrix& q) {
   return g;
 }
 
+// Covariance estimate from a cached candidate-independent feature Gram:
+// gram(i, j) = (c_i / sqrt(n_s)) (c_j / sqrt(n_s)) gram_x(i, j). Shared by
+// the sparse and dense rescale paths.
+Matrix RescaledGram(const Matrix& gram_x, const Vector& coeffs,
+                    double row_scale) {
+  const Index n = gram_x.rows();
+  // Fold the 1/sqrt(n_s) row scaling into the coefficients so the rescale
+  // lands directly on the covariance estimate.
+  Vector scaled = coeffs;
+  scaled *= row_scale;
+  Matrix gram(n, n);
+  ParallelFor(0, n, [&](Index i0, Index i1) {
+    for (Index i = i0; i < i1; ++i) {
+      const double si = scaled[i];
+      const double* src = gram_x.row_data(i);
+      double* dst = gram.row_data(i);
+      for (Index j = 0; j < n; ++j) dst[j] = si * scaled[j] * src[j];
+    }
+  });
+  return gram;
+}
+
 // Small-parameter-dimension path: when p <= n_s it is cheaper to form
 // J = Q^T Q (p x p) directly and eigendecompose it, yielding the dense
 // factor W = V diag(sqrt(l)/(l + beta)) with W W^T = H^-1 J H^-1.
@@ -199,6 +221,10 @@ Result<ParamSampler> ComputeObservedFisher(const ModelSpec& spec,
   const bool sparse_path =
       stats_rows.is_sparse() && spec.has_sparse_gradients();
   const double row_scale = 1.0 / std::sqrt(static_cast<double>(n_s));
+  // True when the 1/sqrt(n_s) row scaling was folded into the Gram's
+  // coefficients instead of the factor matrix Q (both rescale paths); the
+  // sampler operator then re-applies it through V.
+  bool folded_row_scale = false;
 
   SparseMatrix q_sparse;
   Matrix q_dense;
@@ -223,19 +249,8 @@ Result<ParamSampler> ComputeObservedFisher(const ModelSpec& spec,
       // A key collision (e.g. one cache fed by configs with different
       // stats_sample_size) must fail loudly, not read out of bounds.
       BLINKML_CHECK_EQ(gram_x->rows(), n_s);
-      // Fold the 1/sqrt(n_s) row scaling into the coefficients so the
-      // rescale below lands directly on the covariance estimate.
-      Vector scaled = coeffs;
-      scaled *= row_scale;
-      gram = Matrix(n_s, n_s);
-      ParallelFor(0, n_s, [&](Index i0, Index i1) {
-        for (Index i = i0; i < i1; ++i) {
-          const double si = scaled[i];
-          const double* src = gram_x->row_data(i);
-          double* dst = gram.row_data(i);
-          for (Index j = 0; j < n_s; ++j) dst[j] = si * scaled[j] * src[j];
-        }
-      });
+      gram = RescaledGram(*gram_x, coeffs, row_scale);
+      folded_row_scale = true;
       q_sparse = x.ScaleRows(coeffs);
     } else {
       // Per-candidate merge path (multi-output specs such as max_entropy,
@@ -246,7 +261,37 @@ Result<ParamSampler> ComputeObservedFisher(const ModelSpec& spec,
       // Gram on the unscaled matrix and adjust eigenvalues instead).
       gram = SparseGram(q_sparse);
       gram *= row_scale * row_scale;
+      folded_row_scale = true;
     }
+  } else if (options.reuse_feature_gram && spec.has_gradient_coeffs() &&
+             !stats_rows.is_sparse()) {
+    // Dense rescale path: the identity Gram(diag(c) X) = diag(c) Gram(X)
+    // diag(c) holds for dense X too, and Gram(X) — the O(n_s^2 d) part —
+    // is candidate-independent, so mid-size dense searches share it
+    // through the same cache the sparse path uses.
+    Vector coeffs;
+    spec.PerExampleGradientCoeffs(theta, stats_rows, &coeffs);
+    const Matrix& x = stats_rows.dense();
+    const auto factory = [&x] { return GramRows(x); };
+    std::shared_ptr<const Matrix> gram_x =
+        options.gram_cache
+            ? options.gram_cache->GetOrCreate(options.gram_key, factory)
+            : std::make_shared<const Matrix>(factory());
+    BLINKML_CHECK_EQ(gram_x->rows(), n_s);
+    gram = RescaledGram(*gram_x, coeffs, row_scale);
+    folded_row_scale = true;
+    // The factor Q = diag(c) X carries the raw coefficients; the sampler
+    // operator re-applies row_scale through V below, as the sparse path
+    // does.
+    q_dense = Matrix(n_s, x.cols());
+    ParallelFor(0, n_s, [&](Index i0, Index i1) {
+      for (Index i = i0; i < i1; ++i) {
+        const double ci = coeffs[i];
+        const double* src = x.row_data(i);
+        double* dst = q_dense.row_data(i);
+        for (Index j = 0; j < x.cols(); ++j) dst[j] = ci * src[j];
+      }
+    });
   } else {
     spec.PerExampleGradients(theta, stats_rows, &q_dense);
     q_dense *= row_scale;
@@ -298,15 +343,15 @@ Result<ParamSampler> ComputeObservedFisher(const ModelSpec& spec,
     kept_contribution += dirs[static_cast<std::size_t>(i)].contribution;
   }
 
-  // V_scaled column j = V[:, dirs[j]] / (lambda_j + beta). For the sparse
-  // path the (1/sqrt(n_s)) row scaling was folded into the eigenvalues,
+  // V_scaled column j = V[:, dirs[j]] / (lambda_j + beta). On the rescale
+  // paths the (1/sqrt(n_s)) row scaling was folded into the eigenvalues,
   // so rescale the operator: W = (Q_raw * row_scale)^T V diag(1/(l+beta))
   // = Q_raw^T (row_scale * V diag(1/(l+beta))).
   Matrix v_scaled(m, rank);
   for (Index j = 0; j < rank; ++j) {
     const Direction& dir = dirs[static_cast<std::size_t>(j)];
     const double scale =
-        (sparse_path ? row_scale : 1.0) / (dir.lambda + beta);
+        (folded_row_scale ? row_scale : 1.0) / (dir.lambda + beta);
     for (Index r = 0; r < m; ++r) {
       v_scaled(r, j) = eig.eigenvectors(r, dir.index) * scale;
     }

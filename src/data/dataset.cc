@@ -42,6 +42,21 @@ void Dataset::ValidateLabels() const {
   }
 }
 
+std::uint64_t Dataset::MemoryBytes() const {
+  std::uint64_t bytes =
+      static_cast<std::uint64_t>(labels_.size()) * sizeof(double);
+  if (is_sparse_) {
+    bytes += static_cast<std::uint64_t>(sparse_.nnz()) *
+             (sizeof(double) + sizeof(SparseMatrix::Index));
+    bytes += static_cast<std::uint64_t>(num_rows_ + 1) *
+             sizeof(SparseMatrix::Index);
+  } else {
+    bytes += static_cast<std::uint64_t>(num_rows_) *
+             static_cast<std::uint64_t>(dim_) * sizeof(double);
+  }
+  return bytes;
+}
+
 double Dataset::RowDot(Index i, const double* theta) const {
   if (is_sparse_) return sparse_.RowDot(i, theta);
   const double* row = dense_.row_data(i);

@@ -56,6 +56,12 @@ class Dataset {
     return sparse_;
   }
 
+  /// Approximate resident size in bytes (feature storage + labels). The
+  /// currency of the serving layer's byte-budget accounting
+  /// (data/sample_cache.h, serve/session_manager.h); sparse datasets that
+  /// alias a shared CSR structure still count it in full.
+  std::uint64_t MemoryBytes() const;
+
   bool has_labels() const { return labels_.size() > 0; }
   const Vector& labels() const { return labels_; }
   double label(Index i) const { return labels_[i]; }

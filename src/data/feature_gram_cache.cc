@@ -66,6 +66,7 @@ std::shared_ptr<const Matrix> FeatureGramCache::GetOrCreate(
       lru_.push_front(Entry{key, gram, bytes});
       index_.emplace(key, lru_.begin());
       stats_.cached_bytes += bytes;
+      cached_bytes_.store(stats_.cached_bytes, std::memory_order_relaxed);
     }
   }
   promise.set_value(gram);
@@ -77,6 +78,7 @@ void FeatureGramCache::EvictFor(std::uint64_t incoming) {
   while (!lru_.empty() && stats_.cached_bytes + incoming > max_cached_bytes_) {
     const Entry& victim = lru_.back();
     stats_.cached_bytes -= victim.bytes;
+    cached_bytes_.store(stats_.cached_bytes, std::memory_order_relaxed);
     index_.erase(victim.key);
     lru_.pop_back();
     ++stats_.evictions;
@@ -88,6 +90,7 @@ void FeatureGramCache::Clear() {
   lru_.clear();
   index_.clear();
   stats_.cached_bytes = 0;
+  cached_bytes_.store(0, std::memory_order_relaxed);
 }
 
 FeatureGramCache::Stats FeatureGramCache::stats() const {

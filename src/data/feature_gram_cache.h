@@ -23,6 +23,7 @@
 #ifndef BLINKML_DATA_FEATURE_GRAM_CACHE_H_
 #define BLINKML_DATA_FEATURE_GRAM_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -92,6 +93,13 @@ class FeatureGramCache {
 
   Stats stats() const;
 
+  /// Lock-free read of Stats::cached_bytes, for byte accounting that must
+  /// not contend with the cache mutex (the serving layer's budget
+  /// enforcement runs under its own manager lock).
+  std::uint64_t cached_bytes() const {
+    return cached_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct KeyHash {
     std::size_t operator()(const Key& key) const {
@@ -125,6 +133,8 @@ class FeatureGramCache {
   /// the factory; followers wait on the shared future).
   std::unordered_map<Key, GramFuture, KeyHash> inflight_;
   Stats stats_;
+  /// Mirror of stats_.cached_bytes, written under mu_ (see cached_bytes()).
+  std::atomic<std::uint64_t> cached_bytes_{0};
   std::uint64_t max_cached_bytes_ = 0;
 };
 

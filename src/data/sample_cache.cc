@@ -23,6 +23,8 @@ std::shared_ptr<const Dataset> SampleCache::GetOrCreate(
     return dataset;
   }
   stats_.cached_rows += dataset->num_rows();
+  stats_.cached_bytes += dataset->MemoryBytes();
+  cached_bytes_.store(stats_.cached_bytes, std::memory_order_relaxed);
   cache_.emplace(key, dataset);
   return dataset;
 }
@@ -31,6 +33,8 @@ void SampleCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();
   stats_.cached_rows = 0;
+  stats_.cached_bytes = 0;
+  cached_bytes_.store(0, std::memory_order_relaxed);
 }
 
 SampleCache::Stats SampleCache::stats() const {

@@ -15,6 +15,7 @@
 #ifndef BLINKML_DATA_SAMPLE_CACHE_H_
 #define BLINKML_DATA_SAMPLE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -56,6 +57,9 @@ class SampleCache {
     /// Total rows held by cached datasets (what re-copying would cost per
     /// additional run).
     Dataset::Index cached_rows = 0;
+    /// Approximate bytes held by cached datasets (Dataset::MemoryBytes);
+    /// what the serving layer's session-eviction budget charges.
+    std::uint64_t cached_bytes = 0;
   };
 
   using Factory = std::function<Dataset()>;
@@ -78,6 +82,15 @@ class SampleCache {
 
   Stats stats() const;
 
+  /// Lock-free read of Stats::cached_bytes. GetOrCreate runs its factory
+  /// under the cache mutex (deliberately — see file comment), so byte
+  /// accounting that must not stall behind an in-flight materialization
+  /// (the serving layer's budget enforcement) reads this instead of
+  /// stats().
+  std::uint64_t cached_bytes() const {
+    return cached_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct KeyHash {
     std::size_t operator()(const Key& key) const {
@@ -93,6 +106,8 @@ class SampleCache {
   mutable std::mutex mu_;
   std::unordered_map<Key, std::shared_ptr<const Dataset>, KeyHash> cache_;
   Stats stats_;
+  /// Mirror of stats_.cached_bytes, written under mu_ (see cached_bytes()).
+  std::atomic<std::uint64_t> cached_bytes_{0};
   Dataset::Index max_cached_rows_ = 0;
 };
 

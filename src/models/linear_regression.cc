@@ -92,6 +92,13 @@ void LinearRegressionSpec::Predict(const Vector& theta, const Dataset& data,
   });
 }
 
+void LinearRegressionSpec::PredictBatch(
+    const std::vector<const Vector*>& thetas, const Dataset& data,
+    Matrix* out) const {
+  // Predictions ARE the margins.
+  *out = BatchMargins(data, thetas);
+}
+
 Matrix LinearRegressionSpec::Scores(const Vector& theta,
                                     const Dataset& data) const {
   Vector pred;

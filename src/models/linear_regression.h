@@ -41,6 +41,9 @@ class LinearRegressionSpec final : public ModelSpec {
                                 Vector* coeffs) const override;
   void Predict(const Vector& theta, const Dataset& data,
                Vector* out) const override;
+  void PredictBatch(const std::vector<const Vector*>& thetas,
+                    const Dataset& data, Matrix* out) const override;
+  bool has_batch_predictions() const override { return true; }
   double Diff(const Vector& theta1, const Vector& theta2,
               const Dataset& holdout) const override;
 

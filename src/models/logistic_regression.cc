@@ -125,6 +125,20 @@ void LogisticRegressionSpec::Predict(const Vector& theta, const Dataset& data,
   });
 }
 
+void LogisticRegressionSpec::PredictBatch(
+    const std::vector<const Vector*>& thetas, const Dataset& data,
+    Matrix* out) const {
+  *out = BatchMargins(data, thetas);
+  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) {
+      double* row = out->row_data(i);
+      for (Matrix::Index c = 0; c < out->cols(); ++c) {
+        row[c] = row[c] >= 0.0 ? 1.0 : 0.0;
+      }
+    }
+  });
+}
+
 Matrix LogisticRegressionSpec::Scores(const Vector& theta,
                                       const Dataset& data) const {
   BLINKML_CHECK_EQ(theta.size(), data.dim());

@@ -12,7 +12,9 @@
 
 namespace blinkml {
 
-class LogisticRegressionSpec final : public ModelSpec {
+// Not final: test/serving harnesses derive to intercept hooks such as
+// InitialTheta (e.g. tests/serve_test.cc gates a job mid-training).
+class LogisticRegressionSpec : public ModelSpec {
  public:
   explicit LogisticRegressionSpec(double l2 = 1e-3);
 
@@ -36,6 +38,9 @@ class LogisticRegressionSpec final : public ModelSpec {
                                 Vector* coeffs) const override;
   void Predict(const Vector& theta, const Dataset& data,
                Vector* out) const override;
+  void PredictBatch(const std::vector<const Vector*>& thetas,
+                    const Dataset& data, Matrix* out) const override;
+  bool has_batch_predictions() const override { return true; }
   double Diff(const Vector& theta1, const Vector& theta2,
               const Dataset& holdout) const override;
 

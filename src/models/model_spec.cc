@@ -2,7 +2,39 @@
 
 #include <cmath>
 
+#include "runtime/parallel.h"
+
 namespace blinkml {
+
+namespace {
+
+// The one aggregation behind GeneralizationError and its from-column
+// variant: `pred(i)` is the prediction for holdout row i. Keeping both
+// public entry points on this single serial row loop is what makes the
+// batched scoring path bitwise identical to the per-candidate one.
+template <typename PredFn>
+double GeneralizationErrorImpl(const PredFn& pred, const Dataset& holdout) {
+  BLINKML_CHECK_MSG(holdout.task() != Task::kUnsupervised,
+                    "generalization error needs labels");
+  BLINKML_CHECK_GT(holdout.num_rows(), 0);
+  if (holdout.task() == Task::kRegression) {
+    double se = 0.0;
+    for (Dataset::Index i = 0; i < holdout.num_rows(); ++i) {
+      const double r = pred(i) - holdout.label(i);
+      se += r * r;
+    }
+    const double rmse =
+        std::sqrt(se / static_cast<double>(holdout.num_rows()));
+    return rmse / LabelScale(holdout);
+  }
+  Dataset::Index wrong = 0;
+  for (Dataset::Index i = 0; i < holdout.num_rows(); ++i) {
+    if (pred(i) != holdout.label(i)) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(holdout.num_rows());
+}
+
+}  // namespace
 
 void ModelSpec::PerExampleGradientCoeffs(const Vector& theta,
                                          const Dataset& data,
@@ -53,28 +85,56 @@ Result<Vector> ModelSpec::TrainClosedForm(const Dataset& data) const {
   return Status::InvalidArgument(name() + " has no closed-form trainer");
 }
 
+void ModelSpec::PredictBatch(const std::vector<const Vector*>& thetas,
+                             const Dataset& data, Matrix* out) const {
+  const auto k = static_cast<Matrix::Index>(thetas.size());
+  *out = Matrix(data.num_rows(), k);
+  Vector pred;
+  for (Matrix::Index c = 0; c < k; ++c) {
+    BLINKML_CHECK_MSG(thetas[static_cast<std::size_t>(c)] != nullptr,
+                      "null theta in PredictBatch");
+    Predict(*thetas[static_cast<std::size_t>(c)], data, &pred);
+    for (Dataset::Index i = 0; i < data.num_rows(); ++i) {
+      (*out)(i, c) = pred[i];
+    }
+  }
+}
+
 double ModelSpec::GeneralizationError(const Vector& theta,
                                       const Dataset& holdout) const {
-  BLINKML_CHECK_MSG(holdout.task() != Task::kUnsupervised,
-                    "generalization error needs labels");
-  BLINKML_CHECK_GT(holdout.num_rows(), 0);
   Vector pred;
   Predict(theta, holdout, &pred);
-  if (holdout.task() == Task::kRegression) {
-    double se = 0.0;
-    for (Dataset::Index i = 0; i < holdout.num_rows(); ++i) {
-      const double r = pred[i] - holdout.label(i);
-      se += r * r;
+  return GeneralizationErrorImpl(
+      [&pred](Dataset::Index i) { return pred[i]; }, holdout);
+}
+
+double ModelSpec::GeneralizationErrorFromColumn(const Matrix& predictions,
+                                                Matrix::Index col,
+                                                const Dataset& holdout) const {
+  BLINKML_CHECK_EQ(predictions.rows(), holdout.num_rows());
+  BLINKML_CHECK_LT(col, predictions.cols());
+  return GeneralizationErrorImpl(
+      [&predictions, col](Dataset::Index i) { return predictions(i, col); },
+      holdout);
+}
+
+Matrix BatchMargins(const Dataset& data,
+                    const std::vector<const Vector*>& thetas) {
+  const auto k = static_cast<Matrix::Index>(thetas.size());
+  for (const Vector* theta : thetas) {
+    BLINKML_CHECK_MSG(theta != nullptr, "null theta in BatchMargins");
+    BLINKML_CHECK_EQ(theta->size(), data.dim());
+  }
+  Matrix margins(data.num_rows(), k);
+  ParallelFor(0, data.num_rows(), [&](Dataset::Index b, Dataset::Index e) {
+    for (Dataset::Index i = b; i < e; ++i) {
+      double* row = margins.row_data(i);
+      for (Matrix::Index c = 0; c < k; ++c) {
+        row[c] = data.RowDot(i, thetas[static_cast<std::size_t>(c)]->data());
+      }
     }
-    const double rmse =
-        std::sqrt(se / static_cast<double>(holdout.num_rows()));
-    return rmse / LabelScale(holdout);
-  }
-  Dataset::Index wrong = 0;
-  for (Dataset::Index i = 0; i < holdout.num_rows(); ++i) {
-    if (pred[i] != holdout.label(i)) ++wrong;
-  }
-  return static_cast<double>(wrong) / static_cast<double>(holdout.num_rows());
+  });
+  return margins;
 }
 
 double LabelScale(const Dataset& data) {

@@ -19,6 +19,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "linalg/matrix.h"
@@ -94,6 +95,32 @@ class ModelSpec {
   virtual void Predict(const Vector& theta, const Dataset& data,
                        Vector* out) const = 0;
 
+  /// Predictions for K parameter vectors at once: *out is resized to
+  /// num_rows x K and column k equals Predict(*thetas[k], data) bitwise.
+  /// The default runs K separate Predict passes; single-output GLMs
+  /// override it with a batched kernel that reads every feature row once
+  /// and serves all K candidates from it (the hyperparameter search's
+  /// batched candidate scoring — session/hyperparam_search.h). A subclass
+  /// overriding Predict must override this consistently; the search
+  /// self-checks one column against Predict and falls back to
+  /// per-candidate scoring when they diverge.
+  virtual void PredictBatch(const std::vector<const Vector*>& thetas,
+                            const Dataset& data, Matrix* out) const;
+
+  /// True when PredictBatch is genuinely batched (a single-pass kernel,
+  /// not the default per-column Predict loop). Batched candidate scoring
+  /// only groups specs that return true; for the rest the matrix would
+  /// cost strictly more than the per-candidate passes it replaces.
+  virtual bool has_batch_predictions() const { return false; }
+
+  /// True when Predict depends on the model's state only through theta —
+  /// the contract batched scoring relies on to serve a same-type group of
+  /// candidates from one member's spec. Every built-in spec qualifies
+  /// (regularization never changes predictions); override to false for a
+  /// spec with prediction-affecting hyperparameters (a custom decision
+  /// threshold, a temperature, ...), which then scores per candidate.
+  virtual bool has_theta_only_predictions() const { return true; }
+
   /// The `diff` function of the MCS: v(m(theta1), m(theta2)) evaluated on
   /// `holdout` (ignored by parameter-space metrics such as PPCA's cosine).
   virtual double Diff(const Vector& theta1, const Vector& theta2,
@@ -137,7 +164,22 @@ class ModelSpec {
   /// misclassification rate for classifiers, normalized RMSE for
   /// regression. Unsupported for kUnsupervised.
   double GeneralizationError(const Vector& theta, const Dataset& holdout) const;
+
+  /// Same, from column `col` of a PredictBatch matrix — bitwise identical
+  /// to GeneralizationError of the corresponding theta (both aggregate the
+  /// predictions in row order with the same arithmetic).
+  double GeneralizationErrorFromColumn(const Matrix& predictions,
+                                       Matrix::Index col,
+                                       const Dataset& holdout) const;
 };
+
+/// margins(i, k) = holdout row i dotted with *thetas[k] — the shared
+/// kernel behind the GLM PredictBatch overrides. One pass over the rows:
+/// each row is loaded once and dotted against every candidate (identical
+/// arithmetic to Dataset::RowDot, so entries match the per-candidate
+/// margins bitwise).
+Matrix BatchMargins(const Dataset& data,
+                    const std::vector<const Vector*>& thetas);
 
 /// Standard deviation of a dataset's labels (the scale used to normalize
 /// regression prediction differences; see DESIGN.md Section 4).

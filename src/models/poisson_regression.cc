@@ -99,6 +99,20 @@ void PoissonRegressionSpec::Predict(const Vector& theta, const Dataset& data,
   });
 }
 
+void PoissonRegressionSpec::PredictBatch(
+    const std::vector<const Vector*>& thetas, const Dataset& data,
+    Matrix* out) const {
+  *out = BatchMargins(data, thetas);
+  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) {
+      double* row = out->row_data(i);
+      for (Matrix::Index c = 0; c < out->cols(); ++c) {
+        row[c] = SafeExp(row[c]);
+      }
+    }
+  });
+}
+
 Matrix PoissonRegressionSpec::Scores(const Vector& theta,
                                      const Dataset& data) const {
   BLINKML_CHECK_EQ(theta.size(), data.dim());

@@ -1,0 +1,357 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "util/check.h"
+
+namespace blinkml {
+
+SessionManager::SessionManager(ServeOptions options)
+    : options_(options) {
+  const int runners = options_.max_concurrent_jobs > 0
+                          ? options_.max_concurrent_jobs
+                          : ThreadPool::DefaultParallelism();
+  runners_.reserve(static_cast<std::size_t>(runners));
+  try {
+    for (int i = 0; i < runners; ++i) {
+      runners_.emplace_back([this] { RunnerLoop(); });
+    }
+  } catch (...) {
+    // Thread creation failed partway: stop the runners that did start so
+    // unwinding doesn't terminate.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& t : runners_) t.join();
+    throw;
+  }
+}
+
+SessionManager::~SessionManager() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : runners_) t.join();
+}
+
+Status SessionManager::RegisterDataset(const std::string& name,
+                                       DatasetFactory factory,
+                                       BlinkConfig config) {
+  if (!factory) return Status::InvalidArgument("null dataset factory");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = datasets_.try_emplace(name);
+  if (!inserted) {
+    return Status::InvalidArgument("dataset already registered: " + name);
+  }
+  it->second.factory = std::move(factory);
+  it->second.config = std::move(config);
+  return Status::OK();
+}
+
+Status SessionManager::RegisterDataset(const std::string& name, Dataset data,
+                                       BlinkConfig config) {
+  auto shared = std::make_shared<const Dataset>(std::move(data));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = datasets_.try_emplace(name);
+  if (!inserted) {
+    return Status::InvalidArgument("dataset already registered: " + name);
+  }
+  DatasetEntry& entry = it->second;
+  // The registry's factory closure owns the materialization, so dropping
+  // the `loaded` future would free nothing: mark the entry pinned so the
+  // budget keeps counting it instead of pretending to unload it.
+  entry.factory = [shared] { return Dataset(*shared); };
+  entry.pinned_resident = true;
+  entry.config = std::move(config);
+  std::promise<std::shared_ptr<const Dataset>> promise;
+  entry.loaded = promise.get_future().share();
+  promise.set_value(shared);
+  entry.load_done = true;
+  entry.bytes = shared->MemoryBytes();
+  ++stats_.datasets_loaded;
+  return Status::OK();
+}
+
+Result<SessionManager::Lease> SessionManager::Acquire(const std::string& name,
+                                                      std::uint64_t* seed) {
+  std::shared_future<std::shared_ptr<const Dataset>> load;
+  std::promise<std::shared_ptr<const Dataset>> promise;
+  DatasetFactory factory;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = datasets_.find(name);
+    if (it == datasets_.end()) {
+      return Status::NotFound("unknown dataset: " + name);
+    }
+    DatasetEntry& entry = it->second;
+    entry.last_used = ++touch_tick_;
+    // Pin the entry until the session exists (see DatasetEntry::pending).
+    ++entry.pending;
+    if (*seed == 0) *seed = entry.config.seed;
+    if (!entry.loaded.valid()) {
+      // First request (or a retry after a failed/unloaded one): this job
+      // leads the load; concurrent requests wait on the shared future.
+      entry.loaded = promise.get_future().share();
+      factory = entry.factory;
+      leader = true;
+    }
+    load = entry.loaded;
+  }
+  const auto unpin = [this, &name] {
+    std::lock_guard<std::mutex> lock(mu_);
+    --datasets_[name].pending;
+  };
+
+  std::shared_ptr<const Dataset> data;
+  if (leader) {
+    try {
+      data = std::make_shared<const Dataset>(factory());
+    } catch (...) {
+      {
+        // Clear the future so the next request retries the load; waiters
+        // holding this future still receive the exception below.
+        std::lock_guard<std::mutex> lock(mu_);
+        DatasetEntry& entry = datasets_[name];
+        entry.loaded = {};
+        --entry.pending;
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      DatasetEntry& entry = datasets_[name];
+      entry.load_done = true;
+      entry.bytes = data->MemoryBytes();
+      ++stats_.datasets_loaded;
+    }
+    promise.set_value(data);
+  } else {
+    try {
+      data = load.get();  // rethrows the leader's factory exception
+    } catch (...) {
+      unpin();
+      throw;
+    }
+  }
+
+  SessionKey key{name, *seed};
+  std::lock_guard<std::mutex> lock(mu_);
+  // The pin has served its purpose once we hold the lock through session
+  // creation: nothing can interleave. Dropping it first also keeps the
+  // dataset correctly unpinned if anything below throws.
+  --datasets_[name].pending;
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) {
+    // Build the session fully before touching any container, so an
+    // allocation failure leaves the map/LRU untouched (no null-session
+    // entry, no singular lru_pos).
+    BlinkConfig config = datasets_[name].config;
+    config.seed = *seed;
+    auto session =
+        std::make_shared<TrainingSession>(std::move(data), std::move(config));
+    lru_.push_front(key);
+    try {
+      ManagedSession managed;
+      managed.session = std::move(session);
+      managed.lru_pos = lru_.begin();
+      it = sessions_.emplace(key, std::move(managed)).first;
+    } catch (...) {
+      lru_.pop_front();
+      throw;
+    }
+    ++datasets_[name].sessions;
+    ++stats_.sessions_created;
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  }
+  ++it->second.active_jobs;
+  return Lease(this, std::move(key), it->second.session);
+}
+
+void SessionManager::Release(const SessionKey& key) {
+  // Runs from the Lease destructor, possibly during exception unwinding:
+  // must not throw.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(key);
+  if (it == sessions_.end() || it->second.active_jobs <= 0) return;
+  --it->second.active_jobs;
+  EnforceBudgetLocked(/*force=*/false);
+}
+
+std::uint64_t SessionManager::ResidentBytesLocked() const {
+  std::uint64_t bytes = 0;
+  for (const auto& [name, entry] : datasets_) {
+    if (entry.load_done) bytes += entry.bytes;
+  }
+  for (const auto& [key, managed] : sessions_) {
+    bytes += managed.session->CacheBytes();
+  }
+  return bytes;
+}
+
+std::uint64_t SessionManager::ReclaimableBytesLocked() const {
+  std::uint64_t bytes = 0;
+  for (const auto& [name, entry] : datasets_) {
+    if (entry.load_done && !entry.pinned_resident) bytes += entry.bytes;
+  }
+  for (const auto& [key, managed] : sessions_) {
+    bytes += managed.session->CacheBytes();
+  }
+  return bytes;
+}
+
+int SessionManager::EnforceBudgetLocked(bool force) {
+  const std::uint64_t budget = force ? 0 : options_.max_resident_bytes;
+  if (budget == 0 && !force) return 0;
+  // One byte scan up front, then subtract per eviction: keeps the
+  // job-completion path (Release) linear in the pool size instead of
+  // rescanning every session's caches once per evicted entry. The budget
+  // is compared against the RECLAIMABLE footprint (pinned datasets
+  // excluded — see ServeOptions::max_resident_bytes), so unfreeable bytes
+  // can never wedge enforcement into evicting every cache forever.
+  std::uint64_t resident = ReclaimableBytesLocked();
+
+  int evicted = 0;
+  // Idle sessions first, least-recently-used first, in one backward walk
+  // over the LRU list. Dropping a session frees its caches; in-use
+  // sessions are pinned by their lease refcount. An idle session's cache
+  // footprint cannot change under us: only jobs mutate caches, and taking
+  // a lease requires mu_.
+  for (auto rit = lru_.rbegin();
+       rit != lru_.rend() && (force || resident > budget);) {
+    auto it = sessions_.find(*rit);
+    if (it->second.active_jobs > 0) {
+      ++rit;
+      continue;
+    }
+    const std::uint64_t bytes = it->second.session->CacheBytes();
+    resident -= std::min(resident, bytes);
+    --datasets_[rit->dataset].sessions;
+    sessions_.erase(it);
+    auto next = lru_.erase(std::next(rit).base());
+    rit = std::list<SessionKey>::reverse_iterator(next);
+    ++stats_.sessions_evicted;
+    ++evicted;
+  }
+  // Then unreferenced datasets, stalest first. Entries stay registered;
+  // only the materialization is dropped (the next job reloads it).
+  if (force || resident > budget) {
+    std::vector<DatasetEntry*> idle;
+    for (auto& [name, entry] : datasets_) {
+      if (entry.load_done && entry.sessions == 0 && entry.pending == 0 &&
+          !entry.pinned_resident) {
+        idle.push_back(&entry);
+      }
+    }
+    std::sort(idle.begin(), idle.end(),
+              [](const DatasetEntry* a, const DatasetEntry* b) {
+                return a->last_used < b->last_used;
+              });
+    for (DatasetEntry* entry : idle) {
+      if (!force && resident <= budget) break;
+      resident -= std::min(resident, entry->bytes);
+      entry->loaded = {};
+      entry->load_done = false;
+      entry->bytes = 0;
+      ++stats_.datasets_unloaded;
+    }
+  }
+  return evicted;
+}
+
+int SessionManager::EvictIdle() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EnforceBudgetLocked(/*force=*/true);
+}
+
+std::future<Result<ApproxResult>> SessionManager::SubmitTrain(
+    TrainRequest request) {
+  auto task = std::make_shared<std::packaged_task<Result<ApproxResult>()>>(
+      [this, request = std::move(request)]() -> Result<ApproxResult> {
+        return RunJob<ApproxResult>([&]() -> Result<ApproxResult> {
+          if (!request.spec) {
+            return Status::InvalidArgument("null model spec");
+          }
+          std::uint64_t seed = request.seed;
+          BLINKML_ASSIGN_OR_RETURN(Lease lease,
+                                   Acquire(request.dataset, &seed));
+          return lease.session().Train(*request.spec, request.contract, seed);
+        });
+      });
+  auto future = task->get_future();
+  Enqueue([task] { (*task)(); });
+  return future;
+}
+
+std::future<Result<SearchOutcome>> SessionManager::SubmitSearch(
+    SearchRequest request) {
+  auto task = std::make_shared<std::packaged_task<Result<SearchOutcome>()>>(
+      [this, request = std::move(request)]() -> Result<SearchOutcome> {
+        return RunJob<SearchOutcome>([&]() -> Result<SearchOutcome> {
+          if (!request.factory) {
+            return Status::InvalidArgument("null spec factory");
+          }
+          std::uint64_t seed = request.seed;
+          BLINKML_ASSIGN_OR_RETURN(Lease lease,
+                                   Acquire(request.dataset, &seed));
+          const HyperparamSearch search(&lease.session(), request.options);
+          return search.Run(request.factory, request.candidates);
+        });
+      });
+  auto future = task->get_future();
+  Enqueue([task] { (*task)(); });
+  return future;
+}
+
+void SessionManager::Enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    BLINKML_CHECK_MSG(!stop_, "SubmitTrain/SubmitSearch after shutdown");
+    queue_.push_back(std::move(job));
+    ++stats_.jobs_submitted;
+  }
+  queue_cv_.notify_one();
+}
+
+void SessionManager::RunnerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and the queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++stats_.active_jobs;
+    }
+    // packaged_task captures job exceptions into the future;
+    // completion/failure accounting happens inside the job body (RunJob).
+    job();
+    std::lock_guard<std::mutex> lock(mu_);
+    --stats_.active_jobs;
+  }
+}
+
+ServeStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServeStats out = stats_;
+  out.resident_bytes = ResidentBytesLocked();
+  out.live_sessions = static_cast<int>(sessions_.size());
+  out.loaded_datasets = 0;
+  for (const auto& [name, entry] : datasets_) {
+    if (entry.load_done) ++out.loaded_datasets;
+  }
+  out.queued_jobs = static_cast<int>(queue_.size());
+  return out;
+}
+
+}  // namespace blinkml

@@ -4,7 +4,11 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <mutex>
+#include <tuple>
+#include <typeindex>
+#include <utility>
 
 #include "runtime/parallel.h"
 #include "util/string_util.h"
@@ -21,6 +25,93 @@ double ScoreOf(const ModelSpec& spec, const Vector& theta,
     return -spec.Objective(theta, eval_data);
   }
   return 1.0 - spec.GeneralizationError(theta, eval_data);
+}
+
+/// Batched scoring (see SearchOptions::batched_scoring): candidates that
+/// share an eval dataset and model class are scored from one PredictBatch
+/// matrix. Returns the number of prediction matrices built. Scores equal
+/// ScoreOf bitwise: the batch kernel computes the same per-row arithmetic
+/// and GeneralizationErrorFromColumn aggregates in the same row order.
+int ScoreCandidatesBatched(
+    const std::vector<std::shared_ptr<ModelSpec>>& specs,
+    const Dataset* validation, std::vector<CandidateResult>* candidates) {
+  // Group by (eval dataset, exact spec type, parameter dimension).
+  // Candidates on different seeds have different holdouts and group
+  // apart; mixed model classes — including subclasses of a built-in spec,
+  // via the dynamic type — never share a matrix, and PPCA ranks split on
+  // the dimension.
+  using GroupKey = std::tuple<const Dataset*, std::type_index, Vector::Index>;
+  std::map<GroupKey, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < candidates->size(); ++i) {
+    CandidateResult& slot = (*candidates)[i];
+    if (!slot.status.ok() || slot.skipped) continue;
+    const ModelSpec& spec = *specs[i];
+    const Dataset* eval_data =
+        validation ? validation : slot.result.holdout.get();
+    if (eval_data->task() == Task::kUnsupervised ||
+        !eval_data->has_labels() || !spec.has_theta_only_predictions() ||
+        !spec.has_batch_predictions()) {
+      // Objective-based scores have no prediction matrix to share; a spec
+      // whose predictions depend on more than theta must not be served
+      // from another member's spec; and a spec without a real batch
+      // kernel would pay MORE for the matrix (K per-column Predict
+      // passes) than for the per-candidate passes it replaces.
+      slot.score = ScoreOf(spec, slot.result.model.theta, *eval_data);
+      continue;
+    }
+    groups[{eval_data, std::type_index(typeid(spec)),
+            slot.result.model.theta.size()}]
+        .push_back(i);
+  }
+  int matrices = 0;
+  for (const auto& [key, members] : groups) {
+    const Dataset& eval_data = *std::get<0>(key);
+    if (members.size() == 1) {
+      // A one-candidate group (e.g. per-candidate seeds => per-candidate
+      // holdouts) gains nothing from a matrix + self-check pass.
+      CandidateResult& slot = (*candidates)[members.front()];
+      slot.score =
+          ScoreOf(*specs[members.front()], slot.result.model.theta, eval_data);
+      continue;
+    }
+    std::vector<const Vector*> thetas;
+    thetas.reserve(members.size());
+    for (const std::size_t i : members) {
+      thetas.push_back(&(*candidates)[i].result.model.theta);
+    }
+    // Every member has the same dynamic type and declares
+    // has_theta_only_predictions(), so the first member's spec serves the
+    // whole group.
+    const ModelSpec& group_spec = *specs[members.front()];
+    Matrix predictions;
+    group_spec.PredictBatch(thetas, eval_data, &predictions);
+    // Self-check against one per-candidate pass: a subclass that
+    // overrides Predict without keeping PredictBatch consistent (it
+    // inherits the base GLM's margin kernel) must not be scored from the
+    // divergent matrix. One Predict pass per group still leaves the
+    // batching ahead by K - 2 passes.
+    Vector check;
+    group_spec.Predict(*thetas.front(), eval_data, &check);
+    bool consistent = true;
+    for (Dataset::Index i = 0; i < eval_data.num_rows() && consistent; ++i) {
+      consistent = predictions(i, 0) == check[i];
+    }
+    if (!consistent) {
+      for (const std::size_t i : members) {
+        CandidateResult& slot = (*candidates)[i];
+        slot.score = ScoreOf(*specs[i], slot.result.model.theta, eval_data);
+      }
+      continue;
+    }
+    ++matrices;
+    for (std::size_t c = 0; c < members.size(); ++c) {
+      CandidateResult& slot = (*candidates)[members[c]];
+      slot.score = 1.0 - specs[members[c]]->GeneralizationErrorFromColumn(
+                             predictions, static_cast<Matrix::Index>(c),
+                             eval_data);
+    }
+  }
+  return matrices;
 }
 
 }  // namespace
@@ -82,6 +173,12 @@ SearchOutcome HyperparamSearch::Run(
                                           : std::numeric_limits<int>::max()};
   std::mutex best_mu;
   double best_completed_score = -std::numeric_limits<double>::infinity();
+  // Dominance pruning consumes completed scores while candidates run, so
+  // it keeps the inline per-candidate scoring; otherwise scoring is
+  // deferred and batched after the training loop.
+  const bool defer_scoring =
+      options_.batched_scoring && !options_.prune_dominated;
+  std::vector<std::shared_ptr<ModelSpec>> specs(candidates.size());
 
   const auto k = static_cast<ParallelIndex>(candidates.size());
   ParallelFor(
@@ -106,6 +203,7 @@ SearchOutcome HyperparamSearch::Run(
                 Status::InvalidArgument("spec factory returned null");
             continue;
           }
+          specs[static_cast<std::size_t>(i)] = spec;
           const std::uint64_t seed = slot.candidate.seed != 0
                                          ? slot.candidate.seed
                                          : session_->config().seed;
@@ -170,25 +268,30 @@ SearchOutcome HyperparamSearch::Run(
 
           slot.result = pipeline.Finish();
           session_->RecordRun(slot.result.timings);
-          if (slot.result.used_initial_only && m0_scored) {
-            // The returned model IS m_0; reuse the dominance-check score
-            // instead of a second pass over the eval data.
-            slot.score = m0_score;
-          } else {
-            const Dataset& eval_data = options_.validation
-                                           ? *options_.validation
-                                           : *slot.result.holdout;
-            slot.score = ScoreOf(*spec, slot.result.model.theta, eval_data);
-          }
-          slot.seconds = timer.Seconds();
-          {
+          if (!defer_scoring) {
+            if (slot.result.used_initial_only && m0_scored) {
+              // The returned model IS m_0; reuse the dominance-check score
+              // instead of a second pass over the eval data.
+              slot.score = m0_score;
+            } else {
+              const Dataset& eval_data = options_.validation
+                                             ? *options_.validation
+                                             : *slot.result.holdout;
+              slot.score = ScoreOf(*spec, slot.result.model.theta, eval_data);
+            }
             std::lock_guard<std::mutex> lock(best_mu);
             best_completed_score =
                 std::max(best_completed_score, slot.score);
           }
+          slot.seconds = timer.Seconds();
         }
       },
       /*grain=*/1);
+
+  if (defer_scoring) {
+    out.batched_score_groups =
+        ScoreCandidatesBatched(specs, options_.validation, &out.candidates);
+  }
 
   out.total_seconds = search_timer.Seconds();
   for (std::size_t i = 0; i < out.candidates.size(); ++i) {

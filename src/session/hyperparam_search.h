@@ -66,6 +66,16 @@ struct SearchOptions {
   /// Dataset to score candidates on; nullptr = the session holdout. Must
   /// outlive Run().
   const Dataset* validation = nullptr;
+  /// Score candidates in batches after the training loop: candidates that
+  /// share an eval dataset and model class are scored against ONE
+  /// prediction matrix built in a single pass over the eval rows
+  /// (ModelSpec::PredictBatch) instead of one holdout pass per candidate.
+  /// Scores are bitwise identical to the per-candidate path (the batch
+  /// kernel reuses the same RowDot/aggregation arithmetic). Ignored — the
+  /// per-candidate path is kept — when prune_dominated is on, because
+  /// dominance pruning needs completed scores while candidates are still
+  /// running.
+  bool batched_scoring = true;
 };
 
 struct CandidateResult {
@@ -91,6 +101,10 @@ struct SearchOutcome {
   /// the lower index.
   int best_index = -1;
   double total_seconds = 0.0;
+  /// Prediction matrices built by batched scoring (0 when the
+  /// per-candidate path ran); each one replaced a group of per-candidate
+  /// holdout passes.
+  int batched_score_groups = 0;
   /// Session accounting snapshot taken after the search.
   SessionStats session_stats;
 };

@@ -56,6 +56,14 @@ void TrainingSession::RecordRun(const PhaseTimings& timings) {
   ++stats_.runs;
 }
 
+std::uint64_t TrainingSession::CacheBytes() const {
+  // Lock-free reads: the serving layer calls this under its manager lock
+  // on every job completion, and SampleCache holds its mutex while
+  // materializing — taking it here would stall the whole control plane
+  // behind one tenant's in-flight materialization.
+  return cache_.cached_bytes() + gram_cache_.cached_bytes();
+}
+
 SessionStats TrainingSession::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   SessionStats out = stats_;

@@ -96,6 +96,16 @@ class TrainingSession {
   /// Snapshot of the aggregate accounting.
   SessionStats stats() const;
 
+  /// Approximate bytes retained by this session's caches (materialized
+  /// samples + feature Grams) — what the serving layer's byte-budget LRU
+  /// charges a session (serve/session_manager.h). Excludes the dataset
+  /// itself, which the manager accounts per registry entry. The memoized
+  /// per-seed prefixes normally materialize THROUGH the sample cache and
+  /// are counted there; a prefix whose materialization the cache bypassed
+  /// (row budget hit) is retained uncounted — ROADMAP tracks precise
+  /// accounting.
+  std::uint64_t CacheBytes() const;
+
  private:
   /// The session config with its seed replaced; stable storage because
   /// pipelines keep a pointer for their lifetime.

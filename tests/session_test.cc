@@ -3,6 +3,8 @@
 // search must keep deterministic candidate ordering under concurrency.
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,34 +21,12 @@
 namespace blinkml {
 namespace {
 
-BlinkConfig FastConfig(std::uint64_t seed = 42) {
-  BlinkConfig config;
-  config.initial_sample_size = 1000;
-  config.holdout_size = 1000;
-  config.accuracy_samples = 256;
-  config.size_samples = 128;
-  config.seed = seed;
-  return config;
-}
-
-// A contract tight enough that every candidate runs the full pipeline
-// (size estimation + final training), so the equivalence check covers
-// every stage.
-constexpr ApproximationContract kTightContract{0.01, 0.05};
-
-void ExpectBitwiseEqual(const ApproxResult& a, const ApproxResult& b,
-                        const char* what) {
-  EXPECT_EQ(a.sample_size, b.sample_size) << what;
-  EXPECT_EQ(a.full_size, b.full_size) << what;
-  EXPECT_EQ(a.used_initial_only, b.used_initial_only) << what;
-  EXPECT_EQ(a.initial_epsilon, b.initial_epsilon) << what;
-  EXPECT_EQ(a.final_epsilon, b.final_epsilon) << what;
-  EXPECT_EQ(a.size_estimate.sample_size, b.size_estimate.sample_size) << what;
-  EXPECT_EQ(MaxAbsDiff(a.model.theta, b.model.theta), 0.0) << what;
-}
+using testing::ExpectBitwiseEqual;
+using testing::FastConfig;
+using testing::kTightContract;
 
 TEST(TrainingSession, MatchesStandaloneCoordinatorBitwise) {
-  const Dataset data = MakeSyntheticLogistic(20000, 6, 3);
+  const Dataset data = testing::SmallDenseLogistic(20000, 6, 3);
   const std::vector<double> l2s = {1e-4, 1e-3, 1e-2};
 
   TrainingSession session(Dataset(data), FastConfig(11));
@@ -79,8 +59,9 @@ TEST(TrainingSession, MatchesStandaloneCoordinatorBitwise) {
 // recomputation, and the rescale algebra is applied identically with or
 // without a session.
 TEST(TrainingSession, SparseStatisticsMatchStandaloneWithGramReuseOnAndOff) {
-  const Dataset data = MakeCriteoLike(20000, /*seed=*/13, /*dim=*/400,
-                                      /*nnz_per_row=*/12);
+  const Dataset data = testing::SparseBinaryData(20000, /*dim=*/400,
+                                                 /*seed=*/13,
+                                                 /*nnz_per_row=*/12);
   for (const bool reuse : {true, false}) {
     BlinkConfig config = FastConfig(11);
     config.reuse_feature_gram = reuse;
@@ -300,6 +281,151 @@ TEST(HyperparamSearch, ExhaustedTimeBudgetSkipsAndFlagsCandidates) {
   }
   EXPECT_EQ(outcome.best_index, -1);
   EXPECT_EQ(outcome.session_stats.runs, 0);
+}
+
+// Batched candidate scoring must be a pure execution-strategy change: the
+// scores (and hence the winner) are bitwise identical to the
+// per-candidate holdout passes, and the batch path actually engages (one
+// prediction matrix for the whole same-seed group).
+TEST(HyperparamSearch, BatchedScoringMatchesPerCandidateScoresBitwise) {
+  const Dataset data = testing::SmallDenseLogistic(20000, 6, 5);
+  const std::vector<Candidate> candidates =
+      HyperparamSearch::LogGrid(1e-4, 1e-1, 5);
+  const auto factory = [](const Candidate& c) {
+    return std::make_shared<LogisticRegressionSpec>(c.l2);
+  };
+
+  SearchOutcome outcomes[2];
+  for (const bool batched : {false, true}) {
+    TrainingSession session(Dataset(data), FastConfig(11));
+    SearchOptions options;
+    options.contract = kTightContract;
+    options.batched_scoring = batched;
+    HyperparamSearch search(&session, options);
+    outcomes[batched ? 1 : 0] = search.Run(factory, candidates);
+  }
+
+  const SearchOutcome& per_candidate = outcomes[0];
+  const SearchOutcome& batched = outcomes[1];
+  EXPECT_EQ(per_candidate.batched_score_groups, 0);
+  // All candidates share the session seed => one holdout => one matrix.
+  EXPECT_EQ(batched.batched_score_groups, 1);
+  ASSERT_EQ(batched.candidates.size(), per_candidate.candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    ASSERT_TRUE(batched.candidates[i].status.ok());
+    ASSERT_TRUE(per_candidate.candidates[i].status.ok());
+    EXPECT_EQ(batched.candidates[i].score, per_candidate.candidates[i].score)
+        << "candidate " << i;
+    ExpectBitwiseEqual(batched.candidates[i].result,
+                       per_candidate.candidates[i].result, "batched scoring");
+  }
+  EXPECT_EQ(batched.best_index, per_candidate.best_index);
+}
+
+// A logistic spec with inverted predictions: same training (objective and
+// gradients inherited), different Predict/PredictBatch. Shares the base
+// class's name() but not its dynamic type — the grouping must split them.
+class FlippedLogistic : public LogisticRegressionSpec {
+ public:
+  using LogisticRegressionSpec::LogisticRegressionSpec;
+  void Predict(const Vector& theta, const Dataset& data,
+               Vector* out) const override {
+    LogisticRegressionSpec::Predict(theta, data, out);
+    for (Vector::Index i = 0; i < out->size(); ++i) {
+      (*out)[i] = 1.0 - (*out)[i];
+    }
+  }
+  void PredictBatch(const std::vector<const Vector*>& thetas,
+                    const Dataset& data, Matrix* out) const override {
+    LogisticRegressionSpec::PredictBatch(thetas, data, out);
+    for (Matrix::Index i = 0; i < out->rows(); ++i) {
+      for (Matrix::Index c = 0; c < out->cols(); ++c) {
+        (*out)(i, c) = 1.0 - (*out)(i, c);
+      }
+    }
+  }
+};
+
+// A subclass that overrides Predict but NOT PredictBatch — the inherited
+// margin kernel no longer matches its predictions. The search's
+// self-check must catch the divergence and score it per candidate.
+class InconsistentLogistic : public LogisticRegressionSpec {
+ public:
+  using LogisticRegressionSpec::LogisticRegressionSpec;
+  void Predict(const Vector& theta, const Dataset& data,
+               Vector* out) const override {
+    LogisticRegressionSpec::Predict(theta, data, out);
+    for (Vector::Index i = 0; i < out->size(); ++i) {
+      (*out)[i] = 1.0 - (*out)[i];
+    }
+  }
+};
+
+// A spec whose predictions depend on state beyond theta (a decision
+// threshold): it must opt out of batched scoring entirely.
+class ThresholdLogistic : public LogisticRegressionSpec {
+ public:
+  ThresholdLogistic(double l2, double threshold)
+      : LogisticRegressionSpec(l2), threshold_(threshold) {}
+  bool has_theta_only_predictions() const override { return false; }
+  void Predict(const Vector& theta, const Dataset& data,
+               Vector* out) const override {
+    out->Resize(data.num_rows());
+    for (Dataset::Index i = 0; i < data.num_rows(); ++i) {
+      (*out)[i] = data.RowDot(i, theta.data()) >= threshold_ ? 1.0 : 0.0;
+    }
+  }
+
+ private:
+  double threshold_;
+};
+
+// Mixed spec types in one search: the batch-scoring grouping must split
+// on the exact dynamic type (a subclass sharing the base name() never
+// rides on the base group's prediction matrix) and honor the
+// has_theta_only_predictions() opt-out — with scores bitwise equal to the
+// per-candidate path in every case.
+TEST(HyperparamSearch, BatchedScoringSplitsMixedSpecTypes) {
+  const Dataset data = testing::SmallDenseLogistic(20000, 6, 5);
+  std::vector<Candidate> candidates = HyperparamSearch::LogGrid(1e-4, 1e-2, 7);
+  // Deterministic type assignment by index, carried through the label:
+  // base {0, 2}, flipped {1, 5}, threshold opt-out {3}, and an
+  // inconsistent pair {4, 6} whose group must fail the self-check.
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i].label = std::to_string(i);
+  }
+  const auto typed_factory =
+      [](const Candidate& c) -> std::shared_ptr<ModelSpec> {
+    const int i = std::stoi(c.label);
+    if (i == 1 || i == 5) return std::make_shared<FlippedLogistic>(c.l2);
+    if (i == 3) return std::make_shared<ThresholdLogistic>(c.l2, 0.1);
+    if (i == 4 || i == 6) return std::make_shared<InconsistentLogistic>(c.l2);
+    return std::make_shared<LogisticRegressionSpec>(c.l2);
+  };
+
+  SearchOutcome outcomes[2];
+  for (const bool batched : {false, true}) {
+    TrainingSession session(Dataset(data), FastConfig(11));
+    SearchOptions options;
+    options.contract = kTightContract;
+    options.batched_scoring = batched;
+    HyperparamSearch search(&session, options);
+    outcomes[batched ? 1 : 0] = search.Run(typed_factory, candidates);
+  }
+
+  // Matrices built: {base x2} and {flipped x2} (the typeid split keeps a
+  // subclass off its base's matrix even though name() matches). The
+  // threshold spec opted out via has_theta_only_predictions(), and the
+  // inconsistent pair's group failed the Predict-vs-PredictBatch
+  // self-check — both scored per candidate, contributing no matrix.
+  EXPECT_EQ(outcomes[1].batched_score_groups, 2);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    ASSERT_TRUE(outcomes[0].candidates[i].status.ok());
+    ASSERT_TRUE(outcomes[1].candidates[i].status.ok());
+    EXPECT_EQ(outcomes[1].candidates[i].score, outcomes[0].candidates[i].score)
+        << "candidate " << i;
+  }
+  EXPECT_EQ(outcomes[1].best_index, outcomes[0].best_index);
 }
 
 TEST(HyperparamSearch, GridAndRandomCandidateGenerators) {

@@ -29,21 +29,8 @@ namespace {
 
 using testing::ExpectMatrixNear;
 using testing::ExpectVectorNear;
-
-// A sparse binary dataset sized so ObservedFisher takes the Gram path
-// (p = dim > n_s) with a handful of overlapping nonzeros per row.
-Dataset SparseBinaryData(Dataset::Index rows = 400, Dataset::Index dim = 600) {
-  return MakeCriteoLike(rows, /*seed=*/7, dim, /*nnz_per_row=*/20);
-}
-
-Vector Trainedish(const Dataset& data, std::uint64_t seed) {
-  Rng rng(seed);
-  Vector theta(data.dim());
-  for (Vector::Index j = 0; j < theta.size(); ++j) {
-    theta[j] = rng.Normal(0.0, 0.05);
-  }
-  return theta;
-}
+using testing::SparseBinaryData;
+using testing::Trainedish;
 
 // ---------- Gradient coefficients ----------
 
@@ -294,30 +281,16 @@ TEST(SparseStatsDeterminism, StatisticsBitwiseIdenticalAcrossThreadCounts) {
   const Vector theta = Trainedish(data, 5);
   const LogisticRegressionSpec spec(1e-3);
 
-  auto run = [&] {
-    Rng rng(31);
-    auto sampler = ComputeStatistics(spec, theta, data, GramPathOptions(true),
-                                     &rng);
-    EXPECT_TRUE(sampler.ok());
-    Rng draw_rng(77);
-    return sampler->Draw(1.0, &draw_rng);
-  };
-
-  RuntimeOptions serial;
-  serial.enabled = false;
-  Vector reference;
-  {
-    RuntimeScope scope(serial);
-    reference = run();
-  }
-  ThreadPool pool(8);
-  for (const int threads : {1, 2, 8}) {
-    RuntimeOptions options;
-    options.pool = &pool;
-    options.num_threads = threads;
-    RuntimeScope scope(options);
-    ExpectVectorNear(run(), reference, 0.0, "thread count");
-  }
+  testing::ExpectThreadCountInvariant(
+      [&] {
+        Rng rng(31);
+        auto sampler =
+            ComputeStatistics(spec, theta, data, GramPathOptions(true), &rng);
+        EXPECT_TRUE(sampler.ok());
+        Rng draw_rng(77);
+        return sampler->Draw(1.0, &draw_rng);
+      },
+      {1, 2, 8}, "sparse statistics thread sweep");
 }
 
 }  // namespace

@@ -130,7 +130,7 @@ TEST(Statistics, RejectsEmptyOrMismatched) {
 // analytically, one numerically).
 TEST(Statistics, InverseGradientsMatchesClosedForm) {
   LogisticRegressionSpec spec(1e-2);
-  auto [theta, data] = TrainOn(spec, MakeSyntheticLogistic(300, 6, 7));
+  auto [theta, data] = TrainOn(spec, testing::SmallDenseLogistic(300, 6, 7));
   Rng rng(8);
   const auto cf = ComputeStatistics(spec, theta, data,
                                     WithMethod(StatsMethod::kClosedForm),
@@ -151,7 +151,7 @@ TEST(Statistics, InverseGradientsMatchesClosedForm) {
 // same convergence empirically).
 TEST(Statistics, ObservedFisherApproachesClosedForm) {
   LogisticRegressionSpec spec(1e-2);
-  auto [theta, data] = TrainOn(spec, MakeSyntheticLogistic(6000, 4, 9));
+  auto [theta, data] = TrainOn(spec, testing::SmallDenseLogistic(6000, 4, 9));
   Rng rng(10);
   const auto cf = ComputeStatistics(spec, theta, data,
                                     WithMethod(StatsMethod::kClosedForm),
