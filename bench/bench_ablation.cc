@@ -198,7 +198,12 @@ void RankTruncationAblation(const Fixture& f) {
 }  // namespace bench
 }  // namespace blinkml
 
-int main() {
+int main(int argc, char** argv) {
+  // Shared bench flags: --threads=N caps the runtime lanes (applied via
+  // bench::ConfigFor). No JSON output here — the empty default path makes
+  // ParseBenchFlags warn if --json is passed.
+  blinkml::bench::ParseBenchFlags(argc, argv, "");
+
   using namespace blinkml::bench;
   std::printf("BlinkML reproduction — ablation study (design choices)\n");
   const double scale = ScaleFromEnv();

@@ -105,6 +105,13 @@ std::vector<Workload> MakePaperWorkloads(double scale,
   return out;
 }
 
+namespace {
+// The --threads cap ParseBenchFlags saw, applied by ConfigFor (see the
+// header note). Benches parse flags once at the top of main, before any
+// config is built.
+int g_bench_threads = 0;
+}  // namespace
+
 BlinkConfig ConfigFor(const Workload& workload, std::uint64_t seed) {
   BlinkConfig config;
   config.initial_sample_size = workload.initial_sample_size;
@@ -117,24 +124,46 @@ BlinkConfig ConfigFor(const Workload& workload, std::uint64_t seed) {
   config.accuracy_samples = 256;
   config.size_samples = 192;
   config.seed = seed;
+  config.runtime.num_threads = g_bench_threads;
   return config;
 }
 
-bool JsonPathFromArgs(int argc, char** argv, const std::string& default_path,
-                      std::string* path) {
+BenchFlags ParseBenchFlags(int argc, char** argv,
+                           const std::string& default_json_path) {
+  BenchFlags flags;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg == "--json") {
-      *path = default_path;
-      return true;
-    }
-    if (StartsWith(arg, "--json=")) {
-      *path = std::string(arg.substr(7));
-      if (path->empty()) *path = default_path;
-      return true;
+      flags.json = true;
+      flags.json_path = default_json_path;
+    } else if (StartsWith(arg, "--json=")) {
+      flags.json = true;
+      flags.json_path = std::string(arg.substr(7));
+      if (flags.json_path.empty()) flags.json_path = default_json_path;
+    } else if (StartsWith(arg, "--threads=")) {
+      const int v = std::atoi(argv[i] + 10);
+      if (v <= 0) {
+        std::fprintf(stderr, "--threads needs a positive integer, got %s\n",
+                     argv[i]);
+        std::exit(2);
+      }
+      flags.threads = v;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: %s [--json[=path]] [--threads=N]\n",
+                   argv[i], argv[0]);
+      std::exit(2);
     }
   }
-  return false;
+  if (flags.json && default_json_path.empty()) {
+    // Harnesses without JSON output pass an empty default path; flag the
+    // no-op instead of silently producing nothing.
+    std::fprintf(stderr, "note: %s has no JSON output; --json is ignored\n",
+                 argv[0]);
+    flags.json = false;
+  }
+  g_bench_threads = flags.threads;
+  return flags;
 }
 
 namespace {

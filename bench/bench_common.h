@@ -54,16 +54,29 @@ std::vector<Workload> MakePaperWorkloads(double scale,
 /// sample, Monte-Carlo budgets), seeded with `seed`.
 BlinkConfig ConfigFor(const Workload& workload, std::uint64_t seed);
 
-// --- Machine-readable output (--json) ---------------------------------
+// --- Shared command-line flags ----------------------------------------
 //
-// Harnesses that track a perf trajectory over time emit a JSON file next
-// to their human-readable table. The flag is `--json` (default path,
-// "BENCH_<name>.json") or `--json=<path>`.
+// Every bench binary parses its argv through ParseBenchFlags:
+//   --json[=path]  emit the machine-readable summary (path defaults to
+//                  the bench's "BENCH_<name>.json");
+//   --threads=N    cap the runtime lanes (RuntimeOptions::num_threads;
+//                  results are unaffected by the determinism contract).
+// Unknown flags print a usage line and exit(2) so a typo never silently
+// runs the default configuration.
 
-/// Scans argv for --json / --json=<path>. Returns true when requested;
-/// *path is the explicit path or `default_path`.
-bool JsonPathFromArgs(int argc, char** argv, const std::string& default_path,
-                      std::string* path);
+struct BenchFlags {
+  bool json = false;
+  std::string json_path;
+  /// 0 = pool default (BLINKML_NUM_THREADS / hardware concurrency).
+  int threads = 0;
+};
+
+/// Parses the shared flags. The thread cap is also remembered
+/// process-wide and applied by ConfigFor, so the figure harnesses honor
+/// --threads without per-bench plumbing; benches that build their own
+/// BlinkConfig set `config.runtime.num_threads = flags.threads`.
+BenchFlags ParseBenchFlags(int argc, char** argv,
+                           const std::string& default_json_path);
 
 /// Minimal ordered JSON-object builder (numbers round-trip via %.17g;
 /// strings are escaped). Enough for flat metrics plus one level of

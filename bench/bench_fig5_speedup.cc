@@ -63,7 +63,12 @@ void RunWorkload(const Workload& workload) {
 }  // namespace bench
 }  // namespace blinkml
 
-int main() {
+int main(int argc, char** argv) {
+  // Shared bench flags: --threads=N caps the runtime lanes (applied via
+  // bench::ConfigFor). No JSON output here — the empty default path makes
+  // ParseBenchFlags warn if --json is passed.
+  blinkml::bench::ParseBenchFlags(argc, argv, "");
+
   using namespace blinkml::bench;
   const double scale = ScaleFromEnv();
   std::printf("BlinkML reproduction — Figure 5 / Table 4 (speedups)\n");

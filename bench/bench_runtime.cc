@@ -114,7 +114,12 @@ std::string FormatSpeedup(double serial, double parallel) {
 }  // namespace
 }  // namespace blinkml
 
-int main() {
+int main(int argc, char** argv) {
+  // Shared bench flags: --threads=N caps the runtime lanes (applied via
+  // bench::ConfigFor). No JSON output here — the empty default path makes
+  // ParseBenchFlags warn if --json is passed.
+  blinkml::bench::ParseBenchFlags(argc, argv, "");
+
   using namespace blinkml;
 
   const double scale = bench::ScaleFromEnv();

@@ -4,7 +4,7 @@
 // candidate scoring) against the sequential standalone baseline — a fresh
 // Coordinator::Train per candidate per tenant, nothing amortized.
 //
-//   $ ./build/bench_serve [--json[=path]]
+//   $ ./build/bench_serve [--json[=path]] [--threads=N]
 //
 // Honors BLINKML_SCALE (dataset sizes) and BLINKML_NUM_THREADS. With
 // --json the summary is written to BENCH_serve.json. Exit status reflects
@@ -129,10 +129,12 @@ bool OutcomesBitwiseEqual(const ServeRun& a, const ServeRun& b) {
 int main(int argc, char** argv) {
   using namespace blinkml::bench;
 
+  const BenchFlags flags = ParseBenchFlags(argc, argv, "BENCH_serve.json");
   const double scale = ScaleFromEnv();
   const auto rows = static_cast<Dataset::Index>(12'000 * scale);
   const Dataset::Index dim = 12'000;
-  const BlinkConfig config = MakeConfig();
+  BlinkConfig config = MakeConfig();
+  config.runtime.num_threads = flags.threads;
 
   // One stats-heavy sparse dataset per tenant (~600 nonzeros per row: the
   // pairwise-merge Gram dominates each candidate's statistics phase).
@@ -244,8 +246,8 @@ int main(int argc, char** argv) {
   std::printf("determinism:       %s (repeat run + 1/2 threads)\n",
               deterministic ? "bitwise identical" : "MISMATCH");
 
-  std::string json_path;
-  if (JsonPathFromArgs(argc, argv, "BENCH_serve.json", &json_path)) {
+  if (flags.json) {
+    const std::string& json_path = flags.json_path;
     JsonObject root;
     root.Str("bench", "serve")
         .Int("tenants", kTenants)

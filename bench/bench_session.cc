@@ -5,7 +5,7 @@
 // candidate, candidates serial). The two paths produce bitwise-identical
 // models, so the comparison isolates the session machinery.
 //
-//   $ ./build/bench_session [--json[=path]]
+//   $ ./build/bench_session [--json[=path]] [--threads=N]
 //
 // Honors BLINKML_SCALE (dataset size) and BLINKML_NUM_THREADS. With
 // --json the summary is written to BENCH_session.json so the perf
@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
   using namespace blinkml;
   using namespace blinkml::bench;
 
+  const BenchFlags flags =
+      ParseBenchFlags(argc, argv, "BENCH_session.json");
   const double scale = ScaleFromEnv();
   const auto rows = static_cast<Dataset::Index>(120'000 * scale);
   const auto shared_data = std::make_shared<const Dataset>(
@@ -43,6 +45,7 @@ int main(int argc, char** argv) {
   config.accuracy_samples = 256;
   config.size_samples = 192;
   config.seed = 11;
+  config.runtime.num_threads = flags.threads;
   const ApproximationContract contract{0.05, 0.05};
 
   const std::vector<Candidate> candidates =
@@ -136,8 +139,8 @@ int main(int argc, char** argv) {
               bitwise_identical ? "bitwise identical to the naive loop"
                                 : "MISMATCH vs the naive loop");
 
-  std::string json_path;
-  if (JsonPathFromArgs(argc, argv, "BENCH_session.json", &json_path)) {
+  if (flags.json) {
+    const std::string& json_path = flags.json_path;
     JsonObject root;
     root.Str("bench", "session")
         .Int("rows", data.num_rows())

@@ -10,7 +10,7 @@
 // candidate-independent feature Gram is the shared artifact. Every
 // candidate then pays an O(n_s^2) rescale plus its own eigendecomposition.
 //
-//   $ ./build/bench_sparse_stats [--json[=path]]
+//   $ ./build/bench_sparse_stats [--json[=path]] [--threads=N]
 //
 // Honors BLINKML_SCALE (dataset size) and BLINKML_NUM_THREADS. With
 // --json the summary is written to BENCH_sparse_stats.json. Exit status
@@ -77,6 +77,8 @@ SearchRun RunSession(const std::shared_ptr<const Dataset>& data,
 int main(int argc, char** argv) {
   using namespace blinkml::bench;
 
+  const BenchFlags flags =
+      ParseBenchFlags(argc, argv, "BENCH_sparse_stats.json");
   const double scale = ScaleFromEnv();
   const auto rows = static_cast<Dataset::Index>(12'000 * scale);
   const Dataset::Index dim = 12'000;
@@ -114,7 +116,8 @@ int main(int argc, char** argv) {
 
   // --- Naive baseline: standalone Coordinator per candidate, merge Gram
   // recomputed from the scaled rows for every one of them.
-  const BlinkConfig naive_config = MakeConfig(/*reuse_feature_gram=*/false);
+  BlinkConfig naive_config = MakeConfig(/*reuse_feature_gram=*/false);
+  naive_config.runtime.num_threads = flags.threads;
   std::vector<ApproxResult> naive_results;
   double naive_stats_seconds = 0.0;
   WallTimer naive_timer;
@@ -241,8 +244,8 @@ int main(int argc, char** argv) {
                               .Bool("bitwise_identical", same));
   }
 
-  std::string json_path;
-  if (JsonPathFromArgs(argc, argv, "BENCH_sparse_stats.json", &json_path)) {
+  if (flags.json) {
+    const std::string& json_path = flags.json_path;
     JsonObject root;
     root.Str("bench", "sparse_stats")
         .Int("rows", data.num_rows())

@@ -1,5 +1,8 @@
 #include "core/param_sampler.h"
 
+#include "linalg/kernels.h"
+#include "runtime/runtime_options.h"
+
 namespace blinkml {
 
 namespace {
@@ -61,6 +64,10 @@ Vector ParamSampler::Draw(double scale, Rng* rng) const {
   return DrawWithZ(scale, z);
 }
 
+// The matvecs below (MatVec / MatTVec / CSR applies) dispatch on the
+// ambient kernel level at their own entry points, so every Monte-Carlo
+// draw runs the parallel unrolled kernels under kBlocked with no
+// sampler-side switching.
 Vector ParamSampler::DrawWithZ(double scale, const Vector& z) const {
   BLINKML_CHECK_EQ(z.size(), rank());
   Vector out;
@@ -97,7 +104,13 @@ Result<Matrix> ParamSampler::DenseCovariance() const {
       return MatMulT(w, w);
     }
     case Backend::kSparseGram: {
-      // W = Q^T V: build dense column by column via transposed applies.
+      // W = Q^T V. The blocked kernel builds every column in one parallel
+      // pass (each an independent serial scatter — same arithmetic as the
+      // per-column loop below, which stays as the kNaive oracle).
+      if (CurrentKernelLevel() == KernelLevel::kBlocked) {
+        const Matrix w = kernels::ApplyTransposedMulti(q_sparse_, v_scaled_);
+        return MatMulT(w, w);
+      }
       const Matrix::Index r = rank();
       Matrix w(p, r);
       for (Matrix::Index j = 0; j < r; ++j) {

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "util/check.h"
@@ -57,11 +58,13 @@ Result<TrainingPrefix> ComputeTrainingPrefix(const Dataset& data,
   auto pool_rows = std::make_shared<std::vector<Index>>(
       perm.begin() + holdout_size, perm.end());
   auto materialize_holdout = [&] { return data.TakeRows(holdout_rows); };
+  bool holdout_retained = false;
   prefix.holdout =
       cache ? cache->GetOrCreate({SampleCache::Purpose::kHoldout, config.seed,
                                   holdout_size},
-                                 materialize_holdout)
+                                 materialize_holdout, &holdout_retained)
             : std::make_shared<const Dataset>(materialize_holdout());
+  if (!holdout_retained) prefix.uncached_bytes += prefix.holdout->MemoryBytes();
   prefix.full_n = static_cast<Index>(pool_rows->size());
   prefix.pool_rows = std::move(pool_rows);
 
@@ -78,11 +81,15 @@ Result<TrainingPrefix> ComputeTrainingPrefix(const Dataset& data,
     }
     return data.TakeRows(chosen);
   };
+  bool d0_retained = false;
   prefix.initial_sample =
       cache ? cache->GetOrCreate(
                   {SampleCache::Purpose::kInitialSample, config.seed, n0},
-                  materialize_d0)
+                  materialize_d0, &d0_retained)
             : std::make_shared<const Dataset>(materialize_d0());
+  if (!d0_retained) {
+    prefix.uncached_bytes += prefix.initial_sample->MemoryBytes();
+  }
   prefix.n0 = n0;
   prefix.seconds = timer.Seconds();
   return prefix;
@@ -199,6 +206,25 @@ Status TrainingPipeline::EstimateMinimumSampleSize() {
                     << out_.size_estimate.sample_size << " of "
                     << prefix_->full_n;
   return Status::OK();
+}
+
+void TrainingPipeline::QuantizeEstimatedSampleSize() {
+  BLINKML_CHECK_MSG(next_stage_ == 4,
+                    "QuantizeEstimatedSampleSize must follow "
+                    "EstimateMinimumSampleSize");
+  const Index raw = out_.size_estimate.sample_size;
+  if (raw >= prefix_->full_n || raw <= 0) return;
+  // Smallest grid point round(2^(k/4)) >= raw. A pure function of raw, so
+  // equal (or near-equal) estimates on any thread/schedule land on the
+  // same grid point.
+  const double ratio = std::pow(2.0, 0.25);
+  double g = 1.0;
+  while (static_cast<Index>(std::llround(g)) < raw) g *= ratio;
+  const Index quantized =
+      std::min<Index>(static_cast<Index>(std::llround(g)), prefix_->full_n);
+  if (quantized <= raw) return;  // already on the grid
+  out_.size_estimate.quantized_from = raw;
+  out_.size_estimate.sample_size = quantized;
 }
 
 Status TrainingPipeline::TrainFinal() {

@@ -112,6 +112,13 @@ struct TrainingPrefix {
   /// Wall-clock cost of computing the prefix (the part a session
   /// amortizes).
   double seconds = 0.0;
+
+  /// Bytes of prefix datasets (holdout / D_0) this prefix retains that NO
+  /// SampleCache accounts for — materializations the cache bypassed at
+  /// its row budget, or built with no cache at all. A driver that memoizes
+  /// the prefix (TrainingSession) must add these to its own byte
+  /// accounting or the serving layer's eviction budget under-counts it.
+  std::uint64_t uncached_bytes = 0;
 };
 
 /// Computes the holdout split and D_0, consuming the first two streams of
@@ -156,6 +163,17 @@ class TrainingPipeline {
 
   /// Runs the Sample Size Estimator for the minimum n.
   Status EstimateMinimumSampleSize();
+
+  /// Optionally call between EstimateMinimumSampleSize() and TrainFinal():
+  /// rounds the estimated n UP to the next point of a small log-grid
+  /// (ratio 2^(1/4)), capped at the pool size. Candidates whose raw
+  /// estimates are near-identical then land on the same (seed, final n)
+  /// sample-cache and feature-Gram keys and share the final sample and
+  /// the re-estimation Gram (SearchOptions::quantize_final_n). Only ever
+  /// rounds up, so the contract guarantee is preserved: v(m_n, m_N) is
+  /// monotone non-increasing in n (paper Theorem 2). The raw estimate is
+  /// kept in size_estimate.quantized_from.
+  void QuantizeEstimatedSampleSize();
 
   /// Trains m_n on a fresh size-n sample (warm-started from m_0) and
   /// optionally re-estimates its bound at theta_n.

@@ -36,6 +36,10 @@ struct SampleSizeEstimate {
   double quantile_level = 1.0;
   /// Binary-search evaluations performed.
   int evaluations = 0;
+  /// When a driver rounded sample_size up to a log-grid point
+  /// (TrainingPipeline::QuantizeEstimatedSampleSize), the raw estimate it
+  /// replaced; 0 when no quantization was applied.
+  Dataset::Index quantized_from = 0;
 };
 
 struct SampleSizeOptions {

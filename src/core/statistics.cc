@@ -6,6 +6,7 @@
 
 #include "linalg/cholesky.h"
 #include "linalg/eigen_sym.h"
+#include "linalg/kernels.h"
 #include "runtime/parallel.h"
 #include "util/string_util.h"
 
@@ -89,10 +90,17 @@ Result<ParamSampler> ComputeInverseGradients(const ModelSpec& spec,
   return FactorFromDenseHessian(h, spec.l2());
 }
 
-// Sparse Gram matrix G = Q Q^T via sorted-column merges; O(sum over pairs
+}  // namespace
+
+// The blocked kernel level runs the tiled scatter/gather kernel
+// (linalg/kernels.cc: column-intersection state paid once per row tile);
+// kNaive keeps the per-pair sorted-column merges below — O(sum over pairs
 // of overlapping nnz), which is what makes ObservedFisher practical on
-// hashed/bag-of-words features.
-Matrix SparseGram(const SparseMatrix& q) {
+// hashed/bag-of-words features either way.
+Matrix SparseGradientGram(const SparseMatrix& q) {
+  if (CurrentKernelLevel() == KernelLevel::kBlocked) {
+    return kernels::SparseGram(q);
+  }
   const Index n = static_cast<Index>(q.rows());
   Matrix g(n, n);
   // Parallel over rows of the upper triangle; every (i, j) merge is one
@@ -127,6 +135,8 @@ Matrix SparseGram(const SparseMatrix& q) {
   }, kFineGrain);
   return g;
 }
+
+namespace {
 
 // Covariance estimate from a cached candidate-independent feature Gram:
 // gram(i, j) = (c_i / sqrt(n_s)) (c_j / sqrt(n_s)) gram_x(i, j). Shared by
@@ -241,7 +251,7 @@ Result<ParamSampler> ComputeObservedFisher(const ModelSpec& spec,
       Vector coeffs;
       spec.PerExampleGradientCoeffs(theta, stats_rows, &coeffs);
       const SparseMatrix& x = stats_rows.sparse();
-      const auto factory = [&x] { return SparseGram(x); };
+      const auto factory = [&x] { return SparseGradientGram(x); };
       std::shared_ptr<const Matrix> gram_x =
           options.gram_cache
               ? options.gram_cache->GetOrCreate(options.gram_key, factory)
@@ -259,7 +269,7 @@ Result<ParamSampler> ComputeObservedFisher(const ModelSpec& spec,
       // Scale rows by 1/sqrt(n_s) so J = Q^T Q is the covariance estimate:
       // rebuild with scaled values (CSR values are contiguous; rescale via
       // Gram on the unscaled matrix and adjust eigenvalues instead).
-      gram = SparseGram(q_sparse);
+      gram = SparseGradientGram(q_sparse);
       gram *= row_scale * row_scale;
       folded_row_scale = true;
     }

@@ -8,8 +8,9 @@ void SampleCache::set_max_cached_rows(Dataset::Index max_rows) {
 }
 
 std::shared_ptr<const Dataset> SampleCache::GetOrCreate(
-    const Key& key, const Factory& factory) {
+    const Key& key, const Factory& factory, bool* retained) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (retained != nullptr) *retained = true;
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++stats_.hits;
@@ -20,6 +21,7 @@ std::shared_ptr<const Dataset> SampleCache::GetOrCreate(
   if (max_cached_rows_ > 0 &&
       stats_.cached_rows + dataset->num_rows() > max_cached_rows_) {
     ++stats_.bypassed;
+    if (retained != nullptr) *retained = false;
     return dataset;
   }
   stats_.cached_rows += dataset->num_rows();

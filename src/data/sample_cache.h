@@ -74,8 +74,15 @@ class SampleCache {
   /// first request. The factory must be a pure function of the key (same
   /// key => same rows); this holds for every sampler in the pipeline
   /// because subsets are drawn from seed-determined Rng streams.
+  ///
+  /// `retained` (optional) reports whether the returned dataset's bytes
+  /// are covered by this cache's accounting: true on hits and retained
+  /// misses, false when the row budget forced a bypass. Callers that keep
+  /// the dataset anyway (the memoized training prefixes) use it to count
+  /// those bytes themselves — see TrainingSession::CacheBytes.
   std::shared_ptr<const Dataset> GetOrCreate(const Key& key,
-                                             const Factory& factory);
+                                             const Factory& factory,
+                                             bool* retained = nullptr);
 
   /// Drops every cached subset (the shared_ptrs keep live users valid).
   void Clear();

@@ -1,0 +1,147 @@
+// Deterministic compute kernels for the linear-algebra hot paths.
+//
+// Every end-to-end BlinkML run is dominated by a handful of dense/sparse
+// kernels: the observed-Fisher Gram over the gradient matrix Q, the Grams
+// inside the sampler and eigensolver, the CSR matvecs behind every sampler
+// draw, and the per-row margin dots of the GLM training/scoring loops.
+// This module provides register-tiled, cache-blocked, manually unrolled
+// implementations of those kernels; the naive scalar loops stay in their
+// original homes (linalg/matrix.cc, linalg/sparse.cc, core/statistics.cc)
+// as the opt-out oracle, selected by RuntimeOptions::kernel_level.
+//
+// Determinism contract (the same one runtime/parallel.h makes): every
+// kernel's block schedule and accumulation order is a pure function of the
+// problem shape — never of the thread count, the pool, or the chunk a lane
+// happens to run. Parallel loops only partition OUTPUT ownership (each
+// output element is produced wholly by one chunk, in a fixed order), and
+// the one reduction-shaped kernel (transposed matvec) uses a chunk layout
+// derived from the shape alone with partials merged serially in chunk
+// order. Consequently results are bitwise identical at 1/2/N threads and
+// with the runtime disabled. They may differ from the naive loops by
+// rounding (multiple accumulator chains reassociate the sums); the bench
+// and tests pin that difference below 1e-12 relative.
+//
+// Unrolled-dot consistency: BatchMargins' column 0 is self-checked
+// bitwise against a single Predict pass by the hyperparameter search's
+// batched scoring. All margin-shaped kernels therefore compute every dot
+// with the ONE canonical unrolled dot (DotUnrolled / SparseDotUnrolled);
+// register tiling across candidates or rows never changes a dot's own
+// summation order.
+
+#ifndef BLINKML_LINALG_KERNELS_H_
+#define BLINKML_LINALG_KERNELS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+#include "linalg/vector.h"
+
+namespace blinkml {
+namespace kernels {
+
+// --- Block schedule constants (fixed: part of the determinism contract).
+
+/// Square output block of the dense Gram kernels: a 64-row panel of a
+/// paper-sized operand (d <= ~1k) stays L2-resident while the paired
+/// block streams against it.
+inline constexpr Matrix::Index kDenseBlock = 64;
+
+/// Rows per SparseGram tile: one scatter of a tile serves the
+/// column-intersection of every pair (tile row, later row), and the
+/// interleaved scratch keeps a tile's slots on one cache line per column.
+inline constexpr SparseMatrix::Index kSparseTile = 4;
+
+/// A tile whose total nnz is below this runs the plain pairwise sorted
+/// merges instead (scatter + clear would not amortize over light rows).
+inline constexpr SparseMatrix::Index kHeavyTileNnz = 64;
+
+/// SparseGram falls back to the merge path entirely when the column count
+/// would make the per-chunk scratch unreasonable (cols * tile * 8 bytes).
+inline constexpr SparseMatrix::Index kSparseGramMaxCols = 1 << 19;
+
+/// Column-group width of the multi-vector kernels (batched margins,
+/// multi-column transposed apply): one load of a row's indices/values
+/// serves kMultiVec output columns, the amortization that makes these
+/// kernels beat the per-vector loops even on one core (a CSR gather dot
+/// is load-port-bound, not FLOP-bound, so single-vector ILP cannot).
+inline constexpr Matrix::Index kMultiVec = 8;
+
+// --- Canonical unrolled dots (see the consistency note above).
+
+/// Four-accumulator dot product; fixed reassociation
+/// (s0+s1)+(s2+s3) then the scalar tail.
+double DotUnrolled(const double* a, const double* b, Matrix::Index n);
+
+/// Four-accumulator sparse-times-dense gather dot.
+double SparseDotUnrolled(const SparseMatrix::Index* cols, const double* vals,
+                         SparseMatrix::Index nnz, const double* x);
+
+// --- Dense kernels.
+
+/// A A^T with 2x2 register tiles over kDenseBlock output blocks; parallel
+/// over block rows of the upper triangle.
+Matrix GramRows(const Matrix& a);
+
+/// A^T A accumulated over 4-row panels of A; parallel over output rows.
+Matrix GramCols(const Matrix& a);
+
+/// A * B, ikj order with 4-wide p-register-tiling inside 64-row p-panels;
+/// parallel over rows of C.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// A x with unrolled row dots; parallel over rows.
+Vector MatVec(const Matrix& a, const Vector& x);
+
+/// A^T x via per-chunk partial outputs merged in fixed chunk order.
+Vector MatTVec(const Matrix& a, const Vector& x);
+
+// --- Sparse kernels.
+
+/// Q Q^T: heavy row tiles are scattered once into an interleaved dense
+/// scratch and every later row gathers kSparseTile dots from it in one
+/// pass over its entries; light tiles keep the pairwise sorted merges.
+Matrix SparseGram(const SparseMatrix& q);
+
+/// A x with unrolled gather dots; parallel over rows.
+Vector Apply(const SparseMatrix& a, const Vector& x);
+
+/// A^T x via per-chunk partial outputs merged in fixed chunk order. The
+/// chunk count is a pure function of (nnz, cols): scatters below ~4 rounds
+/// of the output vector run as one chunk (a partial per chunk must
+/// amortize its own zero+merge traffic).
+Vector ApplyTransposed(const SparseMatrix& a, const Vector& x);
+
+/// A^T V for a dense V (n x r): one pass over the rows per kMultiVec
+/// column group, scattering each entry into the whole group (index loads
+/// amortized r-fold within a group). Per output entry contributions stay
+/// in ascending row order — bitwise equal to r naive ApplyTransposed
+/// calls. Groups parallelize as independent output stripes. Backs
+/// ParamSampler::DenseCovariance.
+Matrix ApplyTransposedMulti(const SparseMatrix& a, const Matrix& v);
+
+// --- GLM margin kernels (consumed by models/glm_parallel.h).
+
+/// out[i - b] = <row i, theta> for i in [b, e), via DotUnrolled.
+void DenseMargins(const Matrix& x, const double* theta, Matrix::Index b,
+                  Matrix::Index e, double* out);
+
+/// Sparse counterpart via SparseDotUnrolled.
+void SparseMargins(const SparseMatrix& x, const double* theta,
+                   SparseMatrix::Index b, SparseMatrix::Index e, double* out);
+
+/// margins(i, k) = <row i, theta_k>: one pass over the rows, every row
+/// load (dense) / index+value load (sparse; candidates interleaved into a
+/// pack so a gather lands on one contiguous slab per group) serves a
+/// kMultiVec candidate group. Each entry's accumulation order is exactly
+/// the canonical unrolled dot, so column k equals a single-margin pass
+/// for theta_k bitwise — the batched-scoring self-check's invariant.
+Matrix BatchMarginsDense(const Matrix& x,
+                         const std::vector<const Vector*>& thetas);
+Matrix BatchMarginsSparse(const SparseMatrix& x,
+                          const std::vector<const Vector*>& thetas);
+
+}  // namespace kernels
+}  // namespace blinkml
+
+#endif  // BLINKML_LINALG_KERNELS_H_

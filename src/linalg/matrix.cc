@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "runtime/parallel.h"
 
 namespace blinkml {
@@ -10,6 +11,11 @@ namespace blinkml {
 // Every parallel loop in this file assigns each output element to exactly
 // one chunk and accumulates it in the serial order, so results are bitwise
 // identical to the serial loops for any thread count and any chunk layout.
+//
+// The product/Gram/matvec entry points dispatch on the ambient
+// RuntimeOptions::kernel_level: kBlocked (the default) runs the tiled
+// kernels in linalg/kernels.cc, kNaive the original loops below — the
+// opt-out oracle the kernels are tested against (tests/kernels_test.cc).
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = static_cast<Index>(rows.size());
@@ -108,6 +114,9 @@ double Matrix::MaxAbs() const {
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   BLINKML_CHECK_EQ(a.cols(), b.rows());
+  if (CurrentKernelLevel() == KernelLevel::kBlocked) {
+    return kernels::MatMul(a, b);
+  }
   using Index = Matrix::Index;
   const Index m = a.rows(), k = a.cols(), n = b.cols();
   Matrix c(m, n);
@@ -171,6 +180,9 @@ Matrix MatMulT(const Matrix& a, const Matrix& b) {
 
 Vector MatVec(const Matrix& a, const Vector& x) {
   BLINKML_CHECK_EQ(a.cols(), x.size());
+  if (CurrentKernelLevel() == KernelLevel::kBlocked) {
+    return kernels::MatVec(a, x);
+  }
   using Index = Matrix::Index;
   Vector y(a.rows());
   for (Index r = 0; r < a.rows(); ++r) {
@@ -184,6 +196,9 @@ Vector MatVec(const Matrix& a, const Vector& x) {
 
 Vector MatTVec(const Matrix& a, const Vector& x) {
   BLINKML_CHECK_EQ(a.rows(), x.size());
+  if (CurrentKernelLevel() == KernelLevel::kBlocked) {
+    return kernels::MatTVec(a, x);
+  }
   using Index = Matrix::Index;
   Vector y(a.cols());
   double* py = y.data();
@@ -197,6 +212,9 @@ Vector MatTVec(const Matrix& a, const Vector& x) {
 }
 
 Matrix GramRows(const Matrix& a) {
+  if (CurrentKernelLevel() == KernelLevel::kBlocked) {
+    return kernels::GramRows(a);
+  }
   using Index = Matrix::Index;
   const Index n = a.rows(), d = a.cols();
   Matrix g(n, n);
@@ -220,6 +238,9 @@ Matrix GramRows(const Matrix& a) {
 }
 
 Matrix GramCols(const Matrix& a) {
+  if (CurrentKernelLevel() == KernelLevel::kBlocked) {
+    return kernels::GramCols(a);
+  }
   using Index = Matrix::Index;
   const Index n = a.rows(), d = a.cols();
   Matrix g(d, d);
@@ -272,6 +293,10 @@ double MaxAbsDiff(const Matrix& a, const Matrix& b) {
     m = std::max(m, std::fabs(pa[i] - pb[i]));
   }
   return m;
+}
+
+double MaxRelDiff(const Matrix& a, const Matrix& b) {
+  return MaxAbsDiff(a, b) / std::max(b.MaxAbs(), 1e-300);
 }
 
 double MeanFrobeniusError(const Matrix& a, const Matrix& b) {

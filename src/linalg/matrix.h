@@ -111,6 +111,12 @@ Matrix GramCols(const Matrix& a);
 /// Max absolute element-wise difference; shapes must match.
 double MaxAbsDiff(const Matrix& a, const Matrix& b);
 
+/// Normwise relative difference MaxAbsDiff(a, b) / max|b| (tiny-floored):
+/// the kernel-vs-oracle tolerance metric (tests/kernels_test.cc,
+/// bench_kernels) — one definition so bench and tests gate on the same
+/// number.
+double MaxRelDiff(const Matrix& a, const Matrix& b);
+
 /// (1/size) * Frobenius norm of (a - b): the per-entry covariance error
 /// metric of paper Figure 9b.
 double MeanFrobeniusError(const Matrix& a, const Matrix& b);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "linalg/kernels.h"
 #include "runtime/parallel.h"
 
 namespace blinkml {
@@ -78,8 +79,15 @@ SparseMatrix::SparseMatrix(Index rows, Index cols, std::vector<Index> row_ptr,
   structure_ = std::move(s);
 }
 
+// Both matvecs dispatch on the ambient kernel level: kBlocked runs the
+// parallel/unrolled kernels (linalg/kernels.cc), kNaive the serial loops
+// below (the oracle — see tests/kernels_test.cc).
+
 Vector SparseMatrix::Apply(const Vector& x) const {
   BLINKML_CHECK_EQ(static_cast<Index>(x.size()), cols());
+  if (CurrentKernelLevel() == KernelLevel::kBlocked) {
+    return kernels::Apply(*this, x);
+  }
   Vector y(rows());
   for (Index r = 0; r < rows(); ++r) y[r] = RowDot(r, x.data());
   return y;
@@ -87,6 +95,9 @@ Vector SparseMatrix::Apply(const Vector& x) const {
 
 Vector SparseMatrix::ApplyTransposed(const Vector& x) const {
   BLINKML_CHECK_EQ(static_cast<Index>(x.size()), rows());
+  if (CurrentKernelLevel() == KernelLevel::kBlocked) {
+    return kernels::ApplyTransposed(*this, x);
+  }
   Vector y(cols());
   double* py = y.data();
   for (Index r = 0; r < rows(); ++r) {

@@ -79,4 +79,8 @@ double MaxAbsDiff(const Vector& a, const Vector& b) {
   return m;
 }
 
+double MaxRelDiff(const Vector& a, const Vector& b) {
+  return MaxAbsDiff(a, b) / std::max(NormInf(b), 1e-300);
+}
+
 }  // namespace blinkml

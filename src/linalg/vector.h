@@ -94,6 +94,10 @@ double CosineSimilarity(const Vector& a, const Vector& b);
 /// Element-wise maximum absolute difference.
 double MaxAbsDiff(const Vector& a, const Vector& b);
 
+/// Normwise relative difference MaxAbsDiff(a, b) / NormInf(b)
+/// (tiny-floored); see the Matrix overload in linalg/matrix.h.
+double MaxRelDiff(const Vector& a, const Vector& b);
+
 }  // namespace blinkml
 
 #endif  // BLINKML_LINALG_VECTOR_H_

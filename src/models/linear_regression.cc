@@ -8,6 +8,23 @@ namespace blinkml {
 
 namespace {
 using Index = Dataset::Index;
+
+// Per-row arithmetic for the shared GLM drivers (models/glm_parallel.h);
+// the residual is the loss root and the gradient coefficient at once.
+struct LinearLink {
+  double Loss(double m, double y) const {
+    const double r = m - y;
+    return 0.5 * r * r;
+  }
+  double Coeff(double m, double y) const { return m - y; }
+  double LossAndCoeff(double m, double y, double* coeff) const {
+    const double r = m - y;
+    *coeff = r;
+    return 0.5 * r * r;
+  }
+  double Predict(double m) const { return m; }
+};
+
 }  // namespace
 
 LinearRegressionSpec::LinearRegressionSpec(double l2) : l2_(l2) {
@@ -16,9 +33,7 @@ LinearRegressionSpec::LinearRegressionSpec(double l2) : l2_(l2) {
 
 double LinearRegressionSpec::Objective(const Vector& theta,
                                        const Dataset& data) const {
-  Vector unused;
-  // Value-only still needs the residual pass; share the fused code.
-  return ObjectiveAndGradient(theta, data, &unused);
+  return internal::GlmObjective(LinearLink{}, data, theta, l2_);
 }
 
 void LinearRegressionSpec::Gradient(const Vector& theta, const Dataset& data,
@@ -29,67 +44,25 @@ void LinearRegressionSpec::Gradient(const Vector& theta, const Dataset& data,
 double LinearRegressionSpec::ObjectiveAndGradient(const Vector& theta,
                                                   const Dataset& data,
                                                   Vector* grad) const {
-  BLINKML_CHECK_EQ(theta.size(), data.dim());
-  BLINKML_CHECK_GT(data.num_rows(), 0);
-  const Index n = data.num_rows();
-  internal::LossGradPartial total = ParallelReduce(
-      ParallelIndex{0}, static_cast<ParallelIndex>(n),
-      internal::LossGradPartial{},
-      [&](ParallelIndex b, ParallelIndex e) {
-        internal::LossGradPartial part;
-        part.grad.Resize(theta.size());
-        for (Index i = b; i < e; ++i) {
-          const double r = data.RowDot(i, theta.data()) - data.label(i);
-          part.loss += 0.5 * r * r;
-          data.AddRowTo(i, r, part.grad.data());
-        }
-        return part;
-      },
-      internal::CombineLossGrad,
-      GradientGrain(static_cast<ParallelIndex>(n)));
-  const double inv_n = 1.0 / static_cast<double>(n);
-  const double loss = total.loss * inv_n;
-  *grad = std::move(total.grad);
-  (*grad) *= inv_n;
-  Axpy(l2_, theta, grad);
-  return loss + 0.5 * l2_ * SquaredNorm2(theta);
+  return internal::GlmObjectiveAndGradient(LinearLink{}, data, theta, l2_,
+                                           grad);
 }
 
 void LinearRegressionSpec::PerExampleGradients(const Vector& theta,
                                                const Dataset& data,
                                                Matrix* out) const {
-  BLINKML_CHECK_EQ(theta.size(), data.dim());
-  const Index n = data.num_rows();
-  *out = Matrix(n, theta.size());
-  ParallelFor(0, n, [&](Index b, Index e) {
-    for (Index i = b; i < e; ++i) {
-      const double r = data.RowDot(i, theta.data()) - data.label(i);
-      data.AddRowTo(i, r, out->row_data(i));
-    }
-  });
+  internal::GlmPerExampleGradients(LinearLink{}, data, theta, out);
 }
 
 void LinearRegressionSpec::PerExampleGradientCoeffs(const Vector& theta,
                                                     const Dataset& data,
                                                     Vector* coeffs) const {
-  BLINKML_CHECK_EQ(theta.size(), data.dim());
-  coeffs->Resize(data.num_rows());
-  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
-    for (Index i = b; i < e; ++i) {
-      (*coeffs)[i] = data.RowDot(i, theta.data()) - data.label(i);
-    }
-  });
+  internal::GlmCoeffs(LinearLink{}, data, theta, coeffs);
 }
 
 void LinearRegressionSpec::Predict(const Vector& theta, const Dataset& data,
                                    Vector* out) const {
-  BLINKML_CHECK_EQ(theta.size(), data.dim());
-  out->Resize(data.num_rows());
-  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
-    for (Index i = b; i < e; ++i) {
-      (*out)[i] = data.RowDot(i, theta.data());
-    }
-  });
+  internal::GlmPredict(LinearLink{}, data, theta, out);
 }
 
 void LinearRegressionSpec::PredictBatch(

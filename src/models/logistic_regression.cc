@@ -16,6 +16,30 @@ double Log1pExp(double z) {
   return std::log1p(std::exp(z));
 }
 
+// Per-row arithmetic for the shared GLM drivers (models/glm_parallel.h).
+// Loss/Coeff reproduce the original loops exactly (the kNaive oracle);
+// LossAndCoeff shares one exp between the loss and the sigmoid.
+struct LogisticLink {
+  double Loss(double m, double y) const {
+    // -[y log s + (1-y) log(1-s)] = log(1+e^m) - y * m.
+    return Log1pExp(m) - y * m;
+  }
+  double Coeff(double m, double y) const {
+    return LogisticRegressionSpec::Sigmoid(m) - y;
+  }
+  double LossAndCoeff(double m, double y, double* coeff) const {
+    if (m >= 0.0) {
+      const double e = std::exp(-m);  // e in (0, 1]: both branches stable
+      *coeff = 1.0 / (1.0 + e) - y;
+      return m + std::log1p(e) - y * m;
+    }
+    const double e = std::exp(m);
+    *coeff = e / (1.0 + e) - y;
+    return std::log1p(e) - y * m;
+  }
+  double Predict(double m) const { return m >= 0.0 ? 1.0 : 0.0; }
+};
+
 }  // namespace
 
 double LogisticRegressionSpec::Sigmoid(double margin) {
@@ -33,24 +57,7 @@ LogisticRegressionSpec::LogisticRegressionSpec(double l2) : l2_(l2) {
 
 double LogisticRegressionSpec::Objective(const Vector& theta,
                                          const Dataset& data) const {
-  BLINKML_CHECK_EQ(theta.size(), data.dim());
-  BLINKML_CHECK_GT(data.num_rows(), 0);
-  const double loss = ParallelReduce(
-      ParallelIndex{0}, static_cast<ParallelIndex>(data.num_rows()), 0.0,
-      [&](ParallelIndex b, ParallelIndex e) {
-        double part = 0.0;
-        for (Index i = b; i < e; ++i) {
-          const double margin = data.RowDot(i, theta.data());
-          const double t = data.label(i);
-          // -[t log s + (1-t) log(1-s)] = log(1+e^margin) - t * margin.
-          part += Log1pExp(margin) - t * margin;
-        }
-        return part;
-      },
-      [](double acc, double part) { return acc + part; },
-      GradientGrain(static_cast<ParallelIndex>(data.num_rows())));
-  return loss / static_cast<double>(data.num_rows()) +
-         0.5 * l2_ * SquaredNorm2(theta);
+  return internal::GlmObjective(LogisticLink{}, data, theta, l2_);
 }
 
 void LogisticRegressionSpec::Gradient(const Vector& theta, const Dataset& data,
@@ -61,68 +68,25 @@ void LogisticRegressionSpec::Gradient(const Vector& theta, const Dataset& data,
 double LogisticRegressionSpec::ObjectiveAndGradient(const Vector& theta,
                                                     const Dataset& data,
                                                     Vector* grad) const {
-  BLINKML_CHECK_EQ(theta.size(), data.dim());
-  BLINKML_CHECK_GT(data.num_rows(), 0);
-  const Index n = data.num_rows();
-  internal::LossGradPartial total = ParallelReduce(
-      ParallelIndex{0}, static_cast<ParallelIndex>(n),
-      internal::LossGradPartial{},
-      [&](ParallelIndex b, ParallelIndex e) {
-        internal::LossGradPartial part;
-        part.grad.Resize(theta.size());
-        for (Index i = b; i < e; ++i) {
-          const double margin = data.RowDot(i, theta.data());
-          const double t = data.label(i);
-          part.loss += Log1pExp(margin) - t * margin;
-          data.AddRowTo(i, Sigmoid(margin) - t, part.grad.data());
-        }
-        return part;
-      },
-      internal::CombineLossGrad,
-      GradientGrain(static_cast<ParallelIndex>(n)));
-  const double inv_n = 1.0 / static_cast<double>(n);
-  double loss = total.loss * inv_n;
-  *grad = std::move(total.grad);
-  (*grad) *= inv_n;
-  Axpy(l2_, theta, grad);
-  return loss + 0.5 * l2_ * SquaredNorm2(theta);
+  return internal::GlmObjectiveAndGradient(LogisticLink{}, data, theta, l2_,
+                                           grad);
 }
 
 void LogisticRegressionSpec::PerExampleGradients(const Vector& theta,
                                                  const Dataset& data,
                                                  Matrix* out) const {
-  BLINKML_CHECK_EQ(theta.size(), data.dim());
-  const Index n = data.num_rows();
-  *out = Matrix(n, theta.size());
-  ParallelFor(0, n, [&](Index b, Index e) {
-    for (Index i = b; i < e; ++i) {
-      const double margin = data.RowDot(i, theta.data());
-      data.AddRowTo(i, Sigmoid(margin) - data.label(i), out->row_data(i));
-    }
-  });
+  internal::GlmPerExampleGradients(LogisticLink{}, data, theta, out);
 }
 
 void LogisticRegressionSpec::PerExampleGradientCoeffs(const Vector& theta,
                                                       const Dataset& data,
                                                       Vector* coeffs) const {
-  BLINKML_CHECK_EQ(theta.size(), data.dim());
-  coeffs->Resize(data.num_rows());
-  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
-    for (Index i = b; i < e; ++i) {
-      (*coeffs)[i] = Sigmoid(data.RowDot(i, theta.data())) - data.label(i);
-    }
-  });
+  internal::GlmCoeffs(LogisticLink{}, data, theta, coeffs);
 }
 
 void LogisticRegressionSpec::Predict(const Vector& theta, const Dataset& data,
                                      Vector* out) const {
-  BLINKML_CHECK_EQ(theta.size(), data.dim());
-  out->Resize(data.num_rows());
-  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
-    for (Index i = b; i < e; ++i) {
-      (*out)[i] = data.RowDot(i, theta.data()) >= 0.0 ? 1.0 : 0.0;
-    }
-  });
+  internal::GlmPredict(LogisticLink{}, data, theta, out);
 }
 
 void LogisticRegressionSpec::PredictBatch(

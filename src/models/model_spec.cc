@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "runtime/parallel.h"
 
 namespace blinkml {
@@ -124,6 +125,13 @@ Matrix BatchMargins(const Dataset& data,
   for (const Vector* theta : thetas) {
     BLINKML_CHECK_MSG(theta != nullptr, "null theta in BatchMargins");
     BLINKML_CHECK_EQ(theta->size(), data.dim());
+  }
+  if (CurrentKernelLevel() == KernelLevel::kBlocked) {
+    // The kernels run every entry through the same unrolled dot the
+    // single-margin passes use, so a column still equals a per-candidate
+    // Predict pass bitwise (the batched-scoring self-check).
+    return data.is_sparse() ? kernels::BatchMarginsSparse(data.sparse(), thetas)
+                            : kernels::BatchMarginsDense(data.dense(), thetas);
   }
   Matrix margins(data.num_rows(), k);
   ParallelFor(0, data.num_rows(), [&](Dataset::Index b, Dataset::Index e) {

@@ -14,6 +14,19 @@ using Index = Dataset::Index;
 // objective stays finite and the line search backtracks out).
 double SafeExp(double z) { return std::exp(std::min(z, 500.0)); }
 
+// Per-row arithmetic for the shared GLM drivers (models/glm_parallel.h);
+// the fused form pays SafeExp once for loss and coefficient.
+struct PoissonLink {
+  double Loss(double m, double y) const { return SafeExp(m) - y * m; }
+  double Coeff(double m, double y) const { return SafeExp(m) - y; }
+  double LossAndCoeff(double m, double y, double* coeff) const {
+    const double rate = SafeExp(m);
+    *coeff = rate - y;
+    return rate - y * m;
+  }
+  double Predict(double m) const { return SafeExp(m); }
+};
+
 }  // namespace
 
 PoissonRegressionSpec::PoissonRegressionSpec(double l2) : l2_(l2) {
@@ -22,8 +35,7 @@ PoissonRegressionSpec::PoissonRegressionSpec(double l2) : l2_(l2) {
 
 double PoissonRegressionSpec::Objective(const Vector& theta,
                                         const Dataset& data) const {
-  Vector unused;
-  return ObjectiveAndGradient(theta, data, &unused);
+  return internal::GlmObjective(PoissonLink{}, data, theta, l2_);
 }
 
 void PoissonRegressionSpec::Gradient(const Vector& theta, const Dataset& data,
@@ -34,69 +46,25 @@ void PoissonRegressionSpec::Gradient(const Vector& theta, const Dataset& data,
 double PoissonRegressionSpec::ObjectiveAndGradient(const Vector& theta,
                                                    const Dataset& data,
                                                    Vector* grad) const {
-  BLINKML_CHECK_EQ(theta.size(), data.dim());
-  BLINKML_CHECK_GT(data.num_rows(), 0);
-  const Index n = data.num_rows();
-  internal::LossGradPartial total = ParallelReduce(
-      ParallelIndex{0}, static_cast<ParallelIndex>(n),
-      internal::LossGradPartial{},
-      [&](ParallelIndex b, ParallelIndex e) {
-        internal::LossGradPartial part;
-        part.grad.Resize(theta.size());
-        for (Index i = b; i < e; ++i) {
-          const double eta = data.RowDot(i, theta.data());
-          const double rate = SafeExp(eta);
-          const double y = data.label(i);
-          part.loss += rate - y * eta;
-          data.AddRowTo(i, rate - y, part.grad.data());
-        }
-        return part;
-      },
-      internal::CombineLossGrad,
-      GradientGrain(static_cast<ParallelIndex>(n)));
-  const double inv_n = 1.0 / static_cast<double>(n);
-  const double loss = total.loss * inv_n;
-  *grad = std::move(total.grad);
-  (*grad) *= inv_n;
-  Axpy(l2_, theta, grad);
-  return loss + 0.5 * l2_ * SquaredNorm2(theta);
+  return internal::GlmObjectiveAndGradient(PoissonLink{}, data, theta, l2_,
+                                           grad);
 }
 
 void PoissonRegressionSpec::PerExampleGradients(const Vector& theta,
                                                 const Dataset& data,
                                                 Matrix* out) const {
-  BLINKML_CHECK_EQ(theta.size(), data.dim());
-  const Index n = data.num_rows();
-  *out = Matrix(n, theta.size());
-  ParallelFor(0, n, [&](Index b, Index e) {
-    for (Index i = b; i < e; ++i) {
-      const double rate = SafeExp(data.RowDot(i, theta.data()));
-      data.AddRowTo(i, rate - data.label(i), out->row_data(i));
-    }
-  });
+  internal::GlmPerExampleGradients(PoissonLink{}, data, theta, out);
 }
 
 void PoissonRegressionSpec::PerExampleGradientCoeffs(const Vector& theta,
                                                      const Dataset& data,
                                                      Vector* coeffs) const {
-  BLINKML_CHECK_EQ(theta.size(), data.dim());
-  coeffs->Resize(data.num_rows());
-  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
-    for (Index i = b; i < e; ++i) {
-      (*coeffs)[i] = SafeExp(data.RowDot(i, theta.data())) - data.label(i);
-    }
-  });
+  internal::GlmCoeffs(PoissonLink{}, data, theta, coeffs);
 }
 
 void PoissonRegressionSpec::Predict(const Vector& theta, const Dataset& data,
                                     Vector* out) const {
-  BLINKML_CHECK_EQ(theta.size(), data.dim());
-  out->Resize(data.num_rows());
-  ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
-    for (Index i = b; i < e; ++i) {
-      (*out)[i] = SafeExp(data.RowDot(i, theta.data()));
-    }
-  });
+  internal::GlmPredict(PoissonLink{}, data, theta, out);
 }
 
 void PoissonRegressionSpec::PredictBatch(

@@ -28,6 +28,16 @@ struct Region {
   ParallelIndex end;
   ChunkLayout layout;
   int lanes;
+  // The caller's ambient RuntimeOptions, installed on every lane for the
+  // region's duration: chunk bodies consult the scope too (nested regions
+  // run inline, and the kernel-level dispatch happens wherever a linalg
+  // entry point is reached), so worker lanes must see the same options as
+  // the calling thread or a non-default kernel_level would apply on lane
+  // 0 only — making results depend on the lane count. The pointee lives
+  // in a RuntimeScope on (or above) the caller's stack, which outlives
+  // the region because ParallelForChunks joins every lane before
+  // returning.
+  const RuntimeOptions* ambient_options;
 
   std::atomic<bool> abort{false};
   std::mutex mu;
@@ -39,7 +49,9 @@ struct Region {
   // region aborts: already-running chunks finish, queued ones are skipped.
   void RunLane(int lane) {
     const bool was_in_region = g_in_parallel_region;
+    const RuntimeOptions* previous_options = g_current_options;
     g_in_parallel_region = true;
+    g_current_options = ambient_options;
     for (ParallelIndex c = lane; c < layout.num_chunks; c += lanes) {
       if (abort.load(std::memory_order_relaxed)) break;
       const ParallelIndex b = begin + c * layout.chunk_size;
@@ -53,6 +65,7 @@ struct Region {
       }
     }
     g_in_parallel_region = was_in_region;
+    g_current_options = previous_options;
     std::lock_guard<std::mutex> lock(mu);
     if (--lanes_remaining == 0) done_cv.notify_all();
   }
@@ -70,6 +83,10 @@ RuntimeScope::~RuntimeScope() { g_current_options = previous_; }
 const RuntimeOptions& RuntimeScope::Current() { return *g_current_options; }
 
 bool InParallelRegion() { return g_in_parallel_region; }
+
+KernelLevel CurrentKernelLevel() {
+  return RuntimeScope::Current().kernel_level;
+}
 
 int CurrentParallelism() {
   const RuntimeOptions& options = RuntimeScope::Current();
@@ -124,6 +141,7 @@ void ParallelForChunks(
   region.end = end;
   region.layout = layout;
   region.lanes = lanes;
+  region.ambient_options = g_current_options;
   region.lanes_remaining = lanes;
   int submitted = 0;
   std::exception_ptr submit_failure;

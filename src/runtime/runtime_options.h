@@ -10,6 +10,21 @@ namespace blinkml {
 
 class ThreadPool;
 
+/// Which implementation the linear-algebra hot paths run (linalg/kernels.h).
+///
+/// kBlocked (the default) selects the register-tiled / cache-blocked
+/// kernels: fixed block schedules independent of the thread count, so
+/// results are still bitwise identical at 1/2/N threads, but the
+/// accumulation order differs from the naive loops by design (multiple
+/// accumulator chains), so values may differ from kNaive by rounding
+/// (within 1e-12 relative — tests/kernels_test.cc). kNaive keeps the
+/// original scalar loops as the opt-out oracle, the same escape hatch
+/// BlinkConfig::reuse_feature_gram provides for the Gram rescale algebra.
+enum class KernelLevel {
+  kNaive = 0,    // reference scalar loops (the oracle)
+  kBlocked = 1,  // tiled/unrolled kernels (default)
+};
+
 /// Knobs for the parallel runtime, threaded through BlinkConfig and applied
 /// with a RuntimeScope. The defaults (ambient when no scope is active) use
 /// the global pool at full parallelism.
@@ -27,7 +42,15 @@ struct RuntimeOptions {
   /// Pool to run on; nullptr = ThreadPool::Global(). Tests inject local
   /// pools here to exercise specific thread counts deterministically.
   ThreadPool* pool = nullptr;
+
+  /// Kernel implementation for the linalg hot paths (see KernelLevel).
+  KernelLevel kernel_level = KernelLevel::kBlocked;
 };
+
+/// The innermost active scope's kernel_level (the ambient default — the
+/// blocked kernels — when no scope is installed). The dispatch point the
+/// linalg/model hot paths consult.
+KernelLevel CurrentKernelLevel();
 
 /// RAII ambient-options override (thread-local): parallel constructs
 /// consult the innermost active scope. Coordinator::Train installs the

@@ -255,6 +255,9 @@ SearchOutcome HyperparamSearch::Run(
             }
             if (run_final) {
               st = pipeline.EstimateMinimumSampleSize();
+              if (st.ok() && options_.quantize_final_n) {
+                pipeline.QuantizeEstimatedSampleSize();
+              }
               if (st.ok()) st = pipeline.TrainFinal();
               if (!st.ok()) {
                 // Refund the token: this candidate failed, so the budget

@@ -66,6 +66,15 @@ struct SearchOptions {
   /// Dataset to score candidates on; nullptr = the session holdout. Must
   /// outlive Run().
   const Dataset* validation = nullptr;
+  /// Quantize each candidate's estimated final sample size UP to a small
+  /// log-grid (ratio 2^(1/4); TrainingPipeline::QuantizeEstimatedSampleSize)
+  /// so near-identical estimates land on the same (seed, final n)
+  /// sample-cache and feature-Gram keys and share the final sample and
+  /// re-estimation Gram across candidates. Rounding is only ever UP, so
+  /// the (epsilon, delta) guarantee is untouched (v is monotone
+  /// non-increasing in n — paper Theorem 2); the cost is training on at
+  /// most ~19% more rows than estimated. Off by default.
+  bool quantize_final_n = false;
   /// Score candidates in batches after the training loop: candidates that
   /// share an eval dataset and model class are scored against ONE
   /// prediction matrix built in a single pass over the eval rows

@@ -60,8 +60,11 @@ std::uint64_t TrainingSession::CacheBytes() const {
   // Lock-free reads: the serving layer calls this under its manager lock
   // on every job completion, and SampleCache holds its mutex while
   // materializing — taking it here would stall the whole control plane
-  // behind one tenant's in-flight materialization.
-  return cache_.cached_bytes() + gram_cache_.cached_bytes();
+  // behind one tenant's in-flight materialization. The third term covers
+  // prefix datasets the sample cache bypassed at its row budget but the
+  // per-seed prefix map still pins.
+  return cache_.cached_bytes() + gram_cache_.cached_bytes() +
+         prefix_uncached_bytes_.load(std::memory_order_relaxed);
 }
 
 SessionStats TrainingSession::stats() const {
@@ -95,6 +98,10 @@ Result<std::shared_ptr<const TrainingPrefix>> TrainingSession::PrefixFor(
                            ComputeTrainingPrefix(*data_, config, &cache_));
   ++stats_.prefixes_computed;
   stats_.prefix_seconds += prefix.seconds;
+  if (prefix.uncached_bytes > 0) {
+    prefix_uncached_bytes_.fetch_add(prefix.uncached_bytes,
+                                     std::memory_order_relaxed);
+  }
   auto shared = std::make_shared<const TrainingPrefix>(std::move(prefix));
   prefixes_.emplace(seed, shared);
   return shared;

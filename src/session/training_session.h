@@ -22,6 +22,7 @@
 #ifndef BLINKML_SESSION_TRAINING_SESSION_H_
 #define BLINKML_SESSION_TRAINING_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -96,14 +97,15 @@ class TrainingSession {
   /// Snapshot of the aggregate accounting.
   SessionStats stats() const;
 
-  /// Approximate bytes retained by this session's caches (materialized
-  /// samples + feature Grams) — what the serving layer's byte-budget LRU
-  /// charges a session (serve/session_manager.h). Excludes the dataset
-  /// itself, which the manager accounts per registry entry. The memoized
-  /// per-seed prefixes normally materialize THROUGH the sample cache and
-  /// are counted there; a prefix whose materialization the cache bypassed
-  /// (row budget hit) is retained uncounted — ROADMAP tracks precise
-  /// accounting.
+  /// Approximate bytes retained by this session (materialized samples +
+  /// feature Grams + memoized prefixes) — what the serving layer's
+  /// byte-budget LRU charges a session (serve/session_manager.h).
+  /// Excludes the dataset itself, which the manager accounts per registry
+  /// entry. The memoized per-seed prefixes normally materialize THROUGH
+  /// the sample cache and are counted there; a prefix dataset whose
+  /// materialization the cache bypassed (row budget hit) is still pinned
+  /// by the prefix map, so its bytes are tracked here separately
+  /// (TrainingPrefix::uncached_bytes) and included.
   std::uint64_t CacheBytes() const;
 
  private:
@@ -125,6 +127,10 @@ class TrainingSession {
       seed_configs_;
   std::unordered_map<std::uint64_t, std::shared_ptr<const TrainingPrefix>>
       prefixes_;
+  /// Sum of the memoized prefixes' uncached_bytes (datasets pinned by
+  /// prefixes_ that the sample cache bypassed). Written under mu_; atomic
+  /// so the lock-free CacheBytes() can read it (see the .cc note).
+  std::atomic<std::uint64_t> prefix_uncached_bytes_{0};
   SessionStats stats_;
 };
 

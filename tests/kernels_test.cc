@@ -1,0 +1,448 @@
+// Compute-kernel layer (linalg/kernels.h): kernel-vs-oracle equivalence,
+// bitwise thread-count invariance, the tiled sparse Gram's heavy-row
+// path, the batched-margin consistency invariant, and degenerate shapes.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/statistics.h"
+#include "data/generators.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+#include "models/logistic_regression.h"
+#include "models/model_spec.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+#include "tests/test_util.h"
+
+namespace blinkml {
+namespace {
+
+using testing::RandomMatrix;
+using testing::RandomVector;
+using testing::SparseBinaryData;
+
+// Runs fn under the given kernel level (ambient pool, full parallelism).
+template <typename Fn>
+auto AtLevel(KernelLevel level, const Fn& fn) {
+  RuntimeOptions options;
+  options.kernel_level = level;
+  RuntimeScope scope(options);
+  return fn();
+}
+
+Vector Flatten(const Matrix& m) {
+  Vector v(m.size());
+  std::copy(m.data(), m.data() + m.size(), v.data());
+  return v;
+}
+
+// A sparse matrix with deliberately mixed row weights: empty rows, light
+// rows (below the heavy-tile threshold), and heavy rows (hundreds of
+// nonzeros), so both SparseGram paths and their seam are exercised.
+SparseMatrix MixedRowMatrix(SparseMatrix::Index rows,
+                            SparseMatrix::Index cols, std::uint64_t seed) {
+  Rng rng(seed);
+  CsrBuilder builder;
+  for (SparseMatrix::Index r = 0; r < rows; ++r) {
+    const int kind = static_cast<int>(r % 4);
+    SparseMatrix::Index nnz = 0;
+    if (kind == 1) nnz = 3;                         // light
+    if (kind == 2) nnz = 40;                        // mid
+    if (kind == 3) nnz = std::min<SparseMatrix::Index>(cols, 300);  // heavy
+    std::vector<bool> used(static_cast<std::size_t>(cols), false);
+    for (SparseMatrix::Index e = 0; e < nnz; ++e) {
+      SparseMatrix::Index c =
+          static_cast<SparseMatrix::Index>(rng.Uniform(0.0, 1.0) *
+                                           static_cast<double>(cols));
+      c = std::min(c, cols - 1);
+      if (used[static_cast<std::size_t>(c)]) continue;
+      used[static_cast<std::size_t>(c)] = true;
+      builder.Add(c, rng.Normal(0.0, 1.0));
+    }
+    builder.FinishRow();
+  }
+  return std::move(builder).Build(cols);
+}
+
+// ---------- Dense kernels vs the oracle ----------
+
+TEST(DenseKernels, MatchOracleWithinTolerance) {
+  Rng rng(3);
+  // Off-block sizes on purpose: tails of every tile level.
+  const Matrix a = RandomMatrix(131, 67, &rng);
+  const Matrix b = RandomMatrix(67, 45, &rng);
+  const Vector x = RandomVector(67, &rng);
+  const Vector y = RandomVector(131, &rng);
+
+  EXPECT_LE(MaxRelDiff(AtLevel(KernelLevel::kBlocked, [&] { return GramRows(a); }),
+                    AtLevel(KernelLevel::kNaive, [&] { return GramRows(a); })),
+            1e-12);
+  EXPECT_LE(MaxRelDiff(AtLevel(KernelLevel::kBlocked, [&] { return GramCols(a); }),
+                    AtLevel(KernelLevel::kNaive, [&] { return GramCols(a); })),
+            1e-12);
+  EXPECT_LE(
+      MaxRelDiff(AtLevel(KernelLevel::kBlocked, [&] { return MatMul(a, b); }),
+              AtLevel(KernelLevel::kNaive, [&] { return MatMul(a, b); })),
+      1e-12);
+  EXPECT_LE(
+      MaxRelDiff(AtLevel(KernelLevel::kBlocked, [&] { return MatVec(a, x); }),
+              AtLevel(KernelLevel::kNaive, [&] { return MatVec(a, x); })),
+      1e-12);
+  EXPECT_LE(
+      MaxRelDiff(AtLevel(KernelLevel::kBlocked, [&] { return MatTVec(a, y); }),
+              AtLevel(KernelLevel::kNaive, [&] { return MatTVec(a, y); })),
+      1e-12);
+}
+
+TEST(DenseKernels, GramSymmetryAndMultiBlockShapes) {
+  Rng rng(11);
+  // > 2 blocks in each direction, odd tails.
+  const Matrix a = RandomMatrix(201, 130, &rng);
+  const Matrix g = AtLevel(KernelLevel::kBlocked, [&] { return GramRows(a); });
+  for (Matrix::Index i = 0; i < g.rows(); ++i) {
+    for (Matrix::Index j = i + 1; j < g.cols(); ++j) {
+      EXPECT_EQ(g(i, j), g(j, i)) << i << "," << j;
+    }
+  }
+  EXPECT_LE(MaxRelDiff(g, AtLevel(KernelLevel::kNaive, [&] { return GramRows(a); })),
+            1e-12);
+}
+
+TEST(DenseKernels, ThreadCountInvariance) {
+  Rng rng(5);
+  const Matrix a = RandomMatrix(130, 70, &rng);
+  const Matrix b = RandomMatrix(70, 31, &rng);
+  const Vector x = RandomVector(70, &rng);
+  const Vector y = RandomVector(130, &rng);
+  testing::ExpectThreadCountInvariant([&] { return Flatten(GramRows(a)); },
+                                      {1, 2, 8}, "GramRows");
+  testing::ExpectThreadCountInvariant([&] { return Flatten(GramCols(a)); },
+                                      {1, 2, 8}, "GramCols");
+  testing::ExpectThreadCountInvariant([&] { return Flatten(MatMul(a, b)); },
+                                      {1, 2, 8}, "MatMul");
+  testing::ExpectThreadCountInvariant([&] { return MatVec(a, x); }, {1, 2, 8},
+                                      "MatVec");
+  testing::ExpectThreadCountInvariant([&] { return MatTVec(a, y); }, {1, 2, 8},
+                                      "MatTVec");
+}
+
+// ---------- Sparse kernels ----------
+
+TEST(SparseKernels, TiledGramMatchesMergeOnHeavyAndMixedRows) {
+  // Heavy rows: every tile takes the scatter/gather path.
+  const Dataset heavy = MakeSyntheticLogistic(90, 3000, /*seed=*/7,
+                                              /*sparsity=*/0.08, /*noise=*/0.1);
+  // Mixed: empty/light/mid/heavy rows interleaved — tiles straddle the
+  // heavy threshold and empty rows produce zero Gram rows.
+  const SparseMatrix mixed = MixedRowMatrix(61, 2000, 13);
+
+  for (const SparseMatrix* m : {&heavy.sparse(), &mixed}) {
+    const Matrix tiled =
+        AtLevel(KernelLevel::kBlocked, [&] { return SparseGradientGram(*m); });
+    const Matrix merge =
+        AtLevel(KernelLevel::kNaive, [&] { return SparseGradientGram(*m); });
+    // The gather accumulates the same products in the same column order as
+    // the merge (non-matching columns contribute exact zeros), so the two
+    // paths agree bitwise, not just to rounding.
+    EXPECT_EQ(MaxAbsDiff(tiled, merge), 0.0);
+  }
+}
+
+TEST(SparseKernels, GramEmptyRowsYieldZeroRows) {
+  const SparseMatrix mixed = MixedRowMatrix(17, 500, 3);  // rows 0,4,8,... empty
+  const Matrix g =
+      AtLevel(KernelLevel::kBlocked, [&] { return SparseGradientGram(mixed); });
+  for (SparseMatrix::Index r = 0; r < mixed.rows(); r += 4) {
+    for (Matrix::Index j = 0; j < g.cols(); ++j) {
+      EXPECT_EQ(g(r, j), 0.0);
+      EXPECT_EQ(g(j, r), 0.0);
+    }
+  }
+}
+
+TEST(SparseKernels, ApplyAndTransposedMatchOracle) {
+  const SparseMatrix m = MixedRowMatrix(83, 700, 17);
+  Rng rng(2);
+  const Vector x = RandomVector(700, &rng);
+  const Vector y = RandomVector(83, &rng);
+  EXPECT_LE(MaxRelDiff(AtLevel(KernelLevel::kBlocked, [&] { return m.Apply(x); }),
+                    AtLevel(KernelLevel::kNaive, [&] { return m.Apply(x); })),
+            1e-12);
+  EXPECT_LE(MaxRelDiff(
+                AtLevel(KernelLevel::kBlocked,
+                        [&] { return m.ApplyTransposed(y); }),
+                AtLevel(KernelLevel::kNaive,
+                        [&] { return m.ApplyTransposed(y); })),
+            1e-12);
+  testing::ExpectThreadCountInvariant([&] { return m.Apply(x); }, {1, 2, 8},
+                                      "Apply");
+  testing::ExpectThreadCountInvariant([&] { return m.ApplyTransposed(y); },
+                                      {1, 2, 8}, "ApplyTransposed");
+}
+
+TEST(SparseKernels, ApplyTransposedMultiBitwiseEqualsPerColumn) {
+  const SparseMatrix m = MixedRowMatrix(60, 400, 23);
+  Rng rng(9);
+  // 11 columns: one full kMultiVec group plus a tail group.
+  Matrix v(60, 11);
+  for (Matrix::Index i = 0; i < v.size(); ++i) {
+    v.data()[i] = rng.Normal(0.0, 1.0);
+  }
+  const Matrix multi = kernels::ApplyTransposedMulti(m, v);
+  ASSERT_EQ(multi.rows(), 400);
+  ASSERT_EQ(multi.cols(), 11);
+  for (Matrix::Index c = 0; c < v.cols(); ++c) {
+    const Vector naive = AtLevel(KernelLevel::kNaive, [&] {
+      return m.ApplyTransposed(v.Col(c));
+    });
+    for (Matrix::Index j = 0; j < multi.rows(); ++j) {
+      ASSERT_EQ(multi(j, c), naive[j]) << "col " << c << " row " << j;
+    }
+  }
+  testing::ExpectThreadCountInvariant(
+      [&] { return Flatten(kernels::ApplyTransposedMulti(m, v)); }, {1, 2, 8},
+      "ApplyTransposedMulti");
+}
+
+// ---------- Batched margins: the scoring consistency invariant ----------
+
+TEST(BatchMargins, ColumnsBitwiseEqualSingleMarginPasses) {
+  const Dataset sparse = SparseBinaryData(120, 900, /*seed=*/5,
+                                          /*nnz_per_row=*/25);
+  const Dataset dense = testing::SmallDenseLogistic(150, 40, /*seed=*/6);
+  for (const Dataset* data : {&sparse, &dense}) {
+    // Group widths across a full group + tails: 1, 3, 8, 11 candidates.
+    for (const int k : {1, 3, 8, 11}) {
+      std::vector<Vector> store;
+      for (int t = 0; t < k; ++t) {
+        store.push_back(testing::Trainedish(*data, 100 + t));
+      }
+      std::vector<const Vector*> thetas;
+      for (const Vector& v : store) thetas.push_back(&v);
+      const Matrix batch = BatchMargins(*data, thetas);
+      ASSERT_EQ(batch.cols(), k);
+      for (int t = 0; t < k; ++t) {
+        Vector single(data->num_rows());
+        // The same margin kernel Predict/GlmPredict run (PanelMargins).
+        if (data->is_sparse()) {
+          kernels::SparseMargins(data->sparse(), store[t].data(), 0,
+                                 data->num_rows(), single.data());
+        } else {
+          kernels::DenseMargins(data->dense(), store[t].data(), 0,
+                                data->num_rows(), single.data());
+        }
+        for (Dataset::Index i = 0; i < data->num_rows(); ++i) {
+          ASSERT_EQ(batch(i, t), single[i])
+              << (data->is_sparse() ? "sparse" : "dense") << " k=" << k
+              << " theta " << t << " row " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchMargins, PredictBatchColumnZeroMatchesPredict) {
+  // The self-check the batched scoring path performs must hold under the
+  // blocked kernels: column 0 of PredictBatch bitwise equals Predict.
+  const Dataset data = SparseBinaryData(200, 1200, /*seed=*/8,
+                                        /*nnz_per_row=*/30);
+  const LogisticRegressionSpec spec(1e-3);
+  std::vector<Vector> store;
+  for (int t = 0; t < 5; ++t) {
+    store.push_back(testing::Trainedish(data, 40 + t));
+  }
+  std::vector<const Vector*> thetas;
+  for (const Vector& v : store) thetas.push_back(&v);
+  Matrix predictions;
+  spec.PredictBatch(thetas, data, &predictions);
+  Vector single;
+  spec.Predict(store[0], data, &single);
+  for (Dataset::Index i = 0; i < data.num_rows(); ++i) {
+    ASSERT_EQ(predictions(i, 0), single[i]) << "row " << i;
+  }
+}
+
+// ---------- Fused GLM passes ----------
+
+TEST(GlmKernels, FusedLossAndGradientMatchNaive) {
+  const Dataset sparse = SparseBinaryData(300, 800, /*seed=*/4,
+                                          /*nnz_per_row=*/20);
+  const Dataset dense = testing::SmallDenseLogistic(400, 30, /*seed=*/9);
+  const LogisticRegressionSpec spec(1e-3);
+  for (const Dataset* data : {&sparse, &dense}) {
+    const Vector theta = testing::Trainedish(*data, 21);
+    Vector g_naive, g_blocked;
+    const double f_naive = AtLevel(KernelLevel::kNaive, [&] {
+      return spec.ObjectiveAndGradient(theta, *data, &g_naive);
+    });
+    const double f_blocked = AtLevel(KernelLevel::kBlocked, [&] {
+      return spec.ObjectiveAndGradient(theta, *data, &g_blocked);
+    });
+    EXPECT_NEAR(f_blocked, f_naive, 1e-12 * std::max(1.0, std::fabs(f_naive)));
+    EXPECT_LE(MaxRelDiff(g_blocked, g_naive), 1e-11);
+    // Value-only pass agrees with the fused pass at each level.
+    EXPECT_EQ(AtLevel(KernelLevel::kBlocked,
+                      [&] { return spec.Objective(theta, *data); }),
+              f_blocked);
+    testing::ExpectThreadCountInvariant(
+        [&] {
+          Vector g;
+          spec.ObjectiveAndGradient(theta, *data, &g);
+          return g;
+        },
+        {1, 2, 8}, "ObjectiveAndGradient");
+  }
+}
+
+// ---------- Degenerate shapes ----------
+
+TEST(KernelDegenerateShapes, SingleColumnSingleRowAndEmpty) {
+  Rng rng(31);
+  // p = 1: one-column matrix.
+  const Matrix col = RandomMatrix(37, 1, &rng);
+  EXPECT_LE(
+      MaxRelDiff(AtLevel(KernelLevel::kBlocked, [&] { return GramRows(col); }),
+              AtLevel(KernelLevel::kNaive, [&] { return GramRows(col); })),
+      1e-12);
+  EXPECT_LE(
+      MaxRelDiff(AtLevel(KernelLevel::kBlocked, [&] { return GramCols(col); }),
+              AtLevel(KernelLevel::kNaive, [&] { return GramCols(col); })),
+      1e-12);
+  // n_s = 1: single-row matrix.
+  const Matrix row = RandomMatrix(1, 29, &rng);
+  EXPECT_LE(
+      MaxRelDiff(AtLevel(KernelLevel::kBlocked, [&] { return GramRows(row); }),
+              AtLevel(KernelLevel::kNaive, [&] { return GramRows(row); })),
+      1e-12);
+  const Vector x = RandomVector(29, &rng);
+  EXPECT_LE(
+      MaxRelDiff(AtLevel(KernelLevel::kBlocked, [&] { return MatVec(row, x); }),
+              AtLevel(KernelLevel::kNaive, [&] { return MatVec(row, x); })),
+      1e-12);
+
+  // Sparse single row / all-empty rows.
+  CsrBuilder one_row;
+  one_row.Add(3, 2.0);
+  one_row.Add(7, -1.5);
+  one_row.FinishRow();
+  const SparseMatrix single = std::move(one_row).Build(10);
+  const Matrix g1 =
+      AtLevel(KernelLevel::kBlocked, [&] { return SparseGradientGram(single); });
+  ASSERT_EQ(g1.rows(), 1);
+  EXPECT_DOUBLE_EQ(g1(0, 0), 2.0 * 2.0 + 1.5 * 1.5);
+
+  CsrBuilder empties;
+  for (int r = 0; r < 6; ++r) empties.FinishRow();
+  const SparseMatrix empty = std::move(empties).Build(10);
+  const Matrix g0 =
+      AtLevel(KernelLevel::kBlocked, [&] { return SparseGradientGram(empty); });
+  EXPECT_EQ(g0.MaxAbs(), 0.0);
+  const Vector applied =
+      AtLevel(KernelLevel::kBlocked, [&] { return empty.Apply(Vector(10)); });
+  EXPECT_EQ(applied.size(), 6);
+  const Vector applied_t = AtLevel(KernelLevel::kBlocked, [&] {
+    return empty.ApplyTransposed(Vector(6));
+  });
+  EXPECT_EQ(applied_t.size(), 10);
+}
+
+TEST(KernelDegenerateShapes, ZeroRowTransposedAppliesKeepTheOutputShape) {
+  // The reduce-shaped kernels must return the size-cols zero vector for a
+  // 0-row operand, exactly as the naive loops do (an empty chunk layout
+  // must not collapse the output to size 0).
+  const Matrix dense0(0, 5);
+  const Vector t = AtLevel(KernelLevel::kBlocked,
+                           [&] { return MatTVec(dense0, Vector(0)); });
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_EQ(NormInf(t), 0.0);
+  CsrBuilder none;
+  const SparseMatrix sparse0 = std::move(none).Build(7);
+  const Vector st = AtLevel(KernelLevel::kBlocked, [&] {
+    return sparse0.ApplyTransposed(Vector(0));
+  });
+  EXPECT_EQ(st.size(), 7);
+  EXPECT_EQ(NormInf(st), 0.0);
+}
+
+// ---------- Scope propagation to pool lanes ----------
+
+TEST(KernelDispatch, ScopeKernelLevelReachesPoolWorkerLanes) {
+  // Kernel dispatch happens wherever a linalg entry point is reached —
+  // including inside parallel-region bodies running on pool workers (the
+  // Monte-Carlo draw loops do exactly this). The ambient RuntimeOptions
+  // must reach every lane: under a kNaive scope, a dispatch on a worker
+  // lane falling back to the default (kBlocked) would make results
+  // depend on which lane ran the chunk.
+  Rng rng(41);
+  const Matrix a = RandomMatrix(40, 93, &rng);
+  const Vector x = RandomVector(93, &rng);
+  const Vector serial_naive =
+      AtLevel(KernelLevel::kNaive, [&] { return MatVec(a, x); });
+
+  ThreadPool pool(8);
+  RuntimeOptions options;
+  options.kernel_level = KernelLevel::kNaive;
+  options.pool = &pool;
+  options.num_threads = 8;
+  RuntimeScope scope(options);
+  constexpr ParallelIndex kItems = 16;
+  Matrix per_item(kItems, 40);
+  // Grain 1: items spread across all 8 lanes; each item's MatVec
+  // dispatches on its lane's thread (the nested region runs inline).
+  ParallelFor(0, kItems, [&](ParallelIndex b, ParallelIndex e) {
+    for (ParallelIndex i = b; i < e; ++i) {
+      const Vector y = MatVec(a, x);
+      for (Vector::Index c = 0; c < y.size(); ++c) per_item(i, c) = y[c];
+    }
+  }, /*grain=*/1);
+  for (ParallelIndex i = 0; i < kItems; ++i) {
+    for (Vector::Index c = 0; c < serial_naive.size(); ++c) {
+      ASSERT_EQ(per_item(i, c), serial_naive[c]) << "item " << i;
+    }
+  }
+}
+
+// ---------- End to end through the statistics path ----------
+
+TEST(KernelStatistics, ObservedFisherAgreesAcrossLevelsAndThreads) {
+  const Dataset data = SparseBinaryData(400, 600, /*seed=*/7,
+                                        /*nnz_per_row=*/20);
+  const Vector theta = testing::Trainedish(data, 1);
+  const LogisticRegressionSpec spec(1e-3);
+  StatsOptions options;
+  options.stats_sample_size = 128;
+  options.max_rank = 64;
+
+  auto variance_at = [&](KernelLevel level) {
+    return AtLevel(level, [&] {
+      Rng rng(17);
+      auto sampler = ComputeStatistics(spec, theta, data, options, &rng);
+      EXPECT_TRUE(sampler.ok()) << sampler.status().ToString();
+      auto diag = sampler->VarianceDiagonal();
+      EXPECT_TRUE(diag.ok());
+      return *diag;
+    });
+  };
+  const Vector v_naive = variance_at(KernelLevel::kNaive);
+  const Vector v_blocked = variance_at(KernelLevel::kBlocked);
+  EXPECT_LE(MaxRelDiff(v_blocked, v_naive), 1e-9);
+
+  testing::ExpectThreadCountInvariant(
+      [&] {
+        Rng rng(17);
+        auto sampler = ComputeStatistics(spec, theta, data, options, &rng);
+        EXPECT_TRUE(sampler.ok());
+        auto diag = sampler->VarianceDiagonal();
+        EXPECT_TRUE(diag.ok());
+        return *diag;
+      },
+      {1, 2, 8}, "ObservedFisher variances");
+}
+
+}  // namespace
+}  // namespace blinkml

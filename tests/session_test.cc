@@ -2,8 +2,10 @@
 // identical to standalone Coordinator::Train at any thread count, and the
 // search must keep deterministic candidate ordering under concurrency.
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -426,6 +428,81 @@ TEST(HyperparamSearch, BatchedScoringSplitsMixedSpecTypes) {
         << "candidate " << i;
   }
   EXPECT_EQ(outcomes[1].best_index, outcomes[0].best_index);
+}
+
+TEST(HyperparamSearch, QuantizedFinalSampleSizeOnlyRoundsUpOntoTheGrid) {
+  // SearchOptions::quantize_final_n rounds each candidate's estimated
+  // final n UP to the 2^(1/4) log-grid so near-identical estimates share
+  // the (seed, final n) sample-cache / feature-Gram keys. The contract
+  // must be unaffected: rounding up can only shrink v (Theorem 2).
+  const auto data = std::make_shared<const Dataset>(
+      testing::SparseBinaryData(20000, /*dim=*/400, /*seed=*/13,
+                                /*nnz_per_row=*/12));
+  const std::vector<Candidate> candidates =
+      HyperparamSearch::LogGrid(1e-4, 1e-3, 5);
+  const auto factory = [](const Candidate& c) {
+    return std::make_shared<LogisticRegressionSpec>(c.l2);
+  };
+  BlinkConfig config = FastConfig(11);
+  config.stats_sample_size = 128;  // p = 400 > n_s: sparse Gram path
+
+  SearchOutcome outcomes[2];
+  for (const bool quantize : {false, true}) {
+    TrainingSession session(data, config);
+    SearchOptions options;
+    options.contract = kTightContract;
+    options.quantize_final_n = quantize;
+    outcomes[quantize ? 1 : 0] =
+        HyperparamSearch(&session, options).Run(factory, candidates);
+  }
+  const SearchOutcome& off = outcomes[0];
+  const SearchOutcome& on = outcomes[1];
+
+  std::set<Dataset::Index> distinct_off, distinct_on;
+  int finals = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const ApproxResult& r_off = off.candidates[i].result;
+    const ApproxResult& r_on = on.candidates[i].result;
+    ASSERT_TRUE(off.candidates[i].status.ok());
+    ASSERT_TRUE(on.candidates[i].status.ok());
+    EXPECT_EQ(r_off.size_estimate.quantized_from, 0);
+    if (r_off.used_initial_only) {
+      EXPECT_TRUE(r_on.used_initial_only);
+      continue;
+    }
+    ++finals;
+    distinct_off.insert(r_off.sample_size);
+    distinct_on.insert(r_on.sample_size);
+    // Quantization only rounds UP, from the same raw estimate (the stages
+    // before it are untouched).
+    EXPECT_GE(r_on.size_estimate.sample_size, r_off.size_estimate.sample_size)
+        << "candidate " << i;
+    if (r_on.size_estimate.quantized_from > 0) {
+      EXPECT_EQ(r_on.size_estimate.quantized_from,
+                r_off.size_estimate.sample_size)
+          << "candidate " << i;
+      // The quantized n sits on the 2^(1/4) grid (or the pool cap).
+      const Dataset::Index n = r_on.size_estimate.sample_size;
+      bool on_grid = n == r_on.full_size;
+      double g = 1.0;
+      while (!on_grid && static_cast<Dataset::Index>(std::llround(g)) <= n) {
+        on_grid = static_cast<Dataset::Index>(std::llround(g)) == n;
+        g *= std::pow(2.0, 0.25);
+      }
+      EXPECT_TRUE(on_grid) << "n=" << n;
+    } else {
+      EXPECT_EQ(r_on.size_estimate.sample_size,
+                r_off.size_estimate.sample_size);
+    }
+    // The guarantee survives rounding up: any candidate that met the
+    // contract without quantization still meets it with.
+    if (r_off.contract_satisfied) {
+      EXPECT_TRUE(r_on.contract_satisfied) << "candidate " << i;
+    }
+  }
+  ASSERT_GT(finals, 0) << "fixture regression: no candidate trained a final";
+  // Rounding onto a coarser grid can only merge final sizes, never split.
+  EXPECT_LE(distinct_on.size(), distinct_off.size());
 }
 
 TEST(HyperparamSearch, GridAndRandomCandidateGenerators) {
