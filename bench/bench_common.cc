@@ -1,8 +1,9 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cmath>
 
 #include "data/generators.h"
 #include "models/linear_regression.h"
@@ -129,8 +130,22 @@ BlinkConfig ConfigFor(const Workload& workload, std::uint64_t seed) {
 }
 
 BenchFlags ParseBenchFlags(int argc, char** argv,
-                           const std::string& default_json_path) {
+                           const std::string& default_json_path,
+                           const std::vector<ExtraIntFlag>& extra) {
   BenchFlags flags;
+  const auto usage_and_exit = [&](const char* complaint,
+                                  const char* offender) {
+    std::fprintf(stderr, "%s %s\nusage: %s [--json[=path]] [--threads=N]",
+                 complaint, offender, argv[0]);
+    for (const ExtraIntFlag& f : extra) {
+      std::fprintf(stderr, " [--%s=N]", f.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    for (const ExtraIntFlag& f : extra) {
+      std::fprintf(stderr, "  --%s=N  %s\n", f.name.c_str(), f.help.c_str());
+    }
+    std::exit(2);
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg == "--json") {
@@ -142,17 +157,24 @@ BenchFlags ParseBenchFlags(int argc, char** argv,
       if (flags.json_path.empty()) flags.json_path = default_json_path;
     } else if (StartsWith(arg, "--threads=")) {
       const int v = std::atoi(argv[i] + 10);
-      if (v <= 0) {
-        std::fprintf(stderr, "--threads needs a positive integer, got %s\n",
-                     argv[i]);
-        std::exit(2);
-      }
+      if (v <= 0) usage_and_exit("--threads needs a positive integer, got",
+                                 argv[i]);
       flags.threads = v;
     } else {
-      std::fprintf(stderr,
-                   "unknown flag %s\nusage: %s [--json[=path]] [--threads=N]\n",
-                   argv[i], argv[0]);
-      std::exit(2);
+      bool matched = false;
+      for (const ExtraIntFlag& f : extra) {
+        const std::string prefix = "--" + f.name + "=";
+        if (StartsWith(arg, prefix)) {
+          const int v = std::atoi(argv[i] + prefix.size());
+          if (v <= 0) {
+            usage_and_exit("flag needs a positive integer:", argv[i]);
+          }
+          *f.value = v;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) usage_and_exit("unknown flag", argv[i]);
     }
   }
   if (flags.json && default_json_path.empty()) {
@@ -164,6 +186,17 @@ BenchFlags ParseBenchFlags(int argc, char** argv,
   }
   g_bench_threads = flags.threads;
   return flags;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  // Nearest-rank: ceil(p/100 * N), 1-based.
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(values.size())));
+  if (rank == 0) rank = 1;
+  return values[rank - 1];
 }
 
 namespace {

@@ -61,8 +61,9 @@ BlinkConfig ConfigFor(const Workload& workload, std::uint64_t seed);
 //                  the bench's "BENCH_<name>.json");
 //   --threads=N    cap the runtime lanes (RuntimeOptions::num_threads;
 //                  results are unaffected by the determinism contract).
-// Unknown flags print a usage line and exit(2) so a typo never silently
-// runs the default configuration.
+// Unknown flags print a usage line (including any bench-specific extra
+// flags) and exit(2) so a typo never silently runs the default
+// configuration.
 
 struct BenchFlags {
   bool json = false;
@@ -71,12 +72,26 @@ struct BenchFlags {
   int threads = 0;
 };
 
+/// A bench-specific `--<name>=<positive int>` flag registered with
+/// ParseBenchFlags, so every harness shares one parser (and one
+/// unknown-flag rejection path) instead of growing its own.
+struct ExtraIntFlag {
+  std::string name;  // without the "--" prefix
+  std::string help;  // one line for the usage message
+  int* value;        // written on parse; untouched when absent
+};
+
 /// Parses the shared flags. The thread cap is also remembered
 /// process-wide and applied by ConfigFor, so the figure harnesses honor
 /// --threads without per-bench plumbing; benches that build their own
 /// BlinkConfig set `config.runtime.num_threads = flags.threads`.
 BenchFlags ParseBenchFlags(int argc, char** argv,
-                           const std::string& default_json_path);
+                           const std::string& default_json_path,
+                           const std::vector<ExtraIntFlag>& extra = {});
+
+/// Nearest-rank percentile (p in [0, 100]) of `values`; 0 when empty.
+/// Copies and sorts internally.
+double Percentile(std::vector<double> values, double p);
 
 /// Minimal ordered JSON-object builder (numbers round-trip via %.17g;
 /// strings are escaped). Enough for flat metrics plus one level of

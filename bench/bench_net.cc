@@ -1,0 +1,315 @@
+// Networked-serving smoke benchmark: starts a BlinkServer on a Unix
+// socket, drives it with the blocking BlinkClient (register, one Train,
+// a burst of Predict calls), and reports per-request wire latency
+// percentiles plus throughput. Exit status asserts the transparency
+// contract: the Train result and the Predict outputs that came back over
+// the socket must be bitwise identical to the same calls against an
+// in-process SessionManager.
+//
+//   $ ./build/bench_net [--json[=path]] [--threads=N]
+//                       [--requests=N] [--runner-threads=N] [--clients=N]
+//
+// Honors BLINKML_SCALE (dataset rows). With --json the summary is
+// written to BENCH_net.json.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "net/client.h"
+#include "net/codec.h"
+#include "net/server.h"
+#include "serve/session_manager.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace blinkml;
+using namespace blinkml::net;
+
+std::string SocketPath() {
+  return "/tmp/blinkml_bench_net_" + std::to_string(::getpid()) + ".sock";
+}
+
+RegisterDatasetRequest MakeRegistration(double scale) {
+  RegisterDatasetRequest request;
+  request.tenant = "bench";
+  request.name = "bench-logistic";
+  request.generator = WireGenerator::kSyntheticLogistic;
+  request.rows = static_cast<std::int64_t>(20'000 * scale);
+  request.dim = 16;
+  request.data_seed = 3;
+  request.sparsity = 1.0;
+  request.noise = 0.1;
+  request.config.seed = 11;
+  request.config.initial_sample_size = 4000;
+  request.config.holdout_size = 2000;
+  request.config.stats_sample_size = 256;
+  request.config.accuracy_samples = 128;
+  request.config.size_samples = 128;
+  return request;
+}
+
+bool ModelsBitwiseEqual(const TrainedModel& a, const TrainedModel& b) {
+  if (a.theta.size() != b.theta.size()) return false;
+  return MaxAbsDiff(a.theta, b.theta) == 0.0 &&
+         a.iterations == b.iterations && a.sample_size == b.sample_size;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blinkml::bench;
+
+  int requests = 64;
+  int runner_threads = 2;
+  int clients = 1;
+  const std::vector<ExtraIntFlag> extra = {
+      {"requests", "Predict calls per client (default 64)", &requests},
+      {"runner-threads", "server runner threads (default 2)",
+       &runner_threads},
+      {"clients", "concurrent client connections (default 1)", &clients},
+  };
+  const BenchFlags flags =
+      ParseBenchFlags(argc, argv, "BENCH_net.json", extra);
+  const double scale = ScaleFromEnv();
+
+  const RegisterDatasetRequest registration = MakeRegistration(scale);
+  TrainRequestWire train;
+  train.tenant = registration.tenant;
+  train.dataset = registration.name;
+  train.model_class = "LogisticRegression";
+  train.l2 = 1e-3;
+  train.epsilon = 0.05;
+  train.delta = 0.05;
+
+  PrintHeader("Networked serving: BlinkServer over a Unix socket");
+  std::printf("rows=%lld dim=%lld requests=%d clients=%d runner_threads=%d\n",
+              static_cast<long long>(registration.rows),
+              static_cast<long long>(registration.dim), requests, clients,
+              runner_threads);
+
+  // --- In-process reference (the bitwise target): same factory, same
+  // config, same request against a bare SessionManager.
+  SessionManager reference;
+  {
+    const Status st = reference.RegisterDataset(
+        registration.name,
+        [registration] { return std::move(*MakeWireDataset(registration)); },
+        ToBlinkConfig(registration.config));
+    if (!st.ok()) {
+      std::fprintf(stderr, "reference register failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  TrainRequest reference_train;
+  reference_train.dataset = registration.name;
+  reference_train.spec = *MakeSpecByName(train.model_class, train.l2);
+  reference_train.contract = {train.epsilon, train.delta};
+  const auto reference_result = reference.SubmitTrain(reference_train).get();
+  if (!reference_result.ok()) {
+    std::fprintf(stderr, "reference train failed: %s\n",
+                 reference_result.status().ToString().c_str());
+    return 1;
+  }
+
+  // Probe rows for Predict, lifted from the registered dataset itself so
+  // client and server agree on the bytes.
+  const Dataset probe_data = *MakeWireDataset(registration);
+  const Dataset::Index probe_rows = 32;
+  const auto dim = static_cast<Dataset::Index>(registration.dim);
+  std::vector<double> probe(
+      static_cast<std::size_t>(probe_rows * dim));
+  for (Dataset::Index r = 0; r < probe_rows; ++r) {
+    for (Dataset::Index c = 0; c < dim; ++c) {
+      probe[static_cast<std::size_t>(r * dim + c)] = probe_data.dense()(r, c);
+    }
+  }
+  Matrix probe_matrix(probe_rows, dim);
+  std::memcpy(probe_matrix.data(), probe.data(),
+              probe.size() * sizeof(double));
+  const Dataset probe_set(std::move(probe_matrix), Vector(probe_rows),
+                          Task::kBinary);
+  Vector expected_predictions;
+  (*MakeSpecByName(train.model_class, train.l2))
+      ->Predict(reference_result->model.theta, probe_set,
+                &expected_predictions);
+
+  // --- The served run.
+  SessionManager manager(ServeOptions{0, runner_threads});
+  ServerOptions server_options;
+  server_options.unix_path = SocketPath();
+  server_options.runner_threads = runner_threads;
+  BlinkServer server(&manager, server_options);
+  {
+    const Status st = server.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto client = BlinkClient::ConnectUnix(server_options.unix_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  WallTimer register_timer;
+  const auto registered = client->RegisterDataset(registration);
+  const double register_seconds = register_timer.Seconds();
+  if (!registered.ok()) {
+    std::fprintf(stderr, "register failed: %s\n",
+                 registered.status().ToString().c_str());
+    return 1;
+  }
+
+  WallTimer train_timer;
+  const auto trained = client->Train(train);
+  const double train_seconds = train_timer.Seconds();
+  if (!trained.ok()) {
+    std::fprintf(stderr, "train failed: %s\n",
+                 trained.status().ToString().c_str());
+    return 1;
+  }
+  const bool bitwise_train =
+      ModelsBitwiseEqual(trained->model, reference_result->model) &&
+      trained->final_epsilon == reference_result->final_epsilon &&
+      trained->sample_size == reference_result->sample_size;
+
+  // --- Predict burst: `clients` connections, `requests` blocking calls
+  // each, every per-call latency recorded. The served model ships back
+  // verbatim in each request.
+  PredictRequestWire predict;
+  predict.tenant = registration.tenant;
+  predict.model_class = train.model_class;
+  predict.model = trained->model;
+  predict.rows = probe_rows;
+  predict.dim = dim;
+  predict.features = probe;
+
+  const int total_requests = requests * clients;
+  std::vector<double> latencies(static_cast<std::size_t>(total_requests),
+                                0.0);
+  // char, not bool: vector<bool> packs bits and concurrent writes to
+  // neighboring elements would race.
+  std::vector<char> client_bitwise(static_cast<std::size_t>(clients), 0);
+  WallTimer burst_timer;
+  {
+    std::vector<std::thread> drivers;
+    for (int c = 0; c < clients; ++c) {
+      drivers.emplace_back([&, c] {
+        auto conn = BlinkClient::ConnectUnix(server_options.unix_path);
+        if (!conn.ok()) {
+          std::fprintf(stderr, "client %d connect failed: %s\n", c,
+                       conn.status().ToString().c_str());
+          return;
+        }
+        bool all_bitwise = true;
+        for (int j = 0; j < requests; ++j) {
+          WallTimer call_timer;
+          const auto predicted = conn->Predict(predict);
+          const double seconds = call_timer.Seconds();
+          if (!predicted.ok()) {
+            std::fprintf(stderr, "predict failed: %s\n",
+                         predicted.status().ToString().c_str());
+            return;
+          }
+          latencies[static_cast<std::size_t>(c * requests + j)] = seconds;
+          if (predicted->predictions.size() !=
+              static_cast<std::size_t>(expected_predictions.size())) {
+            all_bitwise = false;
+            continue;
+          }
+          for (Vector::Index i = 0; i < expected_predictions.size(); ++i) {
+            all_bitwise =
+                all_bitwise &&
+                predicted->predictions[static_cast<std::size_t>(i)] ==
+                    expected_predictions[i];
+          }
+        }
+        client_bitwise[static_cast<std::size_t>(c)] = all_bitwise ? 1 : 0;
+      });
+    }
+    for (auto& driver : drivers) driver.join();
+  }
+  const double burst_seconds = burst_timer.Seconds();
+  bool bitwise_predict = true;
+  for (int c = 0; c < clients; ++c) {
+    bitwise_predict = bitwise_predict &&
+                      client_bitwise[static_cast<std::size_t>(c)] != 0;
+  }
+  for (double seconds : latencies) {
+    bitwise_predict = bitwise_predict && seconds > 0.0;  // every call ran
+  }
+
+  const double p50_ms = Percentile(latencies, 50.0) * 1e3;
+  const double p95_ms = Percentile(latencies, 95.0) * 1e3;
+  const double p99_ms = Percentile(latencies, 99.0) * 1e3;
+  const double qps =
+      burst_seconds > 0.0 ? total_requests / burst_seconds : 0.0;
+
+  const auto server_stats = server.stats();
+  const auto stats = client->Stats(registration.tenant);
+  server.Stop();
+
+  std::printf("\nregister: %s   train: %s\n",
+              HumanSeconds(register_seconds).c_str(),
+              HumanSeconds(train_seconds).c_str());
+  std::printf("predict burst: %d calls in %s  ->  %.0f req/s\n",
+              total_requests, HumanSeconds(burst_seconds).c_str(), qps);
+  std::printf("predict latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+              p50_ms, p95_ms, p99_ms);
+  std::printf("train round trip:   %s\n",
+              bitwise_train ? "bitwise identical" : "MISMATCH");
+  std::printf("predict round trip: %s\n",
+              bitwise_predict ? "bitwise identical" : "MISMATCH");
+  std::printf("server: %llu frames in, %llu responses, %llu jobs enqueued\n",
+              static_cast<unsigned long long>(server_stats.frames_received),
+              static_cast<unsigned long long>(server_stats.responses_sent),
+              static_cast<unsigned long long>(server_stats.jobs_enqueued));
+  if (stats.ok()) {
+    std::printf("manager: %llu jobs, %d live sessions, %llu cached bytes\n",
+                static_cast<unsigned long long>(stats->manager.jobs_submitted),
+                static_cast<int>(stats->manager.live_sessions),
+                static_cast<unsigned long long>(stats->manager.cached_bytes));
+  }
+
+  if (flags.json) {
+    JsonObject root;
+    root.Str("bench", "net")
+        .Int("rows", registration.rows)
+        .Int("dim", registration.dim)
+        .Number("scale", scale)
+        .Int("requests", total_requests)
+        .Int("clients", clients)
+        .Int("runner_threads", runner_threads)
+        .Number("register_seconds", register_seconds)
+        .Number("train_seconds", train_seconds)
+        .Number("predict_seconds", burst_seconds)
+        .Number("predict_qps", qps)
+        .Number("predict_p50_ms", p50_ms)
+        .Number("predict_p95_ms", p95_ms)
+        .Number("predict_p99_ms", p99_ms)
+        .Int("frames_received",
+             static_cast<long long>(server_stats.frames_received))
+        .Int("responses_sent",
+             static_cast<long long>(server_stats.responses_sent))
+        .Bool("bitwise_train", bitwise_train)
+        .Bool("bitwise_predict", bitwise_predict);
+    if (!WriteBenchFile(flags.json_path, root.ToString())) return 1;
+  }
+  return (bitwise_train && bitwise_predict) ? 0 : 1;
+}

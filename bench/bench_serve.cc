@@ -16,6 +16,7 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -223,6 +224,50 @@ int main(int argc, char** argv) {
     deterministic = deterministic && OutcomesBitwiseEqual(served, run);
   }
 
+  // --- Job latency under a burst: kTenants x kCandidates single Train
+  // jobs submitted at once against one manager; each job's latency runs
+  // from the (shared) submission instant to its future resolving, so the
+  // tail percentiles expose queueing behind the kTenants runner slots.
+  const int burst_jobs = kTenants * kCandidates;
+  std::vector<double> latencies(static_cast<std::size_t>(burst_jobs), 0.0);
+  double burst_seconds = 0.0;
+  {
+    ServeOptions serve_options;
+    serve_options.max_concurrent_jobs = kTenants;
+    SessionManager manager(serve_options);
+    for (int t = 0; t < kTenants; ++t) {
+      const auto shared = datasets[static_cast<std::size_t>(t)];
+      (void)manager.RegisterDataset(names[static_cast<std::size_t>(t)],
+                                    [shared] { return Dataset(*shared); },
+                                    config);
+    }
+    WallTimer burst_timer;
+    std::vector<std::thread> waiters;
+    for (int j = 0; j < burst_jobs; ++j) {
+      TrainRequest request;
+      request.dataset = names[static_cast<std::size_t>(j % kTenants)];
+      request.spec = factory(candidates[static_cast<std::size_t>(
+          j % static_cast<int>(candidates.size()))]);
+      request.contract = kContract;
+      auto future = manager.SubmitTrain(std::move(request));
+      waiters.emplace_back(
+          [f = std::move(future), &latencies, &burst_timer, j]() mutable {
+            const auto result = f.get();
+            if (!result.ok()) {
+              std::fprintf(stderr, "burst job failed: %s\n",
+                           result.status().ToString().c_str());
+              std::exit(1);
+            }
+            latencies[static_cast<std::size_t>(j)] = burst_timer.Seconds();
+          });
+    }
+    for (auto& waiter : waiters) waiter.join();
+    burst_seconds = burst_timer.Seconds();
+  }
+  const double p50_ms = Percentile(latencies, 50.0) * 1e3;
+  const double p95_ms = Percentile(latencies, 95.0) * 1e3;
+  const double p99_ms = Percentile(latencies, 99.0) * 1e3;
+
   const double speedup = naive_seconds / served.seconds;
   std::uint64_t gram_hits = 0, gram_misses = 0;
   int batched_groups = 0;
@@ -245,6 +290,10 @@ int main(int argc, char** argv) {
               max_theta_diff);
   std::printf("determinism:       %s (repeat run + 1/2 threads)\n",
               deterministic ? "bitwise identical" : "MISMATCH");
+  std::printf("burst of %d train jobs: %s total; job latency p50 %.0f ms, "
+              "p95 %.0f ms, p99 %.0f ms\n",
+              burst_jobs, HumanSeconds(burst_seconds).c_str(), p50_ms,
+              p95_ms, p99_ms);
 
   if (flags.json) {
     const std::string& json_path = flags.json_path;
@@ -262,6 +311,11 @@ int main(int argc, char** argv) {
         .Int("gram_cache_hits", static_cast<long long>(gram_hits))
         .Int("gram_cache_misses", static_cast<long long>(gram_misses))
         .Int("batched_score_matrices", batched_groups)
+        .Int("burst_jobs", burst_jobs)
+        .Number("burst_seconds", burst_seconds)
+        .Number("job_latency_p50_ms", p50_ms)
+        .Number("job_latency_p95_ms", p95_ms)
+        .Number("job_latency_p99_ms", p99_ms)
         .Number("max_theta_diff", max_theta_diff)
         .Bool("bitwise_vs_naive", bitwise_vs_naive)
         .Bool("bitwise_deterministic", deterministic);

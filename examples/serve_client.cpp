@@ -1,0 +1,147 @@
+// Client for example_serve_daemon: connects (with retries, so CI can
+// start the daemon in the background a moment earlier), registers a
+// synthetic dataset, trains a logistic model under an accuracy contract,
+// predicts with the returned model, and reads the server stats.
+//
+//   $ ./build/example_serve_client [--socket=/path.sock]
+//
+// The exit code is the check: 0 only if every call succeeded AND the
+// served predictions are bitwise identical to running the returned model
+// through ModelSpec::Predict in-process — the wire adds transport, never
+// arithmetic.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "net/client.h"
+#include "net/codec.h"
+
+int main(int argc, char** argv) {
+  using namespace blinkml;
+  using namespace blinkml::net;
+
+  std::string socket_path = "/tmp/blinkml_serve.sock";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(std::strlen("--socket="));
+    } else {
+      std::fprintf(stderr, "usage: %s [--socket=/path.sock]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // The daemon may still be binding its socket; retry for ~5 seconds.
+  Result<BlinkClient> client = Status::IOError("not yet connected");
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    client = BlinkClient::ConnectUnix(socket_path);
+    if (client.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect to %s failed: %s\n", socket_path.c_str(),
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  RegisterDatasetRequest registration;
+  registration.tenant = "demo";
+  registration.name = "demo-logistic";
+  registration.generator = WireGenerator::kSyntheticLogistic;
+  registration.rows = 20'000;
+  registration.dim = 8;
+  registration.data_seed = 7;
+  registration.config.seed = 11;
+  registration.config.initial_sample_size = 4000;
+  registration.config.holdout_size = 2000;
+  registration.config.stats_sample_size = 256;
+  registration.config.accuracy_samples = 128;
+  registration.config.size_samples = 128;
+  const auto registered = client->RegisterDataset(registration);
+  if (!registered.ok()) {
+    std::fprintf(stderr, "register failed: %s\n",
+                 registered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("registered %s (%llu bytes resident)\n",
+              registration.name.c_str(),
+              static_cast<unsigned long long>(registered->dataset_bytes));
+
+  TrainRequestWire train;
+  train.tenant = registration.tenant;
+  train.dataset = registration.name;
+  train.model_class = "LogisticRegression";
+  train.l2 = 1e-3;
+  train.epsilon = 0.05;
+  train.delta = 0.05;
+  const auto trained = client->Train(train);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "train failed: %s\n",
+                 trained.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("trained on %lld rows (bound %.4f, contract %s)\n",
+              static_cast<long long>(trained->sample_size),
+              trained->final_epsilon,
+              trained->contract_satisfied ? "satisfied" : "NOT satisfied");
+
+  // Predict over the wire, then run the same model in-process and demand
+  // identical bits.
+  const Dataset probe_data = *MakeWireDataset(registration);
+  const Dataset::Index probe_rows = 8;
+  const auto dim = static_cast<Dataset::Index>(registration.dim);
+  PredictRequestWire predict;
+  predict.tenant = registration.tenant;
+  predict.model_class = train.model_class;
+  predict.model = trained->model;
+  predict.rows = probe_rows;
+  predict.dim = dim;
+  Matrix probe_matrix(probe_rows, dim);
+  for (Dataset::Index r = 0; r < probe_rows; ++r) {
+    for (Dataset::Index c = 0; c < dim; ++c) {
+      const double value = probe_data.dense()(r, c);
+      probe_matrix.data()[r * dim + c] = value;
+      predict.features.push_back(value);
+    }
+  }
+  const auto predicted = client->Predict(predict);
+  if (!predicted.ok()) {
+    std::fprintf(stderr, "predict failed: %s\n",
+                 predicted.status().ToString().c_str());
+    return 1;
+  }
+
+  const Dataset probe_set(std::move(probe_matrix), Vector(probe_rows),
+                          Task::kBinary);
+  Vector expected;
+  (*MakeSpecByName(train.model_class, train.l2))
+      ->Predict(trained->model.theta, probe_set, &expected);
+  bool bitwise = predicted->predictions.size() ==
+                 static_cast<std::size_t>(expected.size());
+  for (Vector::Index i = 0; bitwise && i < expected.size(); ++i) {
+    bitwise = predicted->predictions[static_cast<std::size_t>(i)] ==
+              expected[i];
+  }
+  std::printf("predictions on %lld probe rows: %s vs in-process\n",
+              static_cast<long long>(probe_rows),
+              bitwise ? "bitwise identical" : "MISMATCH");
+
+  const auto stats = client->Stats(registration.tenant);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "stats failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("server: %llu frames, %llu jobs; manager: %d sessions, "
+              "%llu bytes resident\n",
+              static_cast<unsigned long long>(stats->server.frames_received),
+              static_cast<unsigned long long>(stats->server.jobs_enqueued),
+              stats->manager.live_sessions,
+              static_cast<unsigned long long>(stats->manager.resident_bytes));
+  return bitwise ? 0 : 1;
+}

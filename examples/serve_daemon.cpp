@@ -1,0 +1,82 @@
+// Stand-alone BlinkML serving daemon: a SessionManager behind the framed
+// wire protocol (src/net/) on a Unix-domain socket.
+//
+//   $ ./build/example_serve_daemon [--socket=/path.sock] [--runner-threads=N]
+//
+// Runs until SIGINT/SIGTERM, then drains the job queue (every admitted
+// job still gets its response) and exits 0. Pair with
+// example_serve_client, which registers a dataset, trains, and predicts
+// over the socket — CI runs the two as its release smoke test.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/server.h"
+#include "serve/session_manager.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blinkml;
+  using namespace blinkml::net;
+
+  std::string socket_path = "/tmp/blinkml_serve.sock";
+  int runner_threads = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(std::strlen("--socket="));
+    } else if (arg.rfind("--runner-threads=", 0) == 0) {
+      runner_threads = std::atoi(arg.c_str() + std::strlen("--runner-threads="));
+      if (runner_threads < 1) {
+        std::fprintf(stderr, "--runner-threads must be >= 1\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--socket=/path.sock] [--runner-threads=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  SessionManager manager(ServeOptions{/*max_resident_bytes=*/512ull << 20,
+                                      /*max_concurrent_jobs=*/runner_threads});
+  ServerOptions options;
+  options.unix_path = socket_path;
+  options.runner_threads = runner_threads;
+  BlinkServer server(&manager, options);
+  const Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf("serving on %s (%d runner threads); SIGINT/SIGTERM to stop\n",
+              socket_path.c_str(), runner_threads);
+  std::fflush(stdout);
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  server.Stop();
+  const auto stats = server.stats();
+  std::printf("stopped: %llu frames, %llu responses, %llu jobs\n",
+              static_cast<unsigned long long>(stats.frames_received),
+              static_cast<unsigned long long>(stats.responses_sent),
+              static_cast<unsigned long long>(stats.jobs_enqueued));
+  return 0;
+}

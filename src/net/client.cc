@@ -1,0 +1,183 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace blinkml {
+namespace net {
+
+Result<BlinkClient> BlinkClient::ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        StrFormat("unix socket path too long: %s", path.c_str()));
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("socket: %s", ::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const Status status = Status::IOError(
+        StrFormat("connect(%s): %s", path.c_str(), ::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  return BlinkClient(fd);
+}
+
+Result<BlinkClient> BlinkClient::ConnectTcp(const std::string& host,
+                                            int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("bad host address: %s", host.c_str()));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("socket: %s", ::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const Status status = Status::IOError(StrFormat(
+        "connect(%s:%d): %s", host.c_str(), port, ::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  return BlinkClient(fd);
+}
+
+BlinkClient::BlinkClient(BlinkClient&& other) noexcept
+    : fd_(other.fd_),
+      next_request_id_(other.next_request_id_),
+      last_retry_after_ms_(other.last_retry_after_ms_) {
+  other.fd_ = -1;
+}
+
+BlinkClient& BlinkClient::operator=(BlinkClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    next_request_id_ = other.next_request_id_;
+    last_retry_after_ms_ = other.last_retry_after_ms_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+BlinkClient::~BlinkClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status BlinkClient::Call(Verb verb, const WireWriter& payload,
+                         CallOptions options,
+                         std::vector<std::uint8_t>* body) {
+  last_retry_after_ms_ = 0;
+  if (fd_ < 0) return Status::IOError("client is not connected");
+
+  FrameHeader header;
+  header.verb = verb;
+  header.request_id = next_request_id_++;
+  header.priority = options.priority;
+  header.deadline_ms = options.deadline_ms;
+  BLINKML_RETURN_NOT_OK(WriteFrame(fd_, header, payload.bytes().data(),
+                                   payload.bytes().size()));
+
+  Frame response;
+  BLINKML_RETURN_NOT_OK(ReadFrame(fd_, &response));
+  if (response.header.request_id != header.request_id) {
+    return Status::IOError(StrFormat(
+        "response id %llu does not match request id %llu (stream "
+        "desynchronized)",
+        static_cast<unsigned long long>(response.header.request_id),
+        static_cast<unsigned long long>(header.request_id)));
+  }
+
+  WireReader reader(response.payload.data(), response.payload.size());
+  ResponseEnvelope envelope;
+  BLINKML_RETURN_NOT_OK(Decode(&reader, &envelope));
+  if (envelope.status != WireStatus::kOk) {
+    last_retry_after_ms_ = envelope.retry_after_ms;
+    return StatusFromWire(envelope.status, envelope.message);
+  }
+  body->assign(response.payload.end() -
+                   static_cast<std::ptrdiff_t>(reader.remaining()),
+               response.payload.end());
+  return Status::OK();
+}
+
+template <typename Response>
+Result<Response> BlinkClient::TypedCall(Verb verb, const WireWriter& payload,
+                                        CallOptions options) {
+  std::vector<std::uint8_t> body;
+  BLINKML_RETURN_NOT_OK(Call(verb, payload, options, &body));
+  WireReader reader(body.data(), body.size());
+  Response response;
+  BLINKML_RETURN_NOT_OK(Decode(&reader, &response));
+  return response;
+}
+
+Result<RegisterDatasetResponse> BlinkClient::RegisterDataset(
+    const RegisterDatasetRequest& request, CallOptions options) {
+  WireWriter payload;
+  Encode(request, &payload);
+  return TypedCall<RegisterDatasetResponse>(Verb::kRegisterDataset, payload,
+                                            options);
+}
+
+Result<TrainResponseWire> BlinkClient::Train(const TrainRequestWire& request,
+                                             CallOptions options) {
+  WireWriter payload;
+  Encode(request, &payload);
+  return TypedCall<TrainResponseWire>(Verb::kTrain, payload, options);
+}
+
+Result<SearchResponseWire> BlinkClient::Search(
+    const SearchRequestWire& request, CallOptions options) {
+  WireWriter payload;
+  Encode(request, &payload);
+  return TypedCall<SearchResponseWire>(Verb::kSearch, payload, options);
+}
+
+Result<PredictResponseWire> BlinkClient::Predict(
+    const PredictRequestWire& request, CallOptions options) {
+  WireWriter payload;
+  BLINKML_RETURN_NOT_OK(Encode(request, &payload));
+  return TypedCall<PredictResponseWire>(Verb::kPredict, payload, options);
+}
+
+Result<StatsResponseWire> BlinkClient::Stats(const std::string& tenant,
+                                             CallOptions options) {
+  StatsRequestWire request;
+  request.tenant = tenant;
+  WireWriter payload;
+  Encode(request, &payload);
+  return TypedCall<StatsResponseWire>(Verb::kStats, payload, options);
+}
+
+Result<EvictIdleResponseWire> BlinkClient::EvictIdle(
+    const std::string& tenant, CallOptions options) {
+  EvictIdleRequestWire request;
+  request.tenant = tenant;
+  WireWriter payload;
+  Encode(request, &payload);
+  return TypedCall<EvictIdleResponseWire>(Verb::kEvictIdle, payload, options);
+}
+
+}  // namespace net
+}  // namespace blinkml

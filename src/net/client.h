@@ -1,0 +1,87 @@
+// BlinkClient: blocking client for the networked serving front.
+//
+// One connection, one outstanding request at a time: each call encodes
+// its payload, writes one frame, and blocks for the response frame,
+// checking that the echoed request id matches (a mismatch means the
+// stream desynchronized and surfaces as an error, never as silently
+// swapped results). Thread-compatible, not thread-safe — callers wanting
+// parallel requests open one client per thread (the server multiplexes
+// any number of connections).
+//
+// Rejections map back onto util/status.h via StatusFromWire with the
+// wire status name prefixed to the message (e.g. "RateLimited: ...");
+// retry-after hints from the last rejection are kept on the client
+// (last_retry_after_ms).
+
+#ifndef BLINKML_NET_CLIENT_H_
+#define BLINKML_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/codec.h"
+#include "net/protocol.h"
+#include "util/status.h"
+
+namespace blinkml {
+namespace net {
+
+/// Per-call scheduling knobs, carried in the frame header.
+struct CallOptions {
+  /// Higher drains first at the server's job queue.
+  std::int32_t priority = 0;
+  /// Relative deadline from server receipt; 0 = none. Expired jobs are
+  /// rejected with kDeadlineExceeded before execution.
+  std::uint32_t deadline_ms = 0;
+};
+
+class BlinkClient {
+ public:
+  static Result<BlinkClient> ConnectUnix(const std::string& path);
+  static Result<BlinkClient> ConnectTcp(const std::string& host, int port);
+
+  BlinkClient(BlinkClient&& other) noexcept;
+  BlinkClient& operator=(BlinkClient&& other) noexcept;
+  BlinkClient(const BlinkClient&) = delete;
+  BlinkClient& operator=(const BlinkClient&) = delete;
+  ~BlinkClient();
+
+  Result<RegisterDatasetResponse> RegisterDataset(
+      const RegisterDatasetRequest& request, CallOptions options = {});
+  Result<TrainResponseWire> Train(const TrainRequestWire& request,
+                                  CallOptions options = {});
+  Result<SearchResponseWire> Search(const SearchRequestWire& request,
+                                    CallOptions options = {});
+  Result<PredictResponseWire> Predict(const PredictRequestWire& request,
+                                      CallOptions options = {});
+  Result<StatsResponseWire> Stats(const std::string& tenant,
+                                  CallOptions options = {});
+  Result<EvictIdleResponseWire> EvictIdle(const std::string& tenant,
+                                          CallOptions options = {});
+
+  /// Retry-after hint from the most recent rejected call (0 = none given;
+  /// reset by every call).
+  std::uint32_t last_retry_after_ms() const { return last_retry_after_ms_; }
+
+ private:
+  explicit BlinkClient(int fd) : fd_(fd) {}
+
+  /// Writes one frame and blocks for its response; on a kOk envelope the
+  /// body bytes are left in *body for the caller to decode.
+  Status Call(Verb verb, const WireWriter& payload, CallOptions options,
+              std::vector<std::uint8_t>* body);
+
+  template <typename Response>
+  Result<Response> TypedCall(Verb verb, const WireWriter& payload,
+                             CallOptions options);
+
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  std::uint32_t last_retry_after_ms_ = 0;
+};
+
+}  // namespace net
+}  // namespace blinkml
+
+#endif  // BLINKML_NET_CLIENT_H_

@@ -1,0 +1,465 @@
+#include "net/codec.h"
+
+#include <utility>
+
+#include "data/generators.h"
+#include "models/linear_regression.h"
+#include "models/logistic_regression.h"
+#include "models/poisson_regression.h"
+#include "models/serialization.h"
+#include "util/string_util.h"
+
+namespace blinkml {
+namespace net {
+
+namespace {
+
+Status ReaderStatus(const WireReader& in) {
+  if (!in.ok()) return Status::InvalidArgument("truncated payload");
+  return Status::OK();
+}
+
+/// Embeds a TrainedModel as the serialization.h text blob.
+Status EncodeModelBlob(const std::string& model_class,
+                       const TrainedModel& model, WireWriter* out) {
+  BLINKML_ASSIGN_OR_RETURN(std::string text,
+                           EncodeModelText(model_class, model));
+  out->Str(text);
+  return Status::OK();
+}
+
+Status DecodeModelBlob(WireReader* in, std::string* model_class,
+                       TrainedModel* model) {
+  const std::string text = in->Str();
+  BLINKML_RETURN_NOT_OK(ReaderStatus(*in));
+  BLINKML_ASSIGN_OR_RETURN(SavedModel saved, DecodeModelText(text));
+  *model_class = std::move(saved.model_class);
+  *model = std::move(saved.model);
+  return Status::OK();
+}
+
+}  // namespace
+
+void Encode(const ResponseEnvelope& v, WireWriter* out) {
+  out->U16(static_cast<std::uint16_t>(v.status));
+  out->Str(v.message);
+  out->U32(v.retry_after_ms);
+}
+
+Status Decode(WireReader* in, ResponseEnvelope* out) {
+  out->status = static_cast<WireStatus>(in->U16());
+  out->message = in->Str();
+  out->retry_after_ms = in->U32();
+  return ReaderStatus(*in);
+}
+
+BlinkConfig ToBlinkConfig(const WireConfig& wire) {
+  BlinkConfig config;
+  config.seed = wire.seed;
+  config.initial_sample_size = wire.initial_sample_size;
+  config.holdout_size = wire.holdout_size;
+  config.stats_sample_size = wire.stats_sample_size;
+  config.accuracy_samples = wire.accuracy_samples;
+  config.size_samples = wire.size_samples;
+  return config;
+}
+
+namespace {
+
+void Encode(const WireConfig& v, WireWriter* out) {
+  out->U64(v.seed);
+  out->I64(v.initial_sample_size);
+  out->I64(v.holdout_size);
+  out->I64(v.stats_sample_size);
+  out->I32(v.accuracy_samples);
+  out->I32(v.size_samples);
+}
+
+void DecodeInto(WireReader* in, WireConfig* out) {
+  out->seed = in->U64();
+  out->initial_sample_size = in->I64();
+  out->holdout_size = in->I64();
+  out->stats_sample_size = in->I64();
+  out->accuracy_samples = in->I32();
+  out->size_samples = in->I32();
+}
+
+}  // namespace
+
+Result<Dataset> MakeWireDataset(const RegisterDatasetRequest& request) {
+  if (request.rows <= 0 || request.dim <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("dataset needs positive rows/dim, got %lld x %lld",
+                  static_cast<long long>(request.rows),
+                  static_cast<long long>(request.dim)));
+  }
+  switch (request.generator) {
+    case WireGenerator::kSyntheticLogistic:
+      if (request.sparsity <= 0.0 || request.sparsity > 1.0) {
+        return Status::InvalidArgument("sparsity must be in (0, 1]");
+      }
+      return MakeSyntheticLogistic(request.rows, request.dim,
+                                   request.data_seed, request.sparsity,
+                                   request.noise);
+    case WireGenerator::kSyntheticLinear:
+      return MakeSyntheticLinear(request.rows, request.dim, request.data_seed,
+                                 request.noise);
+    case WireGenerator::kCriteoLike:
+      if (request.nnz_per_row <= 0) {
+        return Status::InvalidArgument("nnz_per_row must be positive");
+      }
+      return MakeCriteoLike(request.rows, request.data_seed, request.dim,
+                            request.nnz_per_row);
+    case WireGenerator::kGasLike:
+      return MakeGasLike(request.rows, request.data_seed, request.dim);
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown dataset generator %u",
+                static_cast<unsigned>(request.generator)));
+}
+
+void Encode(const RegisterDatasetRequest& v, WireWriter* out) {
+  out->Str(v.tenant);
+  out->Str(v.name);
+  out->U16(static_cast<std::uint16_t>(v.generator));
+  out->I64(v.rows);
+  out->I64(v.dim);
+  out->U64(v.data_seed);
+  out->F64(v.sparsity);
+  out->F64(v.noise);
+  out->I64(v.nnz_per_row);
+  Encode(v.config, out);
+}
+
+Status Decode(WireReader* in, RegisterDatasetRequest* out) {
+  out->tenant = in->Str();
+  out->name = in->Str();
+  out->generator = static_cast<WireGenerator>(in->U16());
+  out->rows = in->I64();
+  out->dim = in->I64();
+  out->data_seed = in->U64();
+  out->sparsity = in->F64();
+  out->noise = in->F64();
+  out->nnz_per_row = in->I64();
+  DecodeInto(in, &out->config);
+  BLINKML_RETURN_NOT_OK(ReaderStatus(*in));
+  switch (out->generator) {
+    case WireGenerator::kSyntheticLogistic:
+    case WireGenerator::kSyntheticLinear:
+    case WireGenerator::kCriteoLike:
+    case WireGenerator::kGasLike:
+      break;
+    default:
+      return Status::InvalidArgument(
+          StrFormat("unknown dataset generator %u",
+                    static_cast<unsigned>(out->generator)));
+  }
+  if (out->name.empty()) {
+    return Status::InvalidArgument("dataset name must not be empty");
+  }
+  return Status::OK();
+}
+
+void Encode(const RegisterDatasetResponse& v, WireWriter* out) {
+  out->U64(v.dataset_bytes);
+}
+
+Status Decode(WireReader* in, RegisterDatasetResponse* out) {
+  out->dataset_bytes = in->U64();
+  return ReaderStatus(*in);
+}
+
+void Encode(const TrainRequestWire& v, WireWriter* out) {
+  out->Str(v.tenant);
+  out->Str(v.dataset);
+  out->Str(v.model_class);
+  out->F64(v.l2);
+  out->F64(v.epsilon);
+  out->F64(v.delta);
+  out->U64(v.seed);
+}
+
+Status Decode(WireReader* in, TrainRequestWire* out) {
+  out->tenant = in->Str();
+  out->dataset = in->Str();
+  out->model_class = in->Str();
+  out->l2 = in->F64();
+  out->epsilon = in->F64();
+  out->delta = in->F64();
+  out->seed = in->U64();
+  return ReaderStatus(*in);
+}
+
+Status Encode(const TrainResponseWire& v, WireWriter* out) {
+  BLINKML_RETURN_NOT_OK(EncodeModelBlob(v.model_class, v.model, out));
+  out->I64(v.sample_size);
+  out->I64(v.full_size);
+  out->F64(v.initial_epsilon);
+  out->F64(v.final_epsilon);
+  out->U8(v.used_initial_only ? 1 : 0);
+  out->U8(v.contract_satisfied ? 1 : 0);
+  out->I32(v.initial_iterations);
+  out->I32(v.final_iterations);
+  return Status::OK();
+}
+
+Status Decode(WireReader* in, TrainResponseWire* out) {
+  BLINKML_RETURN_NOT_OK(DecodeModelBlob(in, &out->model_class, &out->model));
+  out->sample_size = in->I64();
+  out->full_size = in->I64();
+  out->initial_epsilon = in->F64();
+  out->final_epsilon = in->F64();
+  out->used_initial_only = in->U8() != 0;
+  out->contract_satisfied = in->U8() != 0;
+  out->initial_iterations = in->I32();
+  out->final_iterations = in->I32();
+  return ReaderStatus(*in);
+}
+
+void Encode(const SearchRequestWire& v, WireWriter* out) {
+  out->Str(v.tenant);
+  out->Str(v.dataset);
+  out->Str(v.model_class);
+  out->U32(static_cast<std::uint32_t>(v.candidates.size()));
+  for (const SearchCandidateWire& c : v.candidates) {
+    out->F64(c.l2);
+    out->U64(c.seed);
+  }
+  out->F64(v.epsilon);
+  out->F64(v.delta);
+  out->U64(v.seed);
+}
+
+Status Decode(WireReader* in, SearchRequestWire* out) {
+  out->tenant = in->Str();
+  out->dataset = in->Str();
+  out->model_class = in->Str();
+  const std::uint32_t count = in->U32();
+  // Each candidate needs 16 payload bytes; the remaining() bound rejects
+  // corrupted counts before the reserve can balloon.
+  if (count * 16ull > in->remaining()) {
+    return Status::InvalidArgument("truncated candidate list");
+  }
+  out->candidates.resize(count);
+  for (SearchCandidateWire& c : out->candidates) {
+    c.l2 = in->F64();
+    c.seed = in->U64();
+  }
+  out->epsilon = in->F64();
+  out->delta = in->F64();
+  out->seed = in->U64();
+  BLINKML_RETURN_NOT_OK(ReaderStatus(*in));
+  if (out->candidates.empty()) {
+    return Status::InvalidArgument("search needs at least one candidate");
+  }
+  return Status::OK();
+}
+
+Status Encode(const SearchResponseWire& v, WireWriter* out) {
+  out->I32(v.best_index);
+  out->U32(static_cast<std::uint32_t>(v.candidates.size()));
+  for (const SearchCandidateResultWire& c : v.candidates) {
+    out->U16(static_cast<std::uint16_t>(c.status));
+    out->Str(c.message);
+    out->F64(c.l2);
+    out->F64(c.score);
+    out->F64(c.final_epsilon);
+    out->I64(c.sample_size);
+    if (c.status == WireStatus::kOk) {
+      BLINKML_RETURN_NOT_OK(EncodeModelBlob("model", c.model, out));
+    }
+  }
+  return Status::OK();
+}
+
+Status Decode(WireReader* in, SearchResponseWire* out) {
+  out->best_index = in->I32();
+  const std::uint32_t count = in->U32();
+  if (count * 34ull > in->remaining()) {
+    return Status::InvalidArgument("truncated candidate results");
+  }
+  out->candidates.resize(count);
+  for (SearchCandidateResultWire& c : out->candidates) {
+    c.status = static_cast<WireStatus>(in->U16());
+    c.message = in->Str();
+    c.l2 = in->F64();
+    c.score = in->F64();
+    c.final_epsilon = in->F64();
+    c.sample_size = in->I64();
+    if (c.status == WireStatus::kOk) {
+      std::string ignored_class;
+      BLINKML_RETURN_NOT_OK(DecodeModelBlob(in, &ignored_class, &c.model));
+    }
+  }
+  return ReaderStatus(*in);
+}
+
+Status Encode(const PredictRequestWire& v, WireWriter* out) {
+  if (v.rows < 0 || v.dim < 0 ||
+      v.features.size() !=
+          static_cast<std::size_t>(v.rows) * static_cast<std::size_t>(v.dim)) {
+    return Status::InvalidArgument("features must be rows x dim");
+  }
+  out->Str(v.tenant);
+  out->Str(v.model_class);
+  BLINKML_RETURN_NOT_OK(EncodeModelBlob(v.model_class, v.model, out));
+  out->I64(v.rows);
+  out->I64(v.dim);
+  out->Doubles(v.features.data(), v.features.size());
+  return Status::OK();
+}
+
+Status Decode(WireReader* in, PredictRequestWire* out) {
+  out->tenant = in->Str();
+  out->model_class = in->Str();
+  std::string blob_class;
+  BLINKML_RETURN_NOT_OK(DecodeModelBlob(in, &blob_class, &out->model));
+  out->rows = in->I64();
+  out->dim = in->I64();
+  BLINKML_RETURN_NOT_OK(ReaderStatus(*in));
+  if (out->rows <= 0 || out->dim <= 0) {
+    return Status::InvalidArgument("predict needs positive rows and dim");
+  }
+  in->Doubles(static_cast<std::size_t>(out->rows) *
+                  static_cast<std::size_t>(out->dim),
+              &out->features);
+  return ReaderStatus(*in);
+}
+
+void Encode(const PredictResponseWire& v, WireWriter* out) {
+  out->U32(static_cast<std::uint32_t>(v.predictions.size()));
+  out->Doubles(v.predictions.data(), v.predictions.size());
+}
+
+Status Decode(WireReader* in, PredictResponseWire* out) {
+  const std::uint32_t count = in->U32();
+  in->Doubles(count, &out->predictions);
+  return ReaderStatus(*in);
+}
+
+void Encode(const StatsRequestWire& v, WireWriter* out) { out->Str(v.tenant); }
+
+Status Decode(WireReader* in, StatsRequestWire* out) {
+  out->tenant = in->Str();
+  return ReaderStatus(*in);
+}
+
+void Encode(const StatsResponseWire& v, WireWriter* out) {
+  const ServeStats& m = v.manager;
+  out->U64(m.jobs_submitted);
+  out->U64(m.jobs_completed);
+  out->U64(m.jobs_failed);
+  out->U64(m.sessions_created);
+  out->U64(m.sessions_evicted);
+  out->U64(m.datasets_loaded);
+  out->U64(m.datasets_unloaded);
+  out->U64(m.resident_bytes);
+  out->U64(m.cached_bytes);
+  out->I32(m.live_sessions);
+  out->I32(m.loaded_datasets);
+  out->I32(m.loads_in_progress);
+  out->I32(m.queued_jobs);
+  out->I32(m.active_jobs);
+  const ServerStatsWire& s = v.server;
+  out->U64(s.frames_received);
+  out->U64(s.responses_sent);
+  out->U64(s.jobs_enqueued);
+  out->U64(s.rejected_malformed);
+  out->U64(s.rejected_version);
+  out->U64(s.rejected_unknown_verb);
+  out->U64(s.rejected_decode);
+  out->U64(s.rejected_deadline);
+  out->U64(s.rejected_rate);
+  out->U64(s.rejected_quota);
+  out->U64(s.rejected_queue_full);
+  out->I32(s.open_connections);
+  out->I32(s.queued_jobs);
+}
+
+Status Decode(WireReader* in, StatsResponseWire* out) {
+  ServeStats& m = out->manager;
+  m.jobs_submitted = in->U64();
+  m.jobs_completed = in->U64();
+  m.jobs_failed = in->U64();
+  m.sessions_created = in->U64();
+  m.sessions_evicted = in->U64();
+  m.datasets_loaded = in->U64();
+  m.datasets_unloaded = in->U64();
+  m.resident_bytes = in->U64();
+  m.cached_bytes = in->U64();
+  m.live_sessions = in->I32();
+  m.loaded_datasets = in->I32();
+  m.loads_in_progress = in->I32();
+  m.queued_jobs = in->I32();
+  m.active_jobs = in->I32();
+  ServerStatsWire& s = out->server;
+  s.frames_received = in->U64();
+  s.responses_sent = in->U64();
+  s.jobs_enqueued = in->U64();
+  s.rejected_malformed = in->U64();
+  s.rejected_version = in->U64();
+  s.rejected_unknown_verb = in->U64();
+  s.rejected_decode = in->U64();
+  s.rejected_deadline = in->U64();
+  s.rejected_rate = in->U64();
+  s.rejected_quota = in->U64();
+  s.rejected_queue_full = in->U64();
+  s.open_connections = in->I32();
+  s.queued_jobs = in->I32();
+  return ReaderStatus(*in);
+}
+
+void Encode(const EvictIdleRequestWire& v, WireWriter* out) {
+  out->Str(v.tenant);
+}
+
+Status Decode(WireReader* in, EvictIdleRequestWire* out) {
+  out->tenant = in->Str();
+  return ReaderStatus(*in);
+}
+
+void Encode(const EvictIdleResponseWire& v, WireWriter* out) {
+  out->I32(v.sessions_evicted);
+}
+
+Status Decode(WireReader* in, EvictIdleResponseWire* out) {
+  out->sessions_evicted = in->I32();
+  return ReaderStatus(*in);
+}
+
+Status PeekTenant(const std::uint8_t* payload, std::size_t size,
+                  std::string* tenant) {
+  WireReader reader(payload, size);
+  *tenant = reader.Str();
+  if (!reader.ok()) {
+    return Status::InvalidArgument("payload too short for a tenant name");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<ModelSpec>> MakeSpecByName(
+    const std::string& model_class, double l2) {
+  if (model_class == "LogisticRegression") {
+    return std::shared_ptr<ModelSpec>(
+        std::make_shared<LogisticRegressionSpec>(l2));
+  }
+  if (model_class == "LinearRegression") {
+    return std::shared_ptr<ModelSpec>(
+        std::make_shared<LinearRegressionSpec>(l2));
+  }
+  if (model_class == "PoissonRegression") {
+    return std::shared_ptr<ModelSpec>(
+        std::make_shared<PoissonRegressionSpec>(l2));
+  }
+  return Status::InvalidArgument("unknown model class: " + model_class);
+}
+
+Result<Task> TaskForModelClass(const std::string& model_class) {
+  if (model_class == "LogisticRegression") return Task::kBinary;
+  if (model_class == "LinearRegression") return Task::kRegression;
+  if (model_class == "PoissonRegression") return Task::kRegression;
+  return Status::InvalidArgument("unknown model class: " + model_class);
+}
+
+}  // namespace net
+}  // namespace blinkml

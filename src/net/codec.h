@@ -1,0 +1,249 @@
+// Payload codecs for the wire protocol verbs (net/protocol.h).
+//
+// Each verb has a request/response struct pair with Encode/Decode
+// functions over WireWriter/WireReader. Conventions:
+//  * every request payload begins with the tenant name (the admission-
+//    control key, net/quotas.h);
+//  * every response payload begins with a ResponseEnvelope (wire status,
+//    message, retry-after hint); the verb body follows only when the
+//    status is kOk;
+//  * model parameters travel as the models/serialization.h text format
+//    embedded as a length-prefixed string — 17-significant-digit doubles
+//    round-trip bitwise, so a served model is bit-identical to the
+//    in-process one;
+//  * raw numeric vectors (features, predictions) travel as IEEE-754 bit
+//    patterns (WireWriter::F64), also bitwise exact.
+//
+// Decode functions fail with InvalidArgument on truncated payloads or
+// out-of-range enums; the server answers such failures with a
+// kDecodeError frame and keeps the connection alive.
+
+#ifndef BLINKML_NET_CODEC_H_
+#define BLINKML_NET_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model_spec.h"
+#include "models/trainer.h"
+#include "net/protocol.h"
+#include "serve/session_manager.h"
+#include "util/status.h"
+
+namespace blinkml {
+namespace net {
+
+/// Status envelope leading every response payload.
+struct ResponseEnvelope {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  /// For kRateLimited / kOverQuota / kQueueFull: when to retry (0 = no
+  /// hint).
+  std::uint32_t retry_after_ms = 0;
+};
+
+void Encode(const ResponseEnvelope& envelope, WireWriter* out);
+Status Decode(WireReader* in, ResponseEnvelope* out);
+
+/// The BlinkConfig subset a tenant may set over the wire (everything else
+/// keeps the server's defaults).
+struct WireConfig {
+  std::uint64_t seed = 42;
+  std::int64_t initial_sample_size = 10000;
+  std::int64_t holdout_size = 2000;
+  std::int64_t stats_sample_size = 1024;
+  std::int32_t accuracy_samples = 512;
+  std::int32_t size_samples = 256;
+};
+
+BlinkConfig ToBlinkConfig(const WireConfig& wire);
+
+/// Deterministic synthetic sources a remote tenant can register (the
+/// wire cannot ship a DatasetFactory closure; it ships the generator's
+/// parameters instead, and the server rebuilds the factory — reloads
+/// after an eviction regenerate bitwise-identical data).
+enum class WireGenerator : std::uint16_t {
+  kSyntheticLogistic = 1,  // uses sparsity + noise
+  kSyntheticLinear = 2,    // uses noise
+  kCriteoLike = 3,         // uses nnz_per_row
+  kGasLike = 4,
+};
+
+struct RegisterDatasetRequest {
+  std::string tenant;
+  std::string name;
+  WireGenerator generator = WireGenerator::kSyntheticLogistic;
+  std::int64_t rows = 0;
+  std::int64_t dim = 0;
+  std::uint64_t data_seed = 1;
+  double sparsity = 1.0;
+  double noise = 0.1;
+  std::int64_t nnz_per_row = 39;
+  WireConfig config;
+};
+
+struct RegisterDatasetResponse {
+  /// Dataset::MemoryBytes of the registered data; charged against the
+  /// tenant's resident-byte quota (net/quotas.h).
+  std::uint64_t dataset_bytes = 0;
+};
+
+/// Builds the registered generator's factory output once (the server
+/// calls this to size the quota charge and at every lazy reload).
+Result<Dataset> MakeWireDataset(const RegisterDatasetRequest& request);
+
+struct TrainRequestWire {
+  std::string tenant;
+  std::string dataset;
+  std::string model_class;  // MakeSpecByName
+  double l2 = 1e-3;
+  double epsilon = 0.05;
+  double delta = 0.05;
+  /// 0 = the dataset's configured seed (TrainRequest::seed semantics).
+  std::uint64_t seed = 0;
+};
+
+struct TrainResponseWire {
+  std::string model_class;
+  TrainedModel model;
+  std::int64_t sample_size = 0;
+  std::int64_t full_size = 0;
+  double initial_epsilon = 0.0;
+  double final_epsilon = 0.0;
+  bool used_initial_only = false;
+  bool contract_satisfied = false;
+  std::int32_t initial_iterations = 0;
+  std::int32_t final_iterations = 0;
+};
+
+struct SearchCandidateWire {
+  double l2 = 1e-3;
+  std::uint64_t seed = 0;  // 0 = the session seed
+};
+
+struct SearchRequestWire {
+  std::string tenant;
+  std::string dataset;
+  std::string model_class;
+  std::vector<SearchCandidateWire> candidates;
+  double epsilon = 0.05;
+  double delta = 0.05;
+  std::uint64_t seed = 0;
+};
+
+struct SearchCandidateResultWire {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  double l2 = 0.0;
+  double score = 0.0;
+  double final_epsilon = 0.0;
+  std::int64_t sample_size = 0;
+  /// Valid iff status == kOk.
+  TrainedModel model;
+};
+
+struct SearchResponseWire {
+  std::int32_t best_index = -1;
+  std::vector<SearchCandidateResultWire> candidates;
+};
+
+struct PredictRequestWire {
+  std::string tenant;
+  std::string model_class;
+  /// Only theta is used; ships a Train response's model straight back.
+  TrainedModel model;
+  std::int64_t rows = 0;
+  std::int64_t dim = 0;
+  /// Dense row-major rows x dim features.
+  std::vector<double> features;
+};
+
+struct PredictResponseWire {
+  std::vector<double> predictions;
+};
+
+struct StatsRequestWire {
+  std::string tenant;
+};
+
+/// Server-side counters reported next to the SessionManager snapshot.
+struct ServerStatsWire {
+  std::uint64_t frames_received = 0;
+  std::uint64_t responses_sent = 0;
+  std::uint64_t jobs_enqueued = 0;
+  std::uint64_t rejected_malformed = 0;
+  std::uint64_t rejected_version = 0;
+  std::uint64_t rejected_unknown_verb = 0;
+  std::uint64_t rejected_decode = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_rate = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::int32_t open_connections = 0;
+  std::int32_t queued_jobs = 0;
+};
+
+struct StatsResponseWire {
+  ServeStats manager;
+  ServerStatsWire server;
+};
+
+struct EvictIdleRequestWire {
+  std::string tenant;
+};
+
+struct EvictIdleResponseWire {
+  std::int32_t sessions_evicted = 0;
+};
+
+void Encode(const RegisterDatasetRequest& v, WireWriter* out);
+Status Decode(WireReader* in, RegisterDatasetRequest* out);
+void Encode(const RegisterDatasetResponse& v, WireWriter* out);
+Status Decode(WireReader* in, RegisterDatasetResponse* out);
+
+void Encode(const TrainRequestWire& v, WireWriter* out);
+Status Decode(WireReader* in, TrainRequestWire* out);
+Status Encode(const TrainResponseWire& v, WireWriter* out);
+Status Decode(WireReader* in, TrainResponseWire* out);
+
+void Encode(const SearchRequestWire& v, WireWriter* out);
+Status Decode(WireReader* in, SearchRequestWire* out);
+Status Encode(const SearchResponseWire& v, WireWriter* out);
+Status Decode(WireReader* in, SearchResponseWire* out);
+
+Status Encode(const PredictRequestWire& v, WireWriter* out);
+Status Decode(WireReader* in, PredictRequestWire* out);
+void Encode(const PredictResponseWire& v, WireWriter* out);
+Status Decode(WireReader* in, PredictResponseWire* out);
+
+void Encode(const StatsRequestWire& v, WireWriter* out);
+Status Decode(WireReader* in, StatsRequestWire* out);
+void Encode(const StatsResponseWire& v, WireWriter* out);
+Status Decode(WireReader* in, StatsResponseWire* out);
+
+void Encode(const EvictIdleRequestWire& v, WireWriter* out);
+Status Decode(WireReader* in, EvictIdleRequestWire* out);
+void Encode(const EvictIdleResponseWire& v, WireWriter* out);
+Status Decode(WireReader* in, EvictIdleResponseWire* out);
+
+/// Reads the tenant name (the leading field of every request payload)
+/// without consuming the rest — what admission control needs before the
+/// runner decodes the body.
+Status PeekTenant(const std::uint8_t* payload, std::size_t size,
+                  std::string* tenant);
+
+/// Builds a model spec from its wire name ("LogisticRegression",
+/// "LinearRegression", "PoissonRegression" — the spec name() strings).
+Result<std::shared_ptr<ModelSpec>> MakeSpecByName(
+    const std::string& model_class, double l2);
+
+/// The label task a model class predicts over (Predict needs a Dataset,
+/// and Dataset validates labels against its task).
+Result<Task> TaskForModelClass(const std::string& model_class);
+
+}  // namespace net
+}  // namespace blinkml
+
+#endif  // BLINKML_NET_CODEC_H_

@@ -1,0 +1,46 @@
+#include "net/job_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace blinkml {
+namespace net {
+
+bool JobQueue::Push(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    if (max_queued_ > 0 && heap_.size() >= max_queued_) return false;
+    Entry entry{job.priority, next_seq_++, std::move(job)};
+    heap_.push_back(std::move(entry));
+    std::push_heap(heap_.begin(), heap_.end(), EntryLess());
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool JobQueue::Pop(Job* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return shutdown_ || !heap_.empty(); });
+  if (heap_.empty()) return false;  // shut down and drained
+  std::pop_heap(heap_.begin(), heap_.end(), EntryLess());
+  *out = std::move(heap_.back().job);
+  heap_.pop_back();
+  return true;
+}
+
+void JobQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_.size();
+}
+
+}  // namespace net
+}  // namespace blinkml

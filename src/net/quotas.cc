@@ -1,0 +1,130 @@
+#include "net/quotas.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace blinkml {
+namespace net {
+
+namespace {
+
+std::uint64_t SteadyMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TenantQuotas::TenantQuotas(TenantQuotaOptions defaults, ClockMicros clock)
+    : defaults_(defaults), clock_(clock ? std::move(clock) : SteadyMicros) {}
+
+void TenantQuotas::SetTenantOptions(const std::string& tenant,
+                                    TenantQuotaOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  state.options = options;
+  state.has_options = true;
+  // Re-seed the bucket so a rate change applies cleanly from "full".
+  state.bucket_started = false;
+}
+
+AdmissionDecision TenantQuotas::Admit(const std::string& tenant,
+                                      std::uint64_t payload_bytes) {
+  const std::uint64_t now = clock_();
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  const TenantQuotaOptions& opts =
+      state.has_options ? state.options : defaults_;
+
+  // Bytes first: an over-quota rejection must not burn a rate token.
+  if (opts.max_outstanding_bytes > 0) {
+    const std::uint64_t in_use = state.outstanding_bytes +
+                                 state.resident_bytes;
+    if (in_use + payload_bytes > opts.max_outstanding_bytes) {
+      AdmissionDecision decision;
+      decision.status = WireStatus::kOverQuota;
+      decision.retry_after_ms = opts.over_quota_retry_ms;
+      decision.message = StrFormat(
+          "tenant %s over byte quota: %llu in use + %llu requested > %llu",
+          tenant.c_str(), static_cast<unsigned long long>(in_use),
+          static_cast<unsigned long long>(payload_bytes),
+          static_cast<unsigned long long>(opts.max_outstanding_bytes));
+      return decision;
+    }
+  }
+
+  if (opts.requests_per_second > 0.0) {
+    const double burst = std::max(1.0, opts.burst);
+    if (!state.bucket_started) {
+      state.bucket_started = true;
+      state.tokens = burst;
+      state.last_refill_micros = now;
+    } else {
+      const double dt =
+          static_cast<double>(now - state.last_refill_micros) * 1e-6;
+      state.tokens = std::min(burst,
+                              state.tokens + dt * opts.requests_per_second);
+      state.last_refill_micros = now;
+    }
+    // Epsilon absorbs refill rounding: a bucket refilled for exactly one
+    // token's worth of time must admit, not reject on 0.999999....
+    if (state.tokens < 1.0 - 1e-9) {
+      AdmissionDecision decision;
+      decision.status = WireStatus::kRateLimited;
+      const double wait_seconds =
+          (1.0 - state.tokens) / opts.requests_per_second;
+      decision.retry_after_ms = static_cast<std::uint32_t>(
+          std::ceil(wait_seconds * 1e3));
+      // A zero hint would read as "no hint"; the bucket always knows.
+      decision.retry_after_ms = std::max(1u, decision.retry_after_ms);
+      decision.message =
+          StrFormat("tenant %s over rate limit (%.3g req/s)", tenant.c_str(),
+                    opts.requests_per_second);
+      return decision;
+    }
+    state.tokens -= 1.0;
+  }
+
+  state.outstanding_bytes += payload_bytes;
+  return AdmissionDecision{};
+}
+
+void TenantQuotas::Release(const std::string& tenant,
+                           std::uint64_t payload_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  state.outstanding_bytes -= std::min(state.outstanding_bytes, payload_bytes);
+}
+
+void TenantQuotas::ChargeResident(const std::string& tenant,
+                                  std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  if (delta >= 0) {
+    state.resident_bytes += static_cast<std::uint64_t>(delta);
+  } else {
+    const std::uint64_t drop = static_cast<std::uint64_t>(-delta);
+    state.resident_bytes -= std::min(state.resident_bytes, drop);
+  }
+}
+
+std::uint64_t TenantQuotas::OutstandingBytes(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.outstanding_bytes;
+}
+
+std::uint64_t TenantQuotas::ResidentBytes(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.resident_bytes;
+}
+
+}  // namespace net
+}  // namespace blinkml

@@ -1,0 +1,113 @@
+// Per-tenant admission control for the networked serving front.
+//
+// Two independent quotas per tenant, both checked at enqueue time (before
+// a job consumes a queue slot or a runner thread):
+//
+//  * request rate — a token bucket (requests_per_second refill, burst
+//    capacity). An empty bucket rejects with kRateLimited and a
+//    retry-after hint equal to the time until the next token;
+//  * bytes — outstanding request payload bytes (queued + executing, i.e.
+//    admitted and not yet released) PLUS the tenant's resident charge.
+//    The resident charge is wired to the real accounting the serving
+//    layer already keeps: the server charges Dataset::MemoryBytes for
+//    every dataset a tenant registers (the same figure SessionManager's
+//    byte-budget LRU uses), so a tenant that parks gigabytes of data
+//    cannot also queue unbounded work. Rejections use kOverQuota with a
+//    configurable retry-after hint.
+//
+// Admission never blocks: the client is told to back off instead of
+// holding a connection slot (the retry-after hint rides the response
+// envelope). Time is injected as a microsecond clock so tests drive the
+// bucket deterministically.
+
+#ifndef BLINKML_NET_QUOTAS_H_
+#define BLINKML_NET_QUOTAS_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "net/protocol.h"
+
+namespace blinkml {
+namespace net {
+
+struct TenantQuotaOptions {
+  /// Token-bucket refill rate; 0 = unlimited (no rate check).
+  double requests_per_second = 0.0;
+  /// Bucket capacity (maximum burst). Clamped to >= 1 when rate-limited.
+  double burst = 8.0;
+  /// Cap on outstanding payload bytes + resident charge; 0 = unlimited.
+  std::uint64_t max_outstanding_bytes = 0;
+  /// Retry-after hint for kOverQuota rejections (bytes free at an
+  /// unpredictable time, unlike the bucket's computable refill).
+  std::uint32_t over_quota_retry_ms = 100;
+};
+
+struct AdmissionDecision {
+  /// kOk, kRateLimited, or kOverQuota.
+  WireStatus status = WireStatus::kOk;
+  std::uint32_t retry_after_ms = 0;
+  std::string message;
+
+  bool admitted() const { return status == WireStatus::kOk; }
+};
+
+class TenantQuotas {
+ public:
+  /// Monotonic microsecond clock (injectable for tests; defaults to
+  /// steady_clock).
+  using ClockMicros = std::function<std::uint64_t()>;
+
+  explicit TenantQuotas(TenantQuotaOptions defaults = {},
+                        ClockMicros clock = {});
+
+  TenantQuotas(const TenantQuotas&) = delete;
+  TenantQuotas& operator=(const TenantQuotas&) = delete;
+
+  /// Per-tenant override of the default options (takes effect on the
+  /// tenant's next admission; the bucket refills under the new rate).
+  void SetTenantOptions(const std::string& tenant,
+                        TenantQuotaOptions options);
+
+  /// Admission check for one request of `payload_bytes`. On kOk the bytes
+  /// are charged as outstanding until Release(); on rejection nothing is
+  /// charged (and no token is consumed by an over-bytes rejection).
+  AdmissionDecision Admit(const std::string& tenant,
+                          std::uint64_t payload_bytes);
+
+  /// Returns an admitted request's payload bytes (response written or
+  /// request rejected later in the pipeline).
+  void Release(const std::string& tenant, std::uint64_t payload_bytes);
+
+  /// Adjusts the tenant's resident charge (registered dataset bytes);
+  /// negative deltas floor at zero.
+  void ChargeResident(const std::string& tenant, std::int64_t delta);
+
+  std::uint64_t OutstandingBytes(const std::string& tenant) const;
+  std::uint64_t ResidentBytes(const std::string& tenant) const;
+
+ private:
+  struct TenantState {
+    TenantQuotaOptions options;
+    bool has_options = false;  // false = use defaults_
+    double tokens = 0.0;
+    std::uint64_t last_refill_micros = 0;
+    bool bucket_started = false;
+    std::uint64_t outstanding_bytes = 0;
+    std::uint64_t resident_bytes = 0;
+  };
+
+  const TenantQuotaOptions defaults_;
+  const ClockMicros clock_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, TenantState> tenants_;
+};
+
+}  // namespace net
+}  // namespace blinkml
+
+#endif  // BLINKML_NET_QUOTAS_H_

@@ -1,0 +1,753 @@
+#include "net/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "data/dataset.h"
+#include "util/string_util.h"
+
+namespace blinkml {
+namespace net {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(
+        StrFormat("fcntl(O_NONBLOCK): %s", ::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+BlinkServer::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+BlinkServer::BlinkServer(SessionManager* manager, ServerOptions options)
+    : manager_(manager),
+      options_(std::move(options)),
+      quotas_(options_.default_quota),
+      queue_(options_.max_queued_jobs) {}
+
+BlinkServer::~BlinkServer() { Stop(); }
+
+Status BlinkServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument(
+          StrFormat("unix socket path too long: %s",
+                    options_.unix_path.c_str()));
+    }
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IOError(StrFormat("socket: %s", ::strerror(errno)));
+    }
+    ::unlink(options_.unix_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      const Status status = Status::IOError(StrFormat(
+          "bind(%s): %s", options_.unix_path.c_str(), ::strerror(errno)));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IOError(StrFormat("socket: %s", ::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::InvalidArgument(
+          StrFormat("bad listen host: %s", options_.host.c_str()));
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      const Status status = Status::IOError(StrFormat(
+          "bind(%s:%d): %s", options_.host.c_str(), options_.port,
+          ::strerror(errno)));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    const Status status =
+        Status::IOError(StrFormat("listen: %s", ::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  Status status = SetNonBlocking(listen_fd_);
+  if (!status.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    const Status pipe_status =
+        Status::IOError(StrFormat("pipe: %s", ::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return pipe_status;
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  (void)SetNonBlocking(wake_read_fd_);
+
+  stopping_.store(false);
+  started_ = true;
+  io_thread_ = std::thread([this] { IoLoop(); });
+  const int runner_count = std::max(1, options_.runner_threads);
+  runners_.reserve(static_cast<std::size_t>(runner_count));
+  for (int i = 0; i < runner_count; ++i) {
+    runners_.emplace_back([this] { RunnerLoop(); });
+  }
+  return Status::OK();
+}
+
+void BlinkServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  // Wake the poll() so the IO thread observes stopping_ and exits; it
+  // stops accepting and reading, so no new jobs arrive after this point.
+  const char byte = 'x';
+  while (::write(wake_write_fd_, &byte, 1) < 0 && errno == EINTR) {
+  }
+  io_thread_.join();
+
+  // Drain: runners keep popping until the queue empties, answering every
+  // admitted job (run or expire), then exit.
+  queue_.Shutdown();
+  for (std::thread& runner : runners_) runner.join();
+  runners_.clear();
+
+  connections_.clear();
+  open_connections_.store(0);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  started_ = false;
+}
+
+ServerStatsWire BlinkServer::stats() const {
+  ServerStatsWire out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.open_connections = open_connections_.load();
+  out.queued_jobs = static_cast<std::int32_t>(queue_.size());
+  return out;
+}
+
+void BlinkServer::IoLoop() {
+  std::vector<pollfd> poll_fds;
+  std::vector<std::uint8_t> chunk(64 * 1024);
+
+  while (!stopping_.load()) {
+    poll_fds.clear();
+    poll_fds.push_back({wake_read_fd_, POLLIN, 0});
+    poll_fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : connections_) {
+      poll_fds.push_back({fd, POLLIN, 0});
+    }
+
+    const int ready = ::poll(poll_fds.data(), poll_fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable poll failure; Stop() still drains
+    }
+    if (stopping_.load()) break;
+
+    if (poll_fds[0].revents != 0) {
+      char buf[64];
+      while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    if (poll_fds[1].revents != 0) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;  // EAGAIN (drained) or transient error
+        if (!SetNonBlocking(fd).ok()) {
+          ::close(fd);
+          continue;
+        }
+        connections_.emplace(fd, std::make_shared<Connection>(fd));
+        open_connections_.fetch_add(1);
+      }
+    }
+
+    for (std::size_t i = 2; i < poll_fds.size(); ++i) {
+      if (poll_fds[i].revents == 0) continue;
+      const auto it = connections_.find(poll_fds[i].fd);
+      if (it == connections_.end()) continue;
+      const ConnPtr conn = it->second;
+
+      bool closed = false;
+      for (;;) {
+        const ssize_t n =
+            ::recv(conn->fd, chunk.data(), chunk.size(), 0);
+        if (n > 0) {
+          conn->in.insert(conn->in.end(), chunk.data(), chunk.data() + n);
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        closed = true;  // EOF or hard error
+        break;
+      }
+      if (!closed && !DrainConnectionBuffer(conn)) closed = true;
+      if (closed) {
+        conn->closed.store(true);
+        connections_.erase(it);
+        open_connections_.fetch_sub(1);
+        // Queued jobs from this connection still hold their ConnPtr; their
+        // writes no-op on the closed flag and the fd closes with the last
+        // reference.
+      }
+    }
+  }
+}
+
+bool BlinkServer::DrainConnectionBuffer(const ConnPtr& conn) {
+  std::size_t consumed = 0;
+  bool keep_open = true;
+  while (conn->in.size() - consumed >= kFrameHeaderBytes) {
+    FrameHeader header;
+    const Status status =
+        DecodeFrameHeader(conn->in.data() + consumed, &header);
+    if (!status.ok()) {
+      // Unsynchronizable framing corruption: answer once, then close.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.frames_received;
+        ++stats_.rejected_malformed;
+      }
+      SendError(conn, header.request_id, Verb::kError,
+                WireStatus::kMalformedFrame, status.message());
+      keep_open = false;
+      break;
+    }
+    if (conn->in.size() - consumed < kFrameHeaderBytes + header.payload_len) {
+      break;  // incomplete frame; wait for more bytes
+    }
+    std::vector<std::uint8_t> payload(
+        conn->in.begin() +
+            static_cast<std::ptrdiff_t>(consumed + kFrameHeaderBytes),
+        conn->in.begin() + static_cast<std::ptrdiff_t>(
+                               consumed + kFrameHeaderBytes +
+                               header.payload_len));
+    consumed += kFrameHeaderBytes + header.payload_len;
+    HandleFrame(conn, header, std::move(payload));
+  }
+  if (consumed > 0) {
+    conn->in.erase(conn->in.begin(),
+                   conn->in.begin() + static_cast<std::ptrdiff_t>(consumed));
+  }
+  return keep_open;
+}
+
+void BlinkServer::HandleFrame(const ConnPtr& conn, const FrameHeader& header,
+                              std::vector<std::uint8_t> payload) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.frames_received;
+  }
+
+  if (header.version != kWireVersion) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_version;
+    }
+    SendError(conn, header.request_id, Verb::kError,
+              WireStatus::kVersionMismatch,
+              StrFormat("wire version %u, server speaks %u",
+                        static_cast<unsigned>(header.version),
+                        static_cast<unsigned>(kWireVersion)));
+    return;
+  }
+  switch (header.verb) {
+    case Verb::kRegisterDataset:
+    case Verb::kTrain:
+    case Verb::kSearch:
+    case Verb::kPredict:
+    case Verb::kStats:
+    case Verb::kEvictIdle:
+      break;
+    default: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.rejected_unknown_verb;
+      }
+      SendError(conn, header.request_id, Verb::kError,
+                WireStatus::kUnknownVerb,
+                StrFormat("unknown verb %u",
+                          static_cast<unsigned>(header.verb)));
+      return;
+    }
+  }
+
+  std::string tenant;
+  const Status peek = PeekTenant(payload.data(), payload.size(), &tenant);
+  if (!peek.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_decode;
+    }
+    SendError(conn, header.request_id, header.verb, WireStatus::kDecodeError,
+              peek.message());
+    return;
+  }
+
+  const std::uint64_t payload_bytes = payload.size();
+  const AdmissionDecision decision = quotas_.Admit(tenant, payload_bytes);
+  if (!decision.admitted()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (decision.status == WireStatus::kRateLimited) {
+        ++stats_.rejected_rate;
+      } else {
+        ++stats_.rejected_quota;
+      }
+    }
+    SendError(conn, header.request_id, header.verb, decision.status,
+              decision.message, decision.retry_after_ms);
+    return;
+  }
+
+  JobQueue::Job job;
+  job.priority = header.priority;
+  if (header.deadline_ms > 0) {
+    job.has_deadline = true;
+    job.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(header.deadline_ms);
+  }
+  // The run/expire closures both release the admission charge exactly
+  // once (they are mutually exclusive by construction: the runner calls
+  // one or the other).
+  auto shared_payload = std::make_shared<std::vector<std::uint8_t>>(
+      std::move(payload));
+  job.run = [this, conn, header, shared_payload, tenant, payload_bytes] {
+    ExecuteJob(conn, header, *shared_payload);
+    quotas_.Release(tenant, payload_bytes);
+  };
+  job.expire = [this, conn, header, tenant, payload_bytes] {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_deadline;
+    }
+    SendError(conn, header.request_id, header.verb,
+              WireStatus::kDeadlineExceeded,
+              StrFormat("deadline (%u ms) expired before execution",
+                        static_cast<unsigned>(header.deadline_ms)));
+    quotas_.Release(tenant, payload_bytes);
+  };
+
+  // Counted before Push: a runner can pop and execute the job (a Stats
+  // verb snapshots these counters) before a post-Push increment would
+  // land.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.jobs_enqueued;
+  }
+  if (!queue_.Push(std::move(job))) {
+    const bool shutting_down = stopping_.load();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      --stats_.jobs_enqueued;
+      if (!shutting_down) ++stats_.rejected_queue_full;
+    }
+    SendError(conn, header.request_id, header.verb,
+              shutting_down ? WireStatus::kShuttingDown
+                            : WireStatus::kQueueFull,
+              shutting_down ? "server shutting down" : "job queue full",
+              shutting_down ? 0 : options_.default_quota.over_quota_retry_ms);
+    quotas_.Release(tenant, payload_bytes);
+    return;
+  }
+}
+
+void BlinkServer::RunnerLoop() {
+  JobQueue::Job job;
+  while (queue_.Pop(&job)) {
+    if (JobQueue::Expired(job)) {
+      job.expire();
+    } else {
+      job.run();
+    }
+    job = JobQueue::Job{};  // drop closures (ConnPtr refs) promptly
+  }
+}
+
+void BlinkServer::ExecuteJob(const ConnPtr& conn, const FrameHeader& header,
+                             const std::vector<std::uint8_t>& payload) {
+  ResponseEnvelope envelope;
+  WireWriter body;
+  try {
+    switch (header.verb) {
+      case Verb::kRegisterDataset:
+        envelope = RunRegisterDataset(payload.data(), payload.size(), &body);
+        break;
+      case Verb::kTrain:
+        envelope = RunTrain(payload.data(), payload.size(), &body);
+        break;
+      case Verb::kSearch:
+        envelope = RunSearch(payload.data(), payload.size(), &body);
+        break;
+      case Verb::kPredict:
+        envelope = RunPredict(payload.data(), payload.size(), &body);
+        break;
+      case Verb::kStats:
+        envelope = RunStats(&body);
+        break;
+      case Verb::kEvictIdle:
+        envelope = RunEvictIdle(&body);
+        break;
+      default:
+        envelope.status = WireStatus::kUnknownVerb;
+        envelope.message = "unknown verb reached execution";
+        break;
+    }
+  } catch (const std::exception& e) {
+    // Job bodies may throw (dataset factories propagate through the
+    // manager's futures); the connection must survive it.
+    envelope = ResponseEnvelope{};
+    envelope.status = WireStatus::kInternal;
+    envelope.message = StrFormat("job threw: %s", e.what());
+  } catch (...) {
+    envelope = ResponseEnvelope{};
+    envelope.status = WireStatus::kInternal;
+    envelope.message = "job threw a non-exception";
+  }
+  SendResponse(conn, header.request_id, header.verb, envelope,
+               envelope.status == WireStatus::kOk ? &body : nullptr);
+}
+
+void BlinkServer::SendResponse(const ConnPtr& conn, std::uint64_t request_id,
+                               Verb verb, const ResponseEnvelope& envelope,
+                               const WireWriter* body) {
+  WireWriter payload;
+  Encode(envelope, &payload);
+  if (body != nullptr) {
+    const std::vector<std::uint8_t>& bytes = body->bytes();
+    for (const std::uint8_t b : bytes) payload.U8(b);
+  }
+
+  FrameHeader header;
+  header.verb = verb;
+  header.request_id = request_id;
+  header.payload_len = static_cast<std::uint32_t>(payload.bytes().size());
+
+  if (conn->closed.load()) return;
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->closed.load()) return;
+  if (WriteFrame(conn->fd, header, payload.bytes().data(),
+                 payload.bytes().size())
+          .ok()) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.responses_sent;
+  } else {
+    // The peer is gone; the IO thread will reap the connection.
+    conn->closed.store(true);
+  }
+}
+
+void BlinkServer::SendError(const ConnPtr& conn, std::uint64_t request_id,
+                            Verb verb, WireStatus status,
+                            const std::string& message,
+                            std::uint32_t retry_after_ms) {
+  ResponseEnvelope envelope;
+  envelope.status = status;
+  envelope.message = message;
+  envelope.retry_after_ms = retry_after_ms;
+  SendResponse(conn, request_id, verb, envelope, nullptr);
+}
+
+ResponseEnvelope BlinkServer::RunRegisterDataset(const std::uint8_t* payload,
+                                                 std::size_t size,
+                                                 WireWriter* body) {
+  ResponseEnvelope envelope;
+  RegisterDatasetRequest request;
+  WireReader reader(payload, size);
+  Status status = Decode(&reader, &request);
+  if (!status.ok()) {
+    envelope.status = WireStatus::kDecodeError;
+    envelope.message = status.message();
+    return envelope;
+  }
+
+  // Materialize once up front: it validates the generator parameters and
+  // sizes the tenant's resident-byte charge honestly (the same
+  // MemoryBytes figure the manager's LRU budget uses). The registered
+  // factory then regenerates on demand — deterministic given the wire
+  // parameters, so a post-eviction reload is bitwise identical.
+  Result<Dataset> data = MakeWireDataset(request);
+  if (!data.ok()) {
+    envelope.status = WireStatusFromStatus(data.status());
+    envelope.message = data.status().message();
+    return envelope;
+  }
+  const std::uint64_t bytes = data->MemoryBytes();
+
+  status = manager_->RegisterDataset(
+      request.name,
+      [request] {
+        Result<Dataset> regenerated = MakeWireDataset(request);
+        // Parameters were validated at registration; a failure here is a
+        // programming error, not tenant input.
+        if (!regenerated.ok()) {
+          throw std::runtime_error(regenerated.status().message());
+        }
+        return std::move(*regenerated);
+      },
+      ToBlinkConfig(request.config));
+  if (!status.ok()) {
+    envelope.status = WireStatusFromStatus(status);
+    envelope.message = status.message();
+    return envelope;
+  }
+  quotas_.ChargeResident(request.tenant, static_cast<std::int64_t>(bytes));
+
+  RegisterDatasetResponse response;
+  response.dataset_bytes = bytes;
+  Encode(response, body);
+  return envelope;
+}
+
+ResponseEnvelope BlinkServer::RunTrain(const std::uint8_t* payload,
+                                       std::size_t size, WireWriter* body) {
+  ResponseEnvelope envelope;
+  TrainRequestWire request;
+  WireReader reader(payload, size);
+  Status status = Decode(&reader, &request);
+  if (!status.ok()) {
+    envelope.status = WireStatus::kDecodeError;
+    envelope.message = status.message();
+    return envelope;
+  }
+
+  Result<std::shared_ptr<ModelSpec>> spec =
+      MakeSpecByName(request.model_class, request.l2);
+  if (!spec.ok()) {
+    envelope.status = WireStatusFromStatus(spec.status());
+    envelope.message = spec.status().message();
+    return envelope;
+  }
+
+  TrainRequest train;
+  train.dataset = request.dataset;
+  train.spec = *spec;
+  train.contract.epsilon = request.epsilon;
+  train.contract.delta = request.delta;
+  train.seed = request.seed;
+  Result<ApproxResult> result = manager_->SubmitTrain(std::move(train)).get();
+  if (!result.ok()) {
+    envelope.status = WireStatusFromStatus(result.status());
+    envelope.message = result.status().message();
+    return envelope;
+  }
+
+  TrainResponseWire response;
+  response.model_class = request.model_class;
+  response.model = result->model;
+  response.sample_size = result->sample_size;
+  response.full_size = result->full_size;
+  response.initial_epsilon = result->initial_epsilon;
+  response.final_epsilon = result->final_epsilon;
+  response.used_initial_only = result->used_initial_only;
+  response.contract_satisfied = result->contract_satisfied;
+  response.initial_iterations = result->initial_iterations;
+  response.final_iterations = result->final_iterations;
+  status = Encode(response, body);
+  if (!status.ok()) {
+    envelope.status = WireStatus::kInternal;
+    envelope.message = status.message();
+  }
+  return envelope;
+}
+
+ResponseEnvelope BlinkServer::RunSearch(const std::uint8_t* payload,
+                                        std::size_t size, WireWriter* body) {
+  ResponseEnvelope envelope;
+  SearchRequestWire request;
+  WireReader reader(payload, size);
+  Status status = Decode(&reader, &request);
+  if (!status.ok()) {
+    envelope.status = WireStatus::kDecodeError;
+    envelope.message = status.message();
+    return envelope;
+  }
+
+  // Validate the class before enqueueing anything.
+  Result<std::shared_ptr<ModelSpec>> probe =
+      MakeSpecByName(request.model_class, 1e-3);
+  if (!probe.ok()) {
+    envelope.status = WireStatusFromStatus(probe.status());
+    envelope.message = probe.status().message();
+    return envelope;
+  }
+
+  SearchRequest search;
+  search.dataset = request.dataset;
+  search.factory = [model_class = request.model_class](const Candidate& c) {
+    Result<std::shared_ptr<ModelSpec>> spec =
+        MakeSpecByName(model_class, c.l2);
+    return spec.ok() ? *spec : nullptr;
+  };
+  search.candidates.reserve(request.candidates.size());
+  for (const SearchCandidateWire& candidate : request.candidates) {
+    Candidate c;
+    c.l2 = candidate.l2;
+    c.seed = candidate.seed;
+    search.candidates.push_back(std::move(c));
+  }
+  search.options.contract.epsilon = request.epsilon;
+  search.options.contract.delta = request.delta;
+  search.seed = request.seed;
+  Result<SearchOutcome> outcome =
+      manager_->SubmitSearch(std::move(search)).get();
+  if (!outcome.ok()) {
+    envelope.status = WireStatusFromStatus(outcome.status());
+    envelope.message = outcome.status().message();
+    return envelope;
+  }
+
+  SearchResponseWire response;
+  response.best_index = outcome->best_index;
+  response.candidates.reserve(outcome->candidates.size());
+  for (const CandidateResult& cr : outcome->candidates) {
+    SearchCandidateResultWire wire;
+    wire.l2 = cr.candidate.l2;
+    if (!cr.status.ok()) {
+      wire.status = WireStatusFromStatus(cr.status);
+      wire.message = cr.status.message();
+    } else if (cr.skipped) {
+      // No model was trained; kInfeasible keeps "model present iff kOk".
+      wire.status = WireStatus::kInfeasible;
+      wire.message = "skipped (search budget)";
+    } else {
+      wire.score = cr.score;
+      wire.final_epsilon = cr.result.final_epsilon;
+      wire.sample_size = cr.result.sample_size;
+      wire.model = cr.result.model;
+    }
+    response.candidates.push_back(std::move(wire));
+  }
+  status = Encode(response, body);
+  if (!status.ok()) {
+    envelope.status = WireStatus::kInternal;
+    envelope.message = status.message();
+  }
+  return envelope;
+}
+
+ResponseEnvelope BlinkServer::RunPredict(const std::uint8_t* payload,
+                                         std::size_t size, WireWriter* body) {
+  ResponseEnvelope envelope;
+  PredictRequestWire request;
+  WireReader reader(payload, size);
+  Status status = Decode(&reader, &request);
+  if (!status.ok()) {
+    envelope.status = WireStatus::kDecodeError;
+    envelope.message = status.message();
+    return envelope;
+  }
+
+  Result<std::shared_ptr<ModelSpec>> spec =
+      MakeSpecByName(request.model_class, 1e-3);
+  Result<Task> task = TaskForModelClass(request.model_class);
+  if (!spec.ok() || !task.ok()) {
+    const Status& bad = spec.ok() ? task.status() : spec.status();
+    envelope.status = WireStatusFromStatus(bad);
+    envelope.message = bad.message();
+    return envelope;
+  }
+
+  Matrix features(request.rows, request.dim);
+  std::memcpy(features.data(), request.features.data(),
+              request.features.size() * sizeof(double));
+  // Zero labels satisfy every task's label validation and Predict never
+  // reads them.
+  Vector labels(request.rows);
+  const Dataset data(std::move(features), std::move(labels), *task);
+
+  if ((*spec)->ParamDim(data) != request.model.theta.size()) {
+    envelope.status = WireStatus::kInvalidArgument;
+    envelope.message = StrFormat(
+        "model has %lld parameters but %s over %lld features needs %lld",
+        static_cast<long long>(request.model.theta.size()),
+        request.model_class.c_str(), static_cast<long long>(request.dim),
+        static_cast<long long>((*spec)->ParamDim(data)));
+    return envelope;
+  }
+
+  // Stateless and cheap relative to training: runs inline on the runner
+  // thread (its parallel regions still land on the runtime pool).
+  PredictResponseWire response;
+  Vector predictions;
+  (*spec)->Predict(request.model.theta, data, &predictions);
+  response.predictions.assign(predictions.data(),
+                              predictions.data() + predictions.size());
+  Encode(response, body);
+  return envelope;
+}
+
+ResponseEnvelope BlinkServer::RunStats(WireWriter* body) {
+  ResponseEnvelope envelope;
+  StatsResponseWire response;
+  response.manager = manager_->stats();
+  response.server = stats();
+  Encode(response, body);
+  return envelope;
+}
+
+ResponseEnvelope BlinkServer::RunEvictIdle(WireWriter* body) {
+  ResponseEnvelope envelope;
+  EvictIdleResponseWire response;
+  response.sessions_evicted = manager_->EvictIdle();
+  Encode(response, body);
+  return envelope;
+}
+
+}  // namespace net
+}  // namespace blinkml

@@ -1,0 +1,185 @@
+// BlinkServer: the networked serving front over SessionManager.
+//
+// Promotes the in-process serving layer (serve/session_manager.h) to an
+// actual service: a TCP or Unix-domain listener speaking the framed wire
+// protocol (net/protocol.h), one IO thread multiplexing accept + reads
+// over poll(), a priority job queue with per-request deadlines
+// (net/job_queue.h), per-tenant admission control (net/quotas.h), and a
+// small set of runner threads that execute admitted jobs against the
+// SessionManager's async API and write the responses.
+//
+// Request path:
+//   IO thread: parse frame -> version/verb checks -> peek tenant ->
+//              quota admission -> enqueue (priority + absolute deadline)
+//   runner:    deadline check -> decode payload -> execute verb ->
+//              response frame (status envelope + body)
+//
+// Failure containment: every malformed input is answered with an error
+// frame and NEVER kills the server loop. Bad version, unknown verb, and
+// payload decode errors keep the connection alive; only unsynchronizable
+// framing corruption (bad magic, payload above the cap) closes that one
+// connection — the listener and every other connection are unaffected.
+// Expired-deadline jobs are rejected with kDeadlineExceeded before
+// execution; over-quota requests are rejected at enqueue with a
+// retry-after hint. Neither disturbs jobs already running.
+//
+// Transparency: the service adds scheduling, never arithmetic. A job
+// executed through the socket returns results BITWISE IDENTICAL to the
+// same SessionManager call in-process, at any server thread count — the
+// wire codecs ship doubles as IEEE-754 bit patterns or 17-digit text
+// (models/serialization.h), both exact (tests/net_test.cc holds this at
+// 1/2/8 runner threads).
+//
+// Writes from runner threads interleave with the IO thread's error
+// frames on the same socket; a per-connection write lock plus
+// frame-at-a-time writes keep frames atomic. Writes are blocking: a
+// client that never drains its socket can stall one runner, not the
+// listener (acceptable at this scale; flow control is future work).
+
+#ifndef BLINKML_NET_SERVER_H_
+#define BLINKML_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/codec.h"
+#include "net/job_queue.h"
+#include "net/protocol.h"
+#include "net/quotas.h"
+#include "serve/session_manager.h"
+
+namespace blinkml {
+namespace net {
+
+struct ServerOptions {
+  /// Non-empty: listen on this Unix-domain socket path (an existing file
+  /// at the path is replaced). Empty: listen on TCP host:port.
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Runner threads executing admitted jobs (each blocks on the
+  /// SessionManager future it submitted; size the manager's
+  /// max_concurrent_jobs accordingly).
+  int runner_threads = 2;
+  /// Bound on queued (admitted, not yet running) jobs; pushes beyond it
+  /// are rejected with kQueueFull. 0 = unbounded.
+  std::size_t max_queued_jobs = 1024;
+  /// Default per-tenant quotas (override per tenant via quotas()).
+  TenantQuotaOptions default_quota;
+  int listen_backlog = 64;
+};
+
+class BlinkServer {
+ public:
+  /// The manager must outlive the server.
+  BlinkServer(SessionManager* manager, ServerOptions options);
+
+  /// Stops and joins (drains queued jobs first).
+  ~BlinkServer();
+
+  BlinkServer(const BlinkServer&) = delete;
+  BlinkServer& operator=(const BlinkServer&) = delete;
+
+  /// Binds the listener and starts the IO + runner threads.
+  Status Start();
+
+  /// Idempotent. Stops accepting, drains the job queue (every admitted
+  /// job runs or expires, every response is written), joins all threads,
+  /// closes every connection.
+  void Stop();
+
+  /// The bound TCP port (after Start; 0 for Unix listeners).
+  int port() const { return port_; }
+
+  const ServerOptions& options() const { return options_; }
+
+  /// Admission control (set per-tenant overrides before or while
+  /// serving).
+  TenantQuotas& quotas() { return quotas_; }
+
+  ServerStatsWire stats() const;
+
+ private:
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    const int fd;
+    /// Unparsed received bytes (IO thread only).
+    std::vector<std::uint8_t> in;
+    /// Serializes whole-frame writes (IO thread error frames vs runner
+    /// responses).
+    std::mutex write_mu;
+    std::atomic<bool> closed{false};
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  void IoLoop();
+  void RunnerLoop();
+
+  /// Parses every complete frame out of conn->in; returns false when the
+  /// connection must close (framing corruption).
+  bool DrainConnectionBuffer(const ConnPtr& conn);
+
+  /// Admission + enqueue (IO thread).
+  void HandleFrame(const ConnPtr& conn, const FrameHeader& header,
+                   std::vector<std::uint8_t> payload);
+
+  /// Decode + execute + respond (runner thread).
+  void ExecuteJob(const ConnPtr& conn, const FrameHeader& header,
+                  const std::vector<std::uint8_t>& payload);
+
+  void SendResponse(const ConnPtr& conn, std::uint64_t request_id, Verb verb,
+                    const ResponseEnvelope& envelope,
+                    const WireWriter* body);
+  void SendError(const ConnPtr& conn, std::uint64_t request_id, Verb verb,
+                 WireStatus status, const std::string& message,
+                 std::uint32_t retry_after_ms = 0);
+
+  // Verb bodies: decode the payload, run, fill `body`; the returned
+  // envelope carries any failure.
+  ResponseEnvelope RunRegisterDataset(const std::uint8_t* payload,
+                                      std::size_t size, WireWriter* body);
+  ResponseEnvelope RunTrain(const std::uint8_t* payload, std::size_t size,
+                            WireWriter* body);
+  ResponseEnvelope RunSearch(const std::uint8_t* payload, std::size_t size,
+                             WireWriter* body);
+  ResponseEnvelope RunPredict(const std::uint8_t* payload, std::size_t size,
+                              WireWriter* body);
+  ResponseEnvelope RunStats(WireWriter* body);
+  ResponseEnvelope RunEvictIdle(WireWriter* body);
+
+  SessionManager* const manager_;
+  const ServerOptions options_;
+
+  TenantQuotas quotas_;
+  JobQueue queue_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  /// IO-thread-owned connection table (fd -> connection).
+  std::unordered_map<int, ConnPtr> connections_;
+  std::atomic<int> open_connections_{0};
+
+  std::thread io_thread_;
+  std::vector<std::thread> runners_;
+
+  mutable std::mutex stats_mu_;
+  ServerStatsWire stats_;
+};
+
+}  // namespace net
+}  // namespace blinkml
+
+#endif  // BLINKML_NET_SERVER_H_

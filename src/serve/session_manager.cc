@@ -347,8 +347,16 @@ ServeStats SessionManager::stats() const {
   out.resident_bytes = ResidentBytesLocked();
   out.live_sessions = static_cast<int>(sessions_.size());
   out.loaded_datasets = 0;
+  out.loads_in_progress = 0;
   for (const auto& [name, entry] : datasets_) {
     if (entry.load_done) ++out.loaded_datasets;
+    // A valid future with load_done still false means a leader job is
+    // inside the factory right now (single-flight load in progress).
+    if (entry.loaded.valid() && !entry.load_done) ++out.loads_in_progress;
+  }
+  out.cached_bytes = 0;
+  for (const auto& [key, managed] : sessions_) {
+    out.cached_bytes += managed.session->CacheBytes();
   }
   out.queued_jobs = static_cast<int>(queue_.size());
   return out;

@@ -115,8 +115,15 @@ struct ServeStats {
   std::uint64_t datasets_unloaded = 0;
   /// Loaded datasets + session cache retention at snapshot time.
   std::uint64_t resident_bytes = 0;
+  /// The session-cache share of resident_bytes (sum of every live
+  /// session's TrainingSession::CacheBytes) — what eviction can free
+  /// without unloading a dataset.
+  std::uint64_t cached_bytes = 0;
   int live_sessions = 0;
   int loaded_datasets = 0;
+  /// Single-flight dataset loads started but not yet finished (a job is
+  /// inside the factory; concurrent requests are parked on its future).
+  int loads_in_progress = 0;
   int queued_jobs = 0;
   int active_jobs = 0;
 };

@@ -113,6 +113,49 @@ TEST(Harness, ScaleEnvParsing) {
   }
 }
 
+TEST(Harness, ParseBenchFlagsRejectsUnknownFlagsWithUsage) {
+  // A typo must never silently run the default configuration.
+  char prog[] = "bench_x";
+  char bogus[] = "--jsno";
+  char* argv[] = {prog, bogus};
+  EXPECT_EXIT(ParseBenchFlags(2, argv, "BENCH_x.json"),
+              ::testing::ExitedWithCode(2), "unknown flag --jsno");
+
+  char bad_value[] = "--threads=banana";
+  char* argv2[] = {prog, bad_value};
+  EXPECT_EXIT(ParseBenchFlags(2, argv2, "BENCH_x.json"),
+              ::testing::ExitedWithCode(2), "positive integer");
+}
+
+TEST(Harness, ParseBenchFlagsHandlesRegisteredExtraFlags) {
+  int requests = 5;
+  const std::vector<ExtraIntFlag> extra = {
+      {"requests", "requests per client", &requests}};
+
+  char prog[] = "bench_x";
+  char flag[] = "--requests=64";
+  char* argv[] = {prog, flag};
+  const BenchFlags flags = ParseBenchFlags(2, argv, "BENCH_x.json", extra);
+  EXPECT_EQ(requests, 64);
+  EXPECT_FALSE(flags.json);
+
+  // Unregistered extras still die, and the usage lists the extra flag.
+  char bogus[] = "--requets=64";
+  char* argv2[] = {prog, bogus};
+  EXPECT_EXIT(ParseBenchFlags(2, argv2, "BENCH_x.json", extra),
+              ::testing::ExitedWithCode(2), "--requests=N");
+}
+
+TEST(Harness, PercentileUsesNearestRank) {
+  EXPECT_EQ(Percentile({}, 50.0), 0.0);
+  EXPECT_EQ(Percentile({42.0}, 99.0), 42.0);
+  const std::vector<double> values = {5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_EQ(Percentile(values, 0.0), 1.0);
+  EXPECT_EQ(Percentile(values, 50.0), 3.0);
+  EXPECT_EQ(Percentile(values, 90.0), 5.0);
+  EXPECT_EQ(Percentile(values, 100.0), 5.0);
+}
+
 TEST(Harness, ConfigAdaptsStatisticsSampleToDimension) {
   const auto workloads = TinyWorkloads();
   for (const auto& w : workloads) {

@@ -1,0 +1,720 @@
+// Networked serving front (src/net/): a Train/Search/Predict round trip
+// through the socket must be bitwise identical to the same SessionManager
+// call in-process at any server runner-thread count; malformed frames
+// must be answered with error frames without killing the server;
+// deadline-expired and over-quota requests must be rejected with their
+// distinct statuses without disturbing concurrent jobs.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+#include "net/codec.h"
+#include "net/job_queue.h"
+#include "net/protocol.h"
+#include "net/quotas.h"
+#include "net/server.h"
+#include "serve/session_manager.h"
+#include "tests/test_util.h"
+
+namespace blinkml {
+namespace net {
+namespace {
+
+std::string SocketPath(const char* tag) {
+  return ::testing::TempDir() + "blinkml_net_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+WireConfig FastWireConfig(std::uint64_t seed) {
+  WireConfig config;
+  config.seed = seed;
+  config.initial_sample_size = 1000;
+  config.holdout_size = 1000;
+  config.accuracy_samples = 256;
+  config.size_samples = 128;
+  return config;
+}
+
+RegisterDatasetRequest LogisticRegistration(const std::string& tenant,
+                                            const std::string& name) {
+  RegisterDatasetRequest request;
+  request.tenant = tenant;
+  request.name = name;
+  request.generator = WireGenerator::kSyntheticLogistic;
+  request.rows = 4000;
+  request.dim = 5;
+  request.data_seed = 3;
+  request.config = FastWireConfig(11);
+  return request;
+}
+
+void ExpectModelBitwise(const TrainedModel& a, const TrainedModel& b,
+                        const char* what) {
+  ASSERT_EQ(a.theta.size(), b.theta.size()) << what;
+  for (Vector::Index i = 0; i < a.theta.size(); ++i) {
+    EXPECT_EQ(a.theta[i], b.theta[i]) << what << " theta[" << i << "]";
+  }
+  EXPECT_EQ(a.iterations, b.iterations) << what;
+  EXPECT_EQ(a.sample_size, b.sample_size) << what;
+}
+
+// --- Round trips -------------------------------------------------------
+
+// The acceptance bar: a Train + Predict through the socket must return the
+// exact bits the in-process SessionManager produces, at 1/2/8 server
+// runner threads.
+TEST(BlinkServer, TrainPredictRoundTripBitwiseAtAnyRunnerThreadCount) {
+  const RegisterDatasetRequest registration =
+      LogisticRegistration("tenant-a", "wire-logistic");
+
+  // In-process reference: same factory, same config, same request.
+  SessionManager reference;
+  ASSERT_TRUE(reference
+                  .RegisterDataset(
+                      registration.name,
+                      [registration] {
+                        return std::move(*MakeWireDataset(registration));
+                      },
+                      ToBlinkConfig(registration.config))
+                  .ok());
+  TrainRequest reference_train;
+  reference_train.dataset = registration.name;
+  reference_train.spec = *MakeSpecByName("LogisticRegression", 1e-3);
+  reference_train.contract = {0.01, 0.05};
+  const auto reference_result =
+      reference.SubmitTrain(reference_train).get();
+  ASSERT_TRUE(reference_result.ok())
+      << reference_result.status().ToString();
+
+  // Reference predictions on a deterministic probe matrix.
+  const Dataset probe_data = *MakeWireDataset(registration);
+  const Dataset::Index probe_rows = 16;
+  std::vector<double> probe(static_cast<std::size_t>(probe_rows) * 5);
+  for (Dataset::Index r = 0; r < probe_rows; ++r) {
+    for (Dataset::Index c = 0; c < 5; ++c) {
+      probe[static_cast<std::size_t>(r * 5 + c)] =
+          probe_data.dense()(r, c);
+    }
+  }
+
+  for (const int threads : {1, 2, 8}) {
+    SessionManager manager(ServeOptions{0, threads});
+    ServerOptions options;
+    options.unix_path = SocketPath("roundtrip");
+    options.runner_threads = threads;
+    BlinkServer server(&manager, options);
+    ASSERT_TRUE(server.Start().ok());
+
+    auto client = BlinkClient::ConnectUnix(options.unix_path);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+    const auto registered = client->RegisterDataset(registration);
+    ASSERT_TRUE(registered.ok()) << registered.status().ToString();
+    EXPECT_EQ(registered->dataset_bytes, probe_data.MemoryBytes());
+
+    TrainRequestWire train;
+    train.tenant = "tenant-a";
+    train.dataset = registration.name;
+    train.model_class = "LogisticRegression";
+    train.l2 = 1e-3;
+    train.epsilon = 0.01;
+    train.delta = 0.05;
+    const auto trained = client->Train(train);
+    ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+
+    ExpectModelBitwise(trained->model, reference_result->model,
+                       "served train");
+    EXPECT_EQ(trained->sample_size, reference_result->sample_size);
+    EXPECT_EQ(trained->full_size, reference_result->full_size);
+    EXPECT_EQ(trained->initial_epsilon, reference_result->initial_epsilon);
+    EXPECT_EQ(trained->final_epsilon, reference_result->final_epsilon);
+    EXPECT_EQ(trained->used_initial_only,
+              reference_result->used_initial_only);
+    EXPECT_EQ(trained->contract_satisfied,
+              reference_result->contract_satisfied);
+    EXPECT_EQ(trained->initial_iterations,
+              reference_result->initial_iterations);
+    EXPECT_EQ(trained->final_iterations,
+              reference_result->final_iterations);
+
+    // Ship the served model straight back for predictions; compare with
+    // the spec's in-process Predict on the same rows.
+    PredictRequestWire predict;
+    predict.tenant = "tenant-a";
+    predict.model_class = "LogisticRegression";
+    predict.model = trained->model;
+    predict.rows = probe_rows;
+    predict.dim = 5;
+    predict.features = probe;
+    const auto predicted = client->Predict(predict);
+    ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+
+    Matrix probe_matrix(probe_rows, 5);
+    std::memcpy(probe_matrix.data(), probe.data(),
+                probe.size() * sizeof(double));
+    const Dataset probe_set(std::move(probe_matrix), Vector(probe_rows),
+                            Task::kBinary);
+    Vector expected;
+    (*MakeSpecByName("LogisticRegression", 1e-3))
+        ->Predict(reference_result->model.theta, probe_set, &expected);
+    ASSERT_EQ(predicted->predictions.size(),
+              static_cast<std::size_t>(expected.size()));
+    for (Vector::Index i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(predicted->predictions[static_cast<std::size_t>(i)],
+                expected[i])
+          << "prediction " << i << " at " << threads << " threads";
+    }
+
+    server.Stop();
+  }
+}
+
+TEST(BlinkServer, SearchRoundTripBitwise) {
+  const RegisterDatasetRequest registration =
+      LogisticRegistration("tenant-s", "wire-search");
+
+  SessionManager reference;
+  ASSERT_TRUE(reference
+                  .RegisterDataset(
+                      registration.name,
+                      [registration] {
+                        return std::move(*MakeWireDataset(registration));
+                      },
+                      ToBlinkConfig(registration.config))
+                  .ok());
+  SearchRequest reference_search;
+  reference_search.dataset = registration.name;
+  reference_search.factory = [](const Candidate& c) {
+    return *MakeSpecByName("LogisticRegression", c.l2);
+  };
+  reference_search.candidates = HyperparamSearch::LogGrid(1e-4, 1e-1, 3);
+  reference_search.options.contract = {0.01, 0.05};
+  const auto reference_outcome =
+      reference.SubmitSearch(reference_search).get();
+  ASSERT_TRUE(reference_outcome.ok());
+
+  SessionManager manager(ServeOptions{0, 2});
+  ServerOptions options;
+  options.unix_path = SocketPath("search");
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->RegisterDataset(registration).ok());
+
+  SearchRequestWire search;
+  search.tenant = "tenant-s";
+  search.dataset = registration.name;
+  search.model_class = "LogisticRegression";
+  for (const Candidate& c : reference_search.candidates) {
+    search.candidates.push_back({c.l2, c.seed});
+  }
+  search.epsilon = 0.01;
+  search.delta = 0.05;
+  const auto outcome = client->Search(search);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+  EXPECT_EQ(outcome->best_index, reference_outcome->best_index);
+  ASSERT_EQ(outcome->candidates.size(),
+            reference_outcome->candidates.size());
+  for (std::size_t i = 0; i < outcome->candidates.size(); ++i) {
+    const auto& served = outcome->candidates[i];
+    const auto& expected = reference_outcome->candidates[i];
+    ASSERT_EQ(served.status == WireStatus::kOk, expected.status.ok());
+    EXPECT_EQ(served.l2, expected.candidate.l2);
+    EXPECT_EQ(served.score, expected.score);
+    EXPECT_EQ(served.final_epsilon, expected.result.final_epsilon);
+    EXPECT_EQ(served.sample_size, expected.result.sample_size);
+    ExpectModelBitwise(served.model, expected.result.model, "search");
+  }
+}
+
+// --- Malformed input ---------------------------------------------------
+
+class RawConnection {
+ public:
+  explicit RawConnection(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void SendRaw(const std::vector<std::uint8_t>& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// Reads one response frame and returns its envelope.
+  ResponseEnvelope ReadEnvelope(std::uint64_t* request_id = nullptr) {
+    Frame frame;
+    const Status status = ReadFrame(fd_, &frame);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    ResponseEnvelope envelope;
+    if (status.ok()) {
+      WireReader reader(frame.payload.data(), frame.payload.size());
+      EXPECT_TRUE(Decode(&reader, &envelope).ok());
+      if (request_id != nullptr) *request_id = frame.header.request_id;
+    }
+    return envelope;
+  }
+
+  /// True when the server closed its end (EOF within the deadline).
+  bool WaitForClose() {
+    std::uint8_t byte;
+    const ssize_t n = ::recv(fd_, &byte, 1, 0);
+    return n == 0;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+std::vector<std::uint8_t> FrameBytes(const FrameHeader& header,
+                                     const std::vector<std::uint8_t>& payload,
+                                     bool fix_len = true) {
+  FrameHeader h = header;
+  if (fix_len) h.payload_len = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> bytes(kFrameHeaderBytes + payload.size());
+  EncodeFrameHeader(h, bytes.data());
+  std::memcpy(bytes.data() + kFrameHeaderBytes, payload.data(),
+              payload.size());
+  return bytes;
+}
+
+std::vector<std::uint8_t> StatsPayload(const std::string& tenant) {
+  StatsRequestWire request;
+  request.tenant = tenant;
+  WireWriter writer;
+  Encode(request, &writer);
+  return writer.bytes();
+}
+
+TEST(BlinkServer, MalformedFramesAnswerErrorsAndServerStaysUp) {
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("malformed");
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Bad magic: unsynchronizable -> error frame, then the connection
+  // closes.
+  {
+    RawConnection conn(options.unix_path);
+    ASSERT_TRUE(conn.ok());
+    FrameHeader header;
+    header.verb = Verb::kStats;
+    header.request_id = 7;
+    std::vector<std::uint8_t> bytes =
+        FrameBytes(header, StatsPayload("raw"));
+    bytes[0] ^= 0xFF;
+    conn.SendRaw(bytes);
+    const ResponseEnvelope envelope = conn.ReadEnvelope();
+    EXPECT_EQ(envelope.status, WireStatus::kMalformedFrame);
+    EXPECT_TRUE(conn.WaitForClose());
+  }
+
+  // Oversized payload length: also framing corruption.
+  {
+    RawConnection conn(options.unix_path);
+    ASSERT_TRUE(conn.ok());
+    FrameHeader header;
+    header.verb = Verb::kStats;
+    header.payload_len = kMaxPayloadBytes + 1;
+    std::vector<std::uint8_t> bytes(kFrameHeaderBytes);
+    EncodeFrameHeader(header, bytes.data());
+    conn.SendRaw(bytes);
+    const ResponseEnvelope envelope = conn.ReadEnvelope();
+    EXPECT_EQ(envelope.status, WireStatus::kMalformedFrame);
+    EXPECT_TRUE(conn.WaitForClose());
+  }
+
+  // Truncated header + hangup: nothing to answer; the server must just
+  // reap the connection.
+  {
+    RawConnection conn(options.unix_path);
+    ASSERT_TRUE(conn.ok());
+    conn.SendRaw({0x4B, 0x4E, 0x4C});
+  }
+
+  // Unknown verb: in-frame error; the SAME connection keeps working.
+  {
+    RawConnection conn(options.unix_path);
+    ASSERT_TRUE(conn.ok());
+    FrameHeader header;
+    header.verb = static_cast<Verb>(99);
+    header.request_id = 21;
+    conn.SendRaw(FrameBytes(header, StatsPayload("raw")));
+    std::uint64_t echoed = 0;
+    ResponseEnvelope envelope = conn.ReadEnvelope(&echoed);
+    EXPECT_EQ(envelope.status, WireStatus::kUnknownVerb);
+    EXPECT_EQ(echoed, 21u);
+
+    header.verb = Verb::kStats;
+    header.request_id = 22;
+    conn.SendRaw(FrameBytes(header, StatsPayload("raw")));
+    envelope = conn.ReadEnvelope(&echoed);
+    EXPECT_EQ(envelope.status, WireStatus::kOk);
+    EXPECT_EQ(echoed, 22u);
+  }
+
+  // Version mismatch: error frame with the request id echoed; connection
+  // stays alive.
+  {
+    RawConnection conn(options.unix_path);
+    ASSERT_TRUE(conn.ok());
+    FrameHeader header;
+    header.version = kWireVersion + 1;
+    header.verb = Verb::kStats;
+    header.request_id = 33;
+    conn.SendRaw(FrameBytes(header, StatsPayload("raw")));
+    std::uint64_t echoed = 0;
+    ResponseEnvelope envelope = conn.ReadEnvelope(&echoed);
+    EXPECT_EQ(envelope.status, WireStatus::kVersionMismatch);
+    EXPECT_EQ(echoed, 33u);
+
+    header.version = kWireVersion;
+    header.request_id = 34;
+    conn.SendRaw(FrameBytes(header, StatsPayload("raw")));
+    envelope = conn.ReadEnvelope(&echoed);
+    EXPECT_EQ(envelope.status, WireStatus::kOk);
+  }
+
+  // Undecodable payload (tenant peek fails): kDecodeError, alive.
+  {
+    RawConnection conn(options.unix_path);
+    ASSERT_TRUE(conn.ok());
+    FrameHeader header;
+    header.verb = Verb::kTrain;
+    header.request_id = 40;
+    conn.SendRaw(FrameBytes(header, {0x01, 0x02}));
+    ResponseEnvelope envelope = conn.ReadEnvelope();
+    EXPECT_EQ(envelope.status, WireStatus::kDecodeError);
+
+    header.verb = Verb::kStats;
+    header.request_id = 41;
+    conn.SendRaw(FrameBytes(header, StatsPayload("raw")));
+    envelope = conn.ReadEnvelope();
+    EXPECT_EQ(envelope.status, WireStatus::kOk);
+  }
+
+  // After all of that abuse, a fresh client still gets full service, and
+  // the counters saw every rejection.
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  const auto stats = client->Stats("raw");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->server.rejected_malformed, 2u);
+  EXPECT_EQ(stats->server.rejected_unknown_verb, 1u);
+  EXPECT_EQ(stats->server.rejected_version, 1u);
+  EXPECT_EQ(stats->server.rejected_decode, 1u);
+}
+
+// --- Scheduling --------------------------------------------------------
+
+TEST(BlinkServer, DeadlineExpiredJobsRejectedWithDistinctStatus) {
+  SessionManager manager(ServeOptions{0, 1});
+  ServerOptions options;
+  options.unix_path = SocketPath("deadline");
+  options.runner_threads = 1;
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  RegisterDatasetRequest registration =
+      LogisticRegistration("tenant-d", "wire-deadline");
+  registration.rows = 20000;
+  registration.dim = 12;
+  auto setup = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(setup.ok());
+  ASSERT_TRUE(setup->RegisterDataset(registration).ok());
+
+  // One connection, two frames in one write: a Train that occupies the
+  // single runner for many milliseconds (it lazily generates 20000 x 12
+  // rows first), and a Stats request with a 1 ms deadline. FIFO order
+  // guarantees the Stats job waits behind the Train, so its deadline is
+  // long gone when the runner reaches it — deterministically, with no
+  // sleeps in the test.
+  RawConnection conn(options.unix_path);
+  ASSERT_TRUE(conn.ok());
+  TrainRequestWire train;
+  train.tenant = "tenant-d";
+  train.dataset = registration.name;
+  train.model_class = "LogisticRegression";
+  train.epsilon = 0.01;
+  train.delta = 0.05;
+  WireWriter train_payload;
+  Encode(train, &train_payload);
+  FrameHeader train_header;
+  train_header.verb = Verb::kTrain;
+  train_header.request_id = 1;
+  FrameHeader stats_header;
+  stats_header.verb = Verb::kStats;
+  stats_header.request_id = 2;
+  stats_header.deadline_ms = 1;
+  std::vector<std::uint8_t> burst =
+      FrameBytes(train_header, train_payload.bytes());
+  const std::vector<std::uint8_t> stats_frame =
+      FrameBytes(stats_header, StatsPayload("tenant-d"));
+  burst.insert(burst.end(), stats_frame.begin(), stats_frame.end());
+  conn.SendRaw(burst);
+
+  // The runner answers in pop order: the (undisturbed) training first,
+  // then the expired Stats.
+  std::uint64_t echoed = 0;
+  ResponseEnvelope envelope = conn.ReadEnvelope(&echoed);
+  EXPECT_EQ(envelope.status, WireStatus::kOk);
+  EXPECT_EQ(echoed, 1u);
+  envelope = conn.ReadEnvelope(&echoed);
+  EXPECT_EQ(envelope.status, WireStatus::kDeadlineExceeded);
+  EXPECT_EQ(echoed, 2u);
+
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  const auto after = client->Stats("tenant-d");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->server.rejected_deadline, 1u);
+}
+
+TEST(BlinkServer, QuotaRejectionsAreDistinctAndScopedToTheTenant) {
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("quota");
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Tenant with a one-request burst and a glacial refill.
+  TenantQuotaOptions throttled;
+  throttled.requests_per_second = 1e-3;
+  throttled.burst = 1.0;
+  server.quotas().SetTenantOptions("throttled", throttled);
+
+  // Tenant whose byte quota fits nothing.
+  TenantQuotaOptions tiny;
+  tiny.max_outstanding_bytes = 4;
+  tiny.over_quota_retry_ms = 250;
+  server.quotas().SetTenantOptions("tiny", tiny);
+
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE(client->Stats("throttled").ok());
+  const auto limited = client->Stats("throttled");
+  ASSERT_FALSE(limited.ok());
+  EXPECT_NE(limited.status().message().find("RateLimited"),
+            std::string::npos);
+  EXPECT_GT(client->last_retry_after_ms(), 0u);
+
+  const auto over = client->Stats("tiny");
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.status().message().find("OverQuota"), std::string::npos);
+  EXPECT_EQ(client->last_retry_after_ms(), 250u);
+
+  // Unthrottled tenants on the same server are untouched.
+  const auto other = client->Stats("other");
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->server.rejected_rate, 1u);
+  EXPECT_EQ(other->server.rejected_quota, 1u);
+}
+
+TEST(BlinkServer, RegisteredDatasetBytesCountAgainstTheByteQuota) {
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("resident");
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Room for request payloads but not for payloads on top of a resident
+  // dataset (4000 x 5 doubles is ~160 KB).
+  TenantQuotaOptions quota;
+  quota.max_outstanding_bytes = 100 * 1024;
+  server.quotas().SetTenantOptions("hoarder", quota);
+
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  const auto registered = client->RegisterDataset(
+      LogisticRegistration("hoarder", "wire-resident"));
+  ASSERT_TRUE(registered.ok()) << registered.status().ToString();
+  EXPECT_GT(registered->dataset_bytes, quota.max_outstanding_bytes);
+
+  const auto rejected = client->Stats("hoarder");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("OverQuota"),
+            std::string::npos);
+}
+
+TEST(BlinkServer, StatsVerbReportsManagerAndServerCounters) {
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("stats");
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(
+      client->RegisterDataset(LogisticRegistration("t", "wire-stats")).ok());
+  TrainRequestWire train;
+  train.tenant = "t";
+  train.dataset = "wire-stats";
+  train.model_class = "LogisticRegression";
+  train.epsilon = 0.05;
+  train.delta = 0.05;
+  ASSERT_TRUE(client->Train(train).ok());
+
+  const auto stats = client->Stats("t");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->manager.jobs_submitted, 1u);
+  EXPECT_EQ(stats->manager.jobs_completed, 1u);
+  EXPECT_EQ(stats->manager.live_sessions, 1);
+  EXPECT_EQ(stats->manager.loaded_datasets, 1);
+  EXPECT_EQ(stats->manager.loads_in_progress, 0);
+  EXPECT_GT(stats->manager.cached_bytes, 0u);
+  EXPECT_GE(stats->server.frames_received, 3u);
+  EXPECT_GE(stats->server.jobs_enqueued, 3u);
+
+  const auto evicted = client->EvictIdle("t");
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_EQ(evicted->sessions_evicted, 1);
+}
+
+// --- JobQueue unit tests -----------------------------------------------
+
+TEST(JobQueue, DrainsInPriorityOrderFifoWithinPriority) {
+  JobQueue queue;
+  std::vector<int> order;
+  auto push = [&](int id, std::int32_t priority) {
+    JobQueue::Job job;
+    job.priority = priority;
+    job.run = [&order, id] { order.push_back(id); };
+    ASSERT_TRUE(queue.Push(std::move(job)));
+  };
+  push(1, 0);
+  push(2, 5);
+  push(3, 0);
+  push(4, 5);
+  push(5, -1);
+
+  queue.Shutdown();
+  JobQueue::Job job;
+  while (queue.Pop(&job)) job.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 4, 1, 3, 5}));
+}
+
+TEST(JobQueue, BoundedPushRejectsWhenFull) {
+  JobQueue queue(2);
+  JobQueue::Job job;
+  job.run = [] {};
+  ASSERT_TRUE(queue.Push(JobQueue::Job{0, {}, false, [] {}, [] {}}));
+  ASSERT_TRUE(queue.Push(JobQueue::Job{0, {}, false, [] {}, [] {}}));
+  EXPECT_FALSE(queue.Push(JobQueue::Job{0, {}, false, [] {}, [] {}}));
+  queue.Shutdown();
+  EXPECT_FALSE(queue.Push(JobQueue::Job{0, {}, false, [] {}, [] {}}));
+}
+
+TEST(JobQueue, ExpiredChecksTheDeadline) {
+  JobQueue::Job job;
+  EXPECT_FALSE(JobQueue::Expired(job));  // no deadline
+  job.has_deadline = true;
+  job.deadline = std::chrono::steady_clock::now() -
+                 std::chrono::milliseconds(1);
+  EXPECT_TRUE(JobQueue::Expired(job));
+  job.deadline = std::chrono::steady_clock::now() +
+                 std::chrono::seconds(60);
+  EXPECT_FALSE(JobQueue::Expired(job));
+}
+
+// --- TenantQuotas unit tests (fake clock) ------------------------------
+
+TEST(TenantQuotas, TokenBucketRefillsAtTheConfiguredRate) {
+  std::uint64_t now_micros = 0;
+  TenantQuotaOptions defaults;
+  defaults.requests_per_second = 10.0;
+  defaults.burst = 2.0;
+  TenantQuotas quotas(defaults, [&now_micros] { return now_micros; });
+
+  // Burst of 2, then empty.
+  EXPECT_TRUE(quotas.Admit("t", 0).admitted());
+  EXPECT_TRUE(quotas.Admit("t", 0).admitted());
+  const AdmissionDecision rejected = quotas.Admit("t", 0);
+  EXPECT_EQ(rejected.status, WireStatus::kRateLimited);
+  // 10 req/s = a token every 100 ms.
+  EXPECT_EQ(rejected.retry_after_ms, 100u);
+
+  now_micros += 50 * 1000;  // half a token
+  EXPECT_EQ(quotas.Admit("t", 0).retry_after_ms, 50u);
+  now_micros += 50 * 1000;  // full token
+  EXPECT_TRUE(quotas.Admit("t", 0).admitted());
+
+  // Refill caps at burst even after a long idle stretch.
+  now_micros += 3600u * 1000 * 1000;
+  EXPECT_TRUE(quotas.Admit("t", 0).admitted());
+  EXPECT_TRUE(quotas.Admit("t", 0).admitted());
+  EXPECT_EQ(quotas.Admit("t", 0).status, WireStatus::kRateLimited);
+}
+
+TEST(TenantQuotas, ByteQuotaChargesOutstandingAndResident) {
+  TenantQuotaOptions defaults;
+  defaults.max_outstanding_bytes = 100;
+  defaults.over_quota_retry_ms = 70;
+  TenantQuotas quotas(defaults, [] { return std::uint64_t{0}; });
+
+  EXPECT_TRUE(quotas.Admit("t", 60).admitted());
+  EXPECT_EQ(quotas.OutstandingBytes("t"), 60u);
+  const AdmissionDecision rejected = quotas.Admit("t", 50);
+  EXPECT_EQ(rejected.status, WireStatus::kOverQuota);
+  EXPECT_EQ(rejected.retry_after_ms, 70u);
+
+  quotas.Release("t", 60);
+  EXPECT_TRUE(quotas.Admit("t", 50).admitted());
+  quotas.Release("t", 50);
+
+  // Resident charges shrink what requests may use.
+  quotas.ChargeResident("t", 90);
+  EXPECT_EQ(quotas.ResidentBytes("t"), 90u);
+  EXPECT_EQ(quotas.Admit("t", 20).status, WireStatus::kOverQuota);
+  EXPECT_TRUE(quotas.Admit("t", 10).admitted());
+  quotas.Release("t", 10);
+  quotas.ChargeResident("t", -90);
+  EXPECT_EQ(quotas.ResidentBytes("t"), 0u);
+
+  // Tenants are independent.
+  EXPECT_TRUE(quotas.Admit("other", 100).admitted());
+}
+
+TEST(TenantQuotas, ByteRejectionDoesNotBurnARateToken) {
+  TenantQuotaOptions defaults;
+  defaults.requests_per_second = 10.0;
+  defaults.burst = 1.0;
+  defaults.max_outstanding_bytes = 10;
+  TenantQuotas quotas(defaults, [] { return std::uint64_t{0}; });
+
+  EXPECT_EQ(quotas.Admit("t", 50).status, WireStatus::kOverQuota);
+  // The bucket still has its token: a request that fits passes.
+  EXPECT_TRUE(quotas.Admit("t", 5).admitted());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace blinkml

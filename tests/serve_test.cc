@@ -437,5 +437,45 @@ TEST(SessionManager, ShutdownDrainsTheQueue) {
   }
 }
 
+TEST(SessionManager, StatsReportsCachedBytesAndLoadsInProgress) {
+  // A factory that blocks until released, so the single-flight load is
+  // observable mid-flight through stats().
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  SessionManager manager;
+  ASSERT_TRUE(manager
+                  .RegisterDataset(
+                      "slow",
+                      [released] {
+                        released.wait();
+                        return testing::SmallDenseLogistic(4000, 5, 3);
+                      },
+                      FastConfig(11))
+                  .ok());
+
+  EXPECT_EQ(manager.stats().loads_in_progress, 0);
+  EXPECT_EQ(manager.stats().cached_bytes, 0u);
+
+  auto future = manager.SubmitTrain({"slow", Lr(1e-3), kTightContract});
+  // The job is inside the factory until we release it.
+  for (int i = 0; i < 1000 && manager.stats().loads_in_progress == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(manager.stats().loads_in_progress, 1);
+  release.set_value();
+  ASSERT_TRUE(future.get().ok());
+
+  const ServeStats stats = manager.stats();
+  EXPECT_EQ(stats.loads_in_progress, 0);
+  EXPECT_EQ(stats.loaded_datasets, 1);
+  // The completed session retains its sample/Gram caches; that retention
+  // is the evictable share of the resident footprint.
+  EXPECT_GT(stats.cached_bytes, 0u);
+  EXPECT_LE(stats.cached_bytes, stats.resident_bytes);
+
+  manager.EvictIdle();
+  EXPECT_EQ(manager.stats().cached_bytes, 0u);
+}
+
 }  // namespace
 }  // namespace blinkml
