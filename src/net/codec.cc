@@ -1,5 +1,7 @@
 #include "net/codec.h"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "data/generators.h"
@@ -85,6 +87,37 @@ void DecodeInto(WireReader* in, WireConfig* out) {
 }
 
 }  // namespace
+
+namespace {
+
+std::uint64_t SaturatingMul(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a * b;
+}
+
+}  // namespace
+
+std::uint64_t EstimateWireDatasetBytes(const RegisterDatasetRequest& request) {
+  if (request.rows <= 0 || request.dim <= 0) return 0;
+  const std::uint64_t rows = static_cast<std::uint64_t>(request.rows);
+  const std::uint64_t dim = static_cast<std::uint64_t>(request.dim);
+  std::uint64_t per_row;
+  if (request.generator == WireGenerator::kCriteoLike) {
+    // CSR storage: a value + a column index per entry, plus the label.
+    const std::uint64_t nnz =
+        request.nnz_per_row > 0
+            ? std::min(static_cast<std::uint64_t>(request.nnz_per_row), dim)
+            : 0;
+    per_row = SaturatingMul(nnz, sizeof(double) + sizeof(std::int64_t)) +
+              sizeof(double);
+  } else {
+    // Dense row-major features plus the label.
+    per_row = SaturatingMul(dim + 1, sizeof(double));
+  }
+  return SaturatingMul(rows, per_row);
+}
 
 Result<Dataset> MakeWireDataset(const RegisterDatasetRequest& request) {
   if (request.rows <= 0 || request.dim <= 0) {
@@ -320,9 +353,20 @@ Status Decode(WireReader* in, PredictRequestWire* out) {
   if (out->rows <= 0 || out->dim <= 0) {
     return Status::InvalidArgument("predict needs positive rows and dim");
   }
-  in->Doubles(static_cast<std::size_t>(out->rows) *
-                  static_cast<std::size_t>(out->dim),
-              &out->features);
+  // rows * dim can wrap for adversarial sizes (each passes the > 0 check
+  // up to 2^63); bound it against the bytes actually left in the payload
+  // with divisions before forming the product.
+  const std::size_t rows = static_cast<std::size_t>(out->rows);
+  const std::size_t dim = static_cast<std::size_t>(out->dim);
+  if (rows > in->remaining() / sizeof(double) / dim) {
+    return Status::InvalidArgument(
+        StrFormat("predict features truncated: %lld x %lld doubles do not "
+                  "fit in the %llu payload bytes remaining",
+                  static_cast<long long>(out->rows),
+                  static_cast<long long>(out->dim),
+                  static_cast<unsigned long long>(in->remaining())));
+  }
+  in->Doubles(rows * dim, &out->features);
   return ReaderStatus(*in);
 }
 

@@ -94,6 +94,16 @@ struct RegisterDatasetResponse {
 /// calls this to size the quota charge and at every lazy reload).
 Result<Dataset> MakeWireDataset(const RegisterDatasetRequest& request);
 
+/// Size estimate (on the order of Dataset::MemoryBytes) of the dataset
+/// MakeWireDataset would build, computed from the wire parameters alone
+/// (saturating arithmetic, no allocation).
+/// Admission control checks this BEFORE the server materializes anything
+/// a tenant asked for: rows/dim are arbitrary wire int64s, and the tiny
+/// request payload must not be able to trigger an unbounded server-side
+/// allocation. 0 for non-positive rows/dim (MakeWireDataset rejects
+/// those itself).
+std::uint64_t EstimateWireDatasetBytes(const RegisterDatasetRequest& request);
+
 struct TrainRequestWire {
   std::string tenant;
   std::string dataset;

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -182,6 +183,10 @@ void WireWriter::Str(const std::string& s) {
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
+void WireWriter::Bytes(const std::uint8_t* data, std::size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
 void WireWriter::Doubles(const double* data, std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) F64(data[i]);
 }
@@ -237,13 +242,24 @@ std::string WireReader::Str() {
 
 void WireReader::Doubles(std::size_t count, std::vector<double>* out) {
   // Guard the resize: a corrupted count must not allocate gigabytes
-  // before the bounds check fails.
-  if (!Need(count * sizeof(double))) return;
+  // before the bounds check fails. Divide instead of multiplying —
+  // count * 8 can wrap for adversarial counts and slip past Need().
+  if (failed_ || count > remaining() / sizeof(double)) {
+    failed_ = true;
+    return;
+  }
   out->resize(count);
   for (std::size_t i = 0; i < count; ++i) (*out)[i] = F64();
 }
 
 namespace {
+
+/// A write blocked on a full send buffer waits this long for the peer to
+/// drain before the connection is declared dead. Multi-MB responses
+/// routinely exceed the kernel's socket buffers, so EAGAIN is normal
+/// operation, not an error — but a peer that never reads must not wedge
+/// a writer forever.
+constexpr int kWriteStallTimeoutMs = 30000;
 
 Status WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
   std::size_t done = 0;
@@ -254,6 +270,22 @@ Status WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
     const ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // The server's connection fds are non-blocking (one IO thread
+        // polls the reads); a response larger than the free send-buffer
+        // space must wait for the peer to drain, not fail mid-frame.
+        pollfd pfd{fd, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, kWriteStallTimeoutMs);
+        if (ready > 0) continue;  // writable again (or error: send reports)
+        if (ready < 0 && errno == EINTR) continue;
+        if (ready == 0) {
+          return Status::IOError(StrFormat(
+              "send: peer did not drain its socket within %d ms",
+              kWriteStallTimeoutMs));
+        }
+        return Status::IOError(
+            StrFormat("poll(POLLOUT): %s", std::strerror(errno)));
+      }
       return Status::IOError(StrFormat("send: %s", std::strerror(errno)));
     }
     done += static_cast<std::size_t>(n);

@@ -126,6 +126,9 @@ class WireWriter {
   /// u32 length + raw bytes.
   void Str(const std::string& s);
   void Doubles(const double* data, std::size_t count);
+  /// Raw bytes appended verbatim, no length prefix (splicing one writer's
+  /// finished body after another's envelope).
+  void Bytes(const std::uint8_t* data, std::size_t n);
 
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
   std::vector<std::uint8_t> Take() { return std::move(buf_); }
@@ -173,7 +176,9 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
-/// Writes header + payload with a full-write loop (EINTR-safe).
+/// Writes header + payload with a full-write loop. EINTR-safe, and works
+/// on non-blocking fds: a full send buffer polls for POLLOUT and resumes
+/// (kIOError only if the peer stops draining for tens of seconds).
 Status WriteFrame(int fd, const FrameHeader& header,
                   const std::uint8_t* payload, std::size_t payload_len);
 

@@ -114,6 +114,37 @@ void TenantQuotas::ChargeResident(const std::string& tenant,
   }
 }
 
+AdmissionDecision TenantQuotas::CheckResident(const std::string& tenant,
+                                              std::uint64_t bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  const TenantQuotaOptions& opts =
+      (it != tenants_.end() && it->second.has_options) ? it->second.options
+                                                       : defaults_;
+  AdmissionDecision decision;
+  if (opts.max_outstanding_bytes == 0) return decision;
+  const std::uint64_t in_use =
+      it == tenants_.end()
+          ? 0
+          : it->second.outstanding_bytes + it->second.resident_bytes;
+  // Subtract rather than add: in_use + bytes can wrap (bytes may be a
+  // saturated estimate), and in_use can already sit above the cap.
+  const std::uint64_t free_bytes =
+      opts.max_outstanding_bytes -
+      std::min(in_use, opts.max_outstanding_bytes);
+  if (bytes > free_bytes) {
+    decision.status = WireStatus::kOverQuota;
+    decision.retry_after_ms = opts.over_quota_retry_ms;
+    decision.message = StrFormat(
+        "tenant %s over byte quota: %llu in use + %llu resident requested "
+        "> %llu",
+        tenant.c_str(), static_cast<unsigned long long>(in_use),
+        static_cast<unsigned long long>(bytes),
+        static_cast<unsigned long long>(opts.max_outstanding_bytes));
+  }
+  return decision;
+}
+
 std::uint64_t TenantQuotas::OutstandingBytes(const std::string& tenant) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = tenants_.find(tenant);

@@ -86,6 +86,14 @@ class TenantQuotas {
   /// negative deltas floor at zero.
   void ChargeResident(const std::string& tenant, std::int64_t delta);
 
+  /// Pre-checks that `bytes` of ADDITIONAL resident charge would fit
+  /// under the tenant's byte quota (outstanding + resident + bytes <=
+  /// cap). Nothing is charged and no rate token is consumed — callers
+  /// charge the materialized figure via ChargeResident once it exists.
+  /// Rejects with kOverQuota; always admits when the quota is unlimited.
+  AdmissionDecision CheckResident(const std::string& tenant,
+                                  std::uint64_t bytes) const;
+
   std::uint64_t OutstandingBytes(const std::string& tenant) const;
   std::uint64_t ResidentBytes(const std::string& tenant) const;
 

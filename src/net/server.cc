@@ -469,8 +469,7 @@ void BlinkServer::SendResponse(const ConnPtr& conn, std::uint64_t request_id,
   WireWriter payload;
   Encode(envelope, &payload);
   if (body != nullptr) {
-    const std::vector<std::uint8_t>& bytes = body->bytes();
-    for (const std::uint8_t b : bytes) payload.U8(b);
+    payload.Bytes(body->bytes().data(), body->bytes().size());
   }
 
   FrameHeader header;
@@ -513,6 +512,34 @@ ResponseEnvelope BlinkServer::RunRegisterDataset(const std::uint8_t* payload,
   if (!status.ok()) {
     envelope.status = WireStatus::kDecodeError;
     envelope.message = status.message();
+    return envelope;
+  }
+
+  // Admission BEFORE materialization: rows/dim are arbitrary wire int64s
+  // and the enqueue admission only charged the tiny request payload, so
+  // the size estimate — not the dataset — is what gets checked against
+  // the server cap and the tenant's byte quota. Without this a one-frame
+  // request could OOM the server past the quota system.
+  const std::uint64_t estimate = EstimateWireDatasetBytes(request);
+  if (options_.max_dataset_bytes > 0 &&
+      estimate > options_.max_dataset_bytes) {
+    envelope.status = WireStatus::kInvalidArgument;
+    envelope.message = StrFormat(
+        "dataset of ~%llu bytes exceeds the server's %llu-byte "
+        "per-dataset cap",
+        static_cast<unsigned long long>(estimate),
+        static_cast<unsigned long long>(options_.max_dataset_bytes));
+    return envelope;
+  }
+  const AdmissionDecision fit = quotas_.CheckResident(request.tenant, estimate);
+  if (!fit.admitted()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_quota;
+    }
+    envelope.status = fit.status;
+    envelope.message = fit.message;
+    envelope.retry_after_ms = fit.retry_after_ms;
     return envelope;
   }
 

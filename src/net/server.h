@@ -32,9 +32,12 @@
 //
 // Writes from runner threads interleave with the IO thread's error
 // frames on the same socket; a per-connection write lock plus
-// frame-at-a-time writes keep frames atomic. Writes are blocking: a
-// client that never drains its socket can stall one runner, not the
-// listener (acceptable at this scale; flow control is future work).
+// frame-at-a-time writes keep frames atomic. Connection fds are
+// non-blocking (one IO thread polls the reads), so a response that
+// overruns the free send-buffer space polls for POLLOUT and resumes
+// (protocol.cc WriteAll); a client that never drains its socket stalls
+// one runner for at most the write-stall timeout before that one
+// connection is dropped — never the listener or other connections.
 
 #ifndef BLINKML_NET_SERVER_H_
 #define BLINKML_NET_SERVER_H_
@@ -73,6 +76,11 @@ struct ServerOptions {
   std::size_t max_queued_jobs = 1024;
   /// Default per-tenant quotas (override per tenant via quotas()).
   TenantQuotaOptions default_quota;
+  /// Hard cap on the estimated size of any single RegisterDataset
+  /// (EstimateWireDatasetBytes, checked before anything is materialized
+  /// and independent of tenant quotas — it protects the server even from
+  /// tenants with unlimited byte quotas). 0 = unlimited.
+  std::uint64_t max_dataset_bytes = 1ull << 30;
   int listen_backlog = 64;
 };
 

@@ -5,6 +5,7 @@
 // deadline-expired and over-quota requests must be rejected with their
 // distinct statuses without disturbing concurrent jobs.
 
+#include <fcntl.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -432,6 +433,108 @@ TEST(BlinkServer, MalformedFramesAnswerErrorsAndServerStaysUp) {
   EXPECT_EQ(stats->server.rejected_decode, 1u);
 }
 
+// A Predict whose rows * dim wraps 64-bit arithmetic must be answered as
+// a decode error, not attempted as an allocation: 2^31 rows x 2^30 dims
+// multiply to 2^61 doubles whose byte size is 0 mod 2^64, so a guard
+// that multiplies instead of dividing would wave it through.
+TEST(BlinkServer, PredictRowsTimesDimOverflowIsADecodeError) {
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("overflow");
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  PredictRequestWire predict;
+  predict.tenant = "raw";
+  predict.model_class = "LogisticRegression";
+  predict.model.theta = Vector(2);
+  predict.rows = 1;
+  predict.dim = 1;
+  predict.features = {1.0};
+  WireWriter writer;
+  ASSERT_TRUE(Encode(predict, &writer).ok());
+  std::vector<std::uint8_t> payload = writer.Take();
+
+  // The payload ends with rows (i64), dim (i64), then the doubles.
+  const auto patch_u64 = [&payload](std::size_t at, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      payload[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  };
+  patch_u64(payload.size() - 24, std::uint64_t{1} << 31);  // rows
+  patch_u64(payload.size() - 16, std::uint64_t{1} << 30);  // dim
+
+  RawConnection conn(options.unix_path);
+  ASSERT_TRUE(conn.ok());
+  FrameHeader header;
+  header.verb = Verb::kPredict;
+  header.request_id = 50;
+  conn.SendRaw(FrameBytes(header, payload));
+  std::uint64_t echoed = 0;
+  const ResponseEnvelope envelope = conn.ReadEnvelope(&echoed);
+  EXPECT_EQ(envelope.status, WireStatus::kDecodeError);
+  EXPECT_EQ(echoed, 50u);
+
+  // The connection and the server both survive.
+  header.verb = Verb::kStats;
+  header.request_id = 51;
+  conn.SendRaw(FrameBytes(header, StatsPayload("raw")));
+  EXPECT_EQ(conn.ReadEnvelope().status, WireStatus::kOk);
+}
+
+// Multi-MB responses must survive the server's non-blocking connection
+// fds: a response larger than the free socket send-buffer space sees
+// EAGAIN mid-frame, which has to poll-and-resume rather than tear the
+// connection down.
+TEST(BlinkServer, MultiMegabytePredictRoundTripsBitwise) {
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("bigresp");
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+
+  const Dataset::Index rows = 400000;
+  const Dataset::Index dim = 2;
+  std::vector<double> features(static_cast<std::size_t>(rows) *
+                               static_cast<std::size_t>(dim));
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    features[i] = 1e-3 * static_cast<double>(i % 997);
+  }
+  Matrix matrix(rows, dim);
+  std::memcpy(matrix.data(), features.data(),
+              features.size() * sizeof(double));
+  const Dataset data(std::move(matrix), Vector(rows), Task::kBinary);
+
+  const auto spec = *MakeSpecByName("LogisticRegression", 1e-3);
+  PredictRequestWire predict;
+  predict.tenant = "big";
+  predict.model_class = "LogisticRegression";
+  predict.model.theta = Vector(spec->ParamDim(data));
+  for (Vector::Index i = 0; i < predict.model.theta.size(); ++i) {
+    predict.model.theta[i] = 0.25 * static_cast<double>(i + 1);
+  }
+  predict.rows = rows;
+  predict.dim = dim;
+  predict.features = features;
+
+  // ~6.4 MB request, ~3.2 MB response — both far beyond kernel socket
+  // buffers.
+  const auto predicted = client->Predict(predict);
+  ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+
+  Vector expected;
+  spec->Predict(predict.model.theta, data, &expected);
+  ASSERT_EQ(predicted->predictions.size(),
+            static_cast<std::size_t>(expected.size()));
+  for (Vector::Index i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(predicted->predictions[static_cast<std::size_t>(i)],
+              expected[i])
+        << "prediction " << i;
+  }
+}
+
 // --- Scheduling --------------------------------------------------------
 
 TEST(BlinkServer, DeadlineExpiredJobsRejectedWithDistinctStatus) {
@@ -545,23 +648,88 @@ TEST(BlinkServer, RegisteredDatasetBytesCountAgainstTheByteQuota) {
   BlinkServer server(&manager, options);
   ASSERT_TRUE(server.Start().ok());
 
-  // Room for request payloads but not for payloads on top of a resident
-  // dataset (4000 x 5 doubles is ~160 KB).
+  // Room for the dataset plus small request payloads — but nothing
+  // sizable on top of the resident charge (4000 x 6 doubles is ~192 KB).
+  const RegisterDatasetRequest registration =
+      LogisticRegistration("hoarder", "wire-resident");
+  const std::uint64_t dataset_bytes =
+      MakeWireDataset(registration)->MemoryBytes();
   TenantQuotaOptions quota;
-  quota.max_outstanding_bytes = 100 * 1024;
+  quota.max_outstanding_bytes = dataset_bytes + 1024;
   server.quotas().SetTenantOptions("hoarder", quota);
 
   auto client = BlinkClient::ConnectUnix(options.unix_path);
   ASSERT_TRUE(client.ok());
-  const auto registered = client->RegisterDataset(
-      LogisticRegistration("hoarder", "wire-resident"));
+  const auto registered = client->RegisterDataset(registration);
   ASSERT_TRUE(registered.ok()) << registered.status().ToString();
-  EXPECT_GT(registered->dataset_bytes, quota.max_outstanding_bytes);
+  EXPECT_EQ(registered->dataset_bytes, dataset_bytes);
+  EXPECT_EQ(server.quotas().ResidentBytes("hoarder"), dataset_bytes);
 
-  const auto rejected = client->Stats("hoarder");
+  // A second dataset would double the resident charge: rejected by the
+  // pre-materialization check, leaving the charge untouched.
+  const auto second = client->RegisterDataset(
+      LogisticRegistration("hoarder", "wire-resident-2"));
+  ASSERT_FALSE(second.ok());
+  EXPECT_NE(second.status().message().find("OverQuota"), std::string::npos);
+  EXPECT_EQ(server.quotas().ResidentBytes("hoarder"), dataset_bytes);
+
+  // Any payload bigger than the quota's slack is rejected at enqueue
+  // admission because the resident bytes count against the same cap.
+  PredictRequestWire predict;
+  predict.tenant = "hoarder";
+  predict.model_class = "LogisticRegression";
+  predict.model.theta = Vector(6);
+  predict.rows = 256;
+  predict.dim = 5;
+  predict.features.assign(256 * 5, 1.0);
+  const auto rejected = client->Predict(predict);
   ASSERT_FALSE(rejected.ok());
   EXPECT_NE(rejected.status().message().find("OverQuota"),
             std::string::npos);
+}
+
+TEST(BlinkServer, OversizedRegisterDatasetRejectedBeforeMaterialization) {
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("oversized");
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TenantQuotaOptions quota;
+  quota.max_outstanding_bytes = 32ull * 1024 * 1024;
+  server.quotas().SetTenantOptions("bounded", quota);
+
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+
+  // ~88 MB estimated from a few-hundred-byte request: the tenant's byte
+  // quota rejects it from the wire parameters alone — the server must
+  // never attempt the allocation.
+  RegisterDatasetRequest big = LogisticRegistration("bounded", "big");
+  big.rows = 1000000;
+  big.dim = 10;
+  const auto over = client->RegisterDataset(big);
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.status().message().find("OverQuota"), std::string::npos);
+  EXPECT_GT(client->last_retry_after_ms(), 0u);
+  EXPECT_EQ(server.quotas().ResidentBytes("bounded"), 0u);
+
+  // ~80 TB: beyond even an unlimited byte quota, the server-wide
+  // per-dataset cap rejects it (before the quota check — a capped
+  // request can never succeed, so "retry later" would mislead).
+  RegisterDatasetRequest huge = LogisticRegistration("unbounded", "huge");
+  huge.rows = 1000000000;
+  huge.dim = 10000;
+  const auto capped = client->RegisterDataset(huge);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_NE(capped.status().message().find("per-dataset cap"),
+            std::string::npos);
+
+  // The server is unharmed and the same tenants can still register data
+  // that fits.
+  const auto small =
+      client->RegisterDataset(LogisticRegistration("bounded", "small"));
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
 }
 
 TEST(BlinkServer, StatsVerbReportsManagerAndServerCounters) {
@@ -597,6 +765,60 @@ TEST(BlinkServer, StatsVerbReportsManagerAndServerCounters) {
   const auto evicted = client->EvictIdle("t");
   ASSERT_TRUE(evicted.ok());
   EXPECT_EQ(evicted->sessions_evicted, 1);
+}
+
+// --- Protocol unit tests -----------------------------------------------
+
+// The server's connection fds are non-blocking; a frame that overruns a
+// full send buffer must poll for POLLOUT and resume, not fail with
+// EAGAIN. Tiny socket buffers plus a reader that sleeps first make the
+// EAGAIN deterministic.
+TEST(Protocol, WriteFramePollsThroughAFullSendBufferOnANonBlockingFd) {
+  int fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  const int small = 8 * 1024;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  ::setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+  const int flags = ::fcntl(fds[0], F_GETFL, 0);
+  ASSERT_EQ(0, ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK));
+
+  std::vector<std::uint8_t> payload(2 * 1024 * 1024);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  FrameHeader header;
+  header.verb = Verb::kPredict;
+  header.request_id = 99;
+
+  Frame received;
+  Status read_status = Status::OK();
+  std::thread reader([&] {
+    // Let the writer fill the send buffer and hit EAGAIN before any byte
+    // is drained.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    read_status = ReadFrame(fds[1], &received);
+  });
+  const Status write_status =
+      WriteFrame(fds[0], header, payload.data(), payload.size());
+  reader.join();
+  EXPECT_TRUE(write_status.ok()) << write_status.ToString();
+  ASSERT_TRUE(read_status.ok()) << read_status.ToString();
+  EXPECT_EQ(received.header.request_id, 99u);
+  ASSERT_EQ(received.payload.size(), payload.size());
+  EXPECT_TRUE(received.payload == payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Protocol, ReaderDoublesRejectsCountsWhoseByteSizeWraps) {
+  std::vector<std::uint8_t> buf(64, 0);
+  WireReader reader(buf.data(), buf.size());
+  std::vector<double> out;
+  // count * sizeof(double) == 0 mod 2^64: a multiplying bounds check
+  // would pass and resize() would attempt a 2^61-element allocation.
+  reader.Doubles(std::size_t{1} << 61, &out);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_TRUE(out.empty());
 }
 
 // --- JobQueue unit tests -----------------------------------------------
