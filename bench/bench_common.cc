@@ -7,6 +7,7 @@
 
 #include "data/generators.h"
 #include "models/linear_regression.h"
+#include "obs/trace.h"
 #include "models/logistic_regression.h"
 #include "models/max_entropy.h"
 #include "models/ppca.h"
@@ -135,7 +136,9 @@ BenchFlags ParseBenchFlags(int argc, char** argv,
   BenchFlags flags;
   const auto usage_and_exit = [&](const char* complaint,
                                   const char* offender) {
-    std::fprintf(stderr, "%s %s\nusage: %s [--json[=path]] [--threads=N]",
+    std::fprintf(stderr,
+                 "%s %s\nusage: %s [--json[=path]] [--threads=N] "
+                 "[--trace=path]",
                  complaint, offender, argv[0]);
     for (const ExtraIntFlag& f : extra) {
       std::fprintf(stderr, " [--%s=N]", f.name.c_str());
@@ -160,6 +163,11 @@ BenchFlags ParseBenchFlags(int argc, char** argv,
       if (v <= 0) usage_and_exit("--threads needs a positive integer, got",
                                  argv[i]);
       flags.threads = v;
+    } else if (StartsWith(arg, "--trace=")) {
+      flags.trace_path = std::string(arg.substr(8));
+      if (flags.trace_path.empty()) {
+        usage_and_exit("--trace needs a file path, got", argv[i]);
+      }
     } else {
       bool matched = false;
       for (const ExtraIntFlag& f : extra) {
@@ -185,18 +193,19 @@ BenchFlags ParseBenchFlags(int argc, char** argv,
     flags.json = false;
   }
   g_bench_threads = flags.threads;
+  if (!flags.trace_path.empty()) {
+    // Armed for the whole run; the StopTracing dump happens at normal
+    // process exit so benches need no per-harness plumbing.
+    obs::Tracer::Global().Start(flags.trace_path);
+    std::atexit([] {
+      const Status status = obs::Tracer::Global().Stop();
+      if (!status.ok()) {
+        std::fprintf(stderr, "trace dump failed: %s\n",
+                     status.message().c_str());
+      }
+    });
+  }
   return flags;
-}
-
-double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const double clamped = std::min(100.0, std::max(0.0, p));
-  // Nearest-rank: ceil(p/100 * N), 1-based.
-  std::size_t rank = static_cast<std::size_t>(
-      std::ceil(clamped / 100.0 * static_cast<double>(values.size())));
-  if (rank == 0) rank = 1;
-  return values[rank - 1];
 }
 
 namespace {

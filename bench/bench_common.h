@@ -22,6 +22,7 @@
 #include "core/coordinator.h"
 #include "data/dataset.h"
 #include "models/model_spec.h"
+#include "util/stats.h"  // nearest-rank Percentile (shared with obs)
 
 namespace blinkml {
 namespace bench {
@@ -60,7 +61,11 @@ BlinkConfig ConfigFor(const Workload& workload, std::uint64_t seed);
 //   --json[=path]  emit the machine-readable summary (path defaults to
 //                  the bench's "BENCH_<name>.json");
 //   --threads=N    cap the runtime lanes (RuntimeOptions::num_threads;
-//                  results are unaffected by the determinism contract).
+//                  results are unaffected by the determinism contract);
+//   --trace=path   arm the span tracer (obs/trace.h) for the whole run
+//                  and dump Chrome trace_event JSON to `path` at exit
+//                  (results are bitwise unaffected — instrumentation
+//                  only reads the wall clock).
 // Unknown flags print a usage line (including any bench-specific extra
 // flags) and exit(2) so a typo never silently runs the default
 // configuration.
@@ -70,6 +75,8 @@ struct BenchFlags {
   std::string json_path;
   /// 0 = pool default (BLINKML_NUM_THREADS / hardware concurrency).
   int threads = 0;
+  /// Empty = tracing off.
+  std::string trace_path;
 };
 
 /// A bench-specific `--<name>=<positive int>` flag registered with
@@ -89,9 +96,9 @@ BenchFlags ParseBenchFlags(int argc, char** argv,
                            const std::string& default_json_path,
                            const std::vector<ExtraIntFlag>& extra = {});
 
-/// Nearest-rank percentile (p in [0, 100]) of `values`; 0 when empty.
-/// Copies and sorts internally.
-double Percentile(std::vector<double> values, double p);
+// Latency percentiles: use blinkml::Percentile (util/stats.h) — the
+// nearest-rank implementation moved there so the obs histograms and the
+// bench harnesses share one definition.
 
 /// Minimal ordered JSON-object builder (numbers round-trip via %.17g;
 /// strings are escaped). Enough for flat metrics plus one level of

@@ -27,6 +27,7 @@
 #include "linalg/kernels.h"
 #include "linalg/matrix.h"
 #include "models/logistic_regression.h"
+#include "obs/metrics.h"
 #include "random/rng.h"
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
@@ -242,6 +243,24 @@ int main(int argc, char** argv) {
     return std::make_shared<LogisticRegressionSpec>(c.l2);
   };
   const ApproximationContract contract{0.08, 0.05};
+  // Per-phase + estimator-draw breakdown of the search (the obs layer's
+  // wall-clock accounting; reads never perturb results). Phase seconds
+  // come from the session's run_timings; estimator-draw seconds from the
+  // global registry's estimator_seconds counters, read as before/after
+  // deltas since the registry is process-wide.
+  struct E2eProfile {
+    double seconds = 0.0;
+    PhaseTimings phases;
+    double accuracy_draw_seconds = 0.0;
+    double size_draw_seconds = 0.0;
+    double size_eval_seconds = 0.0;
+    SearchOutcome outcome;
+  };
+  const auto estimator_seconds = [](const char* part) {
+    return obs::Registry::Global()
+        .FloatCounter("estimator_seconds", {{"part", part}})
+        ->value();
+  };
   auto run_search = [&](KernelLevel level) {
     BlinkConfig config;
     config.initial_sample_size = 6000;
@@ -255,21 +274,33 @@ int main(int argc, char** argv) {
     TrainingSession session(search_data, config);
     SearchOptions options;
     options.contract = contract;
+    E2eProfile profile;
+    const double acc0 = estimator_seconds("accuracy_draws");
+    const double size0 = estimator_seconds("size_draws");
+    const double eval0 = estimator_seconds("size_search_evals");
     WallTimer timer;
-    SearchOutcome outcome = HyperparamSearch(&session, options)
-                                .Run(factory, candidates);
-    const double seconds = timer.Seconds();
-    for (const CandidateResult& c : outcome.candidates) {
+    profile.outcome =
+        HyperparamSearch(&session, options).Run(factory, candidates);
+    profile.seconds = timer.Seconds();
+    profile.accuracy_draw_seconds = estimator_seconds("accuracy_draws") - acc0;
+    profile.size_draw_seconds = estimator_seconds("size_draws") - size0;
+    profile.size_eval_seconds = estimator_seconds("size_search_evals") - eval0;
+    profile.phases = session.stats().run_timings;
+    for (const CandidateResult& c : profile.outcome.candidates) {
       if (!c.status.ok()) {
         std::fprintf(stderr, "search candidate failed: %s\n",
                      c.status.ToString().c_str());
         std::exit(1);
       }
     }
-    return std::make_pair(seconds, std::move(outcome));
+    return profile;
   };
-  auto [naive_e2e, naive_outcome] = run_search(KernelLevel::kNaive);
-  auto [blocked_e2e, blocked_outcome] = run_search(KernelLevel::kBlocked);
+  E2eProfile naive_profile = run_search(KernelLevel::kNaive);
+  E2eProfile blocked_profile = run_search(KernelLevel::kBlocked);
+  const double naive_e2e = naive_profile.seconds;
+  const double blocked_e2e = blocked_profile.seconds;
+  const SearchOutcome& naive_outcome = naive_profile.outcome;
+  const SearchOutcome& blocked_outcome = blocked_profile.outcome;
   bool outcomes_same = true;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     outcomes_same =
@@ -284,6 +315,58 @@ int main(int argc, char** argv) {
       "outcomes %s)\n",
       HumanSeconds(naive_e2e).c_str(), HumanSeconds(blocked_e2e).c_str(),
       naive_e2e / blocked_e2e, outcomes_same ? "unchanged" : "CHANGED");
+
+  // Where the end-to-end time lives (the ROADMAP "profile the remaining
+  // 1.14x" question): per-pipeline-phase seconds plus the estimator
+  // Monte-Carlo draw subtotals nested inside the estimation phases.
+  struct PhaseRow {
+    const char* name;
+    double naive_seconds;
+    double blocked_seconds;
+  };
+  const std::vector<PhaseRow> phase_rows = {
+      {"initial_train", naive_profile.phases.initial_train,
+       blocked_profile.phases.initial_train},
+      {"statistics", naive_profile.phases.statistics,
+       blocked_profile.phases.statistics},
+      {"accuracy_estimation", naive_profile.phases.accuracy_estimation,
+       blocked_profile.phases.accuracy_estimation},
+      {"size_estimation", naive_profile.phases.size_estimation,
+       blocked_profile.phases.size_estimation},
+      {"final_train", naive_profile.phases.final_train,
+       blocked_profile.phases.final_train},
+  };
+  std::printf("\n%-22s| %-10s| %-10s| %-8s| %s\n", "search phase", "naive",
+              "blocked", "speedup", "blocked share");
+  std::vector<JsonObject> phase_json;
+  for (const PhaseRow& row : phase_rows) {
+    const double share =
+        blocked_e2e > 0.0 ? row.blocked_seconds / blocked_e2e : 0.0;
+    std::printf("%-22s| %-10s| %-10s| %-8.2f| %5.1f%%\n", row.name,
+                HumanSeconds(row.naive_seconds).c_str(),
+                HumanSeconds(row.blocked_seconds).c_str(),
+                row.blocked_seconds > 0.0
+                    ? row.naive_seconds / row.blocked_seconds
+                    : 0.0,
+                100.0 * share);
+    phase_json.push_back(JsonObject()
+                             .Str("phase", row.name)
+                             .Number("naive_seconds", row.naive_seconds)
+                             .Number("blocked_seconds", row.blocked_seconds)
+                             .Number("blocked_share", share));
+  }
+  const double naive_draws = naive_profile.accuracy_draw_seconds +
+                             naive_profile.size_draw_seconds;
+  const double blocked_draws = blocked_profile.accuracy_draw_seconds +
+                               blocked_profile.size_draw_seconds;
+  const double blocked_draw_share =
+      blocked_e2e > 0.0 ? blocked_draws / blocked_e2e : 0.0;
+  std::printf(
+      "estimator MC draws (within estimation phases): naive %s, blocked "
+      "%s  ->  %.1f%% of blocked e2e (size-search evals: %s)\n",
+      HumanSeconds(naive_draws).c_str(), HumanSeconds(blocked_draws).c_str(),
+      100.0 * blocked_draw_share,
+      HumanSeconds(blocked_profile.size_eval_seconds).c_str());
   std::printf("checks: %s\n",
               checks_pass ? "kernels within 1e-12 of oracle, bitwise across "
                             "thread counts"
@@ -305,6 +388,9 @@ int main(int argc, char** argv) {
         .Number("search_naive_seconds", naive_e2e)
         .Number("search_blocked_seconds", blocked_e2e)
         .Number("search_speedup", naive_e2e / blocked_e2e)
+        .Array("search_phase_breakdown", phase_json)
+        .Number("search_estimator_draw_seconds", blocked_draws)
+        .Number("search_estimator_draw_share", blocked_draw_share)
         .Bool("search_contract_outcomes_unchanged", outcomes_same)
         .Bool("checks_pass", checks_pass);
     if (!WriteBenchFile(flags.json_path, root.ToString())) return 1;

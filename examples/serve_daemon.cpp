@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "net/server.h"
+#include "obs/trace.h"
 #include "serve/session_manager.h"
 
 namespace {
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   using namespace blinkml::net;
 
   std::string socket_path = "/tmp/blinkml_serve.sock";
+  std::string trace_path;
   int runner_threads = 2;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -42,13 +44,25 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--runner-threads must be >= 1\n");
         return 2;
       }
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::strlen("--trace="));
+      if (trace_path.empty()) {
+        std::fprintf(stderr, "--trace needs a file path\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--socket=/path.sock] [--runner-threads=N]\n",
+                   "usage: %s [--socket=/path.sock] [--runner-threads=N] "
+                   "[--trace=trace.json]\n",
                    argv[0]);
       return 2;
     }
   }
+
+  // Per-request spans (wire read -> queue wait -> pipeline phases ->
+  // kernels) for every request served until shutdown; the dump is the
+  // StopTracing write below.
+  if (!trace_path.empty()) obs::Tracer::Global().Start(trace_path);
 
   SessionManager manager(ServeOptions{/*max_resident_bytes=*/512ull << 20,
                                       /*max_concurrent_jobs=*/runner_threads});
@@ -73,6 +87,15 @@ int main(int argc, char** argv) {
   }
 
   server.Stop();
+  if (!trace_path.empty()) {
+    const Status trace_st = obs::Tracer::Global().Stop();
+    if (trace_st.ok()) {
+      std::printf("trace written to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace dump failed: %s\n",
+                   trace_st.ToString().c_str());
+    }
+  }
   const auto stats = server.stats();
   std::printf("stopped: %llu frames, %llu responses, %llu jobs\n",
               static_cast<unsigned long long>(stats.frames_received),

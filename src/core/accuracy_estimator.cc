@@ -3,8 +3,11 @@
 #include <cmath>
 
 #include "core/conservative.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel.h"
 #include "util/stats.h"
+#include "util/timer.h"
 
 namespace blinkml {
 
@@ -51,25 +54,36 @@ Result<AccuracyEstimate> EstimateAccuracy(
   const ChunkLayout layout = ComputeChunks(k, kFineGrain);
   std::vector<Rng> chunk_rngs = SplitRngPerChunk(layout, rng);
   std::vector<double> vs(static_cast<std::size_t>(k));
-  ParallelForChunks(
-      0, k, layout,
-      [&](ParallelIndex chunk, ParallelIndex b, ParallelIndex e) {
-        Rng& chunk_rng = chunk_rngs[static_cast<std::size_t>(chunk)];
-        for (ParallelIndex i = b; i < e; ++i) {
-          const Vector delta_theta = sampler.Draw(scale, &chunk_rng);
-          double v;
-          if (score_path) {
-            Matrix scores = spec.Scores(delta_theta, holdout);
-            scores += base_scores;
-            v = spec.DiffFromScores(base_scores, scores, holdout);
-          } else {
-            Vector theta_full = theta_n;
-            theta_full += delta_theta;
-            v = spec.Diff(theta_n, theta_full, holdout);
+  {
+    // Observability only: the span + draw-seconds counter read the wall
+    // clock around the loop and never touch the drawn values.
+    obs::SpanScope span("mc:accuracy_draws", "estimator", "num_samples", k);
+    WallTimer draw_timer;
+    ParallelForChunks(
+        0, k, layout,
+        [&](ParallelIndex chunk, ParallelIndex b, ParallelIndex e) {
+          Rng& chunk_rng = chunk_rngs[static_cast<std::size_t>(chunk)];
+          for (ParallelIndex i = b; i < e; ++i) {
+            const Vector delta_theta = sampler.Draw(scale, &chunk_rng);
+            double v;
+            if (score_path) {
+              Matrix scores = spec.Scores(delta_theta, holdout);
+              scores += base_scores;
+              v = spec.DiffFromScores(base_scores, scores, holdout);
+            } else {
+              Vector theta_full = theta_n;
+              theta_full += delta_theta;
+              v = spec.Diff(theta_n, theta_full, holdout);
+            }
+            vs[static_cast<std::size_t>(i)] = v;
           }
-          vs[static_cast<std::size_t>(i)] = v;
-        }
-      });
+        });
+    auto& registry = obs::Registry::Global();
+    registry.FloatCounter("estimator_seconds", {{"part", "accuracy_draws"}})
+        ->Add(draw_timer.Seconds());
+    registry.Counter("estimator_draws_total", {{"estimator", "accuracy"}})
+        ->Inc(static_cast<std::uint64_t>(k));
+  }
 
   out.mean_v = Mean(vs);
   const QuantileLevel level =

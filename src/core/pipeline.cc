@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -124,7 +125,7 @@ Status TrainingPipeline::TrainInitial() {
   RuntimeScope runtime_scope(config_->runtime);
   const ModelTrainer trainer(config_->trainer);
   {
-    ScopedTimer t(&out_.timings.initial_train);
+    obs::PhaseScope t("initial_train", &out_.timings.initial_train);
     BLINKML_ASSIGN_OR_RETURN(m0_,
                              trainer.Train(*spec_, *prefix_->initial_sample));
   }
@@ -148,7 +149,7 @@ Status TrainingPipeline::ComputeInitialStatistics() {
                         config_->seed, prefix_->initial_sample->num_rows()};
   }
   {
-    ScopedTimer t(&out_.timings.statistics);
+    obs::PhaseScope t("statistics", &out_.timings.statistics);
     BLINKML_ASSIGN_OR_RETURN(
         sampler_,
         ComputeStatistics(*spec_, m0_.theta, *prefix_->initial_sample,
@@ -168,7 +169,7 @@ Status TrainingPipeline::EstimateInitialAccuracy() {
   Rng acc_rng = rng_.Split();
   AccuracyEstimate eps0;
   {
-    ScopedTimer t(&out_.timings.accuracy_estimation);
+    obs::PhaseScope t("accuracy_estimation", &out_.timings.accuracy_estimation);
     BLINKML_ASSIGN_OR_RETURN(
         eps0, EstimateAccuracy(*spec_, m0_.theta, prefix_->n0, prefix_->full_n,
                                sampler_, *prefix_->holdout, acc_options,
@@ -195,7 +196,7 @@ Status TrainingPipeline::EstimateMinimumSampleSize() {
   size_options.min_n = std::max<Index>(config_->min_sample_size, prefix_->n0);
   Rng size_rng = rng_.Split();
   {
-    ScopedTimer t(&out_.timings.size_estimation);
+    obs::PhaseScope t("size_estimation", &out_.timings.size_estimation);
     BLINKML_ASSIGN_OR_RETURN(
         out_.size_estimate,
         EstimateSampleSize(*spec_, m0_.theta, prefix_->n0, prefix_->full_n,
@@ -268,7 +269,7 @@ Status TrainingPipeline::TrainFinal() {
   }
   const ModelTrainer final_trainer(final_options);
   {
-    ScopedTimer t(&out_.timings.final_train);
+    obs::PhaseScope t("final_train", &out_.timings.final_train);
     BLINKML_ASSIGN_OR_RETURN(mn_, final_trainer.Train(*spec_, *dn));
   }
   out_.final_iterations = mn_.iterations;
@@ -291,7 +292,7 @@ Status TrainingPipeline::TrainFinal() {
     }
     ParamSampler final_sampler = ParamSampler::FromDenseFactor(Matrix());
     {
-      ScopedTimer t(&out_.timings.statistics);
+      obs::PhaseScope t("statistics", &out_.timings.statistics);
       BLINKML_ASSIGN_OR_RETURN(
           final_sampler,
           ComputeStatistics(*spec_, mn_.theta, *dn, restats_options,
@@ -302,7 +303,7 @@ Status TrainingPipeline::TrainFinal() {
     acc_options.delta = contract_.delta;
     AccuracyEstimate eps_final;
     {
-      ScopedTimer t(&out_.timings.accuracy_estimation);
+      obs::PhaseScope t("accuracy_estimation", &out_.timings.accuracy_estimation);
       BLINKML_ASSIGN_OR_RETURN(
           eps_final,
           EstimateAccuracy(*spec_, mn_.theta, final_n_, full_n, final_sampler,

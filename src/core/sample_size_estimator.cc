@@ -4,7 +4,10 @@
 #include <vector>
 
 #include "core/conservative.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel.h"
+#include "util/timer.h"
 
 namespace blinkml {
 
@@ -65,6 +68,9 @@ Result<SampleSizeEstimate> EstimateSampleSize(
     param_w.resize(static_cast<std::size_t>(k));
   }
   {
+    // Observability only (wall clock around the loop; never feeds back).
+    obs::SpanScope span("mc:size_draws", "estimator", "num_samples", k);
+    WallTimer draw_timer;
     const ChunkLayout layout = ComputeChunks(k, kFineGrain);
     std::vector<Rng> chunk_rngs = SplitRngPerChunk(layout, rng);
     ParallelForChunks(
@@ -83,6 +89,11 @@ Result<SampleSizeEstimate> EstimateSampleSize(
             }
           }
         });
+    auto& registry = obs::Registry::Global();
+    registry.FloatCounter("estimator_seconds", {{"part", "size_draws"}})
+        ->Add(draw_timer.Seconds());
+    registry.Counter("estimator_draws_total", {{"estimator", "size"}})
+        ->Inc(static_cast<std::uint64_t>(2 * k));
   }
   Matrix base_scores;
   if (score_path) base_scores = spec.Scores(theta0, holdout);
@@ -95,7 +106,12 @@ Result<SampleSizeEstimate> EstimateSampleSize(
   // Feasibility: fraction of pairs with v(theta_n,i, theta_N,i) <= eps.
   // The pairs are independent; the integer ok-count reduction is exact, so
   // the fraction is identical for any thread count.
+  obs::FloatCounter* const eval_seconds = obs::Registry::Global().FloatCounter(
+      "estimator_seconds", {{"part", "size_search_evals"}});
   auto success_fraction = [&](Index n) {
+    obs::SpanScope eval_span("mc:size_eval", "estimator", "candidate_n",
+                             static_cast<long long>(n));
+    WallTimer eval_timer;
     const Scales s = ScalesFor(n0, n, full_n);
     const int ok_count = ParallelReduce(
         ParallelIndex{0}, static_cast<ParallelIndex>(k), 0,
@@ -126,6 +142,7 @@ Result<SampleSizeEstimate> EstimateSampleSize(
         },
         [](int acc, int part) { return acc + part; }, kFineGrain);
     ++out.evaluations;
+    eval_seconds->Add(eval_timer.Seconds());
     return static_cast<double>(ok_count) / static_cast<double>(k);
   };
 

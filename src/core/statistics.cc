@@ -7,6 +7,7 @@
 #include "linalg/cholesky.h"
 #include "linalg/eigen_sym.h"
 #include "linalg/kernels.h"
+#include "obs/trace.h"
 #include "runtime/parallel.h"
 #include "util/string_util.h"
 
@@ -98,7 +99,11 @@ Result<ParamSampler> ComputeInverseGradients(const ModelSpec& spec,
 // of overlapping nnz), which is what makes ObservedFisher practical on
 // hashed/bag-of-words features either way.
 Matrix SparseGradientGram(const SparseMatrix& q) {
-  if (CurrentKernelLevel() == KernelLevel::kBlocked) {
+  const bool blocked = CurrentKernelLevel() == KernelLevel::kBlocked;
+  obs::SpanScope span("kernel:SparseGram", "kernel", "rows",
+                      static_cast<long long>(q.rows()));
+  kernels::NoteKernelDispatch("SparseGram", blocked);
+  if (blocked) {
     return kernels::SparseGram(q);
   }
   const Index n = static_cast<Index>(q.rows());

@@ -2,10 +2,18 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "runtime/parallel.h"
 
 namespace blinkml {
 namespace kernels {
+
+void NoteKernelDispatch(const char* kernel, bool blocked) {
+  obs::Registry::Global()
+      .Counter("kernel_calls_total",
+               {{"kernel", kernel}, {"level", blocked ? "blocked" : "naive"}})
+      ->Inc();
+}
 
 namespace {
 

@@ -77,6 +77,12 @@ double DotUnrolled(const double* a, const double* b, Matrix::Index n);
 double SparseDotUnrolled(const SparseMatrix::Index* cols, const double* vals,
                          SparseMatrix::Index nnz, const double* x);
 
+/// Observability hook for the coarse dispatch wrappers (Matrix::GramRows
+/// etc.): bumps kernel_calls_total{kernel=...,level=naive|blocked} in the
+/// global obs registry. Called once per Gram/MatMul dispatch — never per
+/// row — so the registry lookup cost is invisible next to the kernel.
+void NoteKernelDispatch(const char* kernel, bool blocked);
+
 // --- Dense kernels.
 
 /// A A^T with 2x2 register tiles over kDenseBlock output blocks; parallel

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/kernels.h"
+#include "obs/trace.h"
 #include "runtime/parallel.h"
 
 namespace blinkml {
@@ -212,7 +213,11 @@ Vector MatTVec(const Matrix& a, const Vector& x) {
 }
 
 Matrix GramRows(const Matrix& a) {
-  if (CurrentKernelLevel() == KernelLevel::kBlocked) {
+  const bool blocked = CurrentKernelLevel() == KernelLevel::kBlocked;
+  obs::SpanScope span("kernel:GramRows", "kernel", "rows",
+                      static_cast<long long>(a.rows()));
+  kernels::NoteKernelDispatch("GramRows", blocked);
+  if (blocked) {
     return kernels::GramRows(a);
   }
   using Index = Matrix::Index;
@@ -238,7 +243,11 @@ Matrix GramRows(const Matrix& a) {
 }
 
 Matrix GramCols(const Matrix& a) {
-  if (CurrentKernelLevel() == KernelLevel::kBlocked) {
+  const bool blocked = CurrentKernelLevel() == KernelLevel::kBlocked;
+  obs::SpanScope span("kernel:GramCols", "kernel", "rows",
+                      static_cast<long long>(a.rows()));
+  kernels::NoteKernelDispatch("GramCols", blocked);
+  if (blocked) {
     return kernels::GramCols(a);
   }
   using Index = Matrix::Index;

@@ -179,5 +179,14 @@ Result<EvictIdleResponseWire> BlinkClient::EvictIdle(
   return TypedCall<EvictIdleResponseWire>(Verb::kEvictIdle, payload, options);
 }
 
+Result<MetricsResponseWire> BlinkClient::Metrics(const std::string& tenant,
+                                                 CallOptions options) {
+  MetricsRequestWire request;
+  request.tenant = tenant;
+  WireWriter payload;
+  Encode(request, &payload);
+  return TypedCall<MetricsResponseWire>(Verb::kMetrics, payload, options);
+}
+
 }  // namespace net
 }  // namespace blinkml

@@ -59,6 +59,11 @@ class BlinkClient {
                                   CallOptions options = {});
   Result<EvictIdleResponseWire> EvictIdle(const std::string& tenant,
                                           CallOptions options = {});
+  /// Text snapshot of the server's metrics registries (obs/metrics.h
+  /// format; manager-scoped serve_*/net_* metrics first, then the
+  /// process-global pipeline/kernel/estimator metrics).
+  Result<MetricsResponseWire> Metrics(const std::string& tenant,
+                                      CallOptions options = {});
 
   /// Retry-after hint from the most recent rejected call (0 = none given;
   /// reset by every call).

@@ -471,6 +471,24 @@ Status Decode(WireReader* in, EvictIdleResponseWire* out) {
   return ReaderStatus(*in);
 }
 
+void Encode(const MetricsRequestWire& v, WireWriter* out) {
+  out->Str(v.tenant);
+}
+
+Status Decode(WireReader* in, MetricsRequestWire* out) {
+  out->tenant = in->Str();
+  return ReaderStatus(*in);
+}
+
+void Encode(const MetricsResponseWire& v, WireWriter* out) {
+  out->Str(v.text);
+}
+
+Status Decode(WireReader* in, MetricsResponseWire* out) {
+  out->text = in->Str();
+  return ReaderStatus(*in);
+}
+
 Status PeekTenant(const std::uint8_t* payload, std::size_t size,
                   std::string* tenant) {
   WireReader reader(payload, size);

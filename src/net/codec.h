@@ -208,6 +208,16 @@ struct EvictIdleResponseWire {
   std::int32_t sessions_evicted = 0;
 };
 
+struct MetricsRequestWire {
+  std::string tenant;
+};
+
+/// Text snapshot of the server's metrics registries (obs/metrics.h
+/// TextSnapshot format: one `name{labels} value` line per metric).
+struct MetricsResponseWire {
+  std::string text;
+};
+
 void Encode(const RegisterDatasetRequest& v, WireWriter* out);
 Status Decode(WireReader* in, RegisterDatasetRequest* out);
 void Encode(const RegisterDatasetResponse& v, WireWriter* out);
@@ -237,6 +247,11 @@ void Encode(const EvictIdleRequestWire& v, WireWriter* out);
 Status Decode(WireReader* in, EvictIdleRequestWire* out);
 void Encode(const EvictIdleResponseWire& v, WireWriter* out);
 Status Decode(WireReader* in, EvictIdleResponseWire* out);
+
+void Encode(const MetricsRequestWire& v, WireWriter* out);
+Status Decode(WireReader* in, MetricsRequestWire* out);
+void Encode(const MetricsResponseWire& v, WireWriter* out);
+Status Decode(WireReader* in, MetricsResponseWire* out);
 
 /// Reads the tenant name (the leading field of every request payload)
 /// without consuming the rest — what admission control needs before the

@@ -38,6 +38,9 @@ class JobQueue {
     /// Valid iff has_deadline; absolute (steady clock).
     SteadyTime deadline{};
     bool has_deadline = false;
+    /// Stamped by the producer at admission; the runner derives the
+    /// queue-wait span / histogram from it (observability only).
+    SteadyTime enqueued{};
     /// Executes the job and writes its response.
     std::function<void()> run;
     /// Rejects the job with kDeadlineExceeded (called instead of run when

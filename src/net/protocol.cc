@@ -20,6 +20,7 @@ const char* VerbName(Verb verb) {
     case Verb::kPredict: return "Predict";
     case Verb::kStats: return "Stats";
     case Verb::kEvictIdle: return "EvictIdle";
+    case Verb::kMetrics: return "Metrics";
   }
   return "Unknown";
 }

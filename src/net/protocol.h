@@ -53,6 +53,8 @@ enum class Verb : std::uint16_t {
   kPredict = 4,
   kStats = 5,
   kEvictIdle = 6,
+  /// Text snapshot of the server's metrics registry (obs/metrics.h).
+  kMetrics = 7,
 };
 
 const char* VerbName(Verb verb);

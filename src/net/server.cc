@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "data/dataset.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace blinkml {
@@ -42,7 +43,11 @@ BlinkServer::BlinkServer(SessionManager* manager, ServerOptions options)
     : manager_(manager),
       options_(std::move(options)),
       quotas_(options_.default_quota),
-      queue_(options_.max_queued_jobs) {}
+      queue_(options_.max_queued_jobs),
+      h_queue_wait_(manager_->metrics().Histogram("net_queue_wait_seconds")),
+      g_net_queued_jobs_(manager_->metrics().Gauge("net_queued_jobs")),
+      g_net_open_connections_(
+          manager_->metrics().Gauge("net_open_connections")) {}
 
 BlinkServer::~BlinkServer() { Stop(); }
 
@@ -263,6 +268,7 @@ bool BlinkServer::DrainConnectionBuffer(const ConnPtr& conn) {
         ++stats_.frames_received;
         ++stats_.rejected_malformed;
       }
+      NoteRejected("malformed");
       SendError(conn, header.request_id, Verb::kError,
                 WireStatus::kMalformedFrame, status.message());
       keep_open = false;
@@ -299,6 +305,7 @@ void BlinkServer::HandleFrame(const ConnPtr& conn, const FrameHeader& header,
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.rejected_version;
     }
+    NoteRejected("version");
     SendError(conn, header.request_id, Verb::kError,
               WireStatus::kVersionMismatch,
               StrFormat("wire version %u, server speaks %u",
@@ -313,12 +320,14 @@ void BlinkServer::HandleFrame(const ConnPtr& conn, const FrameHeader& header,
     case Verb::kPredict:
     case Verb::kStats:
     case Verb::kEvictIdle:
+    case Verb::kMetrics:
       break;
     default: {
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.rejected_unknown_verb;
       }
+      NoteRejected("unknown_verb");
       SendError(conn, header.request_id, Verb::kError,
                 WireStatus::kUnknownVerb,
                 StrFormat("unknown verb %u",
@@ -334,6 +343,7 @@ void BlinkServer::HandleFrame(const ConnPtr& conn, const FrameHeader& header,
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.rejected_decode;
     }
+    NoteRejected("decode");
     SendError(conn, header.request_id, header.verb, WireStatus::kDecodeError,
               peek.message());
     return;
@@ -350,25 +360,57 @@ void BlinkServer::HandleFrame(const ConnPtr& conn, const FrameHeader& header,
         ++stats_.rejected_quota;
       }
     }
+    NoteRejected(decision.status == WireStatus::kRateLimited ? "rate"
+                                                             : "quota");
     SendError(conn, header.request_id, header.verb, decision.status,
               decision.message, decision.retry_after_ms);
     return;
   }
 
+  // Admitted: this is where the request's observable life begins (the
+  // net_requests_total counter and, under tracing, the queue_wait span —
+  // see the header comment).
+  manager_->metrics()
+      .Counter("net_requests_total",
+               {{"tenant", tenant}, {"verb", VerbName(header.verb)}})
+      ->Inc();
+
   JobQueue::Job job;
   job.priority = header.priority;
+  const JobQueue::SteadyTime admitted_at = std::chrono::steady_clock::now();
+  job.enqueued = admitted_at;
   if (header.deadline_ms > 0) {
     job.has_deadline = true;
-    job.deadline = std::chrono::steady_clock::now() +
-                   std::chrono::milliseconds(header.deadline_ms);
+    job.deadline =
+        admitted_at + std::chrono::milliseconds(header.deadline_ms);
   }
   // The run/expire closures both release the admission charge exactly
   // once (they are mutually exclusive by construction: the runner calls
   // one or the other).
   auto shared_payload = std::make_shared<std::vector<std::uint8_t>>(
       std::move(payload));
-  job.run = [this, conn, header, shared_payload, tenant, payload_bytes] {
-    ExecuteJob(conn, header, *shared_payload);
+  job.run = [this, conn, header, shared_payload, tenant, payload_bytes,
+             admitted_at] {
+    // Queue wait = admission to pop, measured on the runner before any
+    // decode work. Wall-clock observation only; never feeds back.
+    const double wait_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      admitted_at)
+            .count();
+    h_queue_wait_->Observe(wait_seconds);
+    obs::Tracer& tracer = obs::Tracer::Global();
+    if (tracer.enabled()) {
+      obs::TraceEvent event;
+      event.name = "queue_wait";
+      event.cat = "net";
+      event.dur_us = wait_seconds * 1e6;
+      event.ts_us = tracer.NowUs() - event.dur_us;
+      event.request_id = header.request_id;
+      event.tenant = tenant;
+      event.verb = VerbName(header.verb);
+      tracer.Record(std::move(event));
+    }
+    ExecuteJob(conn, header, tenant, *shared_payload);
     quotas_.Release(tenant, payload_bytes);
   };
   job.expire = [this, conn, header, tenant, payload_bytes] {
@@ -376,6 +418,7 @@ void BlinkServer::HandleFrame(const ConnPtr& conn, const FrameHeader& header,
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.rejected_deadline;
     }
+    NoteRejected("deadline");
     SendError(conn, header.request_id, header.verb,
               WireStatus::kDeadlineExceeded,
               StrFormat("deadline (%u ms) expired before execution",
@@ -397,6 +440,7 @@ void BlinkServer::HandleFrame(const ConnPtr& conn, const FrameHeader& header,
       --stats_.jobs_enqueued;
       if (!shutting_down) ++stats_.rejected_queue_full;
     }
+    if (!shutting_down) NoteRejected("queue_full");
     SendError(conn, header.request_id, header.verb,
               shutting_down ? WireStatus::kShuttingDown
                             : WireStatus::kQueueFull,
@@ -419,8 +463,27 @@ void BlinkServer::RunnerLoop() {
   }
 }
 
+void BlinkServer::NoteRejected(const char* reason) {
+  manager_->metrics()
+      .Counter("net_rejected_total", {{"reason", reason}})
+      ->Inc();
+}
+
 void BlinkServer::ExecuteJob(const ConnPtr& conn, const FrameHeader& header,
+                             const std::string& tenant,
                              const std::vector<std::uint8_t>& payload) {
+  // Everything below this point — SessionManager submit closures,
+  // pipeline phases, kernel scopes — inherits this context (it is
+  // captured into cross-thread closures and re-installed there), so every
+  // span the request produces carries the same request_id.
+  obs::TraceContext trace_ctx;
+  trace_ctx.request_id = header.request_id;
+  trace_ctx.tenant = tenant;
+  trace_ctx.verb = VerbName(header.verb);
+  trace_ctx.valid = true;
+  obs::ScopedTraceContext scoped_trace(std::move(trace_ctx));
+  obs::SpanScope verb_span(VerbName(header.verb), "net");
+
   ResponseEnvelope envelope;
   WireWriter body;
   try {
@@ -442,6 +505,9 @@ void BlinkServer::ExecuteJob(const ConnPtr& conn, const FrameHeader& header,
         break;
       case Verb::kEvictIdle:
         envelope = RunEvictIdle(&body);
+        break;
+      case Verb::kMetrics:
+        envelope = RunMetrics(&body);
         break;
       default:
         envelope.status = WireStatus::kUnknownVerb;
@@ -772,6 +838,22 @@ ResponseEnvelope BlinkServer::RunEvictIdle(WireWriter* body) {
   ResponseEnvelope envelope;
   EvictIdleResponseWire response;
   response.sessions_evicted = manager_->EvictIdle();
+  Encode(response, body);
+  return envelope;
+}
+
+ResponseEnvelope BlinkServer::RunMetrics(WireWriter* body) {
+  // Sampled gauges refresh at scrape time (same convention as the
+  // manager's MetricsText refresh).
+  g_net_queued_jobs_->Set(static_cast<std::int64_t>(queue_.size()));
+  g_net_open_connections_->Set(open_connections_.load());
+
+  ResponseEnvelope envelope;
+  MetricsResponseWire response;
+  // Manager registry (serve_* / net_* metrics) followed by the process-
+  // global registry (pipeline_*, kernel_*, estimator_*, session_*).
+  response.text =
+      manager_->MetricsText() + obs::Registry::Global().TextSnapshot();
   Encode(response, body);
   return envelope;
 }

@@ -38,6 +38,22 @@
 // (protocol.cc WriteAll); a client that never drains its socket stalls
 // one runner for at most the write-stall timeout before that one
 // connection is dropped — never the listener or other connections.
+//
+// Observability (obs/trace.h, obs/metrics.h): a request's spans start at
+// ADMISSION, not at the socket read — pre-admission work (frame parse,
+// version/verb checks, tenant peek, quota check) is queue-position-
+// dependent bookkeeping measured only by the stats counters. HandleFrame
+// stamps the job at enqueue; the runner's first act on pop is to close
+// the "queue_wait" span (enqueue -> pop) and feed the
+// net_queue_wait_seconds histogram, then ExecuteJob installs the
+// request's TraceContext (request_id/tenant/verb from the frame header)
+// and opens the verb span, which everything below — SessionManager
+// submit, pipeline phases, kernel scopes — nests under and tags with the
+// same request_id. Rejected frames (version, verb, decode, quota, rate,
+// deadline, queue-full) never open spans; they only bump
+// net_rejected_total{reason=...}. Server-scoped metrics live in the
+// manager's registry (SessionManager::metrics()); the Metrics verb
+// returns that snapshot concatenated with the process-global registry.
 
 #ifndef BLINKML_NET_SERVER_H_
 #define BLINKML_NET_SERVER_H_
@@ -55,6 +71,7 @@
 #include "net/job_queue.h"
 #include "net/protocol.h"
 #include "net/quotas.h"
+#include "obs/metrics.h"
 #include "serve/session_manager.h"
 
 namespace blinkml {
@@ -139,9 +156,16 @@ class BlinkServer {
   void HandleFrame(const ConnPtr& conn, const FrameHeader& header,
                    std::vector<std::uint8_t> payload);
 
-  /// Decode + execute + respond (runner thread).
+  /// Decode + execute + respond (runner thread). Installs the request's
+  /// TraceContext and verb span for the duration of the call.
   void ExecuteJob(const ConnPtr& conn, const FrameHeader& header,
+                  const std::string& tenant,
                   const std::vector<std::uint8_t>& payload);
+
+  /// Bumps net_rejected_total{reason=...} in the manager's registry
+  /// (`reason` must be a string literal). Rejections are cold paths; the
+  /// registry lookup cost is irrelevant there.
+  void NoteRejected(const char* reason);
 
   void SendResponse(const ConnPtr& conn, std::uint64_t request_id, Verb verb,
                     const ResponseEnvelope& envelope,
@@ -162,6 +186,7 @@ class BlinkServer {
                               WireWriter* body);
   ResponseEnvelope RunStats(WireWriter* body);
   ResponseEnvelope RunEvictIdle(WireWriter* body);
+  ResponseEnvelope RunMetrics(WireWriter* body);
 
   SessionManager* const manager_;
   const ServerOptions options_;
@@ -185,6 +210,12 @@ class BlinkServer {
 
   mutable std::mutex stats_mu_;
   ServerStatsWire stats_;
+
+  // Hot-path metrics in the manager's registry, resolved once here
+  // (pointers are stable; see obs/metrics.h).
+  obs::Histogram* const h_queue_wait_;
+  obs::Gauge* const g_net_queued_jobs_;
+  obs::Gauge* const g_net_open_connections_;
 };
 
 }  // namespace net

@@ -1,0 +1,199 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace blinkml {
+namespace obs {
+
+void FloatCounter::Add(double d) {
+  std::uint64_t old_bits = bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    double old_value;
+    std::memcpy(&old_value, &old_bits, sizeof(old_value));
+    const double new_value = old_value + d;
+    std::uint64_t new_bits;
+    std::memcpy(&new_bits, &new_value, sizeof(new_bits));
+    if (bits_.compare_exchange_weak(old_bits, new_bits,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double FloatCounter::value() const {
+  const std::uint64_t bits = bits_.load(std::memory_order_relaxed);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  // 1-2.5-5 decades from 10us to 10s (seconds).
+  return {1e-5,   2.5e-5, 5e-5,   1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3,
+          5e-3,   1e-2,   2.5e-2, 5e-2, 1e-1,   0.25, 0.5,  1.0,
+          2.5,    5.0,    10.0};
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  BLINKML_CHECK_MSG(!bounds_.empty(), "Histogram needs at least one bound");
+  BLINKML_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                    "Histogram bounds must be ascending");
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.Add(v);
+}
+
+double Histogram::Percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  // Nearest-rank: ceil(p/100 * N), 1-based (util/stats.h Percentile).
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Overflow bucket reports the largest finite bound.
+      return i < bounds_.size() ? bounds_[i] : bounds_.back();
+    }
+  }
+  return bounds_.back();
+}
+
+std::string RenderKey(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+Registry::Entry* Registry::Find(const std::string& key, Kind kind) {
+  // Caller holds mu_.
+  auto it = metrics_.find(key);
+  if (it != metrics_.end()) {
+    BLINKML_CHECK_MSG(it->second.kind == kind,
+                      "metric re-registered with a different type");
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  return &metrics_.emplace(key, std::move(entry)).first->second;
+}
+
+obs::Counter* Registry::Counter(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = Find(RenderKey(name, labels), Kind::kCounter);
+  if (!e->counter) e->counter.reset(new obs::Counter());
+  return e->counter.get();
+}
+
+obs::Gauge* Registry::Gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = Find(RenderKey(name, labels), Kind::kGauge);
+  if (!e->gauge) e->gauge.reset(new obs::Gauge());
+  return e->gauge.get();
+}
+
+obs::FloatCounter* Registry::FloatCounter(const std::string& name,
+                                          const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = Find(RenderKey(name, labels), Kind::kFloatCounter);
+  if (!e->float_counter) e->float_counter.reset(new obs::FloatCounter());
+  return e->float_counter.get();
+}
+
+obs::Histogram* Registry::Histogram(const std::string& name,
+                                    const Labels& labels,
+                                    std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = Find(RenderKey(name, labels), Kind::kHistogram);
+  if (!e->histogram) {
+    if (bounds.empty()) bounds = obs::Histogram::DefaultLatencyBounds();
+    e->histogram.reset(new obs::Histogram(std::move(bounds)));
+  }
+  return e->histogram.get();
+}
+
+namespace {
+
+std::string FormatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::TextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& kv : metrics_) {
+    const Entry& e = kv.second;
+    switch (e.kind) {
+      case Kind::kCounter:
+        out << kv.first << ' ' << (e.counter ? e.counter->value() : 0) << '\n';
+        break;
+      case Kind::kGauge:
+        out << kv.first << ' ' << (e.gauge ? e.gauge->value() : 0) << '\n';
+        break;
+      case Kind::kFloatCounter:
+        out << kv.first << ' '
+            << FormatValue(e.float_counter ? e.float_counter->value() : 0.0)
+            << '\n';
+        break;
+      case Kind::kHistogram: {
+        // Histogram keys never carry labels-with-suffix ambiguity: the
+        // suffix is appended to the metric name, before the label block.
+        const std::string& key = kv.first;
+        const std::size_t brace = key.find('{');
+        const std::string name =
+            brace == std::string::npos ? key : key.substr(0, brace);
+        const std::string labels =
+            brace == std::string::npos ? "" : key.substr(brace);
+        const obs::Histogram* h = e.histogram.get();
+        out << name << "_count" << labels << ' ' << (h ? h->count() : 0)
+            << '\n';
+        out << name << "_sum" << labels << ' '
+            << FormatValue(h ? h->sum() : 0.0) << '\n';
+        out << name << "_p50" << labels << ' '
+            << FormatValue(h ? h->Percentile(50.0) : 0.0) << '\n';
+        out << name << "_p95" << labels << ' '
+            << FormatValue(h ? h->Percentile(95.0) : 0.0) << '\n';
+        out << name << "_p99" << labels << ' '
+            << FormatValue(h ? h->Percentile(99.0) : 0.0) << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+Registry& Registry::Global() {
+  static Registry* global = new Registry();
+  return *global;
+}
+
+}  // namespace obs
+}  // namespace blinkml

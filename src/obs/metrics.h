@@ -1,0 +1,152 @@
+// Process-wide metrics registry: lock-free counters, gauges, and
+// fixed-bucket latency histograms, registered by name + label set and
+// exported as a deterministic text snapshot (the wire Metrics verb and
+// the in-process snapshots both read from here).
+//
+// Design constraints (ISSUE 7):
+//  * the hot path is a handful of relaxed atomic ops — callers cache the
+//    metric pointer once (Registry::Counter() etc. return stable
+//    pointers; metrics are never erased) and never touch the registry
+//    mutex again;
+//  * instrumentation observes wall-clock and event counts only — nothing
+//    recorded here ever feeds back into the bitwise-checked compute;
+//  * histogram percentiles use the same nearest-rank rule as
+//    blinkml::Percentile (util/stats.h), reported over bucket upper
+//    bounds (an upper bound of the true nearest-rank sample).
+
+#ifndef BLINKML_OBS_METRICS_H_
+#define BLINKML_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace blinkml {
+namespace obs {
+
+/// Monotone event counter (64-bit, relaxed increments).
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Signed instantaneous level (queue depth, resident bytes, ...).
+class Gauge {
+ public:
+  void Set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Monotone sum of doubles (accumulated seconds); CAS loop because C++17
+/// has no atomic<double>::fetch_add.
+class FloatCounter {
+ public:
+  void Add(double d);
+  double value() const;
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};  // IEEE-754 bit pattern of the sum
+};
+
+/// Fixed-bucket histogram: per-bucket relaxed counters plus a total
+/// count and sum. Bounds are bucket *upper* bounds in ascending order;
+/// an implicit overflow bucket catches everything above the last bound.
+class Histogram {
+ public:
+  /// Log-spaced default bounds covering 10us .. 10s, in seconds.
+  static std::vector<double> DefaultLatencyBounds();
+
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.value(); }
+
+  /// Nearest-rank percentile (p in [0, 100]) over the bucket counts:
+  /// returns the upper bound of the bucket holding the rank-th sample
+  /// (the largest finite bound for the overflow bucket; 0 when empty).
+  double Percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  FloatCounter sum_;
+};
+
+/// One "key" label dimension set: ordered (name, value) pairs rendered
+/// as {k="v",k2="v2"} in the snapshot.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Named metric store. Lookup (name + labels -> metric) takes a mutex;
+/// the returned pointers are stable for the registry's lifetime, so hot
+/// paths resolve once and then touch only relaxed atomics. Requesting
+/// the same (name, labels) twice returns the same instance; requesting
+/// it with a different metric type aborts (programming error).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  obs::Counter* Counter(const std::string& name, const Labels& labels = {});
+  obs::Gauge* Gauge(const std::string& name, const Labels& labels = {});
+  obs::FloatCounter* FloatCounter(const std::string& name,
+                                  const Labels& labels = {});
+  /// `bounds` applies only on first creation (empty = default latency
+  /// bounds).
+  obs::Histogram* Histogram(const std::string& name, const Labels& labels = {},
+                            std::vector<double> bounds = {});
+
+  /// Deterministic text snapshot, one `name{labels} value` line per
+  /// metric in lexicographic key order. Histograms expand to _count,
+  /// _sum, _p50, _p95, _p99 lines.
+  std::string TextSnapshot() const;
+
+  /// The process-wide registry (pipeline phases, kernels, estimators).
+  /// Server-scoped metrics live in the SessionManager's own registry so
+  /// tests with several managers do not cross-contaminate.
+  static Registry& Global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kFloatCounter, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<obs::Counter> counter;
+    std::unique_ptr<obs::Gauge> gauge;
+    std::unique_ptr<obs::FloatCounter> float_counter;
+    std::unique_ptr<obs::Histogram> histogram;
+  };
+
+  Entry* Find(const std::string& key, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;  // rendered key -> entry
+};
+
+/// Renders `name{k="v",...}` (just `name` for empty labels).
+std::string RenderKey(const std::string& name, const Labels& labels);
+
+}  // namespace obs
+}  // namespace blinkml
+
+#endif  // BLINKML_OBS_METRICS_H_

@@ -1,0 +1,222 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace blinkml {
+namespace obs {
+
+namespace {
+
+const TraceContext& InvalidContext() {
+  static const TraceContext* invalid = new TraceContext();
+  return *invalid;
+}
+
+thread_local const TraceContext* t_context = nullptr;
+
+int ThisThreadTraceId() {
+  static std::atomic<int> next{1};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+const TraceContext& CurrentTraceContext() {
+  return t_context ? *t_context : InvalidContext();
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx)
+    : ctx_(std::move(ctx)), prev_(t_context) {
+  t_context = &ctx_;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_context = prev_; }
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Start(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  path_ = std::move(path);
+  start_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count(),
+                  std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+Status Tracer::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path_.empty() && events_.empty()) {
+    enabled_.store(false, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  enabled_.store(false, std::memory_order_relaxed);
+  const std::string json = RenderChromeTrace(events_);
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open trace file: " + path_);
+  }
+  out << json;
+  out.flush();
+  if (!out) {
+    return Status::IOError("short write to trace file: " + path_);
+  }
+  return Status::OK();
+}
+
+double Tracer::NowUs() const {
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  const std::int64_t base_ns = start_ns_.load(std::memory_order_relaxed);
+  return static_cast<double>(now_ns - base_ns) * 1e-3;
+}
+
+void Tracer::Record(TraceEvent event) {
+  if (!enabled()) return;
+  if (event.tid == 0) event.tid = ThisThreadTraceId();
+  const TraceContext& ctx = CurrentTraceContext();
+  if (ctx.valid && event.request_id == 0) {
+    event.request_id = ctx.request_id;
+    event.tenant = ctx.tenant;
+    if (event.verb[0] == '\0') event.verb = ctx.verb;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string RenderChromeTrace(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[\n";
+  char buf[128];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += "{\"name\":";
+    AppendJsonString(e.name, &out);
+    out += ",\"cat\":";
+    AppendJsonString(e.cat, &out);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%d,\"args\":{",
+                  e.ts_us, e.dur_us, e.tid);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "\"request_id\":%llu",
+                  static_cast<unsigned long long>(e.request_id));
+    out += buf;
+    if (!e.tenant.empty()) {
+      out += ",\"tenant\":";
+      AppendJsonString(e.tenant, &out);
+    }
+    if (e.verb[0] != '\0') {
+      out += ",\"verb\":";
+      AppendJsonString(e.verb, &out);
+    }
+    if (e.arg_name != nullptr) {
+      out += ',';
+      AppendJsonString(e.arg_name, &out);
+      std::snprintf(buf, sizeof(buf), ":%lld", e.arg_value);
+      out += buf;
+    }
+    out += "}}";
+    if (i + 1 < events.size()) out += ',';
+    out += '\n';
+  }
+  out += "]}\n";
+  return out;
+}
+
+SpanScope::SpanScope(const char* name, const char* cat, const char* arg_name,
+                     long long arg_value)
+    : name_(name),
+      cat_(cat),
+      arg_name_(arg_name),
+      arg_value_(arg_value),
+      start_us_(-1.0) {
+  Tracer& tracer = Tracer::Global();
+  if (tracer.enabled()) start_us_ = tracer.NowUs();
+}
+
+SpanScope::~SpanScope() {
+  if (start_us_ < 0.0) return;
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  TraceEvent event;
+  event.name = name_;
+  event.cat = cat_;
+  event.ts_us = start_us_;
+  event.dur_us = tracer.NowUs() - start_us_;
+  event.arg_name = arg_name_;
+  event.arg_value = arg_value_;
+  tracer.Record(std::move(event));
+}
+
+PhaseScope::PhaseScope(const char* phase, double* sink)
+    : phase_(phase),
+      sink_(sink),
+      start_(std::chrono::steady_clock::now()),
+      start_us_(-1.0) {
+  Tracer& tracer = Tracer::Global();
+  if (tracer.enabled()) start_us_ = tracer.NowUs();
+}
+
+PhaseScope::~PhaseScope() {
+  const auto d = std::chrono::steady_clock::now() - start_;
+  const double seconds = std::chrono::duration<double>(d).count();
+  if (sink_ != nullptr) *sink_ += seconds;
+  Registry::Global()
+      .Histogram("pipeline_phase_seconds", {{"phase", phase_}})
+      ->Observe(seconds);
+  if (start_us_ >= 0.0) {
+    Tracer& tracer = Tracer::Global();
+    if (tracer.enabled()) {
+      TraceEvent event;
+      event.name = phase_;
+      event.cat = "pipeline";
+      event.ts_us = start_us_;
+      event.dur_us = tracer.NowUs() - start_us_;
+      tracer.Record(std::move(event));
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace blinkml

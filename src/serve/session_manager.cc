@@ -4,13 +4,30 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 #include "util/check.h"
 
 namespace blinkml {
 
 SessionManager::SessionManager(ServeOptions options)
-    : options_(options) {
+    : options_(options),
+      owned_metrics_(options.metrics ? nullptr : new obs::Registry()),
+      metrics_(options.metrics ? options.metrics : owned_metrics_.get()),
+      m_jobs_submitted_(metrics_->Counter("serve_jobs_submitted_total")),
+      m_jobs_completed_(metrics_->Counter("serve_jobs_completed_total")),
+      m_jobs_failed_(metrics_->Counter("serve_jobs_failed_total")),
+      m_sessions_created_(metrics_->Counter("serve_sessions_created_total")),
+      m_sessions_evicted_(metrics_->Counter("serve_sessions_evicted_total")),
+      m_datasets_loaded_(metrics_->Counter("serve_datasets_loaded_total")),
+      m_datasets_unloaded_(metrics_->Counter("serve_datasets_unloaded_total")),
+      g_resident_bytes_(metrics_->Gauge("serve_resident_bytes")),
+      g_cached_bytes_(metrics_->Gauge("serve_cached_bytes")),
+      g_live_sessions_(metrics_->Gauge("serve_live_sessions")),
+      g_loaded_datasets_(metrics_->Gauge("serve_loaded_datasets")),
+      g_loads_in_progress_(metrics_->Gauge("serve_loads_in_progress")),
+      g_queued_jobs_(metrics_->Gauge("serve_queued_jobs")),
+      g_active_jobs_(metrics_->Gauge("serve_active_jobs")) {
   const int runners = options_.max_concurrent_jobs > 0
                           ? options_.max_concurrent_jobs
                           : ThreadPool::DefaultParallelism();
@@ -75,7 +92,7 @@ Status SessionManager::RegisterDataset(const std::string& name, Dataset data,
   promise.set_value(shared);
   entry.load_done = true;
   entry.bytes = shared->MemoryBytes();
-  ++stats_.datasets_loaded;
+  m_datasets_loaded_->Inc();
   return Status::OK();
 }
 
@@ -131,7 +148,7 @@ Result<SessionManager::Lease> SessionManager::Acquire(const std::string& name,
       DatasetEntry& entry = datasets_[name];
       entry.load_done = true;
       entry.bytes = data->MemoryBytes();
-      ++stats_.datasets_loaded;
+      m_datasets_loaded_->Inc();
     }
     promise.set_value(data);
   } else {
@@ -169,7 +186,7 @@ Result<SessionManager::Lease> SessionManager::Acquire(const std::string& name,
       throw;
     }
     ++datasets_[name].sessions;
-    ++stats_.sessions_created;
+    m_sessions_created_->Inc();
   } else {
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
   }
@@ -239,7 +256,7 @@ int SessionManager::EnforceBudgetLocked(bool force) {
     sessions_.erase(it);
     auto next = lru_.erase(std::next(rit).base());
     rit = std::list<SessionKey>::reverse_iterator(next);
-    ++stats_.sessions_evicted;
+    m_sessions_evicted_->Inc();
     ++evicted;
   }
   // Then unreferenced datasets, stalest first. Entries stay registered;
@@ -262,7 +279,7 @@ int SessionManager::EnforceBudgetLocked(bool force) {
       entry->loaded = {};
       entry->load_done = false;
       entry->bytes = 0;
-      ++stats_.datasets_unloaded;
+      m_datasets_unloaded_->Inc();
     }
   }
   return evicted;
@@ -275,8 +292,15 @@ int SessionManager::EvictIdle() {
 
 std::future<Result<ApproxResult>> SessionManager::SubmitTrain(
     TrainRequest request) {
+  // Capture the submitter's trace context (the wire request_id when the
+  // caller is a BlinkServer runner) and re-install it on the manager
+  // runner thread, so pipeline/kernel spans keep the request identity
+  // across the queue hop.
   auto task = std::make_shared<std::packaged_task<Result<ApproxResult>()>>(
-      [this, request = std::move(request)]() -> Result<ApproxResult> {
+      [this, request = std::move(request),
+       ctx = obs::CurrentTraceContext()]() -> Result<ApproxResult> {
+        obs::ScopedTraceContext trace_ctx(ctx);
+        obs::SpanScope span("manager:train", "serve");
         return RunJob<ApproxResult>([&]() -> Result<ApproxResult> {
           if (!request.spec) {
             return Status::InvalidArgument("null model spec");
@@ -295,7 +319,10 @@ std::future<Result<ApproxResult>> SessionManager::SubmitTrain(
 std::future<Result<SearchOutcome>> SessionManager::SubmitSearch(
     SearchRequest request) {
   auto task = std::make_shared<std::packaged_task<Result<SearchOutcome>()>>(
-      [this, request = std::move(request)]() -> Result<SearchOutcome> {
+      [this, request = std::move(request),
+       ctx = obs::CurrentTraceContext()]() -> Result<SearchOutcome> {
+        obs::ScopedTraceContext trace_ctx(ctx);
+        obs::SpanScope span("manager:search", "serve");
         return RunJob<SearchOutcome>([&]() -> Result<SearchOutcome> {
           if (!request.factory) {
             return Status::InvalidArgument("null spec factory");
@@ -317,7 +344,8 @@ void SessionManager::Enqueue(std::function<void()> job) {
     std::lock_guard<std::mutex> lock(mu_);
     BLINKML_CHECK_MSG(!stop_, "SubmitTrain/SubmitSearch after shutdown");
     queue_.push_back(std::move(job));
-    ++stats_.jobs_submitted;
+    m_jobs_submitted_->Inc();
+    g_queued_jobs_->Add(1);
   }
   queue_cv_.notify_one();
 }
@@ -331,35 +359,63 @@ void SessionManager::RunnerLoop() {
       if (queue_.empty()) return;  // stop_ set and the queue drained
       job = std::move(queue_.front());
       queue_.pop_front();
-      ++stats_.active_jobs;
+      g_queued_jobs_->Add(-1);
+      g_active_jobs_->Add(1);
     }
     // packaged_task captures job exceptions into the future;
     // completion/failure accounting happens inside the job body (RunJob).
     job();
-    std::lock_guard<std::mutex> lock(mu_);
-    --stats_.active_jobs;
+    g_active_jobs_->Add(-1);
   }
+}
+
+void SessionManager::RefreshGaugesLocked() const {
+  g_resident_bytes_->Set(static_cast<std::int64_t>(ResidentBytesLocked()));
+  g_live_sessions_->Set(static_cast<std::int64_t>(sessions_.size()));
+  int loaded = 0;
+  int in_progress = 0;
+  for (const auto& [name, entry] : datasets_) {
+    if (entry.load_done) ++loaded;
+    // A valid future with load_done still false means a leader job is
+    // inside the factory right now (single-flight load in progress).
+    if (entry.loaded.valid() && !entry.load_done) ++in_progress;
+  }
+  g_loaded_datasets_->Set(loaded);
+  g_loads_in_progress_->Set(in_progress);
+  std::uint64_t cached = 0;
+  for (const auto& [key, managed] : sessions_) {
+    cached += managed.session->CacheBytes();
+  }
+  g_cached_bytes_->Set(static_cast<std::int64_t>(cached));
 }
 
 ServeStats SessionManager::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  ServeStats out = stats_;
-  out.resident_bytes = ResidentBytesLocked();
-  out.live_sessions = static_cast<int>(sessions_.size());
-  out.loaded_datasets = 0;
-  out.loads_in_progress = 0;
-  for (const auto& [name, entry] : datasets_) {
-    if (entry.load_done) ++out.loaded_datasets;
-    // A valid future with load_done still false means a leader job is
-    // inside the factory right now (single-flight load in progress).
-    if (entry.loaded.valid() && !entry.load_done) ++out.loads_in_progress;
-  }
-  out.cached_bytes = 0;
-  for (const auto& [key, managed] : sessions_) {
-    out.cached_bytes += managed.session->CacheBytes();
-  }
+  RefreshGaugesLocked();
+  ServeStats out;
+  out.jobs_submitted = m_jobs_submitted_->value();
+  out.jobs_completed = m_jobs_completed_->value();
+  out.jobs_failed = m_jobs_failed_->value();
+  out.sessions_created = m_sessions_created_->value();
+  out.sessions_evicted = m_sessions_evicted_->value();
+  out.datasets_loaded = m_datasets_loaded_->value();
+  out.datasets_unloaded = m_datasets_unloaded_->value();
+  out.resident_bytes = static_cast<std::uint64_t>(g_resident_bytes_->value());
+  out.cached_bytes = static_cast<std::uint64_t>(g_cached_bytes_->value());
+  out.live_sessions = static_cast<int>(g_live_sessions_->value());
+  out.loaded_datasets = static_cast<int>(g_loaded_datasets_->value());
+  out.loads_in_progress = static_cast<int>(g_loads_in_progress_->value());
   out.queued_jobs = static_cast<int>(queue_.size());
+  out.active_jobs = static_cast<int>(g_active_jobs_->value());
   return out;
+}
+
+std::string SessionManager::MetricsText() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RefreshGaugesLocked();
+  }
+  return metrics_->TextSnapshot();
 }
 
 }  // namespace blinkml

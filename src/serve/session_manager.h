@@ -57,6 +57,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "session/hyperparam_search.h"
 #include "session/training_session.h"
 
@@ -81,6 +82,11 @@ struct ServeOptions {
   /// Jobs allowed to execute concurrently (= runner threads). 0 = the
   /// runtime pool's default parallelism.
   int max_concurrent_jobs = 0;
+  /// Metrics registry the manager reports into (serve_* counters/gauges;
+  /// BlinkServer adds its net_* metrics to the same registry). Null = the
+  /// manager owns a private registry — the default, so tests running
+  /// several managers in one process never cross-contaminate counts.
+  obs::Registry* metrics = nullptr;
 };
 
 /// One contract-bound training on a registered dataset.
@@ -104,6 +110,9 @@ struct SearchRequest {
   std::uint64_t seed = 0;
 };
 
+/// Snapshot view of the manager's metrics registry (the registry is the
+/// source of truth since the obs layer; this struct remains for in-process
+/// callers and the wire Stats verb).
 struct ServeStats {
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;
@@ -167,6 +176,16 @@ class SessionManager {
   int EvictIdle();
 
   ServeStats stats() const;
+
+  /// The registry this manager reports into (ServeOptions::metrics or the
+  /// manager-owned one). BlinkServer registers its net_* metrics here so
+  /// one text snapshot covers the whole serving stack.
+  obs::Registry& metrics() const { return *metrics_; }
+
+  /// Registry text snapshot with the sampled gauges (resident/cached
+  /// bytes, live sessions, loads in progress, queue depth) refreshed
+  /// first — what the wire Metrics verb returns.
+  std::string MetricsText() const;
 
  private:
   struct DatasetEntry {
@@ -269,27 +288,25 @@ class SessionManager {
   /// Runs one job body with completion/failure accounting: an error
   /// Result or a thrown exception counts as a failed job (the exception
   /// still propagates to the caller's future via the packaged_task). The
-  /// accounting happens before the future resolves, so a caller observing
-  /// future readiness sees it reflected in stats().
+  /// counters are bumped before the future resolves, so a caller
+  /// observing future readiness sees it reflected in stats().
   template <typename T, typename Body>
   Result<T> RunJob(const Body& body) {
     try {
       Result<T> result = body();
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.jobs_completed;
-        if (!result.ok()) ++stats_.jobs_failed;
-      }
+      m_jobs_completed_->Inc();
+      if (!result.ok()) m_jobs_failed_->Inc();
       return result;
     } catch (...) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.jobs_completed;
-        ++stats_.jobs_failed;
-      }
+      m_jobs_completed_->Inc();
+      m_jobs_failed_->Inc();
       throw;
     }
   }
+
+  /// Samples the level gauges (resident/cached bytes, live sessions,
+  /// loaded datasets, loads in progress) from the maps. Caller holds mu_.
+  void RefreshGaugesLocked() const;
 
   const ServeOptions options_;
 
@@ -299,7 +316,26 @@ class SessionManager {
   /// Session keys, most-recently-used first.
   std::list<SessionKey> lru_;
   std::uint64_t touch_tick_ = 0;
-  ServeStats stats_;
+
+  /// The stats store: every ServeStats field is a view of one of these
+  /// registry metrics (resolved once in the constructor; the pointers are
+  /// stable for the registry's lifetime).
+  std::unique_ptr<obs::Registry> owned_metrics_;
+  obs::Registry* metrics_;
+  obs::Counter* m_jobs_submitted_;
+  obs::Counter* m_jobs_completed_;
+  obs::Counter* m_jobs_failed_;
+  obs::Counter* m_sessions_created_;
+  obs::Counter* m_sessions_evicted_;
+  obs::Counter* m_datasets_loaded_;
+  obs::Counter* m_datasets_unloaded_;
+  obs::Gauge* g_resident_bytes_;
+  obs::Gauge* g_cached_bytes_;
+  obs::Gauge* g_live_sessions_;
+  obs::Gauge* g_loaded_datasets_;
+  obs::Gauge* g_loads_in_progress_;
+  obs::Gauge* g_queued_jobs_;
+  obs::Gauge* g_active_jobs_;
 
   std::condition_variable queue_cv_;
   std::deque<std::function<void()>> queue_;

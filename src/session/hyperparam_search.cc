@@ -10,6 +10,7 @@
 #include <typeindex>
 #include <utility>
 
+#include "obs/trace.h"
 #include "runtime/parallel.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -181,9 +182,14 @@ SearchOutcome HyperparamSearch::Run(
   std::vector<std::shared_ptr<ModelSpec>> specs(candidates.size());
 
   const auto k = static_cast<ParallelIndex>(candidates.size());
+  // Candidate chunks run on pool lanes; re-install the submitter's trace
+  // context (the wire request_id when serving) on each lane so the
+  // per-candidate phase and kernel spans stay correlated to the request.
   ParallelFor(
       0, k,
-      [&](ParallelIndex begin, ParallelIndex end) {
+      [&, trace_ctx = obs::CurrentTraceContext()](ParallelIndex begin,
+                                                  ParallelIndex end) {
+        obs::ScopedTraceContext scoped_trace(trace_ctx);
         for (ParallelIndex i = begin; i < end; ++i) {
           CandidateResult& slot =
               out.candidates[static_cast<std::size_t>(i)];

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace blinkml {
 
 TrainingSession::TrainingSession(Dataset data, BlinkConfig config)
@@ -70,6 +72,8 @@ std::uint64_t TrainingSession::CacheBytes() const {
 SessionStats TrainingSession::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   SessionStats out = stats_;
+  out.prefixes_computed = static_cast<int>(prefixes_computed_.value());
+  out.prefix_seconds = prefix_seconds_.value();
   out.cache = cache_.stats();
   out.gram_cache = gram_cache_.stats();
   return out;
@@ -94,10 +98,15 @@ Result<std::shared_ptr<const TrainingPrefix>> TrainingSession::PrefixFor(
   if (it != prefixes_.end()) return it->second;
   // Computed under the lock: concurrent first requests for one seed
   // materialize the prefix exactly once and the losers reuse it.
+  obs::SpanScope span("prefix:compute", "session");
   BLINKML_ASSIGN_OR_RETURN(TrainingPrefix prefix,
                            ComputeTrainingPrefix(*data_, config, &cache_));
-  ++stats_.prefixes_computed;
-  stats_.prefix_seconds += prefix.seconds;
+  prefixes_computed_.Inc();
+  prefix_seconds_.Add(prefix.seconds);
+  obs::Registry::Global().Counter("session_prefixes_total")->Inc();
+  obs::Registry::Global()
+      .FloatCounter("session_prefix_seconds")
+      ->Add(prefix.seconds);
   if (prefix.uncached_bytes > 0) {
     prefix_uncached_bytes_.fetch_add(prefix.uncached_bytes,
                                      std::memory_order_relaxed);

@@ -33,6 +33,7 @@
 #include "data/feature_gram_cache.h"
 #include "data/sample_cache.h"
 #include "models/model_spec.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace blinkml {
@@ -45,9 +46,11 @@ struct SessionStats {
   PhaseTimings run_timings;
   /// Completed pipeline runs.
   int runs = 0;
-  /// Distinct prefixes (holdout split + D_0) materialized.
+  /// Distinct prefixes (holdout split + D_0) materialized. A view of the
+  /// session's obs::Counter (the source of truth since the obs layer).
   int prefixes_computed = 0;
-  /// Total wall-clock spent computing prefixes (amortized across runs).
+  /// Total wall-clock spent computing prefixes (amortized across runs);
+  /// a view of the session's obs::FloatCounter.
   double prefix_seconds = 0.0;
   /// Shared-sample cache counters.
   SampleCache::Stats cache;
@@ -131,6 +134,12 @@ class TrainingSession {
   /// prefixes_ that the sample cache bypassed). Written under mu_; atomic
   /// so the lock-free CacheBytes() can read it (see the .cc note).
   std::atomic<std::uint64_t> prefix_uncached_bytes_{0};
+  /// Prefix amortization accounting, held as obs metric primitives so the
+  /// SessionStats snapshot and the obs registry export agree by
+  /// construction (SessionStats::prefixes_computed / prefix_seconds are
+  /// views of these).
+  obs::Counter prefixes_computed_;
+  obs::FloatCounter prefix_seconds_;
   SessionStats stats_;
 };
 

@@ -46,6 +46,17 @@ double UpperOrderStatistic(std::vector<double> xs, double q) {
   return xs[rank - 1];
 }
 
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  // Nearest-rank: ceil(p/100 * N), 1-based.
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(values.size())));
+  if (rank == 0) rank = 1;
+  return values[rank - 1];
+}
+
 void RunningStats::Add(double x) {
   if (count_ == 0) {
     min_ = max_ = x;

@@ -30,6 +30,13 @@ double Quantile(std::vector<double> xs, double q);
 /// value is never smaller than the interpolated quantile.
 double UpperOrderStatistic(std::vector<double> xs, double q);
 
+/// Nearest-rank percentile (p in [0, 100], clamped): the ceil(p/100 * n)-th
+/// order statistic, 1-based. Unlike Quantile/UpperOrderStatistic this is
+/// total on empty input (returns 0) — it is the latency-reporting
+/// percentile shared by the bench harnesses and the obs histogram
+/// summaries, where an empty sample is "no data yet", not a bug.
+double Percentile(std::vector<double> values, double p);
+
 /// Streaming mean/variance accumulator (Welford's algorithm).
 class RunningStats {
  public:

@@ -848,11 +848,11 @@ TEST(JobQueue, BoundedPushRejectsWhenFull) {
   JobQueue queue(2);
   JobQueue::Job job;
   job.run = [] {};
-  ASSERT_TRUE(queue.Push(JobQueue::Job{0, {}, false, [] {}, [] {}}));
-  ASSERT_TRUE(queue.Push(JobQueue::Job{0, {}, false, [] {}, [] {}}));
-  EXPECT_FALSE(queue.Push(JobQueue::Job{0, {}, false, [] {}, [] {}}));
+  ASSERT_TRUE(queue.Push(JobQueue::Job{0, {}, false, {}, [] {}, [] {}}));
+  ASSERT_TRUE(queue.Push(JobQueue::Job{0, {}, false, {}, [] {}, [] {}}));
+  EXPECT_FALSE(queue.Push(JobQueue::Job{0, {}, false, {}, [] {}, [] {}}));
   queue.Shutdown();
-  EXPECT_FALSE(queue.Push(JobQueue::Job{0, {}, false, [] {}, [] {}}));
+  EXPECT_FALSE(queue.Push(JobQueue::Job{0, {}, false, {}, [] {}, [] {}}));
 }
 
 TEST(JobQueue, ExpiredChecksTheDeadline) {
