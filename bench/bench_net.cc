@@ -8,9 +8,17 @@
 //
 //   $ ./build/bench_net [--json[=path]] [--threads=N]
 //                       [--requests=N] [--runner-threads=N] [--clients=N]
+//                       [--faults=0|1]
 //
 // Honors BLINKML_SCALE (dataset rows). With --json the summary is
 // written to BENCH_net.json.
+//
+// --faults=1 arms a deterministic fault schedule (util/failpoints.h)
+// across the predict burst — every 9th response write severed, every
+// 13th enqueue rejected — and gives each driver a RetryPolicy. The
+// bitwise exit-status contract is unchanged: retries must converge every
+// call to the exact reference bits. The summary gains goodput under
+// faults plus retry/reconnect/injection counts.
 
 #include <unistd.h>
 
@@ -28,6 +36,7 @@
 #include "net/codec.h"
 #include "net/server.h"
 #include "serve/session_manager.h"
+#include "util/failpoints.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -73,11 +82,16 @@ int main(int argc, char** argv) {
   int requests = 64;
   int runner_threads = 2;
   int clients = 1;
+  int faults = 0;
   const std::vector<ExtraIntFlag> extra = {
       {"requests", "Predict calls per client (default 64)", &requests},
       {"runner-threads", "server runner threads (default 2)",
        &runner_threads},
       {"clients", "concurrent client connections (default 1)", &clients},
+      {"faults",
+       "1 = run the predict burst under an injected fault schedule with "
+       "retrying clients (default 0)",
+       &faults},
   };
   const BenchFlags flags =
       ParseBenchFlags(argc, argv, "BENCH_net.json", extra);
@@ -206,6 +220,20 @@ int main(int argc, char** argv) {
   // char, not bool: vector<bool> packs bits and concurrent writes to
   // neighboring elements would race.
   std::vector<char> client_bitwise(static_cast<std::size_t>(clients), 0);
+  std::vector<std::uint64_t> client_retries(
+      static_cast<std::size_t>(clients), 0);
+  std::vector<std::uint64_t> client_reconnects(
+      static_cast<std::size_t>(clients), 0);
+  if (faults != 0) {
+    fail::Failpoints::Global().DisarmAll();
+    const Status armed = fail::Failpoints::Global().ArmFromSpec(
+        "net.write_frame=err@every:9;queue.enqueue=err@every:13");
+    if (!armed.ok()) {
+      std::fprintf(stderr, "arming faults failed: %s\n",
+                   armed.ToString().c_str());
+      return 1;
+    }
+  }
   WallTimer burst_timer;
   {
     std::vector<std::thread> drivers;
@@ -216,6 +244,13 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "client %d connect failed: %s\n", c,
                        conn.status().ToString().c_str());
           return;
+        }
+        if (faults != 0) {
+          RetryPolicy policy;
+          policy.max_attempts = 6;
+          policy.initial_backoff_ms = 1;
+          policy.reconnect = true;
+          conn->set_retry_policy(policy);
         }
         bool all_bitwise = true;
         for (int j = 0; j < requests; ++j) {
@@ -241,11 +276,24 @@ int main(int argc, char** argv) {
           }
         }
         client_bitwise[static_cast<std::size_t>(c)] = all_bitwise ? 1 : 0;
+        client_retries[static_cast<std::size_t>(c)] =
+            conn->retry_stats().retries;
+        client_reconnects[static_cast<std::size_t>(c)] =
+            conn->retry_stats().reconnects;
       });
     }
     for (auto& driver : drivers) driver.join();
   }
   const double burst_seconds = burst_timer.Seconds();
+  const std::uint64_t faults_injected =
+      faults != 0 ? fail::Failpoints::Global().TotalFires() : 0;
+  if (faults != 0) fail::Failpoints::Global().DisarmAll();
+  std::uint64_t total_retries = 0;
+  std::uint64_t total_reconnects = 0;
+  for (int c = 0; c < clients; ++c) {
+    total_retries += client_retries[static_cast<std::size_t>(c)];
+    total_reconnects += client_reconnects[static_cast<std::size_t>(c)];
+  }
   bool bitwise_predict = true;
   for (int c = 0; c < clients; ++c) {
     bitwise_predict = bitwise_predict &&
@@ -272,6 +320,16 @@ int main(int argc, char** argv) {
               total_requests, HumanSeconds(burst_seconds).c_str(), qps);
   std::printf("predict latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
               p50_ms, p95_ms, p99_ms);
+  if (faults != 0) {
+    // Under --faults the qps above IS goodput: only bitwise-verified
+    // successes are counted, faults and retries included in the clock.
+    std::printf(
+        "faults: %llu injected, %llu retries, %llu reconnects  ->  "
+        "goodput %.0f req/s\n",
+        static_cast<unsigned long long>(faults_injected),
+        static_cast<unsigned long long>(total_retries),
+        static_cast<unsigned long long>(total_reconnects), qps);
+  }
   std::printf("train round trip:   %s\n",
               bitwise_train ? "bitwise identical" : "MISMATCH");
   std::printf("predict round trip: %s\n",
@@ -308,7 +366,12 @@ int main(int argc, char** argv) {
         .Int("responses_sent",
              static_cast<long long>(server_stats.responses_sent))
         .Bool("bitwise_train", bitwise_train)
-        .Bool("bitwise_predict", bitwise_predict);
+        .Bool("bitwise_predict", bitwise_predict)
+        .Bool("faults", faults != 0)
+        .Int("faults_injected", static_cast<long long>(faults_injected))
+        .Int("retries", static_cast<long long>(total_retries))
+        .Int("reconnects", static_cast<long long>(total_reconnects))
+        .Number("goodput_qps", faults != 0 ? qps : 0.0);
     if (!WriteBenchFile(flags.json_path, root.ToString())) return 1;
   }
   return (bitwise_train && bitwise_predict) ? 0 : 1;

@@ -13,7 +13,6 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
-#include <thread>
 
 #include "data/dataset.h"
 #include "linalg/matrix.h"
@@ -37,17 +36,19 @@ int main(int argc, char** argv) {
   }
 
   // The daemon may still be binding its socket; retry for ~5 seconds.
-  Result<BlinkClient> client = Status::IOError("not yet connected");
-  for (int attempt = 0; attempt < 50; ++attempt) {
-    client = BlinkClient::ConnectUnix(socket_path);
-    if (client.ok()) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  }
+  Result<BlinkClient> client =
+      BlinkClient::ConnectUnixRetry(socket_path, /*attempts=*/50,
+                                    /*backoff_ms=*/100);
   if (!client.ok()) {
     std::fprintf(stderr, "connect to %s failed: %s\n", socket_path.c_str(),
                  client.status().ToString().c_str());
     return 1;
   }
+  // Transient daemon hiccups (restart, shed) become retries, not
+  // failures.
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  client->set_retry_policy(policy);
 
   RegisterDatasetRequest registration;
   registration.tenant = "demo";

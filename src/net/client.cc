@@ -8,7 +8,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -16,6 +19,20 @@
 
 namespace blinkml {
 namespace net {
+
+namespace {
+
+/// SplitMix64: the backoff jitter's deterministic hash. Same
+/// (request_id, attempt) -> same jitter, so a chaos run's timing is a
+/// pure function of the schedule, never of a clock or global RNG.
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 Result<BlinkClient> BlinkClient::ConnectUnix(const std::string& path) {
   sockaddr_un addr{};
@@ -36,7 +53,10 @@ Result<BlinkClient> BlinkClient::ConnectUnix(const std::string& path) {
     ::close(fd);
     return status;
   }
-  return BlinkClient(fd);
+  Endpoint endpoint;
+  endpoint.is_unix = true;
+  endpoint.unix_path = path;
+  return BlinkClient(fd, std::move(endpoint));
 }
 
 Result<BlinkClient> BlinkClient::ConnectTcp(const std::string& host,
@@ -59,13 +79,53 @@ Result<BlinkClient> BlinkClient::ConnectTcp(const std::string& host,
     ::close(fd);
     return status;
   }
-  return BlinkClient(fd);
+  Endpoint endpoint;
+  endpoint.host = host;
+  endpoint.port = port;
+  return BlinkClient(fd, std::move(endpoint));
+}
+
+namespace {
+
+template <typename ConnectFn>
+Result<BlinkClient> ConnectWithRetry(int attempts, std::uint32_t backoff_ms,
+                                     ConnectFn connect) {
+  Status last = Status::IOError("connect: no attempts made");
+  for (int attempt = 0; attempt < std::max(1, attempts); ++attempt) {
+    if (attempt > 0 && backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+    Result<BlinkClient> client = connect();
+    if (client.ok()) return client;
+    last = client.status();
+  }
+  return last;
+}
+
+}  // namespace
+
+Result<BlinkClient> BlinkClient::ConnectUnixRetry(const std::string& path,
+                                                  int attempts,
+                                                  std::uint32_t backoff_ms) {
+  return ConnectWithRetry(attempts, backoff_ms,
+                          [&] { return ConnectUnix(path); });
+}
+
+Result<BlinkClient> BlinkClient::ConnectTcpRetry(const std::string& host,
+                                                 int port, int attempts,
+                                                 std::uint32_t backoff_ms) {
+  return ConnectWithRetry(attempts, backoff_ms,
+                          [&] { return ConnectTcp(host, port); });
 }
 
 BlinkClient::BlinkClient(BlinkClient&& other) noexcept
     : fd_(other.fd_),
+      endpoint_(std::move(other.endpoint_)),
       next_request_id_(other.next_request_id_),
-      last_retry_after_ms_(other.last_retry_after_ms_) {
+      last_retry_after_ms_(other.last_retry_after_ms_),
+      last_wire_status_(other.last_wire_status_),
+      retry_policy_(other.retry_policy_),
+      retry_stats_(other.retry_stats_) {
   other.fd_ = -1;
 }
 
@@ -73,8 +133,12 @@ BlinkClient& BlinkClient::operator=(BlinkClient&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = other.fd_;
+    endpoint_ = std::move(other.endpoint_);
     next_request_id_ = other.next_request_id_;
     last_retry_after_ms_ = other.last_retry_after_ms_;
+    last_wire_status_ = other.last_wire_status_;
+    retry_policy_ = other.retry_policy_;
+    retry_stats_ = other.retry_stats_;
     other.fd_ = -1;
   }
   return *this;
@@ -84,34 +148,108 @@ BlinkClient::~BlinkClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+Status BlinkClient::Reconnect() {
+  Result<BlinkClient> fresh =
+      endpoint_.is_unix ? ConnectUnix(endpoint_.unix_path)
+                        : ConnectTcp(endpoint_.host, endpoint_.port);
+  BLINKML_RETURN_NOT_OK(fresh.status());
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fresh->fd_;
+  fresh->fd_ = -1;
+  return Status::OK();
+}
+
 Status BlinkClient::Call(Verb verb, const WireWriter& payload,
                          CallOptions options,
                          std::vector<std::uint8_t>* body) {
   last_retry_after_ms_ = 0;
-  if (fd_ < 0) return Status::IOError("client is not connected");
+  last_wire_status_ = WireStatus::kOk;
+  // All attempts reuse one request id: a retry is the SAME logical call,
+  // and bitwise-deterministic execution makes the duplicate safe.
+  const std::uint64_t request_id = next_request_id_++;
+  std::uint32_t backoff_ms = retry_policy_.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    bool transport_error = false;
+    const Status status =
+        CallOnce(request_id, verb, payload, options, body, &transport_error);
+    if (status.ok()) {
+      last_retry_after_ms_ = 0;
+      return status;
+    }
+    const bool retryable = transport_error
+                               ? retry_policy_.reconnect
+                               : IsRetryableWireStatus(last_wire_status_);
+    if (!retryable || attempt >= retry_policy_.max_attempts) return status;
+    const std::uint32_t hint = last_retry_after_ms_;
+    if (transport_error) {
+      // If the endpoint itself is gone the original error is the more
+      // useful one to surface.
+      if (!Reconnect().ok()) return status;
+      ++retry_stats_.reconnects;
+    }
+    const std::uint32_t jitter =
+        backoff_ms == 0
+            ? 0
+            : static_cast<std::uint32_t>(
+                  SplitMix64(request_id * 0x2545F4914F6CDD1Dull +
+                             static_cast<std::uint64_t>(attempt)) %
+                  (backoff_ms / 2 + 1));
+    const std::uint32_t sleep_ms = std::max(backoff_ms + jitter, hint);
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    backoff_ms = std::min(std::max<std::uint32_t>(backoff_ms, 1) * 2,
+                          retry_policy_.max_backoff_ms);
+    ++retry_stats_.retries;
+  }
+}
+
+Status BlinkClient::CallOnce(std::uint64_t request_id, Verb verb,
+                             const WireWriter& payload, CallOptions options,
+                             std::vector<std::uint8_t>* body,
+                             bool* transport_error) {
+  *transport_error = false;
+  if (fd_ < 0) {
+    *transport_error = true;
+    return Status::IOError("client is not connected");
+  }
 
   FrameHeader header;
   header.verb = verb;
-  header.request_id = next_request_id_++;
+  header.request_id = request_id;
   header.priority = options.priority;
   header.deadline_ms = options.deadline_ms;
-  BLINKML_RETURN_NOT_OK(WriteFrame(fd_, header, payload.bytes().data(),
-                                   payload.bytes().size()));
+  Status status = WriteFrame(fd_, header, payload.bytes().data(),
+                             payload.bytes().size());
+  if (!status.ok()) {
+    *transport_error = true;
+    return status;
+  }
 
   Frame response;
-  BLINKML_RETURN_NOT_OK(ReadFrame(fd_, &response));
-  if (response.header.request_id != header.request_id) {
+  status = ReadFrame(fd_, &response);
+  if (!status.ok()) {
+    *transport_error = true;
+    return status;
+  }
+  if (response.header.request_id != request_id) {
+    *transport_error = true;
     return Status::IOError(StrFormat(
         "response id %llu does not match request id %llu (stream "
         "desynchronized)",
         static_cast<unsigned long long>(response.header.request_id),
-        static_cast<unsigned long long>(header.request_id)));
+        static_cast<unsigned long long>(request_id)));
   }
 
   WireReader reader(response.payload.data(), response.payload.size());
   ResponseEnvelope envelope;
-  BLINKML_RETURN_NOT_OK(Decode(&reader, &envelope));
+  status = Decode(&reader, &envelope);
+  if (!status.ok()) {
+    *transport_error = true;
+    return status;
+  }
   if (envelope.status != WireStatus::kOk) {
+    last_wire_status_ = envelope.status;
     last_retry_after_ms_ = envelope.retry_after_ms;
     return StatusFromWire(envelope.status, envelope.message);
   }
@@ -186,6 +324,15 @@ Result<MetricsResponseWire> BlinkClient::Metrics(const std::string& tenant,
   WireWriter payload;
   Encode(request, &payload);
   return TypedCall<MetricsResponseWire>(Verb::kMetrics, payload, options);
+}
+
+Result<HealthResponseWire> BlinkClient::Health(const std::string& tenant,
+                                               CallOptions options) {
+  HealthRequestWire request;
+  request.tenant = tenant;
+  WireWriter payload;
+  Encode(request, &payload);
+  return TypedCall<HealthResponseWire>(Verb::kHealth, payload, options);
 }
 
 }  // namespace net

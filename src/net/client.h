@@ -11,7 +11,20 @@
 // Rejections map back onto util/status.h via StatusFromWire with the
 // wire status name prefixed to the message (e.g. "RateLimited: ...");
 // retry-after hints from the last rejection are kept on the client
-// (last_retry_after_ms).
+// (last_retry_after_ms) and reset to 0 by a successful call.
+//
+// Resilience (set_retry_policy): a policy with max_attempts > 1 retries
+// calls that failed with a retryable wire status
+// (IsRetryableWireStatus: admission rejections, shed, transient
+// unavailability — never InvalidArgument or other definitive outcomes)
+// and, when `reconnect` is set, transport-level failures (the connection
+// dropped mid-call: the client reconnects to the endpoint it was built
+// from and re-sends). Re-sending is safe because job results are bitwise
+// deterministic — a duplicated execution returns identical bytes.
+// Backoff is bounded-exponential with DETERMINISTIC jitter derived from
+// (request_id, attempt) — no wall clock, no global RNG — and never
+// sleeps less than the server's retry_after_ms hint. All attempts of one
+// logical call reuse the same request_id.
 
 #ifndef BLINKML_NET_CLIENT_H_
 #define BLINKML_NET_CLIENT_H_
@@ -36,10 +49,43 @@ struct CallOptions {
   std::uint32_t deadline_ms = 0;
 };
 
+/// Client-side retry behavior (off by default: max_attempts = 1).
+struct RetryPolicy {
+  /// Total attempts per logical call, first try included.
+  int max_attempts = 1;
+  /// Backoff before the first retry; doubles each retry (bounded by
+  /// max_backoff_ms). The actual sleep is max(backoff + jitter,
+  /// server retry_after_ms hint); jitter is deterministic from
+  /// (request_id, attempt), in [0, backoff/2].
+  std::uint32_t initial_backoff_ms = 2;
+  std::uint32_t max_backoff_ms = 1000;
+  /// Also retry transport-level failures (connection reset / EOF /
+  /// desync) by reconnecting to the original endpoint and re-sending.
+  bool reconnect = true;
+};
+
+/// Counters a retrying client accumulates (observability for tests,
+/// benches, and callers judging endpoint health).
+struct RetryStats {
+  std::uint64_t retries = 0;     // re-sent attempts (all causes)
+  std::uint64_t reconnects = 0;  // successful transport reconnects
+};
+
 class BlinkClient {
  public:
   static Result<BlinkClient> ConnectUnix(const std::string& path);
   static Result<BlinkClient> ConnectTcp(const std::string& host, int port);
+
+  /// Bounded connect retry for racing a daemon that is still binding its
+  /// socket: up to `attempts` tries, sleeping backoff_ms between
+  /// (constant backoff; connect failures are not load signals). Replaces
+  /// the ad-hoc retry loops the examples used to carry.
+  static Result<BlinkClient> ConnectUnixRetry(const std::string& path,
+                                              int attempts,
+                                              std::uint32_t backoff_ms);
+  static Result<BlinkClient> ConnectTcpRetry(const std::string& host,
+                                             int port, int attempts,
+                                             std::uint32_t backoff_ms);
 
   BlinkClient(BlinkClient&& other) noexcept;
   BlinkClient& operator=(BlinkClient&& other) noexcept;
@@ -64,26 +110,60 @@ class BlinkClient {
   /// process-global pipeline/kernel/estimator metrics).
   Result<MetricsResponseWire> Metrics(const std::string& tenant,
                                       CallOptions options = {});
+  /// Shed/drain state probe (answered on the server's IO thread; works
+  /// under overload).
+  Result<HealthResponseWire> Health(const std::string& tenant,
+                                    CallOptions options = {});
 
-  /// Retry-after hint from the most recent rejected call (0 = none given;
-  /// reset by every call).
+  /// Retry-after hint from the most recent rejected call (0 = none
+  /// given; a successful call resets it to 0).
   std::uint32_t last_retry_after_ms() const { return last_retry_after_ms_; }
 
- private:
-  explicit BlinkClient(int fd) : fd_(fd) {}
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  const RetryStats& retry_stats() const { return retry_stats_; }
 
-  /// Writes one frame and blocks for its response; on a kOk envelope the
-  /// body bytes are left in *body for the caller to decode.
+  /// The wire status of the most recent non-OK response envelope
+  /// (kOk if the last call succeeded or never reached an envelope).
+  WireStatus last_wire_status() const { return last_wire_status_; }
+
+ private:
+  struct Endpoint {
+    bool is_unix = false;
+    std::string unix_path;
+    std::string host;
+    int port = 0;
+  };
+
+  BlinkClient(int fd, Endpoint endpoint)
+      : fd_(fd), endpoint_(std::move(endpoint)) {}
+
+  /// One logical call: writes a frame and blocks for its response,
+  /// retrying per retry_policy_. On a kOk envelope the body bytes are
+  /// left in *body for the caller to decode.
   Status Call(Verb verb, const WireWriter& payload, CallOptions options,
               std::vector<std::uint8_t>* body);
+
+  /// A single attempt. `transport_error` distinguishes connection-level
+  /// failures (retryable by reconnecting) from server envelopes.
+  Status CallOnce(std::uint64_t request_id, Verb verb,
+                  const WireWriter& payload, CallOptions options,
+                  std::vector<std::uint8_t>* body, bool* transport_error);
+
+  /// Re-dials endpoint_ and swaps the fd.
+  Status Reconnect();
 
   template <typename Response>
   Result<Response> TypedCall(Verb verb, const WireWriter& payload,
                              CallOptions options);
 
   int fd_ = -1;
+  Endpoint endpoint_;
   std::uint64_t next_request_id_ = 1;
   std::uint32_t last_retry_after_ms_ = 0;
+  WireStatus last_wire_status_ = WireStatus::kOk;
+  RetryPolicy retry_policy_;
+  RetryStats retry_stats_;
 };
 
 }  // namespace net

@@ -416,6 +416,10 @@ void Encode(const StatsResponseWire& v, WireWriter* out) {
   out->U64(s.rejected_rate);
   out->U64(s.rejected_quota);
   out->U64(s.rejected_queue_full);
+  out->U64(s.rejected_shed);
+  out->U64(s.rejected_max_connections);
+  out->U64(s.idle_reaped);
+  out->U64(s.write_stalls);
   out->I32(s.open_connections);
   out->I32(s.queued_jobs);
 }
@@ -448,6 +452,10 @@ Status Decode(WireReader* in, StatsResponseWire* out) {
   s.rejected_rate = in->U64();
   s.rejected_quota = in->U64();
   s.rejected_queue_full = in->U64();
+  s.rejected_shed = in->U64();
+  s.rejected_max_connections = in->U64();
+  s.idle_reaped = in->U64();
+  s.write_stalls = in->U64();
   s.open_connections = in->I32();
   s.queued_jobs = in->I32();
   return ReaderStatus(*in);
@@ -486,6 +494,34 @@ void Encode(const MetricsResponseWire& v, WireWriter* out) {
 
 Status Decode(WireReader* in, MetricsResponseWire* out) {
   out->text = in->Str();
+  return ReaderStatus(*in);
+}
+
+void Encode(const HealthRequestWire& v, WireWriter* out) {
+  out->Str(v.tenant);
+}
+
+Status Decode(WireReader* in, HealthRequestWire* out) {
+  out->tenant = in->Str();
+  return ReaderStatus(*in);
+}
+
+void Encode(const HealthResponseWire& v, WireWriter* out) {
+  out->U8(v.accepting ? 1 : 0);
+  out->U8(v.shedding ? 1 : 0);
+  out->I32(v.open_connections);
+  out->I32(v.queued_jobs);
+  out->U64(v.rejected_shed);
+  out->U64(v.idle_reaped);
+}
+
+Status Decode(WireReader* in, HealthResponseWire* out) {
+  out->accepting = in->U8() != 0;
+  out->shedding = in->U8() != 0;
+  out->open_connections = in->I32();
+  out->queued_jobs = in->I32();
+  out->rejected_shed = in->U64();
+  out->idle_reaped = in->U64();
   return ReaderStatus(*in);
 }
 

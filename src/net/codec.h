@@ -191,6 +191,15 @@ struct ServerStatsWire {
   std::uint64_t rejected_rate = 0;
   std::uint64_t rejected_quota = 0;
   std::uint64_t rejected_queue_full = 0;
+  /// Load shed before enqueue (queue depth over the high-water mark).
+  std::uint64_t rejected_shed = 0;
+  /// Connections turned away at accept (max_connections cap).
+  std::uint64_t rejected_max_connections = 0;
+  /// Connections reaped by the idle deadline.
+  std::uint64_t idle_reaped = 0;
+  /// Responses abandoned because the peer stopped draining its socket
+  /// for the write-stall timeout.
+  std::uint64_t write_stalls = 0;
   std::int32_t open_connections = 0;
   std::int32_t queued_jobs = 0;
 };
@@ -216,6 +225,26 @@ struct MetricsRequestWire {
 /// TextSnapshot format: one `name{labels} value` line per metric).
 struct MetricsResponseWire {
   std::string text;
+};
+
+struct HealthRequestWire {
+  std::string tenant;
+};
+
+/// Shed/drain state, answered inline on the IO thread (no quota charge,
+/// no queue hop) so probes keep working while the server is overloaded.
+struct HealthResponseWire {
+  /// False once Stop() began: the server is draining admitted jobs and
+  /// will not accept new work.
+  bool accepting = true;
+  /// True while the queue depth sits at/above the shed high-water mark
+  /// (new work is being rejected with kOverloaded + retry-after).
+  bool shedding = false;
+  std::int32_t open_connections = 0;
+  std::int32_t queued_jobs = 0;
+  /// Totals mirrored from ServerStatsWire, cheap enough for a probe.
+  std::uint64_t rejected_shed = 0;
+  std::uint64_t idle_reaped = 0;
 };
 
 void Encode(const RegisterDatasetRequest& v, WireWriter* out);
@@ -252,6 +281,11 @@ void Encode(const MetricsRequestWire& v, WireWriter* out);
 Status Decode(WireReader* in, MetricsRequestWire* out);
 void Encode(const MetricsResponseWire& v, WireWriter* out);
 Status Decode(WireReader* in, MetricsResponseWire* out);
+
+void Encode(const HealthRequestWire& v, WireWriter* out);
+Status Decode(WireReader* in, HealthRequestWire* out);
+void Encode(const HealthResponseWire& v, WireWriter* out);
+Status Decode(WireReader* in, HealthResponseWire* out);
 
 /// Reads the tenant name (the leading field of every request payload)
 /// without consuming the rest — what admission control needs before the

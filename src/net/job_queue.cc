@@ -1,12 +1,30 @@
 #include "net/job_queue.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "util/failpoints.h"
 
 namespace blinkml {
 namespace net {
 
 bool JobQueue::Push(Job job) {
+  fail::FaultAction fault;
+  if (BLINKML_FAILPOINT("queue.enqueue", &fault)) {
+    obs::Registry::Global()
+        .Counter("net_faults_injected_total", {{"point", "queue.enqueue"}})
+        ->Inc();
+    if (fault.kind == fail::FaultKind::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault.arg));
+    } else if (fault.kind != fail::FaultKind::kNone) {
+      // Injected enqueue failure: same contract as a full queue — the
+      // caller rejects the job with a retryable status.
+      return false;
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) return false;

@@ -21,6 +21,7 @@ const char* VerbName(Verb verb) {
     case Verb::kStats: return "Stats";
     case Verb::kEvictIdle: return "EvictIdle";
     case Verb::kMetrics: return "Metrics";
+    case Verb::kHealth: return "Health";
   }
   return "Unknown";
 }
@@ -43,8 +44,25 @@ const char* WireStatusName(WireStatus status) {
     case WireStatus::kOverQuota: return "OverQuota";
     case WireStatus::kQueueFull: return "QueueFull";
     case WireStatus::kShuttingDown: return "ShuttingDown";
+    case WireStatus::kOverloaded: return "Overloaded";
+    case WireStatus::kUnavailable: return "Unavailable";
   }
   return "Unknown";
+}
+
+bool IsRetryableWireStatus(WireStatus status) {
+  switch (status) {
+    case WireStatus::kDeadlineExceeded:
+    case WireStatus::kRateLimited:
+    case WireStatus::kOverQuota:
+    case WireStatus::kQueueFull:
+    case WireStatus::kShuttingDown:
+    case WireStatus::kOverloaded:
+    case WireStatus::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
 }
 
 WireStatus WireStatusFromStatus(const Status& status) {
@@ -56,6 +74,7 @@ WireStatus WireStatusFromStatus(const Status& status) {
     case StatusCode::kNotConverged: return WireStatus::kNotConverged;
     case StatusCode::kInfeasible: return WireStatus::kInfeasible;
     case StatusCode::kInternal: return WireStatus::kInternal;
+    case StatusCode::kUnavailable: return WireStatus::kUnavailable;
   }
   return WireStatus::kInternal;
 }
@@ -77,14 +96,17 @@ Status StatusFromWire(WireStatus status, const std::string& message) {
     case WireStatus::kDecodeError:
       return Status::InvalidArgument(std::string(WireStatusName(status)) +
                                      ": " + message);
-    // Scheduling / admission rejections: retryable by design.
+    // Scheduling / admission rejections: retryable by design, so they
+    // come back as kUnavailable (the retryable client category).
     case WireStatus::kDeadlineExceeded:
     case WireStatus::kRateLimited:
     case WireStatus::kOverQuota:
     case WireStatus::kQueueFull:
     case WireStatus::kShuttingDown:
-      return Status::Infeasible(std::string(WireStatusName(status)) + ": " +
-                                message);
+    case WireStatus::kOverloaded:
+    case WireStatus::kUnavailable:
+      return Status::Unavailable(std::string(WireStatusName(status)) + ": " +
+                                 message);
   }
   return Status::Internal(message);
 }
@@ -255,14 +277,14 @@ void WireReader::Doubles(std::size_t count, std::vector<double>* out) {
 
 namespace {
 
-/// A write blocked on a full send buffer waits this long for the peer to
-/// drain before the connection is declared dead. Multi-MB responses
-/// routinely exceed the kernel's socket buffers, so EAGAIN is normal
-/// operation, not an error — but a peer that never reads must not wedge
-/// a writer forever.
-constexpr int kWriteStallTimeoutMs = 30000;
-
-Status WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
+/// A write blocked on a full send buffer waits `stall_timeout_ms` for
+/// the peer to drain before the connection is declared dead. Multi-MB
+/// responses routinely exceed the kernel's socket buffers, so EAGAIN is
+/// normal operation, not an error — but a peer that never reads must not
+/// wedge a writer forever. *stalled reports whether a failure was that
+/// timeout (as opposed to an ordinary peer-gone error).
+Status WriteAll(int fd, const std::uint8_t* data, std::size_t size,
+                int stall_timeout_ms, bool* stalled) {
   std::size_t done = 0;
   while (done < size) {
     // send + MSG_NOSIGNAL, not write: a peer that closed mid-response
@@ -276,13 +298,14 @@ Status WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
         // polls the reads); a response larger than the free send-buffer
         // space must wait for the peer to drain, not fail mid-frame.
         pollfd pfd{fd, POLLOUT, 0};
-        const int ready = ::poll(&pfd, 1, kWriteStallTimeoutMs);
+        const int ready = ::poll(&pfd, 1, stall_timeout_ms);
         if (ready > 0) continue;  // writable again (or error: send reports)
         if (ready < 0 && errno == EINTR) continue;
         if (ready == 0) {
+          if (stalled != nullptr) *stalled = true;
           return Status::IOError(StrFormat(
               "send: peer did not drain its socket within %d ms",
-              kWriteStallTimeoutMs));
+              stall_timeout_ms));
         }
         return Status::IOError(
             StrFormat("poll(POLLOUT): %s", std::strerror(errno)));
@@ -311,7 +334,9 @@ Status ReadAll(int fd, std::uint8_t* data, std::size_t size) {
 }  // namespace
 
 Status WriteFrame(int fd, const FrameHeader& header,
-                  const std::uint8_t* payload, std::size_t payload_len) {
+                  const std::uint8_t* payload, std::size_t payload_len,
+                  const WriteOptions& options, bool* stalled) {
+  if (stalled != nullptr) *stalled = false;
   // One buffer, one write: a frame must never interleave with another
   // writer's frame on the same connection (the server's per-connection
   // write lock relies on frame-at-a-time writes).
@@ -322,7 +347,10 @@ Status WriteFrame(int fd, const FrameHeader& header,
   if (payload_len > 0) {
     std::memcpy(buf.data() + kFrameHeaderBytes, payload, payload_len);
   }
-  return WriteAll(fd, buf.data(), buf.size());
+  const int timeout = options.stall_timeout_ms > 0
+                          ? options.stall_timeout_ms
+                          : kDefaultWriteStallTimeoutMs;
+  return WriteAll(fd, buf.data(), buf.size(), timeout, stalled);
 }
 
 Status ReadFrame(int fd, Frame* out) {

@@ -55,6 +55,10 @@ enum class Verb : std::uint16_t {
   kEvictIdle = 6,
   /// Text snapshot of the server's metrics registry (obs/metrics.h).
   kMetrics = 7,
+  /// Liveness/overload probe, answered inline on the IO thread — it
+  /// bypasses tenant quotas and the job queue, so probes keep working
+  /// while the server sheds load or drains.
+  kHealth = 8,
 };
 
 const char* VerbName(Verb verb);
@@ -81,9 +85,23 @@ enum class WireStatus : std::uint16_t {
   kOverQuota = 34,
   kQueueFull = 35,
   kShuttingDown = 36,
+  /// Load shed: queue depth crossed the server's high-water mark (or the
+  /// connection cap rejected the connect); carries a retry-after hint.
+  kOverloaded = 37,
+  /// Transient server-side failure (e.g. an injected fault); the job did
+  /// not produce a result and the request is safe to retry.
+  kUnavailable = 38,
 };
 
 const char* WireStatusName(WireStatus status);
+
+/// True for statuses a client may retry verbatim: scheduling/admission
+/// rejections and transient unavailability. The request provably did not
+/// produce a (successful) result — and even a duplicated execution is
+/// harmless, because job results are bitwise deterministic. Never true
+/// for caller bugs (kInvalidArgument, protocol errors) or definitive job
+/// outcomes (kNotConverged, kInfeasible, kInternal).
+bool IsRetryableWireStatus(WireStatus status);
 
 /// Maps a job Status onto the wire (OK stays OK; unknown codes become
 /// kInternal).
@@ -178,11 +196,27 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
+/// Default for WriteOptions::stall_timeout_ms (tens of seconds: multi-MB
+/// responses routinely overrun kernel socket buffers, so waiting on
+/// POLLOUT is normal operation — only a peer that stops draining
+/// entirely should fail the write).
+inline constexpr int kDefaultWriteStallTimeoutMs = 30000;
+
+struct WriteOptions {
+  /// How long a write blocked on a full send buffer waits for the peer
+  /// to drain before the connection is declared dead (must be > 0).
+  int stall_timeout_ms = kDefaultWriteStallTimeoutMs;
+};
+
 /// Writes header + payload with a full-write loop. EINTR-safe, and works
 /// on non-blocking fds: a full send buffer polls for POLLOUT and resumes
-/// (kIOError only if the peer stops draining for tens of seconds).
+/// (kIOError only if the peer stops draining for stall_timeout_ms).
+/// `stalled` (optional) is set to whether the failure was a stall
+/// timeout — the caller distinguishes a slow-reader drop (worth its own
+/// metric) from an ordinary peer-gone error.
 Status WriteFrame(int fd, const FrameHeader& header,
-                  const std::uint8_t* payload, std::size_t payload_len);
+                  const std::uint8_t* payload, std::size_t payload_len,
+                  const WriteOptions& options = {}, bool* stalled = nullptr);
 
 /// Reads exactly one frame; kIOError on EOF/short read, kInvalidArgument
 /// (malformed) on bad magic / oversized payload.

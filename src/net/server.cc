@@ -11,12 +11,15 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <exception>
+#include <thread>
 #include <utility>
 
 #include "data/dataset.h"
 #include "obs/trace.h"
+#include "util/failpoints.h"
 #include "util/string_util.h"
 
 namespace blinkml {
@@ -31,6 +34,39 @@ Status SetNonBlocking(int fd) {
         StrFormat("fcntl(O_NONBLOCK): %s", ::strerror(errno)));
   }
   return Status::OK();
+}
+
+/// Steady-clock milliseconds for connection activity stamps (monotonic;
+/// only compared against itself).
+std::int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ApplyInjectedDelay(const fail::FaultAction& action) {
+  if (action.kind == fail::FaultKind::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(action.arg));
+  }
+}
+
+/// Field-wise equality of wire registrations (doubles compared bitwise:
+/// the request came off the wire as bit patterns, so an identical retry
+/// is bit-identical).
+bool SameRegistration(const RegisterDatasetRequest& a,
+                      const RegisterDatasetRequest& b) {
+  return a.tenant == b.tenant && a.name == b.name &&
+         a.generator == b.generator && a.rows == b.rows && a.dim == b.dim &&
+         a.data_seed == b.data_seed &&
+         std::memcmp(&a.sparsity, &b.sparsity, sizeof(double)) == 0 &&
+         std::memcmp(&a.noise, &b.noise, sizeof(double)) == 0 &&
+         a.nnz_per_row == b.nnz_per_row &&
+         a.config.seed == b.config.seed &&
+         a.config.initial_sample_size == b.config.initial_sample_size &&
+         a.config.holdout_size == b.config.holdout_size &&
+         a.config.stats_sample_size == b.config.stats_sample_size &&
+         a.config.accuracy_samples == b.config.accuracy_samples &&
+         a.config.size_samples == b.config.size_samples;
 }
 
 }  // namespace
@@ -196,7 +232,23 @@ void BlinkServer::IoLoop() {
       poll_fds.push_back({fd, POLLIN, 0});
     }
 
-    const int ready = ::poll(poll_fds.data(), poll_fds.size(), -1);
+    // With an idle deadline configured, the poll timeout is the time to
+    // the nearest reapable connection's deadline (otherwise block
+    // indefinitely — the wake pipe handles shutdown).
+    int timeout_ms = -1;
+    if (options_.idle_timeout_ms > 0 && !connections_.empty()) {
+      const std::int64_t now = NowMs();
+      std::int64_t nearest = options_.idle_timeout_ms;
+      for (const auto& [fd, conn] : connections_) {
+        if (conn->inflight.load() > 0) continue;
+        nearest = std::min(
+            nearest, conn->last_activity_ms.load() +
+                         options_.idle_timeout_ms - now);
+      }
+      timeout_ms = static_cast<int>(std::max<std::int64_t>(nearest, 0));
+    }
+
+    const int ready = ::poll(poll_fds.data(), poll_fds.size(), timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;  // unrecoverable poll failure; Stop() still drains
@@ -213,11 +265,54 @@ void BlinkServer::IoLoop() {
       for (;;) {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) break;  // EAGAIN (drained) or transient error
+        fail::FaultAction fault;
+        if (BLINKML_FAILPOINT("net.accept", &fault)) {
+          NoteFault("net.accept");
+          ApplyInjectedDelay(fault);
+          if (fault.kind != fail::FaultKind::kDelay) {
+            ::close(fd);  // injected accept failure: drop the connection
+            continue;
+          }
+        }
         if (!SetNonBlocking(fd).ok()) {
           ::close(fd);
           continue;
         }
-        connections_.emplace(fd, std::make_shared<Connection>(fd));
+        if (options_.max_connections > 0 &&
+            static_cast<int>(connections_.size()) >=
+                options_.max_connections) {
+          // Structured reject: one kOverloaded error frame with a
+          // retry-after hint, then close — a client sees a parseable
+          // rejection, not a silent RST.
+          {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++stats_.rejected_max_connections;
+          }
+          NoteRejected("max_connections");
+          RecordFailureEvent("max_connections");
+          ResponseEnvelope envelope;
+          envelope.status = WireStatus::kOverloaded;
+          envelope.message =
+              StrFormat("connection limit (%d) reached",
+                        options_.max_connections);
+          envelope.retry_after_ms = options_.shed_retry_ms;
+          WireWriter payload;
+          Encode(envelope, &payload);
+          FrameHeader reject;
+          reject.verb = Verb::kError;
+          // The socket buffer of a fresh connection always fits one
+          // small frame; a tiny stall timeout keeps a pathological peer
+          // from pinning the IO thread.
+          WriteOptions wopts;
+          wopts.stall_timeout_ms = 100;
+          (void)WriteFrame(fd, reject, payload.bytes().data(),
+                           payload.bytes().size(), wopts);
+          ::close(fd);
+          continue;
+        }
+        auto conn = std::make_shared<Connection>(fd);
+        conn->last_activity_ms.store(NowMs());
+        connections_.emplace(fd, std::move(conn));
         open_connections_.fetch_add(1);
       }
     }
@@ -228,12 +323,30 @@ void BlinkServer::IoLoop() {
       if (it == connections_.end()) continue;
       const ConnPtr conn = it->second;
 
+      // Read-path fault injection: kError simulates the peer vanishing
+      // mid-frame (teardown of exactly this connection); kPartial caps
+      // this wakeup's read so frames arrive in deterministic dribbles,
+      // exercising the incremental parser (poll is level-triggered, so
+      // the remainder re-arms it).
       bool closed = false;
-      for (;;) {
-        const ssize_t n =
-            ::recv(conn->fd, chunk.data(), chunk.size(), 0);
+      std::size_t read_cap = chunk.size();
+      fail::FaultAction fault;
+      if (BLINKML_FAILPOINT("net.read_frame", &fault)) {
+        NoteFault("net.read_frame");
+        ApplyInjectedDelay(fault);
+        if (fault.kind == fail::FaultKind::kError) {
+          closed = true;
+        } else if (fault.kind == fail::FaultKind::kPartial) {
+          read_cap = static_cast<std::size_t>(std::max<std::uint64_t>(
+              1, std::min<std::uint64_t>(fault.arg, read_cap)));
+        }
+      }
+      while (!closed) {
+        const ssize_t n = ::recv(conn->fd, chunk.data(), read_cap, 0);
         if (n > 0) {
           conn->in.insert(conn->in.end(), chunk.data(), chunk.data() + n);
+          conn->last_activity_ms.store(NowMs());
+          if (read_cap < chunk.size()) break;  // injected partial read
           continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -249,6 +362,27 @@ void BlinkServer::IoLoop() {
         // Queued jobs from this connection still hold their ConnPtr; their
         // writes no-op on the closed flag and the fd closes with the last
         // reference.
+      }
+    }
+
+    if (options_.idle_timeout_ms > 0) {
+      const std::int64_t now = NowMs();
+      for (auto it = connections_.begin(); it != connections_.end();) {
+        const ConnPtr& conn = it->second;
+        if (conn->inflight.load() == 0 &&
+            now - conn->last_activity_ms.load() >= options_.idle_timeout_ms) {
+          {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++stats_.idle_reaped;
+          }
+          manager_->metrics().Counter("net_idle_reaped_total")->Inc();
+          RecordFailureEvent("idle_reap");
+          conn->closed.store(true);
+          it = connections_.erase(it);
+          open_connections_.fetch_sub(1);
+        } else {
+          ++it;
+        }
       }
     }
   }
@@ -314,6 +448,12 @@ void BlinkServer::HandleFrame(const ConnPtr& conn, const FrameHeader& header,
     return;
   }
   switch (header.verb) {
+    case Verb::kHealth:
+      // Answered inline on the IO thread: a health probe must work while
+      // the queue is full, the tenant is over quota, or the server sheds
+      // — the states it exists to report.
+      HandleHealth(conn, header);
+      return;
     case Verb::kRegisterDataset:
     case Verb::kTrain:
     case Verb::kSearch:
@@ -346,6 +486,25 @@ void BlinkServer::HandleFrame(const ConnPtr& conn, const FrameHeader& header,
     NoteRejected("decode");
     SendError(conn, header.request_id, header.verb, WireStatus::kDecodeError,
               peek.message());
+    return;
+  }
+
+  // Load shed BEFORE the quota check: while the queue sits at the
+  // high-water mark the server rejects in O(1) with an explicit hint —
+  // and without burning the tenant's rate tokens on work it won't run.
+  if (options_.shed_queue_depth > 0 &&
+      queue_.size() >= options_.shed_queue_depth) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_shed;
+    }
+    NoteRejected("shed");
+    RecordFailureEvent("shed");
+    SendError(conn, header.request_id, header.verb, WireStatus::kOverloaded,
+              StrFormat("load shed: %u jobs queued (high-water mark %u)",
+                        static_cast<unsigned>(queue_.size()),
+                        static_cast<unsigned>(options_.shed_queue_depth)),
+              options_.shed_retry_ms);
     return;
   }
 
@@ -412,6 +571,7 @@ void BlinkServer::HandleFrame(const ConnPtr& conn, const FrameHeader& header,
     }
     ExecuteJob(conn, header, tenant, *shared_payload);
     quotas_.Release(tenant, payload_bytes);
+    conn->inflight.fetch_sub(1);
   };
   job.expire = [this, conn, header, tenant, payload_bytes] {
     {
@@ -424,6 +584,7 @@ void BlinkServer::HandleFrame(const ConnPtr& conn, const FrameHeader& header,
               StrFormat("deadline (%u ms) expired before execution",
                         static_cast<unsigned>(header.deadline_ms)));
     quotas_.Release(tenant, payload_bytes);
+    conn->inflight.fetch_sub(1);
   };
 
   // Counted before Push: a runner can pop and execute the job (a Stats
@@ -433,6 +594,7 @@ void BlinkServer::HandleFrame(const ConnPtr& conn, const FrameHeader& header,
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.jobs_enqueued;
   }
+  conn->inflight.fetch_add(1);
   if (!queue_.Push(std::move(job))) {
     const bool shutting_down = stopping_.load();
     {
@@ -447,6 +609,7 @@ void BlinkServer::HandleFrame(const ConnPtr& conn, const FrameHeader& header,
               shutting_down ? "server shutting down" : "job queue full",
               shutting_down ? 0 : options_.default_quota.over_quota_retry_ms);
     quotas_.Release(tenant, payload_bytes);
+    conn->inflight.fetch_sub(1);
     return;
   }
 }
@@ -467,6 +630,44 @@ void BlinkServer::NoteRejected(const char* reason) {
   manager_->metrics()
       .Counter("net_rejected_total", {{"reason", reason}})
       ->Inc();
+}
+
+void BlinkServer::RecordFailureEvent(const char* name) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (!tracer.enabled()) return;
+  obs::TraceEvent event;
+  event.name = name;
+  event.cat = "fault";
+  event.ts_us = tracer.NowUs();
+  event.dur_us = 0;
+  tracer.Record(std::move(event));
+}
+
+void BlinkServer::NoteFault(const char* point) {
+  manager_->metrics()
+      .Counter("net_faults_injected_total", {{"point", point}})
+      ->Inc();
+  RecordFailureEvent(point);
+}
+
+void BlinkServer::HandleHealth(const ConnPtr& conn,
+                               const FrameHeader& header) {
+  HealthResponseWire health;
+  health.accepting = !stopping_.load();
+  const std::size_t depth = queue_.size();
+  health.shedding = options_.shed_queue_depth > 0 &&
+                    depth >= options_.shed_queue_depth;
+  health.open_connections = open_connections_.load();
+  health.queued_jobs = static_cast<std::int32_t>(depth);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    health.rejected_shed = stats_.rejected_shed;
+    health.idle_reaped = stats_.idle_reaped;
+  }
+  WireWriter body;
+  Encode(health, &body);
+  SendResponse(conn, header.request_id, Verb::kHealth, ResponseEnvelope{},
+               &body);
 }
 
 void BlinkServer::ExecuteJob(const ConnPtr& conn, const FrameHeader& header,
@@ -544,15 +745,67 @@ void BlinkServer::SendResponse(const ConnPtr& conn, std::uint64_t request_id,
   header.payload_len = static_cast<std::uint32_t>(payload.bytes().size());
 
   if (conn->closed.load()) return;
+
+  // Write-path fault injection: kError severs the connection before the
+  // response (the client sees EOF and must reconnect + retry); kPartial
+  // leaks a truncated frame prefix first (a mid-frame cut from the
+  // client's perspective); kDelay stalls the write.
+  fail::FaultAction fault;
+  bool sever = false;
+  std::size_t partial_bytes = 0;
+  if (BLINKML_FAILPOINT("net.write_frame", &fault)) {
+    NoteFault("net.write_frame");
+    ApplyInjectedDelay(fault);
+    if (fault.kind == fail::FaultKind::kError) {
+      sever = true;
+    } else if (fault.kind == fail::FaultKind::kPartial) {
+      sever = true;
+      partial_bytes = static_cast<std::size_t>(fault.arg);
+    }
+  }
+
   std::lock_guard<std::mutex> lock(conn->write_mu);
   if (conn->closed.load()) return;
+  if (sever) {
+    if (partial_bytes > 0) {
+      std::vector<std::uint8_t> frame(kFrameHeaderBytes +
+                                      payload.bytes().size());
+      EncodeFrameHeader(header, frame.data());
+      std::memcpy(frame.data() + kFrameHeaderBytes, payload.bytes().data(),
+                  payload.bytes().size());
+      // Best-effort single send of the truncated prefix (a fault
+      // simulation; the bytes fitting the buffer is not load-bearing).
+      (void)::send(conn->fd, frame.data(),
+                   std::min(partial_bytes, frame.size()), MSG_NOSIGNAL);
+    }
+    // shutdown(), not close(): the fd number stays reserved until the
+    // last ConnPtr drops, but both directions die now — the client sees
+    // EOF and the IO thread reaps the connection on its read event.
+    ::shutdown(conn->fd, SHUT_RDWR);
+    conn->closed.store(true);
+    return;
+  }
+
+  WriteOptions write_options;
+  write_options.stall_timeout_ms = options_.write_stall_timeout_ms;
+  bool stalled = false;
   if (WriteFrame(conn->fd, header, payload.bytes().data(),
-                 payload.bytes().size())
+                 payload.bytes().size(), write_options, &stalled)
           .ok()) {
+    conn->last_activity_ms.store(NowMs());
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.responses_sent;
   } else {
-    // The peer is gone; the IO thread will reap the connection.
+    if (stalled) {
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.write_stalls;
+      }
+      manager_->metrics().Counter("net_write_stalls_total")->Inc();
+      RecordFailureEvent("write_stall");
+    }
+    // The peer is gone (or stopped draining); the IO thread will reap
+    // the connection.
     conn->closed.store(true);
   }
 }
@@ -578,6 +831,26 @@ ResponseEnvelope BlinkServer::RunRegisterDataset(const std::uint8_t* payload,
   if (!status.ok()) {
     envelope.status = WireStatus::kDecodeError;
     envelope.message = status.message();
+    return envelope;
+  }
+
+  // Serializes registration end to end (rare operation, coarse lock) and
+  // makes it idempotent: a retried registration whose first response was
+  // lost to a connection fault must converge to the same kOk, not fail
+  // with "already registered" — without re-charging the byte quota.
+  std::lock_guard<std::mutex> register_lock(register_mu_);
+  const auto existing = registered_.find(request.name);
+  if (existing != registered_.end()) {
+    if (SameRegistration(existing->second.first, request)) {
+      RegisterDatasetResponse response;
+      response.dataset_bytes = existing->second.second;
+      Encode(response, body);
+      return envelope;
+    }
+    envelope.status = WireStatus::kInvalidArgument;
+    envelope.message = StrFormat(
+        "dataset '%s' is already registered with different parameters",
+        request.name.c_str());
     return envelope;
   }
 
@@ -640,6 +913,7 @@ ResponseEnvelope BlinkServer::RunRegisterDataset(const std::uint8_t* payload,
     return envelope;
   }
   quotas_.ChargeResident(request.tenant, static_cast<std::int64_t>(bytes));
+  registered_.emplace(request.name, std::make_pair(request, bytes));
 
   RegisterDatasetResponse response;
   response.dataset_bytes = bytes;

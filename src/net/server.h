@@ -51,7 +51,11 @@
 // submit, pipeline phases, kernel scopes — nests under and tags with the
 // same request_id. Rejected frames (version, verb, decode, quota, rate,
 // deadline, queue-full) never open spans; they only bump
-// net_rejected_total{reason=...}. Server-scoped metrics live in the
+// net_rejected_total{reason=...}. The resilience-layer failure paths
+// (shed, connection cap, idle reap, write stall, injected faults) add a
+// zero-duration "fault"-category trace event on top of their counters —
+// cheap enough for cold paths and it puts failures on the same timeline
+// as the request spans. Server-scoped metrics live in the
 // manager's registry (SessionManager::metrics()); the Metrics verb
 // returns that snapshot concatenated with the process-global registry.
 
@@ -65,6 +69,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/codec.h"
@@ -99,6 +104,26 @@ struct ServerOptions {
   /// tenants with unlimited byte quotas). 0 = unlimited.
   std::uint64_t max_dataset_bytes = 1ull << 30;
   int listen_backlog = 64;
+  /// Cap on concurrently open connections. A connection accepted past the
+  /// cap gets one structured kOverloaded error frame (with a retry-after
+  /// hint) and is closed before it can send anything. 0 = unlimited.
+  int max_connections = 0;
+  /// Load-shed high-water mark: while the queue holds at least this many
+  /// jobs, new requests are rejected before enqueue with kOverloaded and
+  /// a shed_retry_ms hint (cheaper than admitting work the queue will
+  /// only age out, and it keeps rejection latency flat under overload).
+  /// 0 = off.
+  std::size_t shed_queue_depth = 0;
+  /// Retry-after hint on shed/connection-cap rejections.
+  std::uint32_t shed_retry_ms = 50;
+  /// Connections with no traffic and no in-flight jobs for this long are
+  /// reaped by the IO loop (poll timeout is derived from the nearest
+  /// deadline, so reaping needs no extra thread). 0 = never.
+  int idle_timeout_ms = 0;
+  /// How long a response write blocked on a full send buffer waits for
+  /// the peer to drain before the connection is dropped
+  /// (protocol.h WriteOptions; stalls count net_write_stalls_total).
+  int write_stall_timeout_ms = kDefaultWriteStallTimeoutMs;
 };
 
 class BlinkServer {
@@ -142,6 +167,12 @@ class BlinkServer {
     /// responses).
     std::mutex write_mu;
     std::atomic<bool> closed{false};
+    /// Last read/write on this connection (steady-clock ms; atomic so the
+    /// IO thread's idle reaper can read against runner-thread writes).
+    std::atomic<std::int64_t> last_activity_ms{0};
+    /// Admitted-but-unanswered jobs. The idle reaper never closes a
+    /// connection that is only "idle" because its job is still running.
+    std::atomic<int> inflight{0};
   };
   using ConnPtr = std::shared_ptr<Connection>;
 
@@ -166,6 +197,21 @@ class BlinkServer {
   /// (`reason` must be a string literal). Rejections are cold paths; the
   /// registry lookup cost is irrelevant there.
   void NoteRejected(const char* reason);
+
+  /// Failure-path observability added with the resilience layer: every
+  /// NEW failure path (shed, connection cap, idle reap, write stall,
+  /// injected fault) gets a zero-duration trace event under cat "fault"
+  /// in addition to its counter. (Pre-existing rejections stay
+  /// counter-only; see the header comment.) `name` must be a string
+  /// literal.
+  void RecordFailureEvent(const char* name);
+  /// Injected-fault bookkeeping: net_faults_injected_total{point=...} +
+  /// a failure trace event.
+  void NoteFault(const char* point);
+
+  /// Answers a Health probe inline on the IO thread (no quota charge, no
+  /// queue hop — probes must work while the server sheds or drains).
+  void HandleHealth(const ConnPtr& conn, const FrameHeader& header);
 
   void SendResponse(const ConnPtr& conn, std::uint64_t request_id, Verb verb,
                     const ResponseEnvelope& envelope,
@@ -210,6 +256,18 @@ class BlinkServer {
 
   mutable std::mutex stats_mu_;
   ServerStatsWire stats_;
+
+  /// Wire registrations by dataset name, for idempotent retries: a client
+  /// whose RegisterDataset response was lost to a connection fault
+  /// re-sends the request, and an identical re-registration must answer
+  /// kOk (with the original byte charge) instead of "already registered".
+  /// The mutex also serializes RunRegisterDataset end to end —
+  /// registration is rare, and coarse serialization keeps the
+  /// check-materialize-register-charge sequence atomic.
+  std::mutex register_mu_;
+  std::unordered_map<std::string, std::pair<RegisterDatasetRequest,
+                                            std::uint64_t>>
+      registered_;
 
   // Hot-path metrics in the manager's registry, resolved once here
   // (pointers are stable; see obs/metrics.h).

@@ -1,12 +1,37 @@
 #include "serve/session_manager.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "obs/trace.h"
 #include "runtime/thread_pool.h"
 #include "util/check.h"
+#include "util/failpoints.h"
+
+namespace blinkml {
+namespace {
+
+/// Shared handling for the manager-level failpoints ("manager.train",
+/// "manager.search"): bumps the per-point fault counter in the manager's
+/// registry, applies delays inline, and returns non-OK for injected
+/// errors — inside RunJob, so the failure takes the normal accounting
+/// and tracing path (jobs_failed, manager span).
+Status CheckManagerFailpoint(const char* point, obs::Registry* metrics) {
+  fail::FaultAction fault;
+  if (!BLINKML_FAILPOINT(point, &fault)) return Status::OK();
+  metrics->Counter("serve_faults_injected_total", {{"point", point}})->Inc();
+  if (fault.kind == fail::FaultKind::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fault.arg));
+    return Status::OK();
+  }
+  return Status::Unavailable(std::string("injected fault at ") + point);
+}
+
+}  // namespace
+}  // namespace blinkml
 
 namespace blinkml {
 
@@ -302,6 +327,8 @@ std::future<Result<ApproxResult>> SessionManager::SubmitTrain(
         obs::ScopedTraceContext trace_ctx(ctx);
         obs::SpanScope span("manager:train", "serve");
         return RunJob<ApproxResult>([&]() -> Result<ApproxResult> {
+          BLINKML_RETURN_NOT_OK(
+              CheckManagerFailpoint("manager.train", metrics_));
           if (!request.spec) {
             return Status::InvalidArgument("null model spec");
           }
@@ -324,6 +351,8 @@ std::future<Result<SearchOutcome>> SessionManager::SubmitSearch(
         obs::ScopedTraceContext trace_ctx(ctx);
         obs::SpanScope span("manager:search", "serve");
         return RunJob<SearchOutcome>([&]() -> Result<SearchOutcome> {
+          BLINKML_RETURN_NOT_OK(
+              CheckManagerFailpoint("manager.search", metrics_));
           if (!request.factory) {
             return Status::InvalidArgument("null spec factory");
           }

@@ -1,0 +1,237 @@
+#include "util/failpoints.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace blinkml {
+namespace fail {
+
+std::atomic<int> g_armed_point_count{0};
+
+struct Failpoints::Impl {
+  struct PointState {
+    FaultSchedule schedule;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+  mutable std::mutex mu;
+  std::map<std::string, PointState> points;
+};
+
+Failpoints& Failpoints::Global() {
+  static Failpoints* instance = new Failpoints();
+  return *instance;
+}
+
+Failpoints::Impl& Failpoints::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+void Failpoints::Arm(const std::string& point, const FaultSchedule& schedule) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto [it, inserted] = state.points.try_emplace(point);
+  it->second = Impl::PointState{};
+  it->second.schedule = schedule;
+  if (inserted) g_armed_point_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Failpoints::Disarm(const std::string& point) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.points.erase(point) > 0) {
+    g_armed_point_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::DisarmAll() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  g_armed_point_count.fetch_sub(static_cast<int>(state.points.size()),
+                                std::memory_order_relaxed);
+  state.points.clear();
+}
+
+bool Failpoints::Evaluate(const char* point, FaultAction* action) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const auto it = state.points.find(point);
+  if (it == state.points.end()) return false;
+  Impl::PointState& p = it->second;
+  const FaultSchedule& s = p.schedule;
+  const std::uint64_t hit = ++p.hits;
+  if (p.fires >= s.max_fires) return false;
+  if (hit < s.start_hit) return false;
+  const std::uint64_t every = s.every == 0 ? 1 : s.every;
+  if ((hit - s.start_hit) % every != 0) return false;
+  ++p.fires;
+  *action = s.action;
+  return true;
+}
+
+std::uint64_t Failpoints::Hits(const std::string& point) const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const auto it = state.points.find(point);
+  return it == state.points.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t Failpoints::Fires(const std::string& point) const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const auto it = state.points.find(point);
+  return it == state.points.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t Failpoints::TotalFires() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::uint64_t total = 0;
+  for (const auto& [name, p] : state.points) total += p.fires;
+  return total;
+}
+
+std::vector<std::string> Failpoints::ArmedPoints() const {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<std::string> names;
+  names.reserve(state.points.size());
+  for (const auto& [name, p] : state.points) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+bool ParseU64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+Status ParseAction(const std::string& text, FaultAction* out) {
+  const std::size_t colon = text.find(':');
+  const std::string kind = text.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? std::string() : text.substr(colon + 1);
+  std::uint64_t value = 0;
+  if (kind == "err") {
+    out->kind = FaultKind::kError;
+    if (!arg.empty()) {
+      if (!ParseU64(arg, &value)) {
+        return Status::InvalidArgument("bad errno in failpoint action: " +
+                                       text);
+      }
+      out->error_code = static_cast<int>(value);
+    }
+    return Status::OK();
+  }
+  if (kind == "partial" || kind == "delay") {
+    if (!ParseU64(arg, &value)) {
+      return Status::InvalidArgument("failpoint action needs a numeric arg: " +
+                                     text);
+    }
+    out->kind = kind == "partial" ? FaultKind::kPartial : FaultKind::kDelay;
+    out->arg = value;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown failpoint action: " + text);
+}
+
+Status ParseSchedule(const std::string& text, FaultSchedule* out) {
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string part = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t colon = part.find(':');
+    std::uint64_t value = 0;
+    if (colon == std::string::npos ||
+        !ParseU64(part.substr(colon + 1), &value)) {
+      return Status::InvalidArgument("bad failpoint schedule part: " + part);
+    }
+    const std::string key = part.substr(0, colon);
+    if (key == "nth") {
+      out->start_hit = value;
+      out->max_fires = 1;
+    } else if (key == "start") {
+      out->start_hit = value;
+    } else if (key == "every") {
+      out->every = value;
+    } else if (key == "limit") {
+      out->max_fires = value;
+    } else {
+      return Status::InvalidArgument("unknown failpoint schedule key: " +
+                                     part);
+    }
+  }
+  if (out->start_hit == 0 || out->every == 0) {
+    return Status::InvalidArgument(
+        "failpoint start/every must be positive: " + text);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Failpoints::ArmFromSpec(const std::string& spec) {
+  std::vector<std::pair<std::string, FaultSchedule>> parsed;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos) semi = spec.size();
+    const std::string clause = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("bad failpoint clause (want name=action): " +
+                                     clause);
+    }
+    const std::string name = clause.substr(0, eq);
+    const std::string rest = clause.substr(eq + 1);
+    const std::size_t at = rest.find('@');
+    FaultSchedule schedule;
+    BLINKML_RETURN_NOT_OK(ParseAction(rest.substr(0, at), &schedule.action));
+    if (at != std::string::npos) {
+      BLINKML_RETURN_NOT_OK(
+          ParseSchedule(rest.substr(at + 1), &schedule));
+    }
+    parsed.emplace_back(name, schedule);
+  }
+  // All-or-nothing: nothing armed until the whole spec parsed.
+  for (const auto& [name, schedule] : parsed) Arm(name, schedule);
+  return Status::OK();
+}
+
+namespace {
+
+/// Arms schedules from BLINKML_FAILPOINTS at process start, so CI chaos
+/// jobs can inject faults under unmodified binaries. Tests that arm
+/// their own schedules call DisarmAll() first and win.
+struct EnvArmer {
+  EnvArmer() {
+    const char* spec = std::getenv("BLINKML_FAILPOINTS");
+    if (spec == nullptr || spec[0] == '\0') return;
+    const Status status = Failpoints::Global().ArmFromSpec(spec);
+    if (!status.ok()) {
+      std::fprintf(stderr, "BLINKML_FAILPOINTS ignored: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+};
+const EnvArmer g_env_armer;
+
+}  // namespace
+
+}  // namespace fail
+}  // namespace blinkml

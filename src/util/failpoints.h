@@ -1,0 +1,143 @@
+// Deterministic fault injection for resilience testing.
+//
+// A failpoint is a named hook compiled into a production code path
+// (e.g. "net.read_frame" in the server's IO loop). Tests and chaos
+// harnesses arm a schedule per point; the code at the site asks "should
+// this hit fail, and how?" and simulates the requested fault. Schedules
+// are driven purely by per-point hit counters — no wall clock, no
+// randomness — so a given schedule against a given request sequence
+// injects the same faults on every run, which is what lets the chaos
+// tests assert bitwise-identical surviving responses.
+//
+//   fail::FaultAction action;
+//   if (BLINKML_FAILPOINT("net.read_frame", &action)) {
+//     switch (action.kind) { ... simulate the fault ... }
+//   }
+//
+// Disarmed cost: one relaxed atomic load of a process-global armed
+// counter (no lock, no map lookup, no string work) — cheap enough to
+// leave in release builds, which is the point: the exact binary that
+// serves traffic is the one the chaos tests exercise.
+//
+// Schedules fire on deterministic hit indices: the first fire at hit
+// `start_hit` (1-based), then every `every`-th hit after that, for at
+// most `max_fires` fires. The spec-string grammar (ArmFromSpec, also
+// read from the BLINKML_FAILPOINTS environment variable at process
+// start so CI can arm a schedule under an unmodified test binary):
+//
+//   spec   := point '=' action ('@' sched)? (';' spec)?
+//   action := 'err' (':' errno)?   -- fail with an error (code optional)
+//           | 'partial' ':' N      -- cap the IO at N bytes
+//           | 'delay' ':' MS       -- sleep MS milliseconds, then proceed
+//   sched  := part (',' part)*
+//   part   := 'nth' ':' N          -- fire exactly once, on the Nth hit
+//           | 'start' ':' N        -- first fire at hit N (default 1)
+//           | 'every' ':' K        -- then every Kth hit (default 1)
+//           | 'limit' ':' M        -- at most M fires (default unlimited)
+//
+//   e.g. BLINKML_FAILPOINTS='net.write_frame=err@every:5;manager.train=delay:2@nth:3'
+//
+// This lives in util (below obs in the module graph), so injection
+// sites — not this file — own the fault metrics and trace events.
+
+#ifndef BLINKML_UTIL_FAILPOINTS_H_
+#define BLINKML_UTIL_FAILPOINTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace blinkml {
+namespace fail {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  /// Fail the operation. `error_code` carries an errno-style code for IO
+  /// sites; non-IO sites just fail.
+  kError,
+  /// Cap the IO at `arg` bytes (short read/write), exercising the
+  /// partial-IO resumption paths.
+  kPartial,
+  /// Sleep `arg` milliseconds, then proceed normally (stall simulation;
+  /// the only action that touches time, and only when it fires).
+  kDelay,
+};
+
+struct FaultAction {
+  FaultKind kind = FaultKind::kNone;
+  /// errno for kError at IO sites (default EIO).
+  int error_code = 5;
+  /// Byte cap for kPartial; milliseconds for kDelay.
+  std::uint64_t arg = 0;
+};
+
+struct FaultSchedule {
+  /// 1-based hit index of the first fire.
+  std::uint64_t start_hit = 1;
+  /// After the first fire, fire again every `every`-th hit.
+  std::uint64_t every = 1;
+  /// Total fires before the point goes quiet (it keeps counting hits).
+  std::uint64_t max_fires = UINT64_MAX;
+  FaultAction action;
+};
+
+/// Process-global failpoint registry. All methods are thread-safe; the
+/// armed-or-not fast path is lock-free (see ShouldEvaluate below).
+class Failpoints {
+ public:
+  static Failpoints& Global();
+
+  /// Arms (or re-arms, resetting counters for) one point.
+  void Arm(const std::string& point, const FaultSchedule& schedule);
+  /// Arms every point in a spec string (grammar above). On a parse error
+  /// nothing is armed and the error names the offending clause.
+  Status ArmFromSpec(const std::string& spec);
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// Counts a hit against `point`; returns true (filling *action) when
+  /// the schedule says this hit fires. Unarmed points return false
+  /// without counting. Call through BLINKML_FAILPOINT, not directly —
+  /// the macro adds the disarmed fast path.
+  bool Evaluate(const char* point, FaultAction* action);
+
+  /// Observability for tests and bench harnesses.
+  std::uint64_t Hits(const std::string& point) const;
+  std::uint64_t Fires(const std::string& point) const;
+  /// Sum of Fires over every armed point.
+  std::uint64_t TotalFires() const;
+  /// Names of currently armed points (sorted).
+  std::vector<std::string> ArmedPoints() const;
+
+  Failpoints(const Failpoints&) = delete;
+  Failpoints& operator=(const Failpoints&) = delete;
+
+ private:
+  Failpoints() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Nonzero iff any point is armed anywhere in the process. Defined in
+/// failpoints.cc; constant-initialized, safe to read from any static
+/// initialization context.
+extern std::atomic<int> g_armed_point_count;
+
+/// True when the schedule for `point` says this hit fires; fills
+/// *action. One relaxed load when nothing is armed process-wide.
+inline bool MaybeFail(const char* point, FaultAction* action) {
+  if (g_armed_point_count.load(std::memory_order_relaxed) == 0) return false;
+  return Failpoints::Global().Evaluate(point, action);
+}
+
+}  // namespace fail
+}  // namespace blinkml
+
+/// The canonical injection-site form (reads as a predicate at the site).
+#define BLINKML_FAILPOINT(point, action_ptr) \
+  ::blinkml::fail::MaybeFail((point), (action_ptr))
+
+#endif  // BLINKML_UTIL_FAILPOINTS_H_

@@ -22,6 +22,10 @@ enum class StatusCode {
   kNotConverged,
   kInfeasible,
   kInternal,
+  /// Transient failure: the operation did not run (or did not complete
+  /// observably) and is safe to retry — overload shedding, injected
+  /// faults, draining servers.
+  kUnavailable,
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -54,6 +58,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

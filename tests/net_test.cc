@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include "net/client.h"
+#include "util/failpoints.h"
 #include "net/codec.h"
 #include "net/job_queue.h"
 #include "net/protocol.h"
@@ -767,6 +769,181 @@ TEST(BlinkServer, StatsVerbReportsManagerAndServerCounters) {
   EXPECT_EQ(evicted->sessions_evicted, 1);
 }
 
+// --- Resilience: shed, connection cap, idle reap, health ---------------
+
+/// Tests below arm failpoints; keep every test hermetic (and immune to a
+/// BLINKML_FAILPOINTS env schedule leaking in).
+struct ScopedFailpoints {
+  ScopedFailpoints() { fail::Failpoints::Global().DisarmAll(); }
+  ~ScopedFailpoints() { fail::Failpoints::Global().DisarmAll(); }
+};
+
+std::vector<std::uint8_t> TrainPayload(const std::string& tenant,
+                                       const std::string& dataset) {
+  TrainRequestWire train;
+  train.tenant = tenant;
+  train.dataset = dataset;
+  train.model_class = "LogisticRegression";
+  train.epsilon = 0.05;
+  train.delta = 0.05;
+  WireWriter writer;
+  Encode(train, &writer);
+  return writer.bytes();
+}
+
+TEST(BlinkServer, ShedsAtQueueHighWaterWithRetryHint) {
+  ScopedFailpoints guard;
+  // Hold the single runner on the first job so the queue backs up.
+  ASSERT_TRUE(fail::Failpoints::Global()
+                  .ArmFromSpec("manager.train=delay:300@limit:2")
+                  .ok());
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("shed");
+  options.runner_threads = 1;
+  options.shed_queue_depth = 1;
+  options.shed_retry_ms = 77;
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawConnection conn(options.unix_path);
+  ASSERT_TRUE(conn.ok());
+  const std::vector<std::uint8_t> payload = TrainPayload("t", "nope");
+  FrameHeader header;
+  header.verb = Verb::kTrain;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    header.request_id = id;
+    conn.SendRaw(FrameBytes(header, payload));
+  }
+  // The first job occupies the runner (held by the delay failpoint);
+  // by the time frame 3 is admitted the queue holds at least one job, so
+  // frame 3 must shed — rejected BEFORE enqueue, with the configured
+  // hint, regardless of how frames 1/2 interleave with the runner.
+  std::map<std::uint64_t, ResponseEnvelope> by_id;
+  for (int i = 0; i < 3; ++i) {
+    std::uint64_t id = 0;
+    const ResponseEnvelope envelope = conn.ReadEnvelope(&id);
+    by_id[id] = envelope;
+  }
+  ASSERT_EQ(by_id.count(3), 1u);
+  EXPECT_EQ(by_id[3].status, WireStatus::kOverloaded);
+  EXPECT_EQ(by_id[3].retry_after_ms, 77u);
+  EXPECT_TRUE(IsRetryableWireStatus(by_id[3].status));
+
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  const auto stats = client->Stats("t");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->server.rejected_shed, 1u);
+}
+
+TEST(BlinkServer, ConnectionCapRejectsWithStructuredFrameAtAccept) {
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("conncap");
+  options.max_connections = 1;
+  options.shed_retry_ms = 33;
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto first = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->Stats("t").ok());  // the slot is genuinely usable
+
+  // One over the cap: a structured kOverloaded frame, then EOF — never a
+  // silent drop.
+  RawConnection second(options.unix_path);
+  ASSERT_TRUE(second.ok());
+  const ResponseEnvelope envelope = second.ReadEnvelope();
+  EXPECT_EQ(envelope.status, WireStatus::kOverloaded);
+  EXPECT_EQ(envelope.retry_after_ms, 33u);
+  EXPECT_TRUE(second.WaitForClose());
+
+  // The in-cap connection is untouched, and a freed slot is reusable.
+  EXPECT_TRUE(first->Stats("t").ok());
+  const auto stats = first->Stats("t");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->server.rejected_max_connections, 1u);
+  first = Result<BlinkClient>(Status::IOError("dropped"));  // close slot
+  // connect() itself succeeds even over the cap (the reject is an error
+  // frame at accept), so poll until the IO thread has noticed the freed
+  // slot.
+  bool reused = false;
+  for (int i = 0; i < 100 && !reused; ++i) {
+    auto third = BlinkClient::ConnectUnix(options.unix_path);
+    ASSERT_TRUE(third.ok());
+    reused = third->Stats("t").ok();
+    if (!reused) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(reused);
+}
+
+TEST(BlinkServer, IdleConnectionsAreReapedWithoutAnExtraThread) {
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("idle");
+  options.idle_timeout_ms = 60;
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawConnection idle(options.unix_path);
+  ASSERT_TRUE(idle.ok());
+  // Never sends a byte: the IO loop's poll-timeout reaper must close it.
+  EXPECT_TRUE(idle.WaitForClose());
+
+  // The server keeps serving fresh connections afterwards.
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  const auto stats = client->Stats("t");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->server.idle_reaped, 1u);
+}
+
+TEST(BlinkServer, HealthProbeReportsShedAndDrainState) {
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("health");
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  const auto health = client->Health("t");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_TRUE(health->accepting);
+  EXPECT_FALSE(health->shedding);
+  EXPECT_GE(health->open_connections, 1);
+  EXPECT_EQ(health->rejected_shed, 0u);
+}
+
+// Satellite: the retry-after hint from a rejection must not leak past
+// the next successful call.
+TEST(BlinkClient, RetryAfterHintResetsOnSuccess) {
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("hintreset");
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TenantQuotaOptions throttled;
+  throttled.requests_per_second = 1e-3;
+  throttled.burst = 1.0;
+  server.quotas().SetTenantOptions("throttled", throttled);
+
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Stats("throttled").ok());
+  ASSERT_FALSE(client->Stats("throttled").ok());
+  EXPECT_GT(client->last_retry_after_ms(), 0u);
+  EXPECT_EQ(client->last_wire_status(), WireStatus::kRateLimited);
+
+  ASSERT_TRUE(client->Stats("free").ok());
+  EXPECT_EQ(client->last_retry_after_ms(), 0u);
+  EXPECT_EQ(client->last_wire_status(), WireStatus::kOk);
+}
+
 // --- Protocol unit tests -----------------------------------------------
 
 // The server's connection fds are non-blocking; a frame that overruns a
@@ -806,6 +983,41 @@ TEST(Protocol, WriteFramePollsThroughAFullSendBufferOnANonBlockingFd) {
   EXPECT_EQ(received.header.request_id, 99u);
   ASSERT_EQ(received.payload.size(), payload.size());
   EXPECT_TRUE(received.payload == payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// Satellite: the write-stall timeout is a WriteOptions knob (the server
+// passes ServerOptions::write_stall_timeout_ms through), and a stall is
+// distinguishable from other IO errors via the out-param.
+TEST(Protocol, WriteStallTimeoutIsConfigurableAndReportsTheStall) {
+  int fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  const int small = 8 * 1024;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  ::setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+  const int flags = ::fcntl(fds[0], F_GETFL, 0);
+  ASSERT_EQ(0, ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK));
+
+  // Nobody ever reads fds[1]: the frame must give up after the
+  // configured stall timeout, not the 30s default.
+  std::vector<std::uint8_t> payload(4 * 1024 * 1024);
+  FrameHeader header;
+  header.verb = Verb::kPredict;
+  header.request_id = 1;
+  WriteOptions options;
+  options.stall_timeout_ms = 100;
+  bool stalled = false;
+  const auto start = std::chrono::steady_clock::now();
+  const Status status = WriteFrame(fds[0], header, payload.data(),
+                                   payload.size(), options, &stalled);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(stalled);
+  EXPECT_GE(elapsed, 100);
+  EXPECT_LT(elapsed, 5000);  // gave up at ~the knob, nowhere near 30s
   ::close(fds[0]);
   ::close(fds[1]);
 }

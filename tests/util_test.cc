@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/check.h"
+#include "util/failpoints.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -258,6 +259,126 @@ TEST(Logging, LevelRoundTrips) {
   // Suppressed message must not crash.
   BLINKML_LOG(INFO) << "should be invisible";
   SetLogLevel(before);
+}
+
+// ---------- failpoints.h ----------
+
+class FailpointsTest : public ::testing::Test {
+ protected:
+  // Each test starts and ends disarmed (and overrides any env arming).
+  void SetUp() override { fail::Failpoints::Global().DisarmAll(); }
+  void TearDown() override { fail::Failpoints::Global().DisarmAll(); }
+};
+
+TEST_F(FailpointsTest, DisarmedPointNeverFires) {
+  fail::FaultAction action;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(BLINKML_FAILPOINT("test.point", &action));
+  }
+  EXPECT_EQ(fail::Failpoints::Global().Hits("test.point"), 0u);
+}
+
+TEST_F(FailpointsTest, FiresOnNthHitOnly) {
+  fail::FaultSchedule schedule;
+  schedule.start_hit = 3;
+  schedule.every = 1;
+  schedule.max_fires = 1;
+  schedule.action.kind = fail::FaultKind::kError;
+  schedule.action.error_code = 7;
+  fail::Failpoints::Global().Arm("test.nth", schedule);
+
+  fail::FaultAction action;
+  EXPECT_FALSE(BLINKML_FAILPOINT("test.nth", &action));
+  EXPECT_FALSE(BLINKML_FAILPOINT("test.nth", &action));
+  EXPECT_TRUE(BLINKML_FAILPOINT("test.nth", &action));
+  EXPECT_EQ(action.kind, fail::FaultKind::kError);
+  EXPECT_EQ(action.error_code, 7);
+  // limit:1 exhausted — never fires again.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(BLINKML_FAILPOINT("test.nth", &action));
+  }
+  EXPECT_EQ(fail::Failpoints::Global().Hits("test.nth"), 13u);
+  EXPECT_EQ(fail::Failpoints::Global().Fires("test.nth"), 1u);
+}
+
+TEST_F(FailpointsTest, EveryKFiresPeriodically) {
+  fail::FaultSchedule schedule;
+  schedule.every = 3;
+  schedule.action.kind = fail::FaultKind::kPartial;
+  schedule.action.arg = 16;
+  fail::Failpoints::Global().Arm("test.every", schedule);
+
+  int fires = 0;
+  fail::FaultAction action;
+  for (int i = 0; i < 9; ++i) {
+    if (BLINKML_FAILPOINT("test.every", &action)) ++fires;
+  }
+  // start_hit=1, every=3 -> hits 1, 4, 7.
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(action.kind, fail::FaultKind::kPartial);
+  EXPECT_EQ(action.arg, 16u);
+}
+
+TEST_F(FailpointsTest, DeterministicAcrossRearm) {
+  fail::FaultSchedule schedule;
+  schedule.start_hit = 2;
+  schedule.every = 2;
+  auto run = [&] {
+    fail::Failpoints::Global().Arm("test.replay", schedule);
+    std::string pattern;
+    fail::FaultAction action;
+    for (int i = 0; i < 8; ++i) {
+      pattern += BLINKML_FAILPOINT("test.replay", &action) ? 'F' : '.';
+    }
+    return pattern;
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, ".F.F.F.F");
+  // Re-arming resets the counters: the exact same sequence replays.
+  EXPECT_EQ(run(), first);
+}
+
+TEST_F(FailpointsTest, SpecParsesScheduleGrammar) {
+  const Status status = fail::Failpoints::Global().ArmFromSpec(
+      "a.one=err:104@nth:2;b.two=partial:64@every:3,limit:5;c.three=delay:7");
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(fail::Failpoints::Global().ArmedPoints().size(), 3u);
+
+  fail::FaultAction action;
+  EXPECT_FALSE(BLINKML_FAILPOINT("a.one", &action));
+  EXPECT_TRUE(BLINKML_FAILPOINT("a.one", &action));
+  EXPECT_EQ(action.kind, fail::FaultKind::kError);
+  EXPECT_EQ(action.error_code, 104);
+  EXPECT_FALSE(BLINKML_FAILPOINT("a.one", &action));
+
+  EXPECT_TRUE(BLINKML_FAILPOINT("b.two", &action));
+  EXPECT_EQ(action.kind, fail::FaultKind::kPartial);
+  EXPECT_EQ(action.arg, 64u);
+
+  EXPECT_TRUE(BLINKML_FAILPOINT("c.three", &action));
+  EXPECT_EQ(action.kind, fail::FaultKind::kDelay);
+  EXPECT_EQ(action.arg, 7u);
+}
+
+TEST_F(FailpointsTest, SpecRejectsMalformedInputAtomically) {
+  EXPECT_FALSE(fail::Failpoints::Global().ArmFromSpec("justaname").ok());
+  EXPECT_FALSE(fail::Failpoints::Global().ArmFromSpec("p=bogus:1").ok());
+  EXPECT_FALSE(fail::Failpoints::Global().ArmFromSpec("p=err@nope:2").ok());
+  // A bad entry anywhere arms nothing (all-or-nothing).
+  EXPECT_FALSE(
+      fail::Failpoints::Global().ArmFromSpec("good=err;bad").ok());
+  EXPECT_EQ(fail::Failpoints::Global().ArmedPoints().size(), 0u);
+}
+
+TEST_F(FailpointsTest, DisarmRestoresTheFastPath) {
+  fail::FaultSchedule schedule;
+  fail::Failpoints::Global().Arm("test.off", schedule);
+  EXPECT_EQ(fail::Failpoints::Global().ArmedPoints().size(), 1u);
+  fail::Failpoints::Global().Disarm("test.off");
+  EXPECT_EQ(fail::Failpoints::Global().ArmedPoints().size(), 0u);
+  EXPECT_EQ(fail::g_armed_point_count.load(), 0);
+  fail::FaultAction action;
+  EXPECT_FALSE(BLINKML_FAILPOINT("test.off", &action));
 }
 
 }  // namespace
