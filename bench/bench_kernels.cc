@@ -22,7 +22,10 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/accuracy_estimator.h"
+#include "core/sample_size_estimator.h"
 #include "core/statistics.h"
+#include "models/trainer.h"
 #include "data/generators.h"
 #include "linalg/kernels.h"
 #include "linalg/matrix.h"
@@ -367,9 +370,91 @@ int main(int argc, char** argv) {
       HumanSeconds(naive_draws).c_str(), HumanSeconds(blocked_draws).c_str(),
       100.0 * blocked_draw_share,
       HumanSeconds(blocked_profile.size_eval_seconds).c_str());
+  // --- Estimator draw phase: batched vs unbatched. Trains the search's
+  // initial model once, then times both Monte-Carlo estimators at the
+  // blocked level with batch_draws on and off. Same seeds, same chunk
+  // layout, bitwise-equal multi-z kernels: the two runs must produce the
+  // identical estimates (checked below), so the delta is pure draw-phase
+  // speed — the batching amortizes one factor pass and one scoring pass
+  // over kMultiVec draws.
+  double draw_unbatched = 0.0;
+  double draw_batched = 0.0;
+  bool batch_bitwise = true;
+  {
+    RuntimeScope scope(
+        LevelOptions(KernelLevel::kBlocked, &pool, flags.threads));
+    Rng prep_rng(47);
+    auto [holdout, train_pool] = search_data->Split(
+        1500.0 / static_cast<double>(search_data->num_rows()), &prep_rng);
+    const Dataset d0 = train_pool.SampleRows(6000, &prep_rng);
+    const LogisticRegressionSpec est_spec(1e-3);
+    const auto model = ModelTrainer().Train(est_spec, d0);
+    if (!model.ok()) {
+      std::fprintf(stderr, "bench model train failed: %s\n",
+                   model.status().ToString().c_str());
+      return 1;
+    }
+    StatsOptions stats_options;
+    stats_options.stats_sample_size = 256;
+    Rng stats_rng(48);
+    auto sampler = ComputeStatistics(est_spec, model->theta, d0, stats_options,
+                                     &stats_rng);
+    if (!sampler.ok()) {
+      std::fprintf(stderr, "bench statistics failed: %s\n",
+                   sampler.status().ToString().c_str());
+      return 1;
+    }
+    AccuracyOptions acc_options;
+    acc_options.num_samples = 192;
+    SampleSizeOptions size_options;
+    size_options.num_samples = 128;
+    size_options.epsilon = contract.epsilon;
+    AccuracyEstimate acc_est[2];
+    SampleSizeEstimate size_est[2];
+    auto draw_seconds = [&](bool batched) {
+      acc_options.batch_draws = batched;
+      size_options.batch_draws = batched;
+      const double a0 = estimator_seconds("accuracy_draws");
+      const double s0 = estimator_seconds("size_draws");
+      Rng est_rng(53);
+      const auto acc = EstimateAccuracy(est_spec, model->theta, 6000,
+                                        train_pool.num_rows(), *sampler,
+                                        holdout, acc_options, &est_rng);
+      const auto size = EstimateSampleSize(est_spec, model->theta, 6000,
+                                           train_pool.num_rows(), *sampler,
+                                           holdout, size_options, &est_rng);
+      if (!acc.ok() || !size.ok()) {
+        std::fprintf(stderr, "bench estimator failed\n");
+        std::exit(1);
+      }
+      acc_est[batched ? 1 : 0] = *acc;
+      size_est[batched ? 1 : 0] = *size;
+      return (estimator_seconds("accuracy_draws") - a0) +
+             (estimator_seconds("size_draws") - s0);
+    };
+    draw_unbatched = 1e300;
+    draw_batched = 1e300;
+    for (int r = 0; r < repeats + 1; ++r) {
+      draw_unbatched = std::min(draw_unbatched, draw_seconds(false));
+      draw_batched = std::min(draw_batched, draw_seconds(true));
+    }
+    batch_bitwise = acc_est[0].epsilon == acc_est[1].epsilon &&
+                    acc_est[0].mean_v == acc_est[1].mean_v &&
+                    size_est[0].sample_size == size_est[1].sample_size &&
+                    size_est[0].success_fraction == size_est[1].success_fraction;
+    checks_pass = checks_pass && batch_bitwise;
+  }
+  const char* isa_name =
+      CurrentKernelIsa() == KernelIsa::kAvx2 ? "avx2" : "scalar";
+  std::printf(
+      "estimator draw phase (blocked, isa=%s): unbatched %s, batched %s  "
+      "->  %.2fx  (estimates %s)\n",
+      isa_name, HumanSeconds(draw_unbatched).c_str(),
+      HumanSeconds(draw_batched).c_str(), draw_unbatched / draw_batched,
+      batch_bitwise ? "bitwise identical" : "DIFFER");
   std::printf("checks: %s\n",
               checks_pass ? "kernels within 1e-12 of oracle, bitwise across "
-                            "thread counts"
+                            "thread counts, batched draws bitwise"
                           : "FAILED");
 
   if (flags.json) {
@@ -391,6 +476,12 @@ int main(int argc, char** argv) {
         .Array("search_phase_breakdown", phase_json)
         .Number("search_estimator_draw_seconds", blocked_draws)
         .Number("search_estimator_draw_share", blocked_draw_share)
+        .Str("kernel_isa", isa_name)
+        .Number("search_estimator_draw_unbatched_seconds", draw_unbatched)
+        .Number("search_estimator_draw_batched_seconds", draw_batched)
+        .Number("search_estimator_draw_speedup",
+                draw_batched > 0.0 ? draw_unbatched / draw_batched : 0.0)
+        .Bool("search_estimator_draw_bitwise", batch_bitwise)
         .Bool("search_contract_outcomes_unchanged", outcomes_same)
         .Bool("checks_pass", checks_pass);
     if (!WriteBenchFile(flags.json_path, root.ToString())) return 1;

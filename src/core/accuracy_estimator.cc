@@ -1,8 +1,10 @@
 #include "core/accuracy_estimator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/conservative.h"
+#include "linalg/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/parallel.h"
@@ -63,19 +65,64 @@ Result<AccuracyEstimate> EstimateAccuracy(
         0, k, layout,
         [&](ParallelIndex chunk, ParallelIndex b, ParallelIndex e) {
           Rng& chunk_rng = chunk_rngs[static_cast<std::size_t>(chunk)];
-          for (ParallelIndex i = b; i < e; ++i) {
-            const Vector delta_theta = sampler.Draw(scale, &chunk_rng);
-            double v;
-            if (score_path) {
-              Matrix scores = spec.Scores(delta_theta, holdout);
-              scores += base_scores;
-              v = spec.DiffFromScores(base_scores, scores, holdout);
-            } else {
-              Vector theta_full = theta_n;
-              theta_full += delta_theta;
-              v = spec.Diff(theta_n, theta_full, holdout);
+          if (!options.batch_draws) {
+            for (ParallelIndex i = b; i < e; ++i) {
+              const Vector delta_theta = sampler.Draw(scale, &chunk_rng);
+              double v;
+              if (score_path) {
+                Matrix scores = spec.Scores(delta_theta, holdout);
+                scores += base_scores;
+                v = spec.DiffFromScores(base_scores, scores, holdout);
+              } else {
+                Vector theta_full = theta_n;
+                theta_full += delta_theta;
+                v = spec.Diff(theta_n, theta_full, holdout);
+              }
+              vs[static_cast<std::size_t>(i)] = v;
             }
-            vs[static_cast<std::size_t>(i)] = v;
+            return;
+          }
+          // Batched: groups of kMultiVec draws share one factor pass and
+          // (score path) one batched score pass. The z block is filled row
+          // by row from the chunk's stream — the same normal sequence the
+          // per-draw loop consumes, so the drawn bits are identical.
+          const Vector::Index rank = sampler.rank();
+          Matrix scratch;  // per-chunk scratch scores, reused across draws
+          std::vector<const Vector*> ptrs;
+          for (ParallelIndex g = b; g < e; g += kernels::kMultiVec) {
+            const ParallelIndex ge =
+                std::min<ParallelIndex>(g + kernels::kMultiVec, e);
+            const Matrix::Index width = static_cast<Matrix::Index>(ge - g);
+            Matrix zs(width, rank);
+            chunk_rng.FillNormal(zs.row_data(0), width * rank);
+            const std::vector<Vector> deltas = sampler.DrawBatch(scale, zs);
+            if (score_path) {
+              ptrs.clear();
+              for (const Vector& d : deltas) ptrs.push_back(&d);
+              const Matrix batch = spec.ScoresBatch(ptrs, holdout);
+              const Matrix::Index h = base_scores.rows();
+              const Matrix::Index c = base_scores.cols();
+              if (scratch.rows() == 0) scratch = Matrix(h, c);
+              for (Matrix::Index d = 0; d < width; ++d) {
+                for (Matrix::Index r = 0; r < h; ++r) {
+                  const double* brow = batch.row_data(r) + d * c;
+                  const double* base_row = base_scores.row_data(r);
+                  double* srow = scratch.row_data(r);
+                  for (Matrix::Index j = 0; j < c; ++j) {
+                    srow[j] = brow[j] + base_row[j];
+                  }
+                }
+                vs[static_cast<std::size_t>(g) + static_cast<std::size_t>(d)] =
+                    spec.DiffFromScores(base_scores, scratch, holdout);
+              }
+            } else {
+              for (Matrix::Index d = 0; d < width; ++d) {
+                Vector theta_full = theta_n;
+                theta_full += deltas[static_cast<std::size_t>(d)];
+                vs[static_cast<std::size_t>(g) + static_cast<std::size_t>(d)] =
+                    spec.Diff(theta_n, theta_full, holdout);
+              }
+            }
           }
         });
     auto& registry = obs::Registry::Global();

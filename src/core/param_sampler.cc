@@ -90,6 +90,50 @@ Vector ParamSampler::DrawWithZ(double scale, const Vector& z) const {
   return out;
 }
 
+std::vector<Vector> ParamSampler::DrawBatch(double scale,
+                                            const Matrix& zs) const {
+  BLINKML_CHECK_EQ(zs.cols(), rank());
+  const Matrix::Index batch = zs.rows();
+  std::vector<Vector> out;
+  out.reserve(static_cast<std::size_t>(batch));
+  if (batch == 0) return out;
+  if (CurrentKernelLevel() != KernelLevel::kBlocked) {
+    // Oracle: the exact per-draw path.
+    for (Matrix::Index b = 0; b < batch; ++b) {
+      out.push_back(DrawWithZ(scale, zs.Row(b)));
+    }
+    return out;
+  }
+  // Blocked: one pass over the factor serves the whole batch. Each multi-z
+  // kernel's column b is bitwise its single-vector counterpart on z_b
+  // (kernels.h), so extracting column b and scaling per element
+  // reproduces DrawWithZ(scale, z_b) exactly.
+  Matrix stacked;  // p x batch
+  switch (backend_) {
+    case Backend::kDense:
+      stacked = kernels::MatVecMulti(w_, zs);
+      break;
+    case Backend::kGram: {
+      const Matrix t = kernels::MatVecMulti(v_scaled_, zs);  // n_s x batch
+      stacked = kernels::MatTVecMulti(q_dense_, t);          // p x batch
+      break;
+    }
+    case Backend::kSparseGram: {
+      const Matrix t = kernels::MatVecMulti(v_scaled_, zs);
+      stacked = kernels::ApplyTransposedMultiBlocked(q_sparse_, t);
+      break;
+    }
+  }
+  const Matrix::Index p = stacked.rows();
+  for (Matrix::Index b = 0; b < batch; ++b) {
+    Vector v(p);
+    for (Matrix::Index i = 0; i < p; ++i) v[i] = stacked(i, b);
+    if (scale != 1.0) v *= scale;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
 Result<Matrix> ParamSampler::DenseCovariance() const {
   const Matrix::Index p = dim();
   if (backend_ != Backend::kDense && p > kDenseDiagnosticsLimit) {

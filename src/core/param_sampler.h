@@ -23,6 +23,8 @@
 #ifndef BLINKML_CORE_PARAM_SAMPLER_H_
 #define BLINKML_CORE_PARAM_SAMPLER_H_
 
+#include <vector>
+
 #include "linalg/matrix.h"
 #include "linalg/sparse.h"
 #include "linalg/vector.h"
@@ -53,6 +55,14 @@ class ParamSampler {
 
   /// Draws scale * W z for a caller-supplied z (CRN support).
   Vector DrawWithZ(double scale, const Vector& z) const;
+
+  /// Batched draws: row b of `zs` (B x r) is draw b's z vector. Element
+  /// [b] of the result is bitwise equal to DrawWithZ(scale, zs.row(b)) at
+  /// every kernel level and thread count. Under the blocked kernels one
+  /// pass over the factor (W, or V then Q) serves the whole batch via the
+  /// multi-z kernels — the amortization the Monte-Carlo estimators ride;
+  /// kNaive keeps the per-draw loop as the oracle.
+  std::vector<Vector> DrawBatch(double scale, const Matrix& zs) const;
 
   /// Dense covariance W W^T for diagnostics (paper Figure 9); guarded to
   /// p <= 8192 to prevent accidental quadratic blowups.

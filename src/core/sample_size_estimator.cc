@@ -1,9 +1,12 @@
 #include "core/sample_size_estimator.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "core/conservative.h"
+#include "linalg/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/parallel.h"
@@ -77,15 +80,71 @@ Result<SampleSizeEstimate> EstimateSampleSize(
         0, k, layout,
         [&](ParallelIndex chunk, ParallelIndex b, ParallelIndex e) {
           Rng& chunk_rng = chunk_rngs[static_cast<std::size_t>(chunk)];
-          for (ParallelIndex i = b; i < e; ++i) {
-            Vector u = sampler.Draw(1.0, &chunk_rng);
-            Vector w = sampler.Draw(1.0, &chunk_rng);
+          if (!options.batch_draws) {
+            for (ParallelIndex i = b; i < e; ++i) {
+              Vector u = sampler.Draw(1.0, &chunk_rng);
+              Vector w = sampler.Draw(1.0, &chunk_rng);
+              if (score_path) {
+                score_u[static_cast<std::size_t>(i)] = spec.Scores(u, holdout);
+                score_w[static_cast<std::size_t>(i)] = spec.Scores(w, holdout);
+              } else {
+                param_u[static_cast<std::size_t>(i)] = std::move(u);
+                param_w[static_cast<std::size_t>(i)] = std::move(w);
+              }
+            }
+            return;
+          }
+          // Batched: kMultiVec pairs per group. The per-draw loop consumes
+          // the stream as z(u_i), z(w_i), z(u_i+1), ... so the two z blocks
+          // are filled row-interleaved in exactly that order — the drawn
+          // bits match the unbatched path for any thread count.
+          const Vector::Index rank = sampler.rank();
+          for (ParallelIndex g = b; g < e; g += kernels::kMultiVec) {
+            const ParallelIndex ge =
+                std::min<ParallelIndex>(g + kernels::kMultiVec, e);
+            const Matrix::Index width = static_cast<Matrix::Index>(ge - g);
+            Matrix zu(width, rank);
+            Matrix zw(width, rank);
+            for (Matrix::Index d = 0; d < width; ++d) {
+              chunk_rng.FillNormal(zu.row_data(d), rank);
+              chunk_rng.FillNormal(zw.row_data(d), rank);
+            }
+            std::vector<Vector> us = sampler.DrawBatch(1.0, zu);
+            std::vector<Vector> ws = sampler.DrawBatch(1.0, zw);
             if (score_path) {
-              score_u[static_cast<std::size_t>(i)] = spec.Scores(u, holdout);
-              score_w[static_cast<std::size_t>(i)] = spec.Scores(w, holdout);
+              std::vector<const Vector*> ptrs;
+              for (const Vector& u : us) ptrs.push_back(&u);
+              const Matrix batch_u = spec.ScoresBatch(ptrs, holdout);
+              ptrs.clear();
+              for (const Vector& w : ws) ptrs.push_back(&w);
+              const Matrix batch_w = spec.ScoresBatch(ptrs, holdout);
+              const Matrix::Index h = holdout.num_rows();
+              const Matrix::Index c = batch_u.cols() / width;
+              for (Matrix::Index d = 0; d < width; ++d) {
+                const std::size_t i =
+                    static_cast<std::size_t>(g) + static_cast<std::size_t>(d);
+                Matrix su(h, c);
+                Matrix sw(h, c);
+                for (Matrix::Index r = 0; r < h; ++r) {
+                  const double* urow = batch_u.row_data(r) + d * c;
+                  const double* wrow = batch_w.row_data(r) + d * c;
+                  double* suo = su.row_data(r);
+                  double* swo = sw.row_data(r);
+                  for (Matrix::Index j = 0; j < c; ++j) {
+                    suo[j] = urow[j];
+                    swo[j] = wrow[j];
+                  }
+                }
+                score_u[i] = std::move(su);
+                score_w[i] = std::move(sw);
+              }
             } else {
-              param_u[static_cast<std::size_t>(i)] = std::move(u);
-              param_w[static_cast<std::size_t>(i)] = std::move(w);
+              for (Matrix::Index d = 0; d < width; ++d) {
+                const std::size_t i =
+                    static_cast<std::size_t>(g) + static_cast<std::size_t>(d);
+                param_u[i] = std::move(us[static_cast<std::size_t>(d)]);
+                param_w[i] = std::move(ws[static_cast<std::size_t>(d)]);
+              }
             }
           }
         });
@@ -108,31 +167,62 @@ Result<SampleSizeEstimate> EstimateSampleSize(
   // the fraction is identical for any thread count.
   obs::FloatCounter* const eval_seconds = obs::Registry::Global().FloatCounter(
       "estimator_seconds", {{"part", "size_search_evals"}});
+  // Memo of every candidate n already evaluated: the bisection can revisit
+  // a candidate (the final report at the returned n, or a trivially
+  // feasible lower bound), and each Monte-Carlo pass over all k pairs is
+  // the dominant search cost. out.evaluations counts memo misses only, so
+  // it equals the number of *distinct* candidates evaluated.
+  std::vector<std::pair<Index, double>> evaluated;
   auto success_fraction = [&](Index n) {
+    for (const auto& memo : evaluated) {
+      if (memo.first == n) return memo.second;
+    }
     obs::SpanScope eval_span("mc:size_eval", "estimator", "candidate_n",
                              static_cast<long long>(n));
     WallTimer eval_timer;
     const Scales s = ScalesFor(n0, n, full_n);
+    const Matrix::Index score_cols =
+        score_path ? base_scores.cols() : Matrix::Index{0};
     const int ok_count = ParallelReduce(
         ParallelIndex{0}, static_cast<ParallelIndex>(k), 0,
         [&](ParallelIndex b, ParallelIndex e) {
           int part = 0;
+          // Per-chunk scratch: the score matrices (and parameter vectors)
+          // are overwritten for every pair instead of freshly allocated.
+          Matrix s1, s2;
+          Vector t1, t2;
+          if (score_path) {
+            s1 = Matrix(base_scores.rows(), score_cols);
+            s2 = Matrix(base_scores.rows(), score_cols);
+          } else {
+            t1 = Vector(theta0.size());
+            t2 = Vector(theta0.size());
+          }
           for (ParallelIndex i = b; i < e; ++i) {
             double v;
             if (score_path) {
               // scores(theta_n,i) = S0 + a1 * Su_i;
               // scores(theta_N,i) = S0 + a1 * Su_i + a2 * Sw_i.
-              Matrix s1 = score_u[static_cast<std::size_t>(i)];
-              s1 *= s.a1;
-              s1 += base_scores;
-              Matrix s2 = score_w[static_cast<std::size_t>(i)];
-              s2 *= s.a2;
-              s2 += s1;
+              // Written fused: s1 = Su_i * a1 + S0 (the same operand order
+              // as the copy/scale/add sequence, so the bits are unchanged).
+              const Matrix& su = score_u[static_cast<std::size_t>(i)];
+              const Matrix& sw = score_w[static_cast<std::size_t>(i)];
+              for (Matrix::Index r = 0; r < s1.rows(); ++r) {
+                const double* surow = su.row_data(r);
+                const double* swrow = sw.row_data(r);
+                const double* base_row = base_scores.row_data(r);
+                double* s1row = s1.row_data(r);
+                double* s2row = s2.row_data(r);
+                for (Matrix::Index j = 0; j < score_cols; ++j) {
+                  s1row[j] = surow[j] * s.a1 + base_row[j];
+                  s2row[j] = swrow[j] * s.a2 + s1row[j];
+                }
+              }
               v = spec.DiffFromScores(s1, s2, holdout);
             } else {
-              Vector t1 = theta0;
+              for (Vector::Index j = 0; j < t1.size(); ++j) t1[j] = theta0[j];
               Axpy(s.a1, param_u[static_cast<std::size_t>(i)], &t1);
-              Vector t2 = t1;
+              for (Vector::Index j = 0; j < t2.size(); ++j) t2[j] = t1[j];
               Axpy(s.a2, param_w[static_cast<std::size_t>(i)], &t2);
               v = spec.Diff(t1, t2, holdout);
             }
@@ -143,7 +233,10 @@ Result<SampleSizeEstimate> EstimateSampleSize(
         [](int acc, int part) { return acc + part; }, kFineGrain);
     ++out.evaluations;
     eval_seconds->Add(eval_timer.Seconds());
-    return static_cast<double>(ok_count) / static_cast<double>(k);
+    const double fraction =
+        static_cast<double>(ok_count) / static_cast<double>(k);
+    evaluated.emplace_back(n, fraction);
+    return fraction;
   };
 
   // The level is in (0, 1]; a fraction f is feasible when f >= level
@@ -155,8 +248,7 @@ Result<SampleSizeEstimate> EstimateSampleSize(
   Index hi = full_n;
   if (feasible(lo)) {
     out.sample_size = lo;
-    out.success_fraction = 1.0;  // recomputed below for the reported value
-    out.success_fraction = success_fraction(lo);
+    out.success_fraction = success_fraction(lo);  // memoized; no re-eval
     return out;
   }
   // Invariant: lo infeasible, hi feasible (at n = N the two parameter
@@ -170,6 +262,8 @@ Result<SampleSizeEstimate> EstimateSampleSize(
     }
   }
   out.sample_size = hi;
+  // Memoized whenever hi was probed as a bisection midpoint; evaluated
+  // once here otherwise (hi == full_n with no feasible midpoint found).
   out.success_fraction = success_fraction(hi);
   return out;
 }

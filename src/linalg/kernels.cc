@@ -5,6 +5,11 @@
 #include "obs/metrics.h"
 #include "runtime/parallel.h"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define BLINKML_KERNELS_AVX2 1
+#include <immintrin.h>
+#endif
+
 namespace blinkml {
 namespace kernels {
 
@@ -68,6 +73,96 @@ void BatchRowGather(const SIndex* cols, const double* vals, SIndex nnz,
   }
 }
 
+#if BLINKML_KERNELS_AVX2
+
+// AVX2 DotUnrolled: the 4 scalar chains are the 4 lanes of one ymm
+// register (element k lands in lane k % 4, exactly the chain it lands in
+// scalar), merged with the same scalar (s0+s1)+(s2+s3) and the same
+// scalar tail. No FMA — separate mul/add keeps each lane's rounding
+// identical to the scalar chain — so the result is bitwise DotUnrolled.
+__attribute__((target("avx2"))) double DotUnrolledAvx2(const double* a,
+                                                       const double* b,
+                                                       DIndex n) {
+  __m256d acc = _mm256_setzero_pd();
+  DIndex k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + k), _mm256_loadu_pd(b + k)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; k < n; ++k) s += a[k] * b[k];
+  return s;
+}
+
+// AVX2 BatchRowGather for a full kMultiVec group: lanes are the group's
+// 8 COLUMNS (two ymm halves), one register pair per scalar chain, so each
+// column's chain contents and the (a0+a1)+(a2+a3) merge match the scalar
+// template per lane. The nnz tail appends entry products to the merged
+// sums in ascending order, as the scalar per-column tail loop does.
+__attribute__((target("avx2"))) void BatchRowGatherAvx2(
+    const SIndex* cols, const double* vals, SIndex nnz, const double* pack,
+    DIndex k, DIndex c0, double* orow) {
+  __m256d a0l = _mm256_setzero_pd(), a0h = _mm256_setzero_pd();
+  __m256d a1l = _mm256_setzero_pd(), a1h = _mm256_setzero_pd();
+  __m256d a2l = _mm256_setzero_pd(), a2h = _mm256_setzero_pd();
+  __m256d a3l = _mm256_setzero_pd(), a3h = _mm256_setzero_pd();
+  SIndex p = 0;
+  for (; p + 4 <= nnz; p += 4) {
+    const __m256d v0 = _mm256_set1_pd(vals[p]);
+    const __m256d v1 = _mm256_set1_pd(vals[p + 1]);
+    const __m256d v2 = _mm256_set1_pd(vals[p + 2]);
+    const __m256d v3 = _mm256_set1_pd(vals[p + 3]);
+    const double* b0 = pack + cols[p] * k + c0;
+    const double* b1 = pack + cols[p + 1] * k + c0;
+    const double* b2 = pack + cols[p + 2] * k + c0;
+    const double* b3 = pack + cols[p + 3] * k + c0;
+    a0l = _mm256_add_pd(a0l, _mm256_mul_pd(v0, _mm256_loadu_pd(b0)));
+    a0h = _mm256_add_pd(a0h, _mm256_mul_pd(v0, _mm256_loadu_pd(b0 + 4)));
+    a1l = _mm256_add_pd(a1l, _mm256_mul_pd(v1, _mm256_loadu_pd(b1)));
+    a1h = _mm256_add_pd(a1h, _mm256_mul_pd(v1, _mm256_loadu_pd(b1 + 4)));
+    a2l = _mm256_add_pd(a2l, _mm256_mul_pd(v2, _mm256_loadu_pd(b2)));
+    a2h = _mm256_add_pd(a2h, _mm256_mul_pd(v2, _mm256_loadu_pd(b2 + 4)));
+    a3l = _mm256_add_pd(a3l, _mm256_mul_pd(v3, _mm256_loadu_pd(b3)));
+    a3h = _mm256_add_pd(a3h, _mm256_mul_pd(v3, _mm256_loadu_pd(b3 + 4)));
+  }
+  __m256d sl =
+      _mm256_add_pd(_mm256_add_pd(a0l, a1l), _mm256_add_pd(a2l, a3l));
+  __m256d sh =
+      _mm256_add_pd(_mm256_add_pd(a0h, a1h), _mm256_add_pd(a2h, a3h));
+  for (; p < nnz; ++p) {
+    const __m256d v = _mm256_set1_pd(vals[p]);
+    const double* bq = pack + cols[p] * k + c0;
+    sl = _mm256_add_pd(sl, _mm256_mul_pd(v, _mm256_loadu_pd(bq)));
+    sh = _mm256_add_pd(sh, _mm256_mul_pd(v, _mm256_loadu_pd(bq + 4)));
+  }
+  _mm256_storeu_pd(orow + c0, sl);
+  _mm256_storeu_pd(orow + c0 + 4, sh);
+}
+
+#endif  // BLINKML_KERNELS_AVX2
+
+// Resolved once per kernel entry (on the calling thread or inside a lane —
+// worker lanes see the caller's ambient RuntimeOptions, so either spot
+// reads the same scope).
+bool UseAvx2() {
+#if BLINKML_KERNELS_AVX2
+  return CurrentKernelIsa() == KernelIsa::kAvx2;
+#else
+  return false;
+#endif
+}
+
+using DotFn = double (*)(const double*, const double*, DIndex);
+
+DotFn SelectDot() {
+#if BLINKML_KERNELS_AVX2
+  if (UseAvx2()) return &DotUnrolledAvx2;
+#endif
+  return &DotUnrolled;
+}
+
 // Runtime-width tail groups (fewer than kMultiVec columns left).
 void BatchRowGatherTail(const SIndex* cols, const double* vals, SIndex nnz,
                         const double* pack, DIndex k, DIndex c0, DIndex width,
@@ -124,6 +219,160 @@ void BatchRowDenseTail(const double* row, DIndex d, const double* const* th,
     default: return BatchRowDense<8>(row, d, th, out);
   }
 }
+
+// W dots of one dense row against W vectors interleaved into a pack
+// (pack[p * W + t] = vec_t[p]): the row is loaded once for the whole
+// group and every step touches one contiguous W-slab per unrolled lane.
+// Chain o of column t accumulates exactly the p % 4 == o products in
+// ascending order, merged (s0+s1)+(s2+s3) then the scalar tail — bitwise
+// DotUnrolled(row, vec_t) per column. Backs MatVecMulti.
+template <int W>
+void BatchRowPacked(const double* row, DIndex d, const double* pack,
+                    double* out) {
+  double acc[4][W];
+  for (int t = 0; t < W; ++t) {
+    acc[0][t] = acc[1][t] = acc[2][t] = acc[3][t] = 0.0;
+  }
+  DIndex p = 0;
+  for (; p + 4 <= d; p += 4) {
+    const double a0 = row[p], a1 = row[p + 1];
+    const double a2 = row[p + 2], a3 = row[p + 3];
+    const double* b = pack + static_cast<std::size_t>(p) * W;
+    for (int t = 0; t < W; ++t) {
+      acc[0][t] += a0 * b[t];
+      acc[1][t] += a1 * b[W + t];
+      acc[2][t] += a2 * b[2 * W + t];
+      acc[3][t] += a3 * b[3 * W + t];
+    }
+  }
+  for (int t = 0; t < W; ++t) {
+    double s = (acc[0][t] + acc[1][t]) + (acc[2][t] + acc[3][t]);
+    for (DIndex q = p; q < d; ++q) {
+      s += row[q] * pack[static_cast<std::size_t>(q) * W + t];
+    }
+    out[t] = s;
+  }
+}
+
+void BatchRowPackedTail(const double* row, DIndex d, const double* pack,
+                        DIndex width, double* out) {
+  switch (width) {
+    case 1: return BatchRowPacked<1>(row, d, pack, out);
+    case 2: return BatchRowPacked<2>(row, d, pack, out);
+    case 3: return BatchRowPacked<3>(row, d, pack, out);
+    case 4: return BatchRowPacked<4>(row, d, pack, out);
+    case 5: return BatchRowPacked<5>(row, d, pack, out);
+    case 6: return BatchRowPacked<6>(row, d, pack, out);
+    case 7: return BatchRowPacked<7>(row, d, pack, out);
+    default: return BatchRowPacked<8>(row, d, pack, out);
+  }
+}
+
+#if BLINKML_KERNELS_AVX2
+
+// AVX2 BatchRowPacked for a full kMultiVec group: lanes are the 8
+// columns, one ymm pair per chain, same merge and tail order per lane as
+// the scalar template. No FMA.
+__attribute__((target("avx2"))) void BatchRowPackedAvx2(const double* row,
+                                                        DIndex d,
+                                                        const double* pack,
+                                                        double* out) {
+  __m256d a0l = _mm256_setzero_pd(), a0h = _mm256_setzero_pd();
+  __m256d a1l = _mm256_setzero_pd(), a1h = _mm256_setzero_pd();
+  __m256d a2l = _mm256_setzero_pd(), a2h = _mm256_setzero_pd();
+  __m256d a3l = _mm256_setzero_pd(), a3h = _mm256_setzero_pd();
+  DIndex p = 0;
+  for (; p + 4 <= d; p += 4) {
+    const __m256d v0 = _mm256_set1_pd(row[p]);
+    const __m256d v1 = _mm256_set1_pd(row[p + 1]);
+    const __m256d v2 = _mm256_set1_pd(row[p + 2]);
+    const __m256d v3 = _mm256_set1_pd(row[p + 3]);
+    const double* b = pack + static_cast<std::size_t>(p) * 8;
+    a0l = _mm256_add_pd(a0l, _mm256_mul_pd(v0, _mm256_loadu_pd(b)));
+    a0h = _mm256_add_pd(a0h, _mm256_mul_pd(v0, _mm256_loadu_pd(b + 4)));
+    a1l = _mm256_add_pd(a1l, _mm256_mul_pd(v1, _mm256_loadu_pd(b + 8)));
+    a1h = _mm256_add_pd(a1h, _mm256_mul_pd(v1, _mm256_loadu_pd(b + 12)));
+    a2l = _mm256_add_pd(a2l, _mm256_mul_pd(v2, _mm256_loadu_pd(b + 16)));
+    a2h = _mm256_add_pd(a2h, _mm256_mul_pd(v2, _mm256_loadu_pd(b + 20)));
+    a3l = _mm256_add_pd(a3l, _mm256_mul_pd(v3, _mm256_loadu_pd(b + 24)));
+    a3h = _mm256_add_pd(a3h, _mm256_mul_pd(v3, _mm256_loadu_pd(b + 28)));
+  }
+  __m256d sl =
+      _mm256_add_pd(_mm256_add_pd(a0l, a1l), _mm256_add_pd(a2l, a3l));
+  __m256d sh =
+      _mm256_add_pd(_mm256_add_pd(a0h, a1h), _mm256_add_pd(a2h, a3h));
+  for (; p < d; ++p) {
+    const __m256d v = _mm256_set1_pd(row[p]);
+    const double* b = pack + static_cast<std::size_t>(p) * 8;
+    sl = _mm256_add_pd(sl, _mm256_mul_pd(v, _mm256_loadu_pd(b)));
+    sh = _mm256_add_pd(sh, _mm256_mul_pd(v, _mm256_loadu_pd(b + 4)));
+  }
+  _mm256_storeu_pd(out, sl);
+  _mm256_storeu_pd(out + 4, sh);
+}
+
+#endif  // BLINKML_KERNELS_AVX2
+
+// --- Multi-z scatter rows (MatTVecMulti / ApplyTransposedMultiBlocked).
+//
+// One row's contribution to a d x B partial: part[c * B + b] +=
+// trow[b] * arow[c]. Per (c, b) this is the single adds of B independent
+// MatTVec columns in the same row order, with the operands in the
+// single-vector kernel's product order (x_r * a_rc with multiplication's
+// bitwise commutativity); lanes/columns never mix.
+
+void ScatterRowMulti(const double* trow, DIndex bwidth, const double* arow,
+                     DIndex d, double* part) {
+  for (DIndex c = 0; c < d; ++c) {
+    const double ac = arow[c];
+    double* prow = part + static_cast<std::size_t>(c) * bwidth;
+    for (DIndex b = 0; b < bwidth; ++b) prow[b] += trow[b] * ac;
+  }
+}
+
+void ScatterSparseRowMulti(const SIndex* cols, const double* vals, SIndex nnz,
+                           const double* trow, DIndex bwidth, double* part) {
+  for (SIndex e = 0; e < nnz; ++e) {
+    const double val = vals[e];
+    double* prow = part + static_cast<std::size_t>(cols[e]) * bwidth;
+    for (DIndex b = 0; b < bwidth; ++b) prow[b] += trow[b] * val;
+  }
+}
+
+#if BLINKML_KERNELS_AVX2
+
+__attribute__((target("avx2"))) void ScatterRowMulti8Avx2(const double* trow,
+                                                          const double* arow,
+                                                          DIndex d,
+                                                          double* part) {
+  const __m256d tl = _mm256_loadu_pd(trow);
+  const __m256d th = _mm256_loadu_pd(trow + 4);
+  for (DIndex c = 0; c < d; ++c) {
+    const __m256d ac = _mm256_set1_pd(arow[c]);
+    double* prow = part + static_cast<std::size_t>(c) * 8;
+    _mm256_storeu_pd(
+        prow, _mm256_add_pd(_mm256_loadu_pd(prow), _mm256_mul_pd(tl, ac)));
+    _mm256_storeu_pd(prow + 4, _mm256_add_pd(_mm256_loadu_pd(prow + 4),
+                                             _mm256_mul_pd(th, ac)));
+  }
+}
+
+__attribute__((target("avx2"))) void ScatterSparseRowMulti8Avx2(
+    const SIndex* cols, const double* vals, SIndex nnz, const double* trow,
+    double* part) {
+  const __m256d tl = _mm256_loadu_pd(trow);
+  const __m256d th = _mm256_loadu_pd(trow + 4);
+  for (SIndex e = 0; e < nnz; ++e) {
+    const __m256d v = _mm256_set1_pd(vals[e]);
+    double* prow = part + static_cast<std::size_t>(cols[e]) * 8;
+    _mm256_storeu_pd(
+        prow, _mm256_add_pd(_mm256_loadu_pd(prow), _mm256_mul_pd(tl, v)));
+    _mm256_storeu_pd(prow + 4, _mm256_add_pd(_mm256_loadu_pd(prow + 4),
+                                             _mm256_mul_pd(th, v)));
+  }
+}
+
+#endif  // BLINKML_KERNELS_AVX2
 
 // Sorted-column merge dot of rows i and j — the oracle arithmetic, reused
 // for light SparseGram tiles so they match the merge path exactly.
@@ -374,9 +623,10 @@ Vector MatVec(const Matrix& a, const Vector& x) {
   BLINKML_CHECK_EQ(a.cols(), x.size());
   Vector y(a.rows());
   const double* px = x.data();
+  const DotFn dot = SelectDot();
   ParallelFor(0, a.rows(), [&](DIndex b, DIndex e) {
     for (DIndex r = b; r < e; ++r) {
-      y[r] = DotUnrolled(a.row_data(r), px, a.cols());
+      y[r] = dot(a.row_data(r), px, a.cols());
     }
   });
   return y;
@@ -407,6 +657,97 @@ Vector MatTVec(const Matrix& a, const Vector& x) {
       },
       [](Vector acc, Vector& part) {
         if (acc.size() == 0) return std::move(part);
+        acc += part;
+        return acc;
+      },
+      grain);
+}
+
+Matrix MatVecMulti(const Matrix& a, const Matrix& zs) {
+  BLINKML_CHECK_EQ(a.cols(), zs.cols());
+  const DIndex n = a.rows(), d = a.cols();
+  const DIndex k = zs.rows();
+  Matrix out(n, k);
+  if (k == 0 || n == 0) return out;
+  const bool avx2 = UseAvx2();
+  // One group of up to kMultiVec vectors at a time: interleave the group
+  // into a pack (pack[p * width + t] = z_t[p]) so each row of A is loaded
+  // once per group and the inner step reads one contiguous slab.
+  std::vector<double> pack;
+  for (DIndex c0 = 0; c0 < k; c0 += kMultiVec) {
+    const DIndex width = std::min<DIndex>(kMultiVec, k - c0);
+    pack.assign(static_cast<std::size_t>(d) * width, 0.0);
+    for (DIndex t = 0; t < width; ++t) {
+      const double* zrow = zs.row_data(c0 + t);
+      for (DIndex p = 0; p < d; ++p) {
+        pack[static_cast<std::size_t>(p) * width + t] = zrow[p];
+      }
+    }
+    const double* pk = pack.data();
+    ParallelFor(0, n, [&](DIndex b, DIndex e) {
+      for (DIndex i = b; i < e; ++i) {
+        const double* row = a.row_data(i);
+        double* orow = out.row_data(i) + c0;
+        if (width == kMultiVec) {
+#if BLINKML_KERNELS_AVX2
+          if (avx2) {
+            BatchRowPackedAvx2(row, d, pk, orow);
+            continue;
+          }
+#endif
+          BatchRowPacked<kMultiVec>(row, d, pk, orow);
+        } else {
+          BatchRowPackedTail(row, d, pk, width, orow);
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Matrix MatTVecMulti(const Matrix& a, const Matrix& t) {
+  BLINKML_CHECK_EQ(a.rows(), t.rows());
+  const DIndex n = a.rows(), d = a.cols();
+  const DIndex k = t.cols();
+  if (n == 0 || k == 0) return Matrix(d, k);
+  const bool avx2 = UseAvx2();
+  // The single-vector MatTVec's chunk layout — a pure function of A's
+  // shape, independent of the batch width — with d x k partials merged in
+  // chunk order: per column the contributions stay grouped by the same
+  // ascending row blocks, so each column is bitwise MatTVec(a, t_col).
+  // Rows whose whole t-row is zero are skipped (every column would skip);
+  // a zero in a non-zero row contributes a +/-0.0 product, which cannot
+  // change a finite accumulator's bits.
+  const ParallelIndex chunks = TransposedChunks(n * d, d);
+  const ParallelIndex grain = (n + chunks - 1) / chunks;
+  return ParallelReduce(
+      ParallelIndex{0}, static_cast<ParallelIndex>(n), Matrix(),
+      [&](ParallelIndex b, ParallelIndex e) {
+        Matrix part(d, k);
+        double* pd = part.row_data(0);
+        for (ParallelIndex r = b; r < e; ++r) {
+          const double* trow = t.row_data(r);
+          bool any = false;
+          for (DIndex c = 0; c < k; ++c) {
+            if (trow[c] != 0.0) {
+              any = true;
+              break;
+            }
+          }
+          if (!any) continue;
+          const double* arow = a.row_data(r);
+#if BLINKML_KERNELS_AVX2
+          if (avx2 && k == kMultiVec) {
+            ScatterRowMulti8Avx2(trow, arow, d, pd);
+            continue;
+          }
+#endif
+          ScatterRowMulti(trow, k, arow, d, pd);
+        }
+        return part;
+      },
+      [](Matrix acc, Matrix& part) {
+        if (acc.rows() == 0) return std::move(part);
         acc += part;
         return acc;
       },
@@ -592,11 +933,60 @@ Matrix ApplyTransposedMulti(const SparseMatrix& a, const Matrix& v) {
   return out;
 }
 
+Matrix ApplyTransposedMultiBlocked(const SparseMatrix& a, const Matrix& t) {
+  BLINKML_CHECK_EQ(a.rows(), static_cast<SIndex>(t.rows()));
+  const SIndex n = a.rows();
+  const SIndex d = a.cols();
+  const DIndex k = t.cols();
+  if (n == 0 || k == 0) return Matrix(d, k);
+  const bool avx2 = UseAvx2();
+  // Same reduction shape as the blocked single-vector ApplyTransposed
+  // (chunks from (nnz, cols) alone), widened to d x k partials: column b
+  // is bitwise ApplyTransposed(a, t_col_b). Zero-row skip as in
+  // MatTVecMulti.
+  const ParallelIndex chunks = TransposedChunks(a.nnz(), d);
+  const ParallelIndex grain = (n + chunks - 1) / chunks;
+  return ParallelReduce(
+      ParallelIndex{0}, static_cast<ParallelIndex>(n), Matrix(),
+      [&](ParallelIndex b, ParallelIndex e) {
+        Matrix part(d, k);
+        double* pd = part.row_data(0);
+        for (ParallelIndex r = b; r < e; ++r) {
+          const double* trow = t.row_data(r);
+          bool any = false;
+          for (DIndex c = 0; c < k; ++c) {
+            if (trow[c] != 0.0) {
+              any = true;
+              break;
+            }
+          }
+          if (!any) continue;
+#if BLINKML_KERNELS_AVX2
+          if (avx2 && k == kMultiVec) {
+            ScatterSparseRowMulti8Avx2(a.RowCols(r), a.RowValues(r),
+                                       a.RowNnz(r), trow, pd);
+            continue;
+          }
+#endif
+          ScatterSparseRowMulti(a.RowCols(r), a.RowValues(r), a.RowNnz(r),
+                                trow, k, pd);
+        }
+        return part;
+      },
+      [](Matrix acc, Matrix& part) {
+        if (acc.rows() == 0) return std::move(part);
+        acc += part;
+        return acc;
+      },
+      grain);
+}
+
 void DenseMargins(const Matrix& x, const double* theta, DIndex b, DIndex e,
                   double* out) {
   const DIndex d = x.cols();
+  const DotFn dot = SelectDot();
   for (DIndex i = b; i < e; ++i) {
-    out[i - b] = DotUnrolled(x.row_data(i), theta, d);
+    out[i - b] = dot(x.row_data(i), theta, d);
   }
 }
 
@@ -663,6 +1053,7 @@ Matrix BatchMarginsSparse(const SparseMatrix& x,
     }, /*grain=*/1024);
   }
   static_assert(kMultiVec == 8, "BatchRowGatherTail's default case");
+  const bool avx2 = UseAvx2();
   ParallelFor(0, x.rows(), [&](SIndex b, SIndex e) {
     for (SIndex i = b; i < e; ++i) {
       const SIndex nnz = x.RowNnz(i);
@@ -678,6 +1069,12 @@ Matrix BatchMarginsSparse(const SparseMatrix& x,
       }
       DIndex c0 = 0;
       for (; c0 + kMultiVec <= k; c0 += kMultiVec) {
+#if BLINKML_KERNELS_AVX2
+        if (avx2) {
+          BatchRowGatherAvx2(cols, vals, nnz, pack.data(), k, c0, orow);
+          continue;
+        }
+#endif
         BatchRowGather<kMultiVec>(cols, vals, nnz, pack.data(), k, c0, orow);
       }
       if (c0 < k) {

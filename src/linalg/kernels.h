@@ -27,6 +27,15 @@
 // with the ONE canonical unrolled dot (DotUnrolled / SparseDotUnrolled);
 // register tiling across candidates or rows never changes a dot's own
 // summation order.
+//
+// ISA dispatch: RuntimeOptions::kernel_isa selects AVX2 variants of the
+// hottest inner loops (the canonical dot, the batched gather/packed row
+// kernels, and the multi-z scatter slabs). The vector variants keep the
+// scalar association exactly — the 4 unrolled chains become the 4 lanes
+// of one ymm register merged in the same (s0+s1)+(s2+s3) order (or one
+// lane per batched column), and FMA is never used — so AVX2 output is
+// bitwise identical to the scalar blocked output. kNaive ignores the ISA
+// entirely and stays the tolerance oracle.
 
 #ifndef BLINKML_LINALG_KERNELS_H_
 #define BLINKML_LINALG_KERNELS_H_
@@ -102,6 +111,23 @@ Vector MatVec(const Matrix& a, const Vector& x);
 /// A^T x via per-chunk partial outputs merged in fixed chunk order.
 Vector MatTVec(const Matrix& a, const Vector& x);
 
+// --- Multi-z kernels (batched Monte-Carlo draws; ParamSampler::DrawBatch).
+
+/// A zs^T for a batch of B vectors given as the ROWS of zs (B x a.cols()):
+/// out is a.rows() x B with out.col(b) == MatVec(a, zs.row(b)) bitwise.
+/// The B vectors are interleaved into a pack once so each row of A is
+/// loaded once per group and every gather lands on one contiguous slab;
+/// each output entry's accumulation is exactly the canonical DotUnrolled.
+Matrix MatVecMulti(const Matrix& a, const Matrix& zs);
+
+/// A^T T for a dense T (a.rows() x B, column b = vector b): out is
+/// a.cols() x B with out.col(b) == MatTVec(a, t.col(b)) bitwise. Uses the
+/// single-vector kernel's chunk layout — TransposedChunks(rows*cols,
+/// cols), a pure function of A's shape, independent of B — with d x B
+/// partials merged in chunk order, so per column the partial-merge
+/// association is identical to MatTVec's.
+Matrix MatTVecMulti(const Matrix& a, const Matrix& t);
+
 // --- Sparse kernels.
 
 /// Q Q^T: heavy row tiles are scattered once into an interleaved dense
@@ -125,6 +151,14 @@ Vector ApplyTransposed(const SparseMatrix& a, const Vector& x);
 /// calls. Groups parallelize as independent output stripes. Backs
 /// ParamSampler::DenseCovariance.
 Matrix ApplyTransposedMulti(const SparseMatrix& a, const Matrix& v);
+
+/// A^T T like ApplyTransposedMulti, but with the BLOCKED single-vector
+/// kernel's reduction shape: chunk layout TransposedChunks(nnz, cols)
+/// (independent of B), per-chunk d x B partials merged in chunk order.
+/// Column b is bitwise equal to ApplyTransposed(a, t.col(b)) — the
+/// association DrawWithZ's sparse-Gram backend produces — which
+/// ApplyTransposedMulti (ascending-row = naive association) is not.
+Matrix ApplyTransposedMultiBlocked(const SparseMatrix& a, const Matrix& t);
 
 // --- GLM margin kernels (consumed by models/glm_parallel.h).
 

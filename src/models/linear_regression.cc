@@ -81,6 +81,13 @@ Matrix LinearRegressionSpec::Scores(const Vector& theta,
   return scores;
 }
 
+Matrix LinearRegressionSpec::ScoresBatch(
+    const std::vector<const Vector*>& thetas, const Dataset& data) const {
+  // The identity link makes scores the margins; one pass serves the
+  // whole group, each column bitwise equal to a single Scores pass.
+  return BatchMargins(data, thetas);
+}
+
 double LinearRegressionSpec::DiffFromScores(const Matrix& scores1,
                                             const Matrix& scores2,
                                             const Dataset& holdout) const {

@@ -107,12 +107,23 @@ Matrix LogisticRegressionSpec::Scores(const Vector& theta,
                                       const Dataset& data) const {
   BLINKML_CHECK_EQ(theta.size(), data.dim());
   Matrix scores(data.num_rows(), 1);
+  // Margins through the shared GLM driver so the blocked level computes
+  // each score with the canonical unrolled dot — the invariant that makes
+  // a ScoresBatch column bitwise equal to this single pass. kNaive keeps
+  // the original RowDot loop (the oracle path is unchanged).
+  const bool fused = CurrentKernelLevel() == KernelLevel::kBlocked;
   ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
-    for (Index i = b; i < e; ++i) {
-      scores(i, 0) = data.RowDot(i, theta.data());
-    }
+    internal::ForMargins(data, theta, b, e, fused,
+                         [&](Index i, double m) { scores(i, 0) = m; });
   });
   return scores;
+}
+
+Matrix LogisticRegressionSpec::ScoresBatch(
+    const std::vector<const Vector*>& thetas, const Dataset& data) const {
+  // Scores ARE the margins: one pass over the rows serves every draw in
+  // the group, each column bitwise equal to a single Scores pass.
+  return BatchMargins(data, thetas);
 }
 
 double LogisticRegressionSpec::DiffFromScores(const Matrix& scores1,

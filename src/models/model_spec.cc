@@ -65,6 +65,29 @@ Matrix ModelSpec::Scores(const Vector& theta, const Dataset& data) const {
   return Matrix();
 }
 
+Matrix ModelSpec::ScoresBatch(const std::vector<const Vector*>& thetas,
+                              const Dataset& data) const {
+  const auto k = static_cast<Matrix::Index>(thetas.size());
+  if (k == 0) return Matrix(data.num_rows(), 0);
+  Matrix out;
+  Matrix::Index score_cols = 0;
+  for (Matrix::Index b = 0; b < k; ++b) {
+    BLINKML_CHECK_MSG(thetas[static_cast<std::size_t>(b)] != nullptr,
+                      "null theta in ScoresBatch");
+    const Matrix s = Scores(*thetas[static_cast<std::size_t>(b)], data);
+    if (b == 0) {
+      score_cols = s.cols();
+      out = Matrix(s.rows(), k * score_cols);
+    }
+    for (Matrix::Index i = 0; i < s.rows(); ++i) {
+      const double* src = s.row_data(i);
+      double* dst = out.row_data(i) + b * score_cols;
+      for (Matrix::Index c = 0; c < score_cols; ++c) dst[c] = src[c];
+    }
+  }
+  return out;
+}
+
 double ModelSpec::DiffFromScores(const Matrix& scores1, const Matrix& scores2,
                                  const Dataset& holdout) const {
   (void)scores1;

@@ -136,6 +136,15 @@ class ModelSpec {
   /// Lin/LR margins, C for max-entropy class scores).
   virtual Matrix Scores(const Vector& theta, const Dataset& data) const;
 
+  /// Scores for K parameter vectors at once: num_rows x (K * C), with
+  /// column block [k*C, (k+1)*C) bitwise equal to Scores(*thetas[k],
+  /// data) at every kernel level. The default runs K separate Scores
+  /// passes; single-output GLMs override it with the batched margin
+  /// kernel so the Monte-Carlo estimators' score path reads every holdout
+  /// row once per group of draws instead of once per draw.
+  virtual Matrix ScoresBatch(const std::vector<const Vector*>& thetas,
+                             const Dataset& data) const;
+
   /// v computed from two cached score matrices (same semantics as Diff).
   virtual double DiffFromScores(const Matrix& scores1, const Matrix& scores2,
                                 const Dataset& holdout) const;

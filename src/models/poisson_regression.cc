@@ -85,12 +85,20 @@ Matrix PoissonRegressionSpec::Scores(const Vector& theta,
                                      const Dataset& data) const {
   BLINKML_CHECK_EQ(theta.size(), data.dim());
   Matrix scores(data.num_rows(), 1);
+  // Shared GLM margin driver: blocked scores use the canonical unrolled
+  // dot (so ScoresBatch columns match bitwise), kNaive keeps the RowDot
+  // oracle loop.
+  const bool fused = CurrentKernelLevel() == KernelLevel::kBlocked;
   ParallelFor(0, data.num_rows(), [&](Index b, Index e) {
-    for (Index i = b; i < e; ++i) {
-      scores(i, 0) = data.RowDot(i, theta.data());
-    }
+    internal::ForMargins(data, theta, b, e, fused,
+                         [&](Index i, double m) { scores(i, 0) = m; });
   });
   return scores;
+}
+
+Matrix PoissonRegressionSpec::ScoresBatch(
+    const std::vector<const Vector*>& thetas, const Dataset& data) const {
+  return BatchMargins(data, thetas);
 }
 
 double PoissonRegressionSpec::DiffFromScores(const Matrix& scores1,

@@ -56,6 +56,8 @@ class PoissonRegressionSpec final : public ModelSpec {
   bool has_linear_scores() const override { return true; }
   /// Scores are the linear predictors theta^T x (one column).
   Matrix Scores(const Vector& theta, const Dataset& data) const override;
+  Matrix ScoresBatch(const std::vector<const Vector*>& thetas,
+                     const Dataset& data) const override;
   double DiffFromScores(const Matrix& scores1, const Matrix& scores2,
                         const Dataset& holdout) const override;
 

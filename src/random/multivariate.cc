@@ -1,6 +1,8 @@
 #include "random/multivariate.h"
 
 #include "linalg/cholesky.h"
+#include "linalg/kernels.h"
+#include "runtime/runtime_options.h"
 
 namespace blinkml {
 
@@ -13,6 +15,18 @@ Vector FactorMvnSampler::Draw(Rng* rng) const {
 Vector FactorMvnSampler::DrawWithZ(const Vector& z) const {
   BLINKML_CHECK_EQ(z.size(), w_.cols());
   return MatVec(w_, z);
+}
+
+Matrix FactorMvnSampler::DrawBatchWithZ(const Matrix& zs) const {
+  BLINKML_CHECK_EQ(zs.cols(), w_.cols());
+  if (CurrentKernelLevel() == KernelLevel::kBlocked) {
+    return kernels::MatVecMulti(w_, zs);
+  }
+  Matrix out(w_.rows(), zs.rows());
+  for (Matrix::Index b = 0; b < zs.rows(); ++b) {
+    out.SetCol(b, DrawWithZ(zs.Row(b)));
+  }
+  return out;
 }
 
 Result<DenseMvnSampler> DenseMvnSampler::Create(const Matrix& covariance) {

@@ -126,7 +126,11 @@ long Rng::Poisson(double lambda) {
 }
 
 void Rng::FillNormal(Vector* out) {
-  for (Vector::Index i = 0; i < out->size(); ++i) (*out)[i] = Normal();
+  FillNormal(out->data(), out->size());
+}
+
+void Rng::FillNormal(double* out, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) out[i] = Normal();
 }
 
 Rng Rng::Split() {

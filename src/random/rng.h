@@ -56,6 +56,12 @@ class Rng {
   /// Fills `out` with i.i.d. standard normals.
   void FillNormal(Vector* out);
 
+  /// Fills out[0..n) with i.i.d. standard normals. Consumes the identical
+  /// stream as n calls to Normal() — the Marsaglia spare carries across
+  /// calls, so filling a batched z-block row-by-row draws the same bits
+  /// as the per-draw FillNormal(Vector*) sequence it replaces.
+  void FillNormal(double* out, std::int64_t n);
+
   /// A fresh generator with state decorrelated from this one (for spawning
   /// per-component streams from one master seed).
   Rng Split();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <mutex>
 
@@ -86,6 +88,41 @@ bool InParallelRegion() { return g_in_parallel_region; }
 
 KernelLevel CurrentKernelLevel() {
   return RuntimeScope::Current().kernel_level;
+}
+
+namespace {
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+// Process-wide kAuto resolution: BLINKML_KERNEL_ISA if set (an avx2
+// request is clamped to scalar on CPUs without it, so a stale env var
+// can't crash the process), else CPU detection. Resolved once; a
+// RuntimeScope with an explicit kernel_isa still overrides per scope.
+KernelIsa ResolveAmbientIsa() {
+  const char* env = std::getenv("BLINKML_KERNEL_ISA");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return KernelIsa::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      return CpuHasAvx2() ? KernelIsa::kAvx2 : KernelIsa::kScalar;
+    }
+  }
+  return CpuHasAvx2() ? KernelIsa::kAvx2 : KernelIsa::kScalar;
+}
+
+}  // namespace
+
+KernelIsa CurrentKernelIsa() {
+  static const KernelIsa ambient = ResolveAmbientIsa();
+  const KernelIsa scoped = RuntimeScope::Current().kernel_isa;
+  if (scoped == KernelIsa::kAuto) return ambient;
+  if (scoped == KernelIsa::kAvx2 && !CpuHasAvx2()) return KernelIsa::kScalar;
+  return scoped;
 }
 
 int CurrentParallelism() {

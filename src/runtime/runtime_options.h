@@ -25,6 +25,21 @@ enum class KernelLevel {
   kBlocked = 1,  // tiled/unrolled kernels (default)
 };
 
+/// Which instruction set the blocked kernels' inner loops run with.
+///
+/// Orthogonal to KernelLevel: the ISA only applies at kBlocked (kNaive
+/// always runs the plain scalar oracle loops). The vector variants keep
+/// the blocked kernels' exact accumulation association — the 4 unrolled
+/// scalar chains become the 4 lanes of one ymm register (or one lane per
+/// batched column), merged in the same (s0+s1)+(s2+s3) order, and FMA is
+/// deliberately not used — so kAvx2 output is bitwise identical to
+/// kScalar blocked output, not merely within tolerance.
+enum class KernelIsa {
+  kAuto = 0,    // resolve from BLINKML_KERNEL_ISA, else CPU detection
+  kScalar = 1,  // portable unrolled scalar loops
+  kAvx2 = 2,    // AVX2 256-bit variants (requires CPU support)
+};
+
 /// Knobs for the parallel runtime, threaded through BlinkConfig and applied
 /// with a RuntimeScope. The defaults (ambient when no scope is active) use
 /// the global pool at full parallelism.
@@ -45,12 +60,24 @@ struct RuntimeOptions {
 
   /// Kernel implementation for the linalg hot paths (see KernelLevel).
   KernelLevel kernel_level = KernelLevel::kBlocked;
+
+  /// Instruction set for the blocked kernels' inner loops (see KernelIsa).
+  /// kAuto resolves once per process: BLINKML_KERNEL_ISA=scalar|avx2 if
+  /// set, else runtime CPU detection, clamped to scalar where AVX2 is
+  /// unavailable. Ignored at kNaive.
+  KernelIsa kernel_isa = KernelIsa::kAuto;
 };
 
 /// The innermost active scope's kernel_level (the ambient default — the
 /// blocked kernels — when no scope is installed). The dispatch point the
 /// linalg/model hot paths consult.
 KernelLevel CurrentKernelLevel();
+
+/// The resolved instruction set for the innermost active scope: the
+/// scope's kernel_isa if it is not kAuto, else the process-wide resolution
+/// of BLINKML_KERNEL_ISA / CPU detection. Never returns kAuto, and never
+/// returns kAvx2 on a CPU without AVX2 support.
+KernelIsa CurrentKernelIsa();
 
 /// RAII ambient-options override (thread-local): parallel constructs
 /// consult the innermost active scope. Coordinator::Train installs the

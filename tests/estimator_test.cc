@@ -10,6 +10,7 @@
 #include "models/linear_regression.h"
 #include "models/ppca.h"
 #include "models/trainer.h"
+#include "runtime/parallel.h"
 #include "tests/test_util.h"
 
 namespace blinkml {
@@ -240,6 +241,238 @@ TEST_F(EstimatorFixture, SizeEstimatorRejectsBadArguments) {
   EXPECT_FALSE(EstimateSampleSize(spec_, theta0_, n0_, pool_.num_rows(),
                                   *sampler_, holdout_, options, &rng)
                    .ok());
+}
+
+// ---------- Batched Monte-Carlo draws ----------
+
+// Runs fn under the given kernel level (ambient pool, full parallelism).
+template <typename Fn>
+auto AtLevel(KernelLevel level, const Fn& fn) {
+  RuntimeOptions options;
+  options.kernel_level = level;
+  RuntimeScope scope(options);
+  return fn();
+}
+
+TEST(DrawBatch, BitwiseEqualsDrawWithZAcrossBackends) {
+  Rng rng(71);
+  const Matrix::Index p = 37;
+  const Matrix::Index r = 9;
+  const Matrix::Index ns = 50;
+  const Matrix w = testing::RandomMatrix(p, r, &rng);
+  const Matrix q_dense = testing::RandomMatrix(ns, p, &rng);
+  const Matrix v_scaled = testing::RandomMatrix(ns, r, &rng);
+  const Dataset sparse_data =
+      testing::SparseBinaryData(ns, p, /*seed=*/72, /*nnz_per_row=*/6);
+  const ParamSampler samplers[] = {
+      ParamSampler::FromDenseFactor(w),
+      ParamSampler::FromGramFactor(q_dense, v_scaled),
+      ParamSampler::FromSparseGramFactor(sparse_data.sparse(), v_scaled),
+  };
+  const char* names[] = {"dense", "gram", "sparse-gram"};
+  for (int s = 0; s < 3; ++s) {
+    const ParamSampler& sampler = samplers[s];
+    for (const KernelLevel level : {KernelLevel::kNaive, KernelLevel::kBlocked}) {
+      // Widths across a full kMultiVec group and odd remainders.
+      for (const Matrix::Index width : {1, 3, 5, 8, 11}) {
+        const Matrix zs = testing::RandomMatrix(width, r, &rng);
+        for (const double scale : {1.0, 0.3}) {
+          const std::vector<Vector> batch = AtLevel(
+              level, [&] { return sampler.DrawBatch(scale, zs); });
+          ASSERT_EQ(batch.size(), static_cast<std::size_t>(width));
+          for (Matrix::Index b = 0; b < width; ++b) {
+            const Vector single = AtLevel(
+                level, [&] { return sampler.DrawWithZ(scale, zs.Row(b)); });
+            ASSERT_EQ(batch[static_cast<std::size_t>(b)].size(), single.size());
+            for (Vector::Index i = 0; i < single.size(); ++i) {
+              ASSERT_EQ(batch[static_cast<std::size_t>(b)][i], single[i])
+                  << names[s] << " level=" << static_cast<int>(level)
+                  << " width=" << width << " scale=" << scale << " draw " << b
+                  << " elem " << i;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DrawBatch, DegenerateShapes) {
+  Rng rng(73);
+  // Rank-1 factor and single-parameter (p = 1) factor.
+  const ParamSampler rank1 =
+      ParamSampler::FromDenseFactor(testing::RandomMatrix(20, 1, &rng));
+  const ParamSampler p1 =
+      ParamSampler::FromDenseFactor(testing::RandomMatrix(1, 4, &rng));
+  for (const ParamSampler* sampler : {&rank1, &p1}) {
+    const Matrix zs = testing::RandomMatrix(5, sampler->rank(), &rng);
+    const std::vector<Vector> batch = AtLevel(
+        KernelLevel::kBlocked, [&] { return sampler->DrawBatch(0.5, zs); });
+    ASSERT_EQ(batch.size(), 5u);
+    for (Matrix::Index b = 0; b < 5; ++b) {
+      const Vector single = AtLevel(KernelLevel::kBlocked, [&] {
+        return sampler->DrawWithZ(0.5, zs.Row(b));
+      });
+      for (Vector::Index i = 0; i < single.size(); ++i) {
+        ASSERT_EQ(batch[static_cast<std::size_t>(b)][i], single[i]);
+      }
+    }
+  }
+  // Empty batch.
+  const Matrix empty(0, rank1.rank());
+  EXPECT_TRUE(rank1.DrawBatch(1.0, empty).empty());
+}
+
+TEST_F(EstimatorFixture, BatchedAccuracyBitwiseEqualsUnbatched) {
+  // batch_draws is a pure speed knob: same z stream, same kernels per
+  // column, so the estimate is bit-for-bit identical — at both levels.
+  for (const KernelLevel level : {KernelLevel::kNaive, KernelLevel::kBlocked}) {
+    AccuracyOptions options;
+    options.num_samples = 100;  // not a multiple of kMultiVec on purpose
+    options.batch_draws = true;
+    Rng rng_a(21);
+    const auto batched = AtLevel(level, [&] {
+      return EstimateAccuracy(spec_, theta0_, n0_, pool_.num_rows(),
+                              *sampler_, holdout_, options, &rng_a);
+    });
+    options.batch_draws = false;
+    Rng rng_b(21);
+    const auto unbatched = AtLevel(level, [&] {
+      return EstimateAccuracy(spec_, theta0_, n0_, pool_.num_rows(),
+                              *sampler_, holdout_, options, &rng_b);
+    });
+    ASSERT_TRUE(batched.ok());
+    ASSERT_TRUE(unbatched.ok());
+    EXPECT_EQ(batched->epsilon, unbatched->epsilon)
+        << "level=" << static_cast<int>(level);
+    EXPECT_EQ(batched->mean_v, unbatched->mean_v)
+        << "level=" << static_cast<int>(level);
+  }
+}
+
+TEST_F(EstimatorFixture, BatchedSampleSizeBitwiseEqualsUnbatched) {
+  for (const KernelLevel level : {KernelLevel::kNaive, KernelLevel::kBlocked}) {
+    SampleSizeOptions options;
+    options.num_samples = 60;  // not a multiple of kMultiVec on purpose
+    options.epsilon = 0.05;
+    options.batch_draws = true;
+    Rng rng_a(22);
+    const auto batched = AtLevel(level, [&] {
+      return EstimateSampleSize(spec_, theta0_, n0_, pool_.num_rows(),
+                                *sampler_, holdout_, options, &rng_a);
+    });
+    options.batch_draws = false;
+    Rng rng_b(22);
+    const auto unbatched = AtLevel(level, [&] {
+      return EstimateSampleSize(spec_, theta0_, n0_, pool_.num_rows(),
+                                *sampler_, holdout_, options, &rng_b);
+    });
+    ASSERT_TRUE(batched.ok());
+    ASSERT_TRUE(unbatched.ok());
+    EXPECT_EQ(batched->sample_size, unbatched->sample_size)
+        << "level=" << static_cast<int>(level);
+    EXPECT_EQ(batched->success_fraction, unbatched->success_fraction)
+        << "level=" << static_cast<int>(level);
+    EXPECT_EQ(batched->evaluations, unbatched->evaluations)
+        << "level=" << static_cast<int>(level);
+  }
+}
+
+TEST_F(EstimatorFixture, BatchedEstimatorsThreadCountInvariant) {
+  // The chunk layout (and so the z-block boundaries) is a pure function
+  // of the sample count; with batching on the drawn bits must still be
+  // identical at 1, 2, and 8 threads.
+  AccuracyOptions acc_options;
+  acc_options.num_samples = 100;
+  testing::ExpectThreadCountInvariant(
+      [&] {
+        Rng rng(23);
+        const auto est =
+            EstimateAccuracy(spec_, theta0_, n0_, pool_.num_rows(), *sampler_,
+                             holdout_, acc_options, &rng);
+        EXPECT_TRUE(est.ok());
+        Vector out(2);
+        out[0] = est->epsilon;
+        out[1] = est->mean_v;
+        return out;
+      },
+      {1, 2, 8}, "batched accuracy estimate");
+
+  SampleSizeOptions size_options;
+  size_options.num_samples = 60;
+  size_options.epsilon = 0.05;
+  testing::ExpectThreadCountInvariant(
+      [&] {
+        Rng rng(24);
+        const auto est =
+            EstimateSampleSize(spec_, theta0_, n0_, pool_.num_rows(),
+                               *sampler_, holdout_, size_options, &rng);
+        EXPECT_TRUE(est.ok());
+        Vector out(3);
+        out[0] = static_cast<double>(est->sample_size);
+        out[1] = est->success_fraction;
+        out[2] = static_cast<double>(est->evaluations);
+        return out;
+      },
+      {1, 2, 8}, "batched sample-size estimate");
+}
+
+// ---------- Search-evaluation accounting (memoized candidates) ----------
+
+int CeilLog2(Dataset::Index len) {
+  int bits = 0;
+  while ((Dataset::Index{1} << bits) < len) ++bits;
+  return bits;
+}
+
+TEST_F(EstimatorFixture, TrivialContractEvaluatesOnce) {
+  // The trivially feasible lower bound is evaluated exactly once: the
+  // reported success fraction reads the memo instead of re-running the
+  // Monte-Carlo pass (this used to cost a second full evaluation).
+  SampleSizeOptions options;
+  options.epsilon = 1.0;
+  options.min_n = 100;
+  Rng rng(25);
+  const auto est =
+      EstimateSampleSize(spec_, theta0_, n0_, pool_.num_rows(), *sampler_,
+                         holdout_, options, &rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->sample_size, 100);
+  EXPECT_EQ(est->evaluations, 1);
+  EXPECT_GE(est->success_fraction, est->quantile_level);
+}
+
+TEST_F(EstimatorFixture, SearchEvaluatesEachCandidateOnce) {
+  const Dataset::Index full_n = pool_.num_rows();
+  const Dataset::Index lo0 = 100;
+
+  // Infeasible contract: every bisection midpoint fails, so the interval
+  // shrinks by ceil-halves — exactly CeilLog2(full_n - lo0) midpoints —
+  // plus the initial lower bound and one final evaluation at full_n
+  // (never probed as a midpoint).
+  SampleSizeOptions options;
+  options.epsilon = 0.0;
+  options.min_n = lo0;
+  Rng rng(26);
+  const auto impossible =
+      EstimateSampleSize(spec_, theta0_, n0_, full_n, *sampler_, holdout_,
+                         options, &rng);
+  ASSERT_TRUE(impossible.ok());
+  ASSERT_EQ(impossible->sample_size, full_n);
+  EXPECT_EQ(impossible->evaluations, 2 + CeilLog2(full_n - lo0));
+
+  // Moderate contract: the distinct candidates are the lower bound plus
+  // at most CeilLog2 midpoints; the final report at the returned n is
+  // always served from the memo.
+  options.epsilon = 0.05;
+  Rng rng2(27);
+  const auto mid = EstimateSampleSize(spec_, theta0_, n0_, full_n, *sampler_,
+                                      holdout_, options, &rng2);
+  ASSERT_TRUE(mid.ok());
+  ASSERT_GT(mid->sample_size, lo0);
+  ASSERT_LT(mid->sample_size, full_n);
+  EXPECT_LE(mid->evaluations, 1 + CeilLog2(full_n - lo0));
+  EXPECT_GE(mid->evaluations, 2);
 }
 
 // The generic (non-score) path must work for PPCA.

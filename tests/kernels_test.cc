@@ -407,6 +407,227 @@ TEST(KernelDispatch, ScopeKernelLevelReachesPoolWorkerLanes) {
   }
 }
 
+// ---------- Multi-z kernels: per-column bitwise contract ----------
+
+// Runs fn at the blocked level with the given ISA forced via the scope.
+template <typename Fn>
+auto AtIsa(KernelIsa isa, const Fn& fn) {
+  RuntimeOptions options;
+  options.kernel_level = KernelLevel::kBlocked;
+  options.kernel_isa = isa;
+  RuntimeScope scope(options);
+  return fn();
+}
+
+// True when forcing kAvx2 actually resolves to kAvx2 (i.e. the CPU has
+// AVX2+FMA); on other machines the scope clamps back to kScalar and the
+// AVX2 legs of these tests are vacuous, so the callers skip them.
+bool Avx2Available() {
+  return AtIsa(KernelIsa::kAvx2,
+               [] { return CurrentKernelIsa() == KernelIsa::kAvx2; });
+}
+
+std::vector<KernelIsa> IsasToTest() {
+  std::vector<KernelIsa> isas = {KernelIsa::kScalar};
+  if (Avx2Available()) isas.push_back(KernelIsa::kAvx2);
+  return isas;
+}
+
+const char* IsaName(KernelIsa isa) {
+  return isa == KernelIsa::kAvx2 ? "avx2" : "scalar";
+}
+
+TEST(MultiZKernels, MatVecMultiBitwiseEqualsPerColumn) {
+  Rng rng(51);
+  const Matrix a = RandomMatrix(67, 19, &rng);
+  for (const KernelIsa isa : IsasToTest()) {
+    // Widths across a full kMultiVec group and odd tails, plus rank 1.
+    for (const Matrix::Index width : {1, 3, 8, 11}) {
+      const Matrix zs = RandomMatrix(width, 19, &rng);
+      const Matrix multi =
+          AtIsa(isa, [&] { return kernels::MatVecMulti(a, zs); });
+      ASSERT_EQ(multi.rows(), a.rows());
+      ASSERT_EQ(multi.cols(), width);
+      for (Matrix::Index b = 0; b < width; ++b) {
+        const Vector single =
+            AtIsa(isa, [&] { return MatVec(a, zs.Row(b)); });
+        for (Matrix::Index i = 0; i < multi.rows(); ++i) {
+          ASSERT_EQ(multi(i, b), single[i])
+              << IsaName(isa) << " width=" << width << " col " << b;
+        }
+      }
+    }
+  }
+  // Rank-1 factor (a single column) hits every tail path at once.
+  const Matrix a1 = RandomMatrix(40, 1, &rng);
+  const Matrix z1 = RandomMatrix(5, 1, &rng);
+  const Matrix multi1 =
+      AtLevel(KernelLevel::kBlocked, [&] { return kernels::MatVecMulti(a1, z1); });
+  for (Matrix::Index b = 0; b < 5; ++b) {
+    const Vector single =
+        AtLevel(KernelLevel::kBlocked, [&] { return MatVec(a1, z1.Row(b)); });
+    for (Matrix::Index i = 0; i < multi1.rows(); ++i) {
+      ASSERT_EQ(multi1(i, b), single[i]);
+    }
+  }
+  const Matrix zs = RandomMatrix(11, 19, &rng);
+  testing::ExpectThreadCountInvariant(
+      [&] {
+        return Flatten(AtLevel(KernelLevel::kBlocked,
+                               [&] { return kernels::MatVecMulti(a, zs); }));
+      },
+      {1, 2, 8}, "MatVecMulti");
+}
+
+TEST(MultiZKernels, MatTVecMultiBitwiseEqualsPerColumn) {
+  Rng rng(52);
+  const Matrix a = RandomMatrix(60, 23, &rng);
+  for (const KernelIsa isa : IsasToTest()) {
+    for (const Matrix::Index width : {1, 3, 8, 11}) {
+      const Matrix t = RandomMatrix(60, width, &rng);
+      const Matrix multi =
+          AtIsa(isa, [&] { return kernels::MatTVecMulti(a, t); });
+      ASSERT_EQ(multi.rows(), a.cols());
+      ASSERT_EQ(multi.cols(), width);
+      for (Matrix::Index b = 0; b < width; ++b) {
+        const Vector single =
+            AtIsa(isa, [&] { return MatTVec(a, t.Col(b)); });
+        for (Matrix::Index i = 0; i < multi.rows(); ++i) {
+          ASSERT_EQ(multi(i, b), single[i])
+              << IsaName(isa) << " width=" << width << " col " << b;
+        }
+      }
+    }
+  }
+  // Single-feature (p = 1) shape.
+  const Matrix a1 = RandomMatrix(48, 1, &rng);
+  const Matrix t1 = RandomMatrix(48, 8, &rng);
+  const Matrix multi1 = AtLevel(KernelLevel::kBlocked,
+                                [&] { return kernels::MatTVecMulti(a1, t1); });
+  for (Matrix::Index b = 0; b < 8; ++b) {
+    const Vector single = AtLevel(KernelLevel::kBlocked,
+                                  [&] { return MatTVec(a1, t1.Col(b)); });
+    ASSERT_EQ(multi1(0, b), single[0]);
+  }
+  const Matrix t = RandomMatrix(60, 11, &rng);
+  testing::ExpectThreadCountInvariant(
+      [&] {
+        return Flatten(AtLevel(KernelLevel::kBlocked,
+                               [&] { return kernels::MatTVecMulti(a, t); }));
+      },
+      {1, 2, 8}, "MatTVecMulti");
+}
+
+TEST(MultiZKernels, ApplyTransposedMultiBlockedBitwiseEqualsPerColumn) {
+  const SparseMatrix m = MixedRowMatrix(60, 400, 24);
+  Rng rng(53);
+  for (const KernelIsa isa : IsasToTest()) {
+    for (const Matrix::Index width : {1, 3, 8, 11}) {
+      const Matrix t = RandomMatrix(60, width, &rng);
+      const Matrix multi = AtIsa(
+          isa, [&] { return kernels::ApplyTransposedMultiBlocked(m, t); });
+      ASSERT_EQ(multi.rows(), 400);
+      ASSERT_EQ(multi.cols(), width);
+      for (Matrix::Index b = 0; b < width; ++b) {
+        const Vector single =
+            AtIsa(isa, [&] { return m.ApplyTransposed(t.Col(b)); });
+        for (Matrix::Index i = 0; i < multi.rows(); ++i) {
+          ASSERT_EQ(multi(i, b), single[i])
+              << IsaName(isa) << " width=" << width << " col " << b;
+        }
+      }
+    }
+  }
+  const Matrix t = RandomMatrix(60, 11, &rng);
+  testing::ExpectThreadCountInvariant(
+      [&] {
+        return Flatten(AtLevel(
+            KernelLevel::kBlocked,
+            [&] { return kernels::ApplyTransposedMultiBlocked(m, t); }));
+      },
+      {1, 2, 8}, "ApplyTransposedMultiBlocked");
+}
+
+// ---------- Runtime ISA dispatch ----------
+
+TEST(KernelIsaDispatch, Avx2BitwiseEqualsScalarAndMatchesNaiveOracle) {
+  // The AVX2 variants keep the canonical four-chain association (no FMA
+  // contraction), so they are bitwise equal to the scalar blocked kernels
+  // — a stronger statement than the documented 1e-12 oracle contract,
+  // which is also checked here against kNaive.
+  Rng rng(61);
+  const Matrix a = RandomMatrix(131, 67, &rng);
+  const Vector x = RandomVector(67, &rng);
+  const Dataset sparse = SparseBinaryData(200, 900, /*seed=*/62,
+                                          /*nnz_per_row=*/25);
+  std::vector<Vector> store;
+  for (int t = 0; t < 11; ++t) {
+    store.push_back(testing::Trainedish(sparse, 70 + t));
+  }
+  std::vector<const Vector*> thetas;
+  for (const Vector& v : store) thetas.push_back(&v);
+
+  const Matrix zs = RandomMatrix(8, 67, &rng);
+  auto run = [&](KernelIsa isa) {
+    return AtIsa(isa, [&] {
+      std::vector<Vector> outs;
+      outs.push_back(MatVec(a, x));
+      outs.push_back(Flatten(BatchMargins(sparse, thetas)));
+      outs.push_back(Flatten(kernels::MatVecMulti(a, zs)));
+      return outs;
+    });
+  };
+
+  const std::vector<Vector> scalar = run(KernelIsa::kScalar);
+  const std::vector<Vector> naive = AtLevel(KernelLevel::kNaive, [&] {
+    std::vector<Vector> outs;
+    outs.push_back(MatVec(a, x));
+    outs.push_back(Flatten(BatchMargins(sparse, thetas)));
+    outs.push_back(Flatten(kernels::MatVecMulti(a, zs)));
+    return outs;
+  });
+  for (std::size_t o = 0; o < scalar.size(); ++o) {
+    EXPECT_LE(MaxRelDiff(scalar[o], naive[o]), 1e-12) << "output " << o;
+  }
+
+  if (!Avx2Available()) GTEST_SKIP() << "CPU lacks AVX2+FMA";
+  const std::vector<Vector> avx2 = run(KernelIsa::kAvx2);
+  ASSERT_EQ(avx2.size(), scalar.size());
+  for (std::size_t o = 0; o < scalar.size(); ++o) {
+    ASSERT_EQ(avx2[o].size(), scalar[o].size());
+    for (Vector::Index i = 0; i < scalar[o].size(); ++i) {
+      ASSERT_EQ(avx2[o][i], scalar[o][i]) << "output " << o << " elem " << i;
+    }
+    EXPECT_LE(MaxRelDiff(avx2[o], naive[o]), 1e-12) << "output " << o;
+  }
+}
+
+TEST(KernelIsaDispatch, ScopeIsaReachesPoolWorkerLanes) {
+  // Like ScopeKernelLevelReachesPoolWorkerLanes: the ISA choice must be
+  // visible on pool worker lanes, or batched Monte-Carlo chunks would
+  // resolve the ISA per lane and results could depend on the machine's
+  // ambient environment mid-run.
+  ThreadPool pool(8);
+  RuntimeOptions options;
+  options.kernel_isa = KernelIsa::kScalar;
+  options.pool = &pool;
+  options.num_threads = 8;
+  RuntimeScope scope(options);
+  constexpr ParallelIndex kItems = 16;
+  std::vector<int> seen(kItems, -1);
+  ParallelFor(0, kItems, [&](ParallelIndex b, ParallelIndex e) {
+    for (ParallelIndex i = b; i < e; ++i) {
+      seen[static_cast<std::size_t>(i)] =
+          static_cast<int>(CurrentKernelIsa());
+    }
+  }, /*grain=*/1);
+  for (ParallelIndex i = 0; i < kItems; ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)],
+              static_cast<int>(KernelIsa::kScalar))
+        << "item " << i;
+  }
+}
+
 // ---------- End to end through the statistics path ----------
 
 TEST(KernelStatistics, ObservedFisherAgreesAcrossLevelsAndThreads) {

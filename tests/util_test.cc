@@ -145,6 +145,50 @@ TEST(Stats, QuantileRejectsBadLevel) {
   EXPECT_THROW(Quantile({1.0}, 1.1), CheckError);
 }
 
+TEST(Stats, QuantileSingleElement) {
+  // Any level over a singleton returns the element, exactly.
+  EXPECT_DOUBLE_EQ(Quantile({7.5}, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(Quantile({7.5}, 0.37), 7.5);
+  EXPECT_DOUBLE_EQ(Quantile({7.5}, 1.0), 7.5);
+}
+
+TEST(Stats, QuantileTiesInterpolateToTheTiedValue) {
+  // Interpolation between two equal order statistics must return that
+  // value bit-for-bit, not a rounded midpoint.
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.0);  // pos = 1.0, exact
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.375), 2.0);  // pos = 1.5, between ties
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.0);
+  // All-tied input is constant at every level.
+  const std::vector<double> ties = {3.0, 3.0, 3.0};
+  for (double q = 0.0; q <= 1.0; q += 0.125) {
+    EXPECT_DOUBLE_EQ(Quantile(ties, q), 3.0) << "q=" << q;
+  }
+}
+
+TEST(Stats, QuantileEndpointsAreMinAndMax) {
+  // q = 0 and q = 1 pin to the extremes regardless of input order.
+  const std::vector<double> xs = {4.0, -2.0, 9.0, 0.5};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), -2.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 9.0);
+}
+
+TEST(Stats, UpperOrderStatisticSingleElement) {
+  // rank = ceil(q * 1) clamps to 1 for every level, including q = 0.
+  EXPECT_DOUBLE_EQ(UpperOrderStatistic({42.0}, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(UpperOrderStatistic({42.0}, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(UpperOrderStatistic({42.0}, 1.0), 42.0);
+}
+
+TEST(Stats, UpperOrderStatisticTies) {
+  // Ranks falling inside a run of ties return the tied value; the rank
+  // just past the run steps to the next distinct value.
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(UpperOrderStatistic(xs, 0.4), 2.0);   // rank 2
+  EXPECT_DOUBLE_EQ(UpperOrderStatistic(xs, 0.8), 2.0);   // rank 4
+  EXPECT_DOUBLE_EQ(UpperOrderStatistic(xs, 0.81), 5.0);  // rank 5
+}
+
 TEST(Stats, UpperOrderStatisticIsConservative) {
   const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
   // ceil(0.5 * 5) = 3rd order statistic.
