@@ -2,11 +2,25 @@
 // wire protocol (src/net/) on a Unix-domain socket.
 //
 //   $ ./build/example_serve_daemon [--socket=/path.sock] [--runner-threads=N]
+//                                  [--ready-fd=N] [--ready-file=/path]
 //
 // Runs until SIGINT/SIGTERM, then drains the job queue (every admitted
 // job still gets its response) and exits 0. Pair with
 // example_serve_client, which registers a dataset, trains, and predicts
 // over the socket — CI runs the two as its release smoke test.
+//
+// Startup handshake (what a supervisor needs to launch workers without
+// connect-polling): --ready-fd=N writes one byte to fd N and closes it
+// the moment listen() has succeeded — the parent keeps the read end of a
+// pipe and knows the socket is acceptable the instant the byte arrives,
+// while EOF without a byte means startup failed (pair with waitpid).
+// --ready-file=PATH creates PATH at the same moment, for shell callers.
+// A bind/listen failure exits non-zero with the failing address on
+// stderr and never signals readiness. This daemon is the worker process
+// a shard/supervisor.h WorkerSupervisor spawns.
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include <csignal>
 #include <cstdio>
@@ -33,6 +47,8 @@ int main(int argc, char** argv) {
 
   std::string socket_path = "/tmp/blinkml_serve.sock";
   std::string trace_path;
+  std::string ready_file;
+  int ready_fd = -1;
   int runner_threads = 2;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -44,6 +60,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--runner-threads must be >= 1\n");
         return 2;
       }
+    } else if (arg.rfind("--ready-fd=", 0) == 0) {
+      ready_fd = std::atoi(arg.c_str() + std::strlen("--ready-fd="));
+      if (ready_fd < 0) {
+        std::fprintf(stderr, "--ready-fd must be a valid descriptor\n");
+        return 2;
+      }
+    } else if (arg.rfind("--ready-file=", 0) == 0) {
+      ready_file = arg.substr(std::strlen("--ready-file="));
+      if (ready_file.empty()) {
+        std::fprintf(stderr, "--ready-file needs a path\n");
+        return 2;
+      }
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(std::strlen("--trace="));
       if (trace_path.empty()) {
@@ -53,7 +81,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--socket=/path.sock] [--runner-threads=N] "
-                   "[--trace=trace.json]\n",
+                   "[--ready-fd=N] [--ready-file=/path] [--trace=trace.json]\n",
                    argv[0]);
       return 2;
     }
@@ -72,8 +100,37 @@ int main(int argc, char** argv) {
   BlinkServer server(&manager, options);
   const Status st = server.Start();
   if (!st.ok()) {
-    std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+    // The Status message names the failing address (bind(<path>): ...);
+    // a supervisor reads this off the worker's stderr. Readiness is
+    // never signaled on this path: the ready fd closes unwritten (EOF
+    // at the supervisor) and the ready file is never created.
+    std::fprintf(stderr, "start failed on %s: %s\n", socket_path.c_str(),
+                 st.ToString().c_str());
+    if (ready_fd >= 0) ::close(ready_fd);
     return 1;
+  }
+
+  // listen() has succeeded: signal readiness before serving.
+  if (ready_fd >= 0) {
+    const char byte = 'R';
+    if (::write(ready_fd, &byte, 1) != 1) {
+      std::fprintf(stderr, "ready-fd %d write failed: %s\n", ready_fd,
+                   std::strerror(errno));
+      return 1;
+    }
+    ::close(ready_fd);
+  }
+  if (!ready_file.empty()) {
+    const int fd =
+        ::open(ready_file.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd < 0) {
+      std::fprintf(stderr, "ready-file %s failed: %s\n", ready_file.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    const char byte = 'R';
+    (void)!::write(fd, &byte, 1);
+    ::close(fd);
   }
 
   std::signal(SIGINT, HandleSignal);

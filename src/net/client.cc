@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -121,6 +122,7 @@ Result<BlinkClient> BlinkClient::ConnectTcpRetry(const std::string& host,
 BlinkClient::BlinkClient(BlinkClient&& other) noexcept
     : fd_(other.fd_),
       endpoint_(std::move(other.endpoint_)),
+      recv_timeout_ms_(other.recv_timeout_ms_),
       next_request_id_(other.next_request_id_),
       last_retry_after_ms_(other.last_retry_after_ms_),
       last_wire_status_(other.last_wire_status_),
@@ -134,6 +136,7 @@ BlinkClient& BlinkClient::operator=(BlinkClient&& other) noexcept {
     if (fd_ >= 0) ::close(fd_);
     fd_ = other.fd_;
     endpoint_ = std::move(other.endpoint_);
+    recv_timeout_ms_ = other.recv_timeout_ms_;
     next_request_id_ = other.next_request_id_;
     last_retry_after_ms_ = other.last_retry_after_ms_;
     last_wire_status_ = other.last_wire_status_;
@@ -156,7 +159,27 @@ Status BlinkClient::Reconnect() {
   if (fd_ >= 0) ::close(fd_);
   fd_ = fresh->fd_;
   fresh->fd_ = -1;
+  return ApplyRecvTimeout();
+}
+
+Status BlinkClient::ApplyRecvTimeout() {
+  if (fd_ < 0 || recv_timeout_ms_ <= 0) return Status::OK();
+  timeval tv{};
+  tv.tv_sec = recv_timeout_ms_ / 1000;
+  tv.tv_usec = (recv_timeout_ms_ % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0) {
+    return Status::IOError(
+        StrFormat("setsockopt(SO_RCVTIMEO): %s", ::strerror(errno)));
+  }
   return Status::OK();
+}
+
+Status BlinkClient::set_recv_timeout_ms(int timeout_ms) {
+  if (timeout_ms < 0) {
+    return Status::InvalidArgument("recv timeout must be >= 0");
+  }
+  recv_timeout_ms_ = timeout_ms;
+  return ApplyRecvTimeout();
 }
 
 Status BlinkClient::Call(Verb verb, const WireWriter& payload,

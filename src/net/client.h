@@ -115,6 +115,13 @@ class BlinkClient {
   Result<HealthResponseWire> Health(const std::string& tenant,
                                     CallOptions options = {});
 
+  /// Caps how long a call blocks waiting for the response (SO_RCVTIMEO on
+  /// the socket; 0 = wait forever, the default). A timeout surfaces as a
+  /// transport-level IOError — retryable under a reconnect policy.
+  /// Survives Reconnect(). What a liveness prober needs: a hung server
+  /// must fail the probe, not hang the prober.
+  Status set_recv_timeout_ms(int timeout_ms);
+
   /// Retry-after hint from the most recent rejected call (0 = none
   /// given; a successful call resets it to 0).
   std::uint32_t last_retry_after_ms() const { return last_retry_after_ms_; }
@@ -153,12 +160,16 @@ class BlinkClient {
   /// Re-dials endpoint_ and swaps the fd.
   Status Reconnect();
 
+  /// Applies recv_timeout_ms_ to fd_ (called on set and after reconnect).
+  Status ApplyRecvTimeout();
+
   template <typename Response>
   Result<Response> TypedCall(Verb verb, const WireWriter& payload,
                              CallOptions options);
 
   int fd_ = -1;
   Endpoint endpoint_;
+  int recv_timeout_ms_ = 0;
   std::uint64_t next_request_id_ = 1;
   std::uint32_t last_retry_after_ms_ = 0;
   WireStatus last_wire_status_ = WireStatus::kOk;

@@ -535,6 +535,27 @@ Status PeekTenant(const std::uint8_t* payload, std::size_t size,
   return Status::OK();
 }
 
+Status PeekRoutingKey(Verb verb, const std::uint8_t* payload,
+                      std::size_t size, std::string* tenant,
+                      std::string* dataset) {
+  WireReader reader(payload, size);
+  *tenant = reader.Str();
+  dataset->clear();
+  switch (verb) {
+    case Verb::kRegisterDataset:
+    case Verb::kTrain:
+    case Verb::kSearch:
+      *dataset = reader.Str();
+      break;
+    default:
+      break;  // tenant-only key
+  }
+  if (!reader.ok()) {
+    return Status::InvalidArgument("payload too short for a routing key");
+  }
+  return Status::OK();
+}
+
 Result<std::shared_ptr<ModelSpec>> MakeSpecByName(
     const std::string& model_class, double l2) {
   if (model_class == "LogisticRegression") {

@@ -293,6 +293,15 @@ Status Decode(WireReader* in, HealthResponseWire* out);
 Status PeekTenant(const std::uint8_t* payload, std::size_t size,
                   std::string* tenant);
 
+/// Reads the (tenant, dataset) routing key of a shard-routed verb without
+/// decoding the body: RegisterDataset/Train/Search lead with two strings
+/// (tenant, dataset-or-name). Predict and the aggregate verbs carry no
+/// dataset; they peek an empty `dataset` (a tenant-only routing key).
+/// What a shard router (shard/router.h) needs before picking an owner.
+Status PeekRoutingKey(Verb verb, const std::uint8_t* payload,
+                      std::size_t size, std::string* tenant,
+                      std::string* dataset);
+
 /// Builds a model spec from its wire name ("LogisticRegression",
 /// "LinearRegression", "PoissonRegression" — the spec name() strings).
 Result<std::shared_ptr<ModelSpec>> MakeSpecByName(

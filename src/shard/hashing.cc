@@ -1,0 +1,61 @@
+#include "shard/hashing.h"
+
+namespace blinkml {
+namespace shard {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t FnvMix(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// SplitMix64 finalizer: full-avalanche bit mix (the same constants the
+/// random/ module uses; no shared state, just arithmetic).
+std::uint64_t Mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t ShardKeyHash(const ShardKey& key) {
+  std::uint64_t h = FnvMix(kFnvOffset, key.tenant);
+  h ^= 0u;  // NUL separator: ("ab","c") and ("a","bc") hash apart
+  h *= kFnvPrime;
+  h = FnvMix(h, key.dataset);
+  return Mix64(h);
+}
+
+std::uint64_t RendezvousWeight(std::uint64_t key_hash, std::uint32_t shard_id) {
+  return Mix64(key_hash ^ Mix64(0x5348415244ull + shard_id));  // "SHARD"
+}
+
+int RendezvousOwner(const ShardKey& key,
+                    const std::vector<std::uint32_t>& shards) {
+  if (shards.empty()) return -1;
+  const std::uint64_t key_hash = ShardKeyHash(key);
+  int best = -1;
+  std::uint64_t best_weight = 0;
+  std::uint32_t best_id = 0;
+  for (const std::uint32_t id : shards) {
+    const std::uint64_t w = RendezvousWeight(key_hash, id);
+    if (best < 0 || w > best_weight ||
+        (w == best_weight && id < best_id)) {
+      best = static_cast<int>(id);
+      best_weight = w;
+      best_id = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace shard
+}  // namespace blinkml

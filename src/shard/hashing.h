@@ -1,0 +1,59 @@
+// Rendezvous (highest-random-weight) placement for the shard router.
+//
+// Every shard-routed request carries a routing key — (tenant, dataset)
+// for dataset verbs, (tenant, "") for tenant-scoped ones — and the owner
+// of a key is the member shard with the highest pseudo-random weight
+// Hash(key, shard). Properties the router depends on:
+//
+//  * deterministic and process-independent: the weight is FNV-1a +
+//    SplitMix64 over the key bytes and the shard id, never std::hash —
+//    a restarted router, a worker, and a test all compute the same
+//    owner for the same member set;
+//  * minimal disruption: removing one shard from the member set moves
+//    ONLY the keys that shard owned (each surviving key's argmax is
+//    unchanged); adding a shard steals only the keys it now wins. This
+//    is what makes drain/failover migration proportional to the lost
+//    shard's share instead of a full reshuffle (tests/shard_test.cc
+//    holds both);
+//  * placement never affects results: jobs are bitwise deterministic
+//    functions of (generator, seed, config), so ownership is purely a
+//    load/locality decision and any migration is bitwise invisible.
+
+#ifndef BLINKML_SHARD_HASHING_H_
+#define BLINKML_SHARD_HASHING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace blinkml {
+namespace shard {
+
+/// Routing key of one request. Dataset verbs (RegisterDataset / Train /
+/// Search) use the full pair; tenant-scoped verbs (Predict) leave
+/// `dataset` empty. The two never collide: the hash separates the fields
+/// with a NUL that cannot appear inside either string's length prefix.
+struct ShardKey {
+  std::string tenant;
+  std::string dataset;
+};
+
+inline bool operator==(const ShardKey& a, const ShardKey& b) {
+  return a.tenant == b.tenant && a.dataset == b.dataset;
+}
+
+/// FNV-1a over tenant, NUL, dataset, finalized with SplitMix64.
+std::uint64_t ShardKeyHash(const ShardKey& key);
+
+/// The weight of placing a key (by its hash) on `shard_id`. Higher wins.
+std::uint64_t RendezvousWeight(std::uint64_t key_hash, std::uint32_t shard_id);
+
+/// The member of `shards` with the highest weight for `key`; -1 when the
+/// member set is empty. Ties (vanishingly rare with 64-bit weights)
+/// break toward the lower shard id, keeping the choice total-ordered.
+int RendezvousOwner(const ShardKey& key, const std::vector<std::uint32_t>& shards);
+
+}  // namespace shard
+}  // namespace blinkml
+
+#endif  // BLINKML_SHARD_HASHING_H_

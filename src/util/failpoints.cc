@@ -1,5 +1,7 @@
 #include "util/failpoints.h"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -71,6 +73,11 @@ bool Failpoints::Evaluate(const char* point, FaultAction* action) {
   if ((hit - s.start_hit) % every != 0) return false;
   ++p.fires;
   *action = s.action;
+  // A fired kExit never returns: it IS the crash (see failpoints.h). Skip
+  // atexit handlers and buffers on purpose — a real crash flushes nothing.
+  if (action->kind == FaultKind::kExit) {
+    ::_exit(static_cast<int>(action->arg));
+  }
   return true;
 }
 
@@ -131,6 +138,18 @@ Status ParseAction(const std::string& text, FaultAction* out) {
                                        text);
       }
       out->error_code = static_cast<int>(value);
+    }
+    return Status::OK();
+  }
+  if (kind == "exit") {
+    out->kind = FaultKind::kExit;
+    out->arg = 137;  // the conventional SIGKILL-style exit code
+    if (!arg.empty()) {
+      if (!ParseU64(arg, &value)) {
+        return Status::InvalidArgument("bad exit code in failpoint action: " +
+                                       text);
+      }
+      out->arg = value;
     }
     return Status::OK();
   }

@@ -29,6 +29,10 @@
 //   action := 'err' (':' errno)?   -- fail with an error (code optional)
 //           | 'partial' ':' N      -- cap the IO at N bytes
 //           | 'delay' ':' MS       -- sleep MS milliseconds, then proceed
+//           | 'exit' (':' CODE)?   -- _exit(CODE) the process (default 137),
+//                                     simulating a crash AT the hit site
+//                                     (worker-kill chaos; the evaluating
+//                                     process never returns)
 //   sched  := part (',' part)*
 //   part   := 'nth' ':' N          -- fire exactly once, on the Nth hit
 //           | 'start' ':' N        -- first fire at hit N (default 1)
@@ -64,6 +68,13 @@ enum class FaultKind : std::uint8_t {
   /// Sleep `arg` milliseconds, then proceed normally (stall simulation;
   /// the only action that touches time, and only when it fires).
   kDelay,
+  /// _exit(arg) the process the moment the schedule fires — a
+  /// deterministic crash at the hit site. Handled inside Evaluate (the
+  /// site never sees it), so ANY failpoint can double as a kill switch:
+  /// a supervisor arming "manager.search=exit:137@nth:2" in a worker's
+  /// environment gets a worker that dies mid-way through its second
+  /// Search, every run, at every thread count.
+  kExit,
 };
 
 struct FaultAction {

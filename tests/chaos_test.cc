@@ -27,6 +27,9 @@
 #include "net/protocol.h"
 #include "net/server.h"
 #include "serve/session_manager.h"
+#include "shard/hashing.h"
+#include "shard/router.h"
+#include "shard/supervisor.h"
 #include "tests/test_util.h"
 #include "util/failpoints.h"
 
@@ -330,6 +333,267 @@ TEST_F(ChaosTest, MixedScheduleYieldsOnlyBitwiseOrRetryableOutcomes) {
   EXPECT_GT(ok_calls, 0);
   EXPECT_GT(structured_failures + transport_failures, 0);
   EXPECT_GT(fail::Failpoints::Global().TotalFires(), 0u);
+}
+
+// A hung server must fail the caller's probe, not hang it: with a recv
+// timeout armed, an injected server-side delay longer than the timeout
+// surfaces as a transport-level error (no envelope) before the delay
+// elapses — the mechanism the shard supervisor's liveness prober runs on.
+TEST_F(ChaosTest, RecvTimeoutSurfacesHungServerAsTransportError) {
+  SessionManager manager;
+  ServerOptions options;
+  options.unix_path = SocketPath("rcvto");
+  BlinkServer server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(
+      client->RegisterDataset(LogisticRegistration("t", "chaos-rcvto")).ok());
+  ASSERT_TRUE(client->set_recv_timeout_ms(100).ok());
+
+  ASSERT_TRUE(fail::Failpoints::Global()
+                  .ArmFromSpec("manager.train=delay:600@nth:1")
+                  .ok());
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = client->Train(WireTrain("t", "chaos-rcvto"));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_FALSE(result.ok());
+  // Transport error, not a server envelope: the response never arrived.
+  EXPECT_EQ(client->last_wire_status(), WireStatus::kOk);
+  EXPECT_LT(elapsed.count(), 500) << "timeout must beat the injected delay";
+  fail::Failpoints::Global().DisarmAll();
+  // server.Stop() in the destructor still drains the delayed job.
+}
+
+// --- Worker-kill chaos through the shard router -------------------------
+
+shard::RouterOptions ChaosRouterOptions(const std::string& tag,
+                                        int num_shards) {
+  shard::RouterOptions options;
+  options.unix_path = SocketPath(("router_" + tag).c_str());
+  options.num_shards = num_shards;
+  options.worker.socket_dir = "/tmp";
+  options.worker.socket_prefix =
+      "blinkml_cw_" + tag + "_" + std::to_string(::getpid());
+  options.worker.probe_interval_ms = 25;
+  options.worker.backoff_initial_ms = 5;
+  options.worker.backoff_max_ms = 100;
+  return options;
+}
+
+SearchRequestWire WireSearch(const std::string& tenant,
+                             const std::string& dataset) {
+  SearchRequestWire search;
+  search.tenant = tenant;
+  search.dataset = dataset;
+  search.model_class = "LogisticRegression";
+  search.candidates = {{1e-3, 0}, {1e-2, 0}, {1e-1, 0}};
+  search.epsilon = 0.05;
+  search.delta = 0.05;
+  return search;
+}
+
+void ExpectBitwiseSearch(const SearchResponseWire& got,
+                         const SearchResponseWire& want, const char* what) {
+  ASSERT_EQ(got.candidates.size(), want.candidates.size()) << what;
+  EXPECT_EQ(got.best_index, want.best_index) << what;
+  for (std::size_t c = 0; c < got.candidates.size(); ++c) {
+    const auto& g = got.candidates[c];
+    const auto& w = want.candidates[c];
+    EXPECT_EQ(g.status, w.status) << what << " candidate " << c;
+    EXPECT_EQ(g.score, w.score) << what << " candidate " << c;
+    EXPECT_EQ(g.final_epsilon, w.final_epsilon) << what << " candidate " << c;
+    EXPECT_EQ(g.sample_size, w.sample_size) << what << " candidate " << c;
+    ASSERT_EQ(g.model.theta.size(), w.model.theta.size()) << what;
+    for (Vector::Index i = 0; i < g.model.theta.size(); ++i) {
+      EXPECT_EQ(g.model.theta[i], w.model.theta[i])
+          << what << " candidate " << c << " theta[" << i << "]";
+    }
+  }
+}
+
+// The shard-front headline: a worker is KILLED mid-Search (a real
+// process exit at a deterministic hit), and a retrying client still
+// converges every call to bits identical to the fault-free
+// single-process run — at 1, 2, and 8 worker runner threads. Crash,
+// restart, journal replay, and re-forward are all exercised on the way.
+TEST_F(ChaosTest, RouterWorkerKillMidSearchConvergesBitwise) {
+  const RegisterDatasetRequest registration =
+      LogisticRegistration("t", "chaos-shard");
+
+  // Fault-free single-process reference.
+  SearchResponseWire want;
+  {
+    SessionManager manager(ServeOptions{0, 2});
+    ServerOptions options;
+    options.unix_path = SocketPath("shardref");
+    BlinkServer server(&manager, options);
+    ASSERT_TRUE(server.Start().ok());
+    auto client = BlinkClient::ConnectUnix(options.unix_path);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->RegisterDataset(registration).ok());
+    auto result = client->Search(WireSearch("t", "chaos-shard"));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    want = std::move(result.value());
+  }
+
+  for (const int threads : {1, 2, 8}) {
+    shard::RouterOptions options =
+        ChaosRouterOptions("kill" + std::to_string(threads), 2);
+    options.worker.runner_threads = threads;
+    // Every worker process dies mid-way through its SECOND Search, every
+    // generation — the deterministic kill switch (failpoints.h kExit).
+    options.worker.worker_failpoints = "manager.search=exit:137@nth:2";
+    options.worker.inherit_env_failpoints = false;
+    shard::ShardRouter router(options);
+    ASSERT_TRUE(router.Start().ok());
+
+    auto client = BlinkClient::ConnectUnix(options.unix_path);
+    ASSERT_TRUE(client.ok());
+    RetryPolicy policy;
+    policy.max_attempts = 12;
+    policy.initial_backoff_ms = 10;
+    policy.max_backoff_ms = 200;
+    policy.reconnect = true;
+    client->set_retry_policy(policy);
+    ASSERT_TRUE(client->RegisterDataset(registration).ok());
+
+    // Call 1: hit 1, clean. Call 2: hit 2 KILLS the owner mid-search;
+    // the retry rides restart + journal replay and re-runs on the new
+    // process (gen 2, hit 1). Call 3 crashes gen 2 the same way.
+    for (int call = 0; call < 3; ++call) {
+      const auto result = client->Search(WireSearch("t", "chaos-shard"));
+      ASSERT_TRUE(result.ok())
+          << "threads=" << threads << " call=" << call << ": "
+          << result.status().ToString();
+      ExpectBitwiseSearch(*result, want,
+                          ("threads=" + std::to_string(threads) + " call=" +
+                           std::to_string(call))
+                              .c_str());
+    }
+    EXPECT_GE(router.stats().worker_restarts, 2u) << "threads=" << threads;
+    EXPECT_GE(router.stats().replayed_registrations, 2u)
+        << "threads=" << threads;
+    EXPECT_GT(router.stats().unavailable, 0u) << "threads=" << threads;
+    EXPECT_GT(client->retry_stats().retries, 0u) << "threads=" << threads;
+  }
+}
+
+// Journal-replay convergence: several datasets journaled on one shard, a
+// crash wipes the worker's whole registry, and every dataset — not just
+// the one in flight — trains bitwise after the automatic replay.
+TEST_F(ChaosTest, RouterReplaysWholeJournalAfterWorkerCrash) {
+  std::vector<RegisterDatasetRequest> regs;
+  for (int i = 0; i < 3; ++i) {
+    regs.push_back(LogisticRegistration("t", "cj" + std::to_string(i)));
+    regs.back().data_seed = 3 + static_cast<std::uint64_t>(i);
+  }
+
+  std::vector<TrainResponseWire> want;
+  {
+    SessionManager manager(ServeOptions{0, 2});
+    ServerOptions options;
+    options.unix_path = SocketPath("replayref");
+    BlinkServer server(&manager, options);
+    ASSERT_TRUE(server.Start().ok());
+    auto client = BlinkClient::ConnectUnix(options.unix_path);
+    ASSERT_TRUE(client.ok());
+    for (const auto& reg : regs) {
+      ASSERT_TRUE(client->RegisterDataset(reg).ok());
+      auto result = client->Train(WireTrain("t", reg.name));
+      ASSERT_TRUE(result.ok());
+      want.push_back(std::move(result.value()));
+    }
+  }
+
+  // One shard owns everything; its fourth Train kills it.
+  shard::RouterOptions options = ChaosRouterOptions("replay", 1);
+  options.worker.worker_failpoints = "manager.train=exit:137@nth:4";
+  options.worker.inherit_env_failpoints = false;
+  shard::ShardRouter router(options);
+  ASSERT_TRUE(router.Start().ok());
+
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  policy.initial_backoff_ms = 10;
+  policy.reconnect = true;
+  client->set_retry_policy(policy);
+  for (const auto& reg : regs) {
+    ASSERT_TRUE(client->RegisterDataset(reg).ok());
+  }
+
+  // Hits 1-3 clean; the re-train of cj0 (hit 4) kills the worker. The
+  // retry converges after restart + replay of ALL THREE registrations.
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    const auto result = client->Train(WireTrain("t", regs[i].name));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectBitwise(*result, want[i], "pre-crash train");
+  }
+  const auto crashed = client->Train(WireTrain("t", regs[0].name));
+  ASSERT_TRUE(crashed.ok()) << crashed.status().ToString();
+  ExpectBitwise(*crashed, want[0], "post-crash train");
+  EXPECT_GE(router.stats().replayed_registrations, 3u);
+
+  // The OTHER datasets (never touched since the crash) must serve from
+  // the replayed registry without any client-visible difference.
+  for (std::size_t i = 1; i < regs.size(); ++i) {
+    const auto result = client->Train(WireTrain("t", regs[i].name));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectBitwise(*result, want[i], "post-replay train");
+  }
+}
+
+// The umbrella invariant through the router under AMBIENT worker kills:
+// this test arms nothing itself, but inherits any worker-kill schedule
+// from BLINKML_WORKER_FAILPOINTS (the CI router-chaos leg sets one).
+// Whatever dies, every call either matches the fault-free bits or the
+// client's RetryPolicy converges it; non-convergence within the budget
+// is the only failure.
+TEST_F(ChaosTest, RouterUmbrellaInvariantUnderAmbientWorkerFaults) {
+  const RegisterDatasetRequest registration =
+      LogisticRegistration("t", "chaos-ambient");
+
+  TrainResponseWire want;
+  {
+    SessionManager manager(ServeOptions{0, 2});
+    ServerOptions options;
+    options.unix_path = SocketPath("ambientref");
+    BlinkServer server(&manager, options);
+    ASSERT_TRUE(server.Start().ok());
+    auto client = BlinkClient::ConnectUnix(options.unix_path);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->RegisterDataset(registration).ok());
+    auto result = client->Train(WireTrain("t", "chaos-ambient"));
+    ASSERT_TRUE(result.ok());
+    want = std::move(result.value());
+  }
+
+  shard::RouterOptions options = ChaosRouterOptions("ambient", 2);
+  options.worker.inherit_env_failpoints = true;  // the CI hook
+  shard::ShardRouter router(options);
+  ASSERT_TRUE(router.Start().ok());
+
+  auto client = BlinkClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  RetryPolicy policy;
+  policy.max_attempts = 15;
+  policy.initial_backoff_ms = 10;
+  policy.max_backoff_ms = 300;
+  policy.reconnect = true;
+  client->set_retry_policy(policy);
+  ASSERT_TRUE(client->RegisterDataset(registration).ok());
+
+  for (int call = 0; call < 8; ++call) {
+    const auto result = client->Train(WireTrain("t", "chaos-ambient"));
+    ASSERT_TRUE(result.ok())
+        << "call " << call << " failed to converge within the retry "
+        << "budget: " << result.status().ToString();
+    ExpectBitwise(*result, want, "ambient-fault train");
+  }
 }
 
 }  // namespace
